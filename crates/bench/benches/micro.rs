@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks for the hot paths of the replay pipeline,
+//! including the DESIGN.md ablations:
+//!
+//! - wire encode/decode (the querier's per-send work),
+//! - input-format decode throughput: binary vs text vs pcap (ablation
+//!   "binary internal message stream", paper §2.5),
+//! - authoritative lookup (the meta server's per-query work),
+//! - sticky routing and timing bookkeeping (the distribution tree).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use dns_wire::{Message, Name, RecordType};
+use dns_wire::Question;
+use dns_zone::lookup;
+use ldp_replay::StickyRouter;
+use ldp_trace::{parse_binary, parse_pcap, parse_text, write_binary, write_pcap, write_text};
+use workloads::{BRootSpec, SyntheticTraceSpec};
+
+fn sample_trace() -> Vec<ldp_trace::TraceEntry> {
+    let mut spec = SyntheticTraceSpec::fixed_interarrival(0.001, 2.0);
+    spec.client_pool = 200;
+    spec.generate(1)
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let query = Message::query(77, "www.example.com".parse::<Name>().unwrap(), RecordType::A);
+    let bytes = query.encode();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_query", |b| b.iter(|| query.encode()));
+    group.bench_function("decode_query", |b| b.iter(|| Message::decode(&bytes).unwrap()));
+
+    // A realistic referral response with several records.
+    let root = ldp_core::synthetic_root_zone();
+    let q = Question::new("w1.example.com".parse().unwrap(), RecordType::A);
+    let resp = lookup(&root, &q).into_message(&query);
+    let resp_bytes = resp.encode();
+    group.bench_function("encode_referral", |b| b.iter(|| resp.encode()));
+    group.bench_function("decode_referral", |b| b.iter(|| Message::decode(&resp_bytes).unwrap()));
+    group.finish();
+}
+
+fn bench_input_formats(c: &mut Criterion) {
+    let trace = sample_trace();
+    let bin = write_binary(&trace);
+    let text = write_text(&trace);
+    let (pcap, _) = write_pcap(&trace);
+
+    let mut group = c.benchmark_group("input_formats");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("decode_binary", |b| b.iter(|| parse_binary(&bin).unwrap()));
+    group.bench_function("decode_text", |b| b.iter(|| parse_text(&text).unwrap()));
+    group.bench_function("decode_pcap", |b| b.iter(|| parse_pcap(&pcap).unwrap()));
+    group.bench_function("encode_binary", |b| b.iter(|| write_binary(&trace)));
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let root = ldp_core::synthetic_root_zone();
+    let wild = ldp_core::wildcard_zone("example.com");
+    let mut group = c.benchmark_group("lookup");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("root_referral", |b| {
+        let q = Question::new("w1.example.com".parse().unwrap(), RecordType::A);
+        b.iter(|| lookup(&root, &q))
+    });
+    group.bench_function("root_nxdomain", |b| {
+        let q = Question::new("junk1.invalid7".parse().unwrap(), RecordType::A);
+        b.iter(|| lookup(&root, &q))
+    });
+    group.bench_function("wildcard_synthesis", |b| {
+        let q = Question::new("u12345.example.com".parse().unwrap(), RecordType::A);
+        b.iter(|| lookup(&wild, &q))
+    });
+    group.finish();
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let trace = BRootSpec {
+        duration_secs: 2.0,
+        mean_rate: 5000.0,
+        clients: 5000,
+        ..BRootSpec::b_root_17a()
+    }
+    .generate(3);
+    let sources: Vec<std::net::IpAddr> = trace.iter().map(|e| e.src.ip()).collect();
+
+    let mut group = c.benchmark_group("distribution");
+    group.throughput(Throughput::Elements(sources.len() as u64));
+    group.bench_function("sticky_route_heavy_tail", |b| {
+        b.iter_batched(
+            || StickyRouter::new(8),
+            |mut router| {
+                for &s in &sources {
+                    criterion::black_box(router.route(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_answer(c: &mut Criterion) {
+    // The full server fast path: bytes in → bytes out, the per-query
+    // cost cap for the 87 k q/s single-host result.
+    let mut catalog = dns_zone::Catalog::new();
+    catalog.insert(ldp_core::wildcard_zone("example.com"));
+    let engine = dns_server::ServerEngine::with_catalog(catalog);
+    let query = Message::query(9, "u77.example.com".parse::<Name>().unwrap(), RecordType::A);
+    let bytes = query.encode();
+    let src: std::net::IpAddr = "192.0.2.1".parse().unwrap();
+
+    let mut group = c.benchmark_group("server");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("udp_bytes_to_bytes", |b| {
+        b.iter(|| engine.handle_udp_bytes(src, &bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_input_formats,
+    bench_lookup,
+    bench_distribution,
+    bench_end_to_end_answer
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! # ldp-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (see DESIGN.md §3 for the index), plus shared scaling helpers.
+//!
+//! Every binary accepts `--scale <N>` (default shown per binary): the
+//! workload is shrunk by N× relative to the paper's full-size traces so
+//! the whole suite regenerates on a laptop; `--scale 1` reproduces the
+//! full-size run. Results print as aligned text tables with the paper's
+//! reference numbers alongside, and EXPERIMENTS.md records a captured
+//! run.
+
+#![warn(missing_docs)]
+
+/// Parse `--scale N` (and `--seconds S`) style flags from argv.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True if `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Render a boxplot-style row: label + med/quartiles/p5/p95.
+pub fn boxplot_row(label: &str, s: &ldp_metrics::Summary, unit: &str) -> String {
+    format!(
+        "{label:<28} p5 {:>9.3}{unit}  q1 {:>9.3}{unit}  med {:>9.3}{unit}  q3 {:>9.3}{unit}  p95 {:>9.3}{unit}",
+        s.p5, s.q1, s.median, s.q3, s.p95
+    )
+}
+
+/// Render a CDF as a fixed set of probe points for terminal output.
+pub fn cdf_rows(label: &str, samples: &[f64], unit: &str) -> Vec<String> {
+    let Some(cdf) = ldp_metrics::Cdf::of(samples) else {
+        return vec![format!("{label}: no samples")];
+    };
+    [0.05, 0.25, 0.5, 0.75, 0.95, 0.99]
+        .iter()
+        .map(|&p| {
+            format!(
+                "{label:<24} P{:>2.0} = {:>12.6}{unit}",
+                p * 100.0,
+                cdf.value_at(p)
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boxplot_row_formats() {
+        let s = ldp_metrics::Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let row = super::boxplot_row("test", &s, "ms");
+        assert!(row.contains("med"));
+        assert!(row.starts_with("test"));
+    }
+
+    #[test]
+    fn cdf_rows_cover_probes() {
+        let rows = super::cdf_rows("x", &[1.0, 2.0, 3.0], "s");
+        assert_eq!(rows.len(), 6);
+        assert!(super::cdf_rows("x", &[], "s")[0].contains("no samples"));
+    }
+}

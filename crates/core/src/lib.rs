@@ -1,0 +1,24 @@
+//! # ldp-core
+//!
+//! LDplayer orchestration: the paper's headline workflows as a library.
+//!
+//! - [`emulation`] — assemble the Figure 2 testbed (meta-DNS-server +
+//!   proxies + recursive resolver) from a constructed hierarchy.
+//! - [`experiment`] — parameterized §5 what-if experiments: DNSSEC
+//!   bandwidth (Figure 10) and TCP/TLS resource/latency sweeps
+//!   (Figures 11, 13, 14, 15).
+//! - [`session`] — real-socket replay fidelity sessions computing the
+//!   §4 validation metrics (Figures 6, 7, 8).
+
+#![warn(missing_docs)]
+
+pub mod emulation;
+pub mod experiment;
+pub mod session;
+
+pub use emulation::{build_emulation, views_from_hierarchy, EmulatedHierarchy, EmulationConfig};
+pub use experiment::{
+    dnssec_bandwidth, synthetic_root_zone, transport_experiment, wildcard_zone, DnssecBandwidth,
+    TransportExperiment, TransportResult,
+};
+pub use session::{analyze, run_fidelity_session, FidelityReport, SessionConfig};

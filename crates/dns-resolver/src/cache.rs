@@ -1,0 +1,179 @@
+//! The resolver cache: TTL-bounded positive and negative entries.
+//!
+//! Time is an explicit parameter (seconds, any epoch) so the same cache
+//! runs under the simulator's virtual clock or the wall clock.
+
+use std::collections::HashMap;
+
+use dns_wire::{Name, Rcode, Record, RecordType};
+
+/// A cached outcome for a (name, type) question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedAnswer {
+    /// Positive answer records (answer-section records, CNAMEs included).
+    Positive(Vec<Record>),
+    /// Negative result with the rcode to reproduce (NXDOMAIN or NODATA
+    /// as NoError-with-no-answers).
+    Negative(Rcode),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    answer: CachedAnswer,
+    expires: f64,
+}
+
+/// TTL-aware resolver cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: HashMap<(Name, u16), Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Cache::default()
+    }
+
+    /// Look up a question at time `now` (expired entries miss and are
+    /// evicted lazily).
+    pub fn get(&mut self, name: &Name, qtype: RecordType, now: f64) -> Option<CachedAnswer> {
+        let key = (name.clone(), qtype.to_u16());
+        match self.entries.get(&key) {
+            Some(e) if e.expires > now => {
+                self.hits += 1;
+                Some(e.answer.clone())
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a positive answer; TTL is the minimum record TTL.
+    pub fn put_positive(&mut self, name: &Name, qtype: RecordType, records: Vec<Record>, now: f64) {
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        self.entries.insert(
+            (name.clone(), qtype.to_u16()),
+            Entry {
+                answer: CachedAnswer::Positive(records),
+                expires: now + ttl as f64,
+            },
+        );
+    }
+
+    /// Insert a negative answer with an explicit negative TTL (from the
+    /// SOA minimum, RFC 2308).
+    pub fn put_negative(&mut self, name: &Name, qtype: RecordType, rcode: Rcode, neg_ttl: u32, now: f64) {
+        self.entries.insert(
+            (name.clone(), qtype.to_u16()),
+            Entry {
+                answer: CachedAnswer::Negative(rcode),
+                expires: now + neg_ttl as f64,
+            },
+        );
+    }
+
+    /// Entries currently stored (including not-yet-evicted expired ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drop everything (a "cold cache" reset — zone construction
+    /// requires cold-cache walks, paper §2.3).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::RData;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn a_rec(name: &str, ttl: u32) -> Record {
+        Record::new(n(name), ttl, RData::A("1.2.3.4".parse().unwrap()))
+    }
+
+    #[test]
+    fn positive_hit_until_ttl() {
+        let mut c = Cache::new();
+        c.put_positive(&n("www.example"), RecordType::A, vec![a_rec("www.example", 60)], 100.0);
+        assert!(c.get(&n("www.example"), RecordType::A, 120.0).is_some());
+        assert!(c.get(&n("www.example"), RecordType::A, 159.9).is_some());
+        assert!(c.get(&n("www.example"), RecordType::A, 160.1).is_none());
+        // Evicted after expiry.
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn min_ttl_of_set_governs() {
+        let mut c = Cache::new();
+        c.put_positive(
+            &n("x.example"),
+            RecordType::A,
+            vec![a_rec("x.example", 300), a_rec("x.example", 10)],
+            0.0,
+        );
+        assert!(c.get(&n("x.example"), RecordType::A, 9.0).is_some());
+        assert!(c.get(&n("x.example"), RecordType::A, 11.0).is_none());
+    }
+
+    #[test]
+    fn negative_cached_with_rcode() {
+        let mut c = Cache::new();
+        c.put_negative(&n("no.example"), RecordType::A, Rcode::NxDomain, 30, 0.0);
+        match c.get(&n("no.example"), RecordType::A, 10.0) {
+            Some(CachedAnswer::Negative(Rcode::NxDomain)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.get(&n("no.example"), RecordType::A, 31.0).is_none());
+    }
+
+    #[test]
+    fn type_distinguishes_entries() {
+        let mut c = Cache::new();
+        c.put_positive(&n("x.example"), RecordType::A, vec![a_rec("x.example", 60)], 0.0);
+        assert!(c.get(&n("x.example"), RecordType::AAAA, 1.0).is_none());
+        assert!(c.get(&n("x.example"), RecordType::A, 1.0).is_some());
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut c = Cache::new();
+        c.put_positive(&n("x.example"), RecordType::A, vec![a_rec("x.example", 60)], 0.0);
+        c.get(&n("x.example"), RecordType::A, 1.0);
+        c.get(&n("y.example"), RecordType::A, 1.0);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Cache::new();
+        c.put_positive(&n("x.example"), RecordType::A, vec![a_rec("x.example", 60)], 0.0);
+        c.clear();
+        assert!(c.get(&n("x.example"), RecordType::A, 0.0).is_none());
+    }
+}

@@ -1,0 +1,17 @@
+//! # dns-resolver
+//!
+//! Recursive DNS resolution for the LDplayer reproduction: a TTL cache,
+//! a synchronous iterative resolver (used by the zone constructor's
+//! one-time cold-cache walks, paper §2.3), and an event-driven recursive
+//! resolver host for the network simulator (the "Recursive Server" of
+//! Figures 1 and 2).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod iterative;
+pub mod sim_resolver;
+
+pub use cache::{Cache, CachedAnswer};
+pub use iterative::{IterativeResolver, Resolution, ResolveError, Upstream};
+pub use sim_resolver::{ResolverStats, SimResolver};

@@ -1,0 +1,335 @@
+//! The recursive resolver as a [`netsim`] host: accepts stub queries
+//! over UDP, walks the (emulated) hierarchy iteratively with cache and
+//! retries, and answers the stub — the "Recursive Server" box in the
+//! paper's Figure 1/2.
+//!
+//! Referrals must carry glue (our zone constructor always emits glue for
+//! in-zone nameservers); glue-less referrals answer SERVFAIL, a
+//! documented simplification of this host (the synchronous
+//! [`crate::IterativeResolver`] handles glue-less chains and is what
+//! zone construction uses).
+
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr};
+
+use dns_wire::{Message, Name, RData, Rcode, RecordType};
+use netsim::{Ctx, Host, SimDuration, TcpEvent};
+
+use crate::cache::{Cache, CachedAnswer};
+
+/// Per-resolution state machine.
+#[derive(Debug)]
+struct Task {
+    stub: SocketAddr,
+    stub_query: Message,
+    /// The stub's original question name (cache key).
+    orig_qname: Name,
+    qname: Name,
+    qtype: RecordType,
+    servers: Vec<IpAddr>,
+    server_idx: usize,
+    answers: Vec<dns_wire::Record>,
+    cname_hops: usize,
+    retries: usize,
+    outstanding: Option<u16>,
+}
+
+/// Counters for the resolver host.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResolverStats {
+    /// Stub queries received.
+    pub stub_queries: u64,
+    /// Answers returned to stubs.
+    pub stub_answers: u64,
+    /// Upstream (iterative) queries sent.
+    pub upstream_queries: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Resolutions that failed (SERVFAIL to the stub).
+    pub failures: u64,
+}
+
+/// The simulated recursive resolver host.
+pub struct SimResolver {
+    addr: SocketAddr,
+    root_hints: Vec<IpAddr>,
+    cache: Cache,
+    delegations: HashMap<Name, Vec<IpAddr>>,
+    tasks: HashMap<u64, Task>,
+    upstream_map: HashMap<u16, u64>,
+    next_task: u64,
+    next_id: u16,
+    /// Upstream query timeout.
+    pub timeout: SimDuration,
+    /// Max retries across servers before SERVFAIL.
+    pub max_retries: usize,
+    /// Live counters.
+    pub stats: ResolverStats,
+}
+
+impl SimResolver {
+    /// New resolver at `addr` using `root_hints`.
+    pub fn new(addr: SocketAddr, root_hints: Vec<IpAddr>) -> Self {
+        SimResolver {
+            addr,
+            root_hints,
+            cache: Cache::new(),
+            delegations: HashMap::new(),
+            tasks: HashMap::new(),
+            upstream_map: HashMap::new(),
+            next_task: 0,
+            next_id: 1,
+            timeout: SimDuration::from_secs(2),
+            max_retries: 6,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// The resolver's service address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn fresh_id(&mut self) -> u16 {
+        self.next_id = self.next_id.wrapping_add(1);
+        if self.next_id == 0 {
+            self.next_id = 1;
+        }
+        self.next_id
+    }
+
+    fn best_servers(&self, qname: &Name) -> Vec<IpAddr> {
+        let mut cur = Some(qname.clone());
+        while let Some(name) = cur {
+            if let Some(addrs) = self.delegations.get(&name) {
+                return addrs.clone();
+            }
+            cur = name.parent();
+        }
+        self.root_hints.clone()
+    }
+
+    fn handle_stub_query(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, query: Message) {
+        self.stats.stub_queries += 1;
+        let Some(q) = query.question().cloned() else {
+            let mut resp = query.response_to();
+            resp.rcode = Rcode::FormErr;
+            ctx.send_udp(self.addr, from, resp.encode());
+            return;
+        };
+        // Cache hit answers immediately.
+        if let Some(hit) = self.cache.get(&q.name, q.qtype, ctx.now().as_secs_f64()) {
+            self.stats.cache_hits += 1;
+            self.stats.stub_answers += 1;
+            let mut resp = query.response_to();
+            resp.flags.recursion_available = true;
+            match hit {
+                CachedAnswer::Positive(records) => {
+                    resp.answers = records;
+                }
+                CachedAnswer::Negative(rcode) => {
+                    resp.rcode = rcode;
+                }
+            }
+            ctx.send_udp(self.addr, from, resp.encode());
+            return;
+        }
+        let task_id = self.next_task;
+        self.next_task += 1;
+        let servers = self.best_servers(&q.name);
+        let task = Task {
+            stub: from,
+            stub_query: query,
+            orig_qname: q.name.clone(),
+            qname: q.name,
+            qtype: q.qtype,
+            servers,
+            server_idx: 0,
+            answers: vec![],
+            cname_hops: 0,
+            retries: 0,
+            outstanding: None,
+        };
+        self.tasks.insert(task_id, task);
+        self.send_upstream(ctx, task_id);
+    }
+
+    fn send_upstream(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
+        let id = self.fresh_id();
+        let Some(task) = self.tasks.get_mut(&task_id) else {
+            return;
+        };
+        let Some(&server) = task.servers.get(task.server_idx % task.servers.len().max(1)) else {
+            self.fail(ctx, task_id);
+            return;
+        };
+        let mut q = Message::query(id, task.qname.clone(), task.qtype);
+        q.flags.recursion_desired = false;
+        if task.stub_query.dnssec_ok() {
+            q.set_dnssec_ok(true);
+        }
+        task.outstanding = Some(id);
+        self.upstream_map.insert(id, task_id);
+        self.stats.upstream_queries += 1;
+        ctx.send_udp(self.addr, SocketAddr::new(server, 53), q.encode());
+        // Timer token encodes (task, attempt) so a stale timer from an
+        // attempt that already completed is ignored.
+        ctx.set_timer(self.timeout, (task_id << 16) | id as u64);
+    }
+
+    fn fail(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
+        if let Some(task) = self.tasks.remove(&task_id) {
+            if let Some(id) = task.outstanding {
+                self.upstream_map.remove(&id);
+            }
+            self.stats.failures += 1;
+            self.stats.stub_answers += 1;
+            let mut resp = task.stub_query.response_to();
+            resp.flags.recursion_available = true;
+            resp.rcode = Rcode::ServFail;
+            ctx.send_udp(self.addr, task.stub, resp.encode());
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>, task_id: u64, rcode: Rcode) {
+        if let Some(task) = self.tasks.remove(&task_id) {
+            let now = ctx.now().as_secs_f64();
+            if rcode == Rcode::NoError && !task.answers.is_empty() {
+                self.cache
+                    .put_positive(&task.orig_qname, task.qtype, task.answers.clone(), now);
+            } else if rcode == Rcode::NxDomain || task.answers.is_empty() {
+                self.cache.put_negative(&task.orig_qname, task.qtype, rcode, 30, now);
+            }
+            self.stats.stub_answers += 1;
+            let mut resp = task.stub_query.response_to();
+            resp.flags.recursion_available = true;
+            resp.rcode = rcode;
+            resp.answers = task.answers;
+            ctx.send_udp(self.addr, task.stub, resp.encode());
+        }
+    }
+
+    fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, resp: Message) {
+        let Some(&task_id) = self.upstream_map.get(&resp.id) else {
+            return; // late or unknown response
+        };
+        {
+            let Some(task) = self.tasks.get(&task_id) else {
+                return;
+            };
+            if task.outstanding != Some(resp.id) {
+                return;
+            }
+        }
+        self.upstream_map.remove(&resp.id);
+        let now = ctx.now().as_secs_f64();
+
+        // Classify: answer / referral / negative.
+        if resp.rcode == Rcode::NxDomain {
+            self.finish(ctx, task_id, Rcode::NxDomain);
+            return;
+        }
+        if resp.rcode != Rcode::NoError {
+            self.fail(ctx, task_id);
+            return;
+        }
+        if !resp.answers.is_empty() {
+            let task = self.tasks.get_mut(&task_id).expect("task exists");
+            task.answers.extend(resp.answers.iter().cloned());
+            let has_final = resp.answers.iter().any(|r| r.rtype() == task.qtype);
+            let cname_target = resp.answers.iter().rev().find_map(|r| match &r.rdata {
+                RData::Cname(t) => Some(t.clone()),
+                _ => None,
+            });
+            if !has_final && task.qtype != RecordType::CNAME {
+                if let Some(target) = cname_target {
+                    task.cname_hops += 1;
+                    if task.cname_hops > 8 {
+                        self.fail(ctx, task_id);
+                        return;
+                    }
+                    task.qname = target;
+                    task.server_idx = 0;
+                    let servers = self.best_servers(&self.tasks[&task_id].qname);
+                    self.tasks.get_mut(&task_id).unwrap().servers = servers;
+                    self.send_upstream(ctx, task_id);
+                    return;
+                }
+            }
+            self.finish(ctx, task_id, Rcode::NoError);
+            return;
+        }
+        // Referral?
+        let ns_owner = resp
+            .authorities
+            .iter()
+            .find(|r| r.rtype() == RecordType::NS)
+            .map(|r| r.name.clone());
+        if let Some(zone) = ns_owner {
+            if !resp.flags.authoritative {
+                let mut addrs: Vec<IpAddr> = Vec::new();
+                for rec in &resp.additionals {
+                    match &rec.rdata {
+                        RData::A(ip) => addrs.push(IpAddr::V4(*ip)),
+                        RData::Aaaa(ip) => addrs.push(IpAddr::V6(*ip)),
+                        _ => {}
+                    }
+                }
+                if addrs.is_empty() {
+                    // Glue-less: unsupported on this host (see module doc).
+                    self.fail(ctx, task_id);
+                    return;
+                }
+                self.delegations.insert(zone, addrs.clone());
+                let task = self.tasks.get_mut(&task_id).expect("task exists");
+                task.servers = addrs;
+                task.server_idx = 0;
+                self.send_upstream(ctx, task_id);
+                return;
+            }
+        }
+        // NODATA.
+        let _ = now;
+        self.finish(ctx, task_id, Rcode::NoError);
+    }
+}
+
+impl Host for SimResolver {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, _to: SocketAddr, data: Vec<u8>) {
+        let Ok(msg) = Message::decode(&data) else {
+            return;
+        };
+        if msg.flags.response {
+            self.handle_upstream_response(ctx, msg);
+        } else {
+            self.handle_stub_query(ctx, from, msg);
+        }
+    }
+
+    fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, _event: TcpEvent) {
+        // Stub-facing TCP is not modelled; the §5.2 experiments exercise
+        // TCP on the authoritative side.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let task_id = token >> 16;
+        let attempt_id = (token & 0xffff) as u16;
+        let retry = match self.tasks.get_mut(&task_id) {
+            Some(task) if task.outstanding == Some(attempt_id) => {
+                // That exact attempt timed out.
+                task.outstanding = None;
+                self.upstream_map.remove(&attempt_id);
+                let task = self.tasks.get_mut(&task_id).expect("task exists");
+                task.retries += 1;
+                task.server_idx += 1;
+                task.retries <= self.max_retries
+            }
+            _ => return, // answered, superseded or gone
+        };
+        if retry {
+            self.send_upstream(ctx, task_id);
+        } else {
+            self.fail(ctx, task_id);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The transport-independent server engine: query in, response out.
+//!
+//! One engine instance is the paper's "meta-DNS-server": it holds a
+//! split-horizon [`ViewSet`] and selects the zone catalog by the query's
+//! *source address* — which, after proxy rewriting, is the original
+//! query destination (the public address of the nameserver the
+//! recursive was really trying to reach). See paper §2.4.
+
+use std::net::IpAddr;
+
+use dns_wire::edns::{CLASSIC_UDP_LIMIT, DEFAULT_UDP_PAYLOAD};
+use dns_wire::{Message, Opcode, Rcode};
+use dns_zone::{lookup, Catalog, ClientMatch, View, ViewSet};
+
+/// The authoritative answering engine.
+#[derive(Debug, Clone)]
+pub struct ServerEngine {
+    views: ViewSet,
+    /// Maximum UDP payload this server is willing to send with EDNS.
+    pub max_udp_payload: u16,
+}
+
+impl ServerEngine {
+    /// Engine over an explicit view set (hierarchy emulation).
+    pub fn with_views(views: ViewSet) -> Self {
+        ServerEngine {
+            views,
+            max_udp_payload: DEFAULT_UDP_PAYLOAD,
+        }
+    }
+
+    /// Engine serving one catalog to every client (single-zone
+    /// authoritative replay, e.g. the root-only experiments).
+    pub fn with_catalog(catalog: Catalog) -> Self {
+        let mut views = ViewSet::new();
+        views.push(View::new("default", vec![ClientMatch::Any], catalog));
+        ServerEngine::with_views(views)
+    }
+
+    /// The configured views.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// Answer `query` as asked by a client at `src`. Always produces a
+    /// response message (servers never stay silent in our model; real
+    /// servers may drop, which the transport layer can emulate).
+    pub fn answer(&self, src: IpAddr, query: &Message) -> Message {
+        let mut base = query.response_to();
+
+        if query.opcode != Opcode::Query {
+            base.rcode = Rcode::NotImp;
+            return base;
+        }
+        let Some(question) = query.question() else {
+            base.rcode = Rcode::FormErr;
+            return base;
+        };
+        if let Some(edns) = &query.edns {
+            if edns.version != 0 {
+                base.rcode = Rcode::BadVers;
+                return base;
+            }
+        }
+        let Some(view) = self.views.select(src) else {
+            base.rcode = Rcode::Refused;
+            return base;
+        };
+        let Some(zone) = view.catalog.find(&question.name) else {
+            base.rcode = Rcode::Refused;
+            return base;
+        };
+        lookup(zone, question).into_message(query)
+    }
+
+    /// Answer and serialize for UDP, applying the advertised payload
+    /// limit and TC-bit truncation (RFC 6891 / RFC 2181).
+    pub fn answer_udp(&self, src: IpAddr, query: &Message) -> (Vec<u8>, bool) {
+        let resp = self.answer(src, query);
+        let limit = query
+            .edns
+            .as_ref()
+            .map(|e| (e.udp_payload as usize).max(CLASSIC_UDP_LIMIT))
+            .unwrap_or(CLASSIC_UDP_LIMIT)
+            .min(self.max_udp_payload as usize);
+        resp.encode_udp(limit)
+    }
+
+    /// Answer and serialize for a stream transport (no size limit).
+    pub fn answer_stream(&self, src: IpAddr, query: &Message) -> Vec<u8> {
+        self.answer(src, query).encode()
+    }
+
+    /// Handle raw UDP bytes: parse, answer, serialize. Unparseable
+    /// queries yield `None` (drop — real servers cannot reply without a
+    /// readable header).
+    pub fn handle_udp_bytes(&self, src: IpAddr, data: &[u8]) -> Option<Vec<u8>> {
+        match Message::decode(data) {
+            Ok(query) => Some(self.answer_udp(src, &query).0),
+            Err(_) => {
+                // If at least the header parsed, send FORMERR.
+                if data.len() >= 12 {
+                    let id = u16::from_be_bytes([data[0], data[1]]);
+                    let mut resp = Message::query(id, dns_wire::Name::root(), dns_wire::RecordType::A);
+                    resp.questions.clear();
+                    resp.flags.response = true;
+                    resp.rcode = Rcode::FormErr;
+                    Some(resp.encode())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Handle one raw stream-framed message body (without the 2-byte
+    /// prefix), returning the response body.
+    pub fn handle_stream_bytes(&self, src: IpAddr, data: &[u8]) -> Option<Vec<u8>> {
+        let query = Message::decode(data).ok()?;
+        Some(self.answer_stream(src, &query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{Name, RData, Record, RecordType, Soa};
+    use dns_zone::Zone;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn zone(origin: &str, extra: Vec<Record>) -> Zone {
+        let mut z = Zone::new(n(origin));
+        z.insert(Record::new(
+            n(origin),
+            3600,
+            RData::Soa(Soa {
+                mname: n("ns1.example"),
+                rname: n("admin.example"),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 60,
+            }),
+        ))
+        .unwrap();
+        for r in extra {
+            z.insert(r).unwrap();
+        }
+        z
+    }
+
+    /// Root + com + google.com, each in its own view keyed by that
+    /// level's nameserver address — the paper's §2.4 configuration.
+    fn hierarchy_engine() -> ServerEngine {
+        let root = zone(".", vec![
+            Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net"))),
+            Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net"))),
+            Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap())),
+            Record::new(n("a.root-servers.net"), 518400, RData::A("198.41.0.4".parse().unwrap())),
+        ]);
+        let com = zone("com", vec![
+            Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net"))),
+            Record::new(n("google.com"), 172800, RData::Ns(n("ns1.google.com"))),
+            Record::new(n("ns1.google.com"), 172800, RData::A("216.239.32.10".parse().unwrap())),
+        ]);
+        let google = zone("google.com", vec![
+            Record::new(n("google.com"), 300, RData::Ns(n("ns1.google.com"))),
+            Record::new(n("www.google.com"), 300, RData::A("142.250.80.36".parse().unwrap())),
+        ]);
+        let mk_cat = |z: Zone| {
+            let mut c = Catalog::new();
+            c.insert(z);
+            c
+        };
+        let views = ViewSet::for_hierarchy(vec![
+            (Name::root(), vec![ip("198.41.0.4")], mk_cat(root)),
+            (n("com"), vec![ip("192.5.6.30")], mk_cat(com)),
+            (n("google.com"), vec![ip("216.239.32.10")], mk_cat(google)),
+        ]);
+        ServerEngine::with_views(views)
+    }
+
+    #[test]
+    fn same_query_different_views_different_answers() {
+        // THE core property of hierarchy emulation: identical query
+        // content, three different source addresses, three different
+        // answers (root referral → com referral → final A).
+        let engine = hierarchy_engine();
+        let q = Message::query(1, n("www.google.com"), RecordType::A);
+
+        let from_root = engine.answer(ip("198.41.0.4"), &q);
+        assert_eq!(from_root.rcode, Rcode::NoError);
+        assert!(from_root.answers.is_empty(), "root gives a referral");
+        assert_eq!(from_root.authorities[0].name, n("com"));
+        assert!(!from_root.flags.authoritative);
+
+        let from_com = engine.answer(ip("192.5.6.30"), &q);
+        assert!(from_com.answers.is_empty(), "com gives a referral");
+        assert_eq!(from_com.authorities[0].name, n("google.com"));
+        // Glue for ns1.google.com included.
+        assert!(!from_com.additionals.is_empty());
+
+        let from_google = engine.answer(ip("216.239.32.10"), &q);
+        assert!(from_google.flags.authoritative);
+        assert_eq!(from_google.answers.len(), 1);
+        assert_eq!(from_google.answers[0].rtype(), RecordType::A);
+    }
+
+    #[test]
+    fn unknown_source_refused() {
+        let engine = hierarchy_engine();
+        let q = Message::query(1, n("www.google.com"), RecordType::A);
+        let resp = engine.answer(ip("8.8.8.8"), &q);
+        assert_eq!(resp.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn non_query_opcode_notimp() {
+        let engine = hierarchy_engine();
+        let mut q = Message::query(1, n("x.com"), RecordType::A);
+        q.opcode = Opcode::Update;
+        assert_eq!(engine.answer(ip("198.41.0.4"), &q).rcode, Rcode::NotImp);
+    }
+
+    #[test]
+    fn bad_edns_version_badvers() {
+        let engine = hierarchy_engine();
+        let mut q = Message::query(1, n("x.com"), RecordType::A);
+        q.edns = Some(dns_wire::Edns { version: 1, ..Default::default() });
+        assert_eq!(engine.answer(ip("198.41.0.4"), &q).rcode, Rcode::BadVers);
+    }
+
+    #[test]
+    fn udp_truncation_respects_advertised_size() {
+        // A zone with many records at one name to blow past 512 bytes.
+        let mut recs = vec![Record::new(n("example"), 60, RData::Ns(n("ns1.example")))];
+        for i in 0..40 {
+            recs.push(Record::new(
+                n("big.example"),
+                60,
+                RData::Txt(vec![format!("padding padding padding {i}").into_bytes()]),
+            ));
+        }
+        let mut cat = Catalog::new();
+        cat.insert(zone("example", recs));
+        let engine = ServerEngine::with_catalog(cat);
+
+        // Without EDNS: classic 512-byte limit → truncated.
+        let q = Message::query(9, n("big.example"), RecordType::TXT);
+        let (bytes, tc) = engine.answer_udp(ip("1.1.1.1"), &q);
+        assert!(tc, "must truncate at 512");
+        assert!(bytes.len() <= 512);
+        assert!(Message::decode(&bytes).unwrap().flags.truncated);
+
+        // With EDNS 4096: fits, no truncation.
+        let mut q = Message::query(9, n("big.example"), RecordType::TXT);
+        q.edns = Some(Default::default());
+        let (bytes, tc) = engine.answer_udp(ip("1.1.1.1"), &q);
+        assert!(!tc);
+        assert!(bytes.len() > 512);
+
+        // Stream transport never truncates.
+        let body = engine.answer_stream(ip("1.1.1.1"), &q);
+        assert!(!Message::decode(&body).unwrap().flags.truncated);
+    }
+
+    #[test]
+    fn handle_udp_bytes_formerr_on_garbage_with_header() {
+        let engine = hierarchy_engine();
+        let mut garbage = vec![0u8; 20];
+        garbage[0] = 0xab;
+        garbage[1] = 0xcd;
+        garbage[4] = 0xff; // QDCOUNT huge → decode fails
+        let resp = engine.handle_udp_bytes(ip("198.41.0.4"), &garbage).unwrap();
+        let msg = Message::decode(&resp).unwrap();
+        assert_eq!(msg.id, 0xabcd);
+        assert_eq!(msg.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn handle_udp_bytes_drops_short_garbage() {
+        let engine = hierarchy_engine();
+        assert!(engine.handle_udp_bytes(ip("198.41.0.4"), &[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn single_catalog_engine_answers_everyone() {
+        let mut cat = Catalog::new();
+        cat.insert(zone("example", vec![
+            Record::new(n("www.example"), 60, RData::A("1.2.3.4".parse().unwrap())),
+        ]));
+        let engine = ServerEngine::with_catalog(cat);
+        for src in ["1.1.1.1", "9.9.9.9", "2001:db8::1"] {
+            let q = Message::query(1, n("www.example"), RecordType::A);
+            let resp = engine.answer(ip(src), &q);
+            assert_eq!(resp.answers.len(), 1, "answered for {src}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # dns-server
+//!
+//! The authoritative DNS server of the LDplayer reproduction — the
+//! "meta-DNS-server" of paper §2.4. One [`ServerEngine`] holds
+//! split-horizon views and answers by query source address; the engine
+//! runs over two interchangeable transports:
+//!
+//! - [`SimDnsServer`] — a [`netsim`] host, used by the deterministic
+//!   resource/latency experiments (§5.2);
+//! - [`tokio_server`] — real UDP/TCP sockets with idle-timeout
+//!   connection management, used by the replay fidelity and throughput
+//!   experiments (§4).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rrl;
+pub mod sim_server;
+pub mod tokio_server;
+
+pub use engine::ServerEngine;
+pub use rrl::{RateLimiter, RrlAction, RrlConfig, RrlStats};
+pub use sim_server::SimDnsServer;
+pub use tokio_server::{spawn, RunningServer, ServerConfig, ServerCounters};

@@ -1,0 +1,278 @@
+//! Response Rate Limiting (RRL), the deployed defense root and TLD
+//! operators use against reflection/flood abuse — implemented so the
+//! attack what-if studies the paper motivates ("how does a server
+//! operate under the stress of a DoS attack?", §1) can evaluate a
+//! realistic mitigation, not just raw overload.
+//!
+//! The algorithm follows BIND/NSD RRL: responses are accounted per
+//! (client network prefix, response tuple) token bucket; when a bucket
+//! exhausts, responses are dropped, except that a configurable fraction
+//! "leak" through as truncated (TC=1) replies so legitimate clients can
+//! retry over TCP (the slip mechanism).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// RRL configuration (defaults follow common operator practice).
+#[derive(Debug, Clone, Copy)]
+pub struct RrlConfig {
+    /// Sustained responses per second allowed per (prefix, tuple).
+    pub responses_per_second: u32,
+    /// Bucket depth in seconds (burst allowance).
+    pub window_secs: u32,
+    /// Every `slip`-th dropped response is sent truncated instead of
+    /// dropped (0 = never slip, pure drop).
+    pub slip: u32,
+    /// IPv4 prefix length used to aggregate clients (commonly /24).
+    pub ipv4_prefix_len: u8,
+    /// IPv6 prefix length (commonly /56).
+    pub ipv6_prefix_len: u8,
+}
+
+impl Default for RrlConfig {
+    fn default() -> Self {
+        RrlConfig {
+            responses_per_second: 10,
+            window_secs: 15,
+            slip: 2,
+            ipv4_prefix_len: 24,
+            ipv6_prefix_len: 56,
+        }
+    }
+}
+
+/// The rate-limiter's verdict for one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrlAction {
+    /// Send the response normally.
+    Send,
+    /// Drop it silently.
+    Drop,
+    /// Send a minimal truncated (TC=1) response instead — the client
+    /// may retry over TCP.
+    Slip,
+}
+
+/// Counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RrlStats {
+    /// Responses allowed through.
+    pub sent: u64,
+    /// Responses dropped.
+    pub dropped: u64,
+    /// Responses slipped (TC=1).
+    pub slipped: u64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    /// Remaining tokens (scaled by one second of allowance).
+    tokens: f64,
+    /// Last refill time.
+    last: f64,
+    /// Drop counter for slip selection.
+    drops: u32,
+}
+
+/// A token-bucket response rate limiter keyed by (client prefix,
+/// response key). Time is an explicit parameter (seconds on any clock)
+/// so the same limiter runs under the simulator and the wall clock.
+#[derive(Debug)]
+pub struct RateLimiter {
+    config: RrlConfig,
+    buckets: HashMap<(u128, u64), Bucket>,
+    /// Live counters.
+    pub stats: RrlStats,
+}
+
+impl RateLimiter {
+    /// New limiter with `config`.
+    pub fn new(config: RrlConfig) -> Self {
+        RateLimiter {
+            config,
+            buckets: HashMap::new(),
+            stats: RrlStats::default(),
+        }
+    }
+
+    /// Mask `addr` to its accounting prefix.
+    pub fn prefix(&self, addr: IpAddr) -> u128 {
+        match addr {
+            IpAddr::V4(v4) => {
+                let bits = u32::from(v4);
+                let len = self.config.ipv4_prefix_len.min(32) as u32;
+                let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+                (bits & mask) as u128
+            }
+            IpAddr::V6(v6) => {
+                let bits = u128::from(v6);
+                let len = self.config.ipv6_prefix_len.min(128) as u32;
+                let mask = if len == 0 { 0 } else { u128::MAX << (128 - len) };
+                // Distinguish from v4 space by setting a high marker bit.
+                (bits & mask) | (1u128 << 127)
+            }
+        }
+    }
+
+    /// Account one response about to be sent to `client` with response
+    /// identity `response_key` (e.g. a hash of qname+rcode — RRL groups
+    /// identical answers) at time `now`; returns what to do with it.
+    pub fn check(&mut self, client: IpAddr, response_key: u64, now: f64) -> RrlAction {
+        let rate = self.config.responses_per_second as f64;
+        let depth = rate * self.config.window_secs as f64;
+        let key = (self.prefix(client), response_key);
+        let bucket = self.buckets.entry(key).or_insert(Bucket {
+            tokens: depth,
+            last: now,
+            drops: 0,
+        });
+        // Refill.
+        let elapsed = (now - bucket.last).max(0.0);
+        bucket.tokens = (bucket.tokens + elapsed * rate).min(depth);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            self.stats.sent += 1;
+            return RrlAction::Send;
+        }
+        bucket.drops += 1;
+        if self.config.slip > 0 && bucket.drops.is_multiple_of(self.config.slip) {
+            self.stats.slipped += 1;
+            RrlAction::Slip
+        } else {
+            self.stats.dropped += 1;
+            RrlAction::Drop
+        }
+    }
+
+    /// Drop buckets idle since before `cutoff` (housekeeping).
+    pub fn evict_idle(&mut self, cutoff: f64) {
+        self.buckets.retain(|_, b| b.last >= cutoff);
+    }
+
+    /// Number of live buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// A stable response key for RRL grouping: identical (qname, rcode)
+/// pairs share a bucket, as BIND does.
+pub fn response_key(qname: &dns_wire::Name, rcode: dns_wire::Rcode) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    qname.hash(&mut h);
+    rcode.to_u16().hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn limiter(rps: u32, slip: u32) -> RateLimiter {
+        RateLimiter::new(RrlConfig {
+            responses_per_second: rps,
+            window_secs: 2,
+            slip,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn bursts_within_budget_pass() {
+        let mut rrl = limiter(10, 2);
+        for i in 0..20 {
+            assert_eq!(rrl.check(ip("192.0.2.1"), 1, i as f64 * 0.01), RrlAction::Send);
+        }
+        assert_eq!(rrl.stats.sent, 20);
+        assert_eq!(rrl.stats.dropped, 0);
+    }
+
+    #[test]
+    fn flood_is_limited_with_slip() {
+        let mut rrl = limiter(10, 2);
+        let mut actions = Vec::new();
+        // 1000 identical responses at t≈0: budget is 20 (2 s window).
+        for i in 0..1000 {
+            actions.push(rrl.check(ip("192.0.2.1"), 1, i as f64 * 1e-6));
+        }
+        let sent = actions.iter().filter(|a| **a == RrlAction::Send).count();
+        let slipped = actions.iter().filter(|a| **a == RrlAction::Slip).count();
+        let dropped = actions.iter().filter(|a| **a == RrlAction::Drop).count();
+        assert!(sent <= 21, "sent {sent}");
+        assert!(dropped > 400);
+        // Slip every 2nd drop.
+        assert!((slipped as i64 - dropped as i64).abs() <= 1, "{slipped} vs {dropped}");
+    }
+
+    #[test]
+    fn refill_restores_budget() {
+        let mut rrl = limiter(10, 0);
+        for i in 0..20 {
+            rrl.check(ip("192.0.2.1"), 1, i as f64 * 1e-3);
+        }
+        assert_eq!(rrl.check(ip("192.0.2.1"), 1, 0.021), RrlAction::Drop);
+        // After 1 s, ~10 tokens refilled.
+        assert_eq!(rrl.check(ip("192.0.2.1"), 1, 1.1), RrlAction::Send);
+    }
+
+    #[test]
+    fn different_prefixes_independent() {
+        let mut rrl = limiter(1, 0);
+        for i in 0..10 {
+            // Same /24 → same bucket.
+            assert_eq!(
+                rrl.check(ip(&format!("192.0.2.{i}")), 1, 0.0),
+                if i < 2 { RrlAction::Send } else { RrlAction::Drop },
+                "same /24 shares budget"
+            );
+        }
+        // A different /24 has its own budget.
+        assert_eq!(rrl.check(ip("192.0.3.1"), 1, 0.0), RrlAction::Send);
+    }
+
+    #[test]
+    fn different_responses_independent() {
+        let mut rrl = limiter(1, 0);
+        assert_eq!(rrl.check(ip("192.0.2.1"), 1, 0.0), RrlAction::Send);
+        assert_eq!(rrl.check(ip("192.0.2.1"), 1, 0.0), RrlAction::Send);
+        assert_eq!(rrl.check(ip("192.0.2.1"), 1, 0.0), RrlAction::Drop);
+        // Different qname/rcode → its own bucket.
+        assert_eq!(rrl.check(ip("192.0.2.1"), 2, 0.0), RrlAction::Send);
+    }
+
+    #[test]
+    fn v6_uses_its_own_space() {
+        let mut rrl = limiter(1, 0);
+        rrl.check(ip("0.0.2.1"), 1, 0.0);
+        // A v6 address whose low bits collide with the v4 prefix must
+        // not share the bucket.
+        assert_eq!(rrl.check(ip("::2:0"), 1, 0.0), RrlAction::Send);
+    }
+
+    #[test]
+    fn eviction_reclaims_buckets() {
+        let mut rrl = limiter(10, 0);
+        for i in 0..100u32 {
+            rrl.check(ip(&format!("10.{}.{}.1", i / 256, i % 256)), i as u64, 0.0);
+        }
+        assert_eq!(rrl.bucket_count(), 100);
+        rrl.evict_idle(1.0);
+        assert_eq!(rrl.bucket_count(), 0);
+    }
+
+    #[test]
+    fn response_key_stable_and_distinguishing() {
+        let a: dns_wire::Name = "x.example.com".parse().unwrap();
+        let b: dns_wire::Name = "y.example.com".parse().unwrap();
+        use dns_wire::Rcode;
+        assert_eq!(response_key(&a, Rcode::NoError), response_key(&a, Rcode::NoError));
+        assert_ne!(response_key(&a, Rcode::NoError), response_key(&b, Rcode::NoError));
+        assert_ne!(response_key(&a, Rcode::NoError), response_key(&a, Rcode::NxDomain));
+    }
+}

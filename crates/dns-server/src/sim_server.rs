@@ -1,0 +1,304 @@
+//! The authoritative server as a [`netsim`] host: UDP and TCP/TLS
+//! service over the simulated network, with per-connection framing and
+//! idle-timeout control — the server side of the §5.2 resource and
+//! latency experiments.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use dns_wire::framing::{frame, FrameBuffer};
+use netsim::{ConnId, Ctx, Host, SimDuration, TcpEvent};
+
+use crate::engine::ServerEngine;
+use crate::rrl::{response_key, RateLimiter, RrlAction};
+
+/// A simulated DNS server host.
+pub struct SimDnsServer {
+    engine: Arc<ServerEngine>,
+    /// The address this server answers from (its listening address).
+    addr: SocketAddr,
+    /// Idle timeout imposed on incoming connections (`None` = never).
+    idle_timeout: Option<SimDuration>,
+    /// Per-connection reassembly buffers and peer addresses.
+    conns: HashMap<ConnId, (FrameBuffer, SocketAddr)>,
+    /// Optional response rate limiter (UDP responses only, as deployed).
+    pub rrl: Option<RateLimiter>,
+    /// Total queries answered (all transports).
+    pub queries_handled: u64,
+}
+
+impl SimDnsServer {
+    /// New simulated server for `engine` listening at `addr`.
+    pub fn new(engine: Arc<ServerEngine>, addr: SocketAddr, idle_timeout: Option<SimDuration>) -> Self {
+        SimDnsServer {
+            engine,
+            addr,
+            idle_timeout,
+            conns: HashMap::new(),
+            rrl: None,
+            queries_handled: 0,
+        }
+    }
+
+    /// Enable response rate limiting on UDP answers.
+    pub fn with_rrl(mut self, limiter: RateLimiter) -> Self {
+        self.rrl = Some(limiter);
+        self
+    }
+
+    /// The listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently tracked (open) incoming connections.
+    pub fn open_connections(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+impl Host for SimDnsServer {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+        let Some(reply) = self.engine.handle_udp_bytes(from.ip(), &data) else {
+            return;
+        };
+        self.queries_handled += 1;
+        if let Some(rrl) = &mut self.rrl {
+            // BIND's RRL grouping: positive answers by qname; negative
+            // answers (NXDOMAIN/NODATA) by the *zone* (SOA owner), so a
+            // random-subdomain flood shares one bucket per client net.
+            let verdict = match dns_wire::Message::decode(&reply) {
+                Ok(msg) => {
+                    let negative = msg.rcode != dns_wire::Rcode::NoError || msg.answers.is_empty();
+                    let group_name = if negative {
+                        msg.authorities
+                            .iter()
+                            .find(|r| r.rtype() == dns_wire::RecordType::SOA)
+                            .map(|r| r.name.clone())
+                            .or_else(|| msg.question().map(|q| q.name.clone()))
+                    } else {
+                        msg.question().map(|q| q.name.clone())
+                    };
+                    let key = group_name
+                        .map(|n| response_key(&n, msg.rcode))
+                        .unwrap_or(0);
+                    rrl.check(from.ip(), key, ctx.now().as_secs_f64())
+                }
+                Err(_) => RrlAction::Send,
+            };
+            match verdict {
+                RrlAction::Send => ctx.send_udp(to, from, reply),
+                RrlAction::Drop => {}
+                RrlAction::Slip => {
+                    // Minimal truncated response: the client may retry
+                    // over TCP (which RRL does not limit).
+                    if let Ok(query) = dns_wire::Message::decode(&data) {
+                        let mut tc = query.response_to();
+                        tc.flags.truncated = true;
+                        ctx.send_udp(to, from, tc.encode());
+                    }
+                }
+            }
+        } else {
+            ctx.send_udp(to, from, reply);
+        }
+    }
+
+    fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        match event {
+            TcpEvent::Incoming { conn, peer, .. } => {
+                ctx.tcp_set_idle_timeout(conn, self.idle_timeout);
+                self.conns.insert(conn, (FrameBuffer::new(), peer));
+            }
+            TcpEvent::Data { conn, data } => {
+                let Some((buf, peer)) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let peer = *peer;
+                buf.extend(&data);
+                let mut replies = Vec::new();
+                while let Some(msg) = buf.next_message() {
+                    if let Some(reply) = self.engine.handle_stream_bytes(peer.ip(), &msg) {
+                        replies.push(reply);
+                    }
+                }
+                for reply in replies {
+                    self.queries_handled += 1;
+                    ctx.tcp_send(conn, frame(&reply));
+                }
+            }
+            TcpEvent::Closed { conn } => {
+                self.conns.remove(&conn);
+            }
+            TcpEvent::Connected { .. } => {
+                // The server never dials out.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{Message, Name, RData, Rcode, Record, RecordType, Soa};
+    use dns_zone::{Catalog, Zone};
+    use netsim::{PathConfig, SimConfig, SimTime, Simulator, Topology};
+    use std::sync::Mutex;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> Arc<ServerEngine> {
+        let mut z = Zone::new(n("example"));
+        z.insert(Record::new(
+            n("example"),
+            60,
+            RData::Soa(Soa {
+                mname: n("ns1.example"),
+                rname: n("admin.example"),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 60,
+            }),
+        ))
+        .unwrap();
+        z.insert(Record::new(n("www.example"), 60, RData::A("1.2.3.4".parse().unwrap())))
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(z);
+        Arc::new(ServerEngine::with_catalog(cat))
+    }
+
+    type Replies = Arc<Mutex<Vec<Message>>>;
+
+    struct TestClient {
+        me: SocketAddr,
+        server: SocketAddr,
+        replies: Replies,
+        tcp: bool,
+        tls: bool,
+    }
+
+    impl Host for TestClient {
+        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: Vec<u8>) {
+            self.replies.lock().unwrap().push(Message::decode(&data).unwrap());
+        }
+        fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+            match event {
+                TcpEvent::Connected { conn } => {
+                    let q = Message::query(5, n("www.example"), RecordType::A);
+                    ctx.tcp_send(conn, frame(&q.encode()));
+                    let q2 = Message::query(6, n("missing.example"), RecordType::A);
+                    ctx.tcp_send(conn, frame(&q2.encode()));
+                }
+                TcpEvent::Data { data, .. } => {
+                    let mut fb = FrameBuffer::new();
+                    fb.extend(&data);
+                    while let Some(msg) = fb.next_message() {
+                        self.replies.lock().unwrap().push(Message::decode(&msg).unwrap());
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if self.tcp {
+                ctx.tcp_connect(self.me, self.server, self.tls);
+            } else {
+                let q = Message::query(5, n("www.example"), RecordType::A);
+                ctx.send_udp(self.me, self.server, q.encode());
+            }
+        }
+    }
+
+    fn run(tcp: bool, tls: bool) -> Vec<Message> {
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(10))),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.0.0.1:53".parse().unwrap();
+        let replies: Replies = Arc::new(Mutex::new(vec![]));
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(20)))),
+        );
+        let client = sim.add_host(
+            &["10.0.0.2".parse().unwrap()],
+            Box::new(TestClient {
+                me: "10.0.0.2:5000".parse().unwrap(),
+                server: server_addr,
+                replies: replies.clone(),
+                tcp,
+                tls,
+            }),
+        );
+        sim.schedule_timer(client, SimTime::ZERO, 0);
+        sim.run_until(SimTime::from_secs_f64(5.0));
+        let out = replies.lock().unwrap().clone();
+        out
+    }
+
+    #[test]
+    fn udp_query_answered() {
+        let replies = run(false, false);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].rcode, Rcode::NoError);
+        assert_eq!(replies[0].answers.len(), 1);
+        assert!(replies[0].flags.authoritative);
+    }
+
+    #[test]
+    fn tcp_multiple_framed_queries_one_connection() {
+        let replies = run(true, false);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].id, 5);
+        assert_eq!(replies[0].answers.len(), 1);
+        assert_eq!(replies[1].id, 6);
+        assert_eq!(replies[1].rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn tls_connection_answers_too() {
+        let replies = run(true, true);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].answers.len(), 1);
+    }
+
+    #[test]
+    fn idle_timeout_reaps_connections() {
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(2))),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.0.0.1:53".parse().unwrap();
+        let replies: Replies = Arc::new(Mutex::new(vec![]));
+        let server = sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(5)))),
+        );
+        let client = sim.add_host(
+            &["10.0.0.2".parse().unwrap()],
+            Box::new(TestClient {
+                me: "10.0.0.2:5000".parse().unwrap(),
+                server: server_addr,
+                replies: replies.clone(),
+                tcp: true,
+                tls: false,
+            }),
+        );
+        sim.schedule_timer(client, SimTime::ZERO, 0);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(sim.stats(server).established, 1);
+        // After the 5 s idle timeout the server closes and holds
+        // TIME_WAIT.
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        assert_eq!(sim.stats(server).established, 0);
+        assert_eq!(sim.stats(server).time_wait, 1);
+    }
+}

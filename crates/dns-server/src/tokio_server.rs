@@ -1,0 +1,318 @@
+//! The authoritative server over real sockets (tokio): UDP workers plus
+//! a TCP accept loop with per-connection tasks and idle timeouts.
+//!
+//! This path backs the replay-fidelity and throughput experiments
+//! (paper §4): queries arrive over loopback at up to ~100 k q/s, so the
+//! server is event-driven with no per-query allocation beyond the
+//! response buffer — the same architecture the paper's C++ prototype
+//! uses.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, UdpSocket};
+use tokio::sync::watch;
+
+use dns_wire::framing::{frame, FrameBuffer};
+
+use crate::engine::ServerEngine;
+
+/// Configuration for the socket server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// UDP bind address (port 0 = ephemeral).
+    pub udp_addr: SocketAddr,
+    /// TCP bind address.
+    pub tcp_addr: SocketAddr,
+    /// Number of UDP worker tasks sharing the socket (the paper runs
+    /// NSD with 16 processes).
+    pub udp_workers: usize,
+    /// Idle timeout after which the server closes a TCP connection.
+    pub tcp_idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            udp_addr: "127.0.0.1:0".parse().unwrap(),
+            tcp_addr: "127.0.0.1:0".parse().unwrap(),
+            udp_workers: 4,
+            tcp_idle_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Counters exposed by a running server.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// UDP queries answered.
+    pub udp_queries: AtomicU64,
+    /// TCP queries answered.
+    pub tcp_queries: AtomicU64,
+    /// TCP connections accepted.
+    pub tcp_accepts: AtomicU64,
+    /// TCP connections closed by idle timeout.
+    pub idle_closes: AtomicU64,
+}
+
+/// Handle to a running server; dropping it does *not* stop the server —
+/// call [`RunningServer::shutdown`].
+pub struct RunningServer {
+    /// The bound UDP address (with the real port).
+    pub udp_addr: SocketAddr,
+    /// The bound TCP address.
+    pub tcp_addr: SocketAddr,
+    /// Live counters.
+    pub counters: Arc<ServerCounters>,
+    stop: watch::Sender<bool>,
+}
+
+impl RunningServer {
+    /// Signal all server tasks to stop.
+    pub fn shutdown(&self) {
+        let _ = self.stop.send(true);
+    }
+}
+
+/// Bind sockets and spawn the server tasks onto the current tokio
+/// runtime.
+pub async fn spawn(engine: Arc<ServerEngine>, config: ServerConfig) -> std::io::Result<RunningServer> {
+    let udp = Arc::new(UdpSocket::bind(config.udp_addr).await?);
+    let tcp = TcpListener::bind(config.tcp_addr).await?;
+    let udp_addr = udp.local_addr()?;
+    let tcp_addr = tcp.local_addr()?;
+    let counters = Arc::new(ServerCounters::default());
+    let (stop_tx, stop_rx) = watch::channel(false);
+
+    for _ in 0..config.udp_workers.max(1) {
+        let udp = udp.clone();
+        let engine = engine.clone();
+        let counters = counters.clone();
+        let mut stop = stop_rx.clone();
+        tokio::spawn(async move {
+            let mut buf = vec![0u8; 65535];
+            loop {
+                tokio::select! {
+                    _ = stop.changed() => break,
+                    res = udp.recv_from(&mut buf) => {
+                        let Ok((len, peer)) = res else { break };
+                        if let Some(reply) = engine.handle_udp_bytes(peer.ip(), &buf[..len]) {
+                            counters.udp_queries.fetch_add(1, Ordering::Relaxed);
+                            let _ = udp.send_to(&reply, peer).await;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    {
+        let engine = engine.clone();
+        let counters = counters.clone();
+        let mut stop = stop_rx.clone();
+        let idle = config.tcp_idle_timeout;
+        tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    _ = stop.changed() => break,
+                    res = tcp.accept() => {
+                        let Ok((stream, peer)) = res else { break };
+                        counters.tcp_accepts.fetch_add(1, Ordering::Relaxed);
+                        let engine = engine.clone();
+                        let counters = counters.clone();
+                        let stop = stop.clone();
+                        tokio::spawn(async move {
+                            let _ = serve_tcp_conn(stream, peer, engine, counters, idle, stop).await;
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    Ok(RunningServer {
+        udp_addr,
+        tcp_addr,
+        counters,
+        stop: stop_tx,
+    })
+}
+
+async fn serve_tcp_conn(
+    mut stream: tokio::net::TcpStream,
+    peer: SocketAddr,
+    engine: Arc<ServerEngine>,
+    counters: Arc<ServerCounters>,
+    idle: Duration,
+    mut stop: watch::Receiver<bool>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut fb = FrameBuffer::new();
+    let mut buf = vec![0u8; 16 * 1024];
+    loop {
+        let read = tokio::select! {
+            _ = stop.changed() => return Ok(()),
+            r = tokio::time::timeout(idle, stream.read(&mut buf)) => r,
+        };
+        let n = match read {
+            Err(_elapsed) => {
+                // Idle timeout: server-initiated close (the behaviour
+                // whose cost §5.2 quantifies).
+                counters.idle_closes.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Ok(Ok(0)) => return Ok(()), // peer closed
+            Ok(Ok(n)) => n,
+            Ok(Err(e)) => return Err(e),
+        };
+        fb.extend(&buf[..n]);
+        while let Some(msg) = fb.next_message() {
+            if let Some(reply) = engine.handle_stream_bytes(peer.ip(), &msg) {
+                counters.tcp_queries.fetch_add(1, Ordering::Relaxed);
+                stream.write_all(&frame(&reply)).await?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{Message, Name, RData, Rcode, Record, RecordType, Soa};
+    use dns_zone::{Catalog, Zone};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> Arc<ServerEngine> {
+        let mut z = Zone::new(n("example"));
+        z.insert(Record::new(
+            n("example"),
+            60,
+            RData::Soa(Soa {
+                mname: n("ns1.example"),
+                rname: n("a.example"),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 60,
+            }),
+        ))
+        .unwrap();
+        z.insert(Record::new(n("www.example"), 60, RData::A("5.6.7.8".parse().unwrap())))
+            .unwrap();
+        // Wildcard so synthetic unique names resolve.
+        z.insert(Record::new(n("*.example"), 60, RData::A("9.9.9.9".parse().unwrap())))
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(z);
+        Arc::new(ServerEngine::with_catalog(cat))
+    }
+
+    #[tokio::test]
+    async fn udp_round_trip_over_loopback() {
+        let server = spawn(engine(), ServerConfig::default()).await.unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let q = Message::query(42, n("www.example"), RecordType::A);
+        sock.send_to(&q.encode(), server.udp_addr).await.unwrap();
+        let mut buf = [0u8; 4096];
+        let (len, _) = tokio::time::timeout(Duration::from_secs(5), sock.recv_from(&mut buf))
+            .await
+            .unwrap()
+            .unwrap();
+        let resp = Message::decode(&buf[..len]).unwrap();
+        assert_eq!(resp.id, 42);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(server.counters.udp_queries.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn tcp_round_trip_with_connection_reuse() {
+        let server = spawn(engine(), ServerConfig::default()).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(server.tcp_addr).await.unwrap();
+        // Two framed queries on one connection.
+        for (id, name) in [(1u16, "www.example"), (2, "missing.other")] {
+            let q = Message::query(id, n(name), RecordType::A);
+            stream.write_all(&frame(&q.encode())).await.unwrap();
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 4096];
+        while got.len() < 2 {
+            let n = tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf))
+                .await
+                .unwrap()
+                .unwrap();
+            assert!(n > 0, "server closed early");
+            fb.extend(&buf[..n]);
+            while let Some(msg) = fb.next_message() {
+                got.push(Message::decode(&msg).unwrap());
+            }
+        }
+        assert_eq!(got[0].id, 1);
+        assert_eq!(got[0].answers.len(), 1);
+        assert_eq!(got[1].id, 2);
+        assert_eq!(got[1].rcode, Rcode::Refused, "out-of-zone → REFUSED");
+        assert_eq!(server.counters.tcp_accepts.load(Ordering::Relaxed), 1);
+        assert_eq!(server.counters.tcp_queries.load(Ordering::Relaxed), 2);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn tcp_idle_timeout_closes() {
+        let config = ServerConfig {
+            tcp_idle_timeout: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let server = spawn(engine(), config).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(server.tcp_addr).await.unwrap();
+        // Say nothing; the server should close us.
+        let mut buf = [0u8; 16];
+        let n = tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf))
+            .await
+            .expect("server closed within timeout")
+            .unwrap();
+        assert_eq!(n, 0, "clean close");
+        assert_eq!(server.counters.idle_closes.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn wildcard_answers_synthetic_names() {
+        let server = spawn(engine(), ServerConfig::default()).await.unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        for i in 0..5 {
+            let q = Message::query(i, n(&format!("unique{i}.example")), RecordType::A);
+            sock.send_to(&q.encode(), server.udp_addr).await.unwrap();
+            let mut buf = [0u8; 4096];
+            let (len, _) = tokio::time::timeout(Duration::from_secs(5), sock.recv_from(&mut buf))
+                .await
+                .unwrap()
+                .unwrap();
+            let resp = Message::decode(&buf[..len]).unwrap();
+            assert_eq!(resp.answers.len(), 1, "wildcard answered query {i}");
+            assert_eq!(resp.answers[0].name, n(&format!("unique{i}.example")));
+        }
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn shutdown_stops_accepting() {
+        let server = spawn(engine(), ServerConfig::default()).await.unwrap();
+        server.shutdown();
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        // UDP workers have exited; queries go unanswered.
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let q = Message::query(1, n("www.example"), RecordType::A);
+        sock.send_to(&q.encode(), server.udp_addr).await.unwrap();
+        let mut buf = [0u8; 512];
+        let r = tokio::time::timeout(Duration::from_millis(300), sock.recv_from(&mut buf)).await;
+        assert!(r.is_err(), "no reply after shutdown");
+    }
+}

@@ -1,0 +1,195 @@
+//! EDNS(0) support (RFC 6891): the OPT pseudo-record, advertised UDP
+//! payload size, the DO (DNSSEC OK) bit and extended RCODE bits.
+//!
+//! The DO bit is central to the paper's §5.1 experiment (what if every
+//! query set DO?), so the mutator manipulates this structure directly.
+
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::record::Record;
+use crate::types::{RecordClass, RecordType};
+use crate::wire::WireError;
+
+/// Default advertised UDP payload size used by modern resolvers.
+pub const DEFAULT_UDP_PAYLOAD: u16 = 4096;
+/// Classic (pre-EDNS) maximum UDP DNS message size.
+pub const CLASSIC_UDP_LIMIT: usize = 512;
+
+/// Parsed EDNS(0) state extracted from (or to be rendered as) an OPT
+/// pseudo-record in the additional section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edns {
+    /// Sender's maximum acceptable UDP payload (OPT CLASS field).
+    pub udp_payload: u16,
+    /// Extended RCODE high bits (OPT TTL byte 0).
+    pub ext_rcode_high: u8,
+    /// EDNS version (OPT TTL byte 1); 0 is the only deployed version.
+    pub version: u8,
+    /// DNSSEC OK flag (top bit of OPT TTL bytes 2-3).
+    pub dnssec_ok: bool,
+    /// Remaining Z flag bits (15 bits, normally zero).
+    pub z: u16,
+    /// Raw EDNS options (code/value pairs), kept opaque.
+    pub options: Vec<(u16, Vec<u8>)>,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload: DEFAULT_UDP_PAYLOAD,
+            ext_rcode_high: 0,
+            version: 0,
+            dnssec_ok: false,
+            z: 0,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl Edns {
+    /// A default EDNS block with the DO bit set.
+    pub fn with_do() -> Self {
+        Edns {
+            dnssec_ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Render this EDNS state as the OPT record that carries it.
+    pub fn to_record(&self) -> Record {
+        let ttl = ((self.ext_rcode_high as u32) << 24)
+            | ((self.version as u32) << 16)
+            | (if self.dnssec_ok { 0x8000 } else { 0 })
+            | (self.z as u32 & 0x7fff);
+        let mut data = Vec::new();
+        for (code, value) in &self.options {
+            data.extend_from_slice(&code.to_be_bytes());
+            data.extend_from_slice(&(value.len() as u16).to_be_bytes());
+            data.extend_from_slice(value);
+        }
+        Record {
+            name: Name::root(),
+            class: RecordClass::Unknown(self.udp_payload),
+            ttl,
+            rdata: RData::Unknown {
+                rtype: RecordType::OPT.to_u16(),
+                data,
+            },
+        }
+    }
+
+    /// Interpret an OPT record from the additional section.
+    pub fn from_record(rec: &Record) -> Result<Edns, WireError> {
+        if rec.rtype() != RecordType::OPT {
+            return Err(WireError::Invalid("not an OPT record"));
+        }
+        if !rec.name.is_root() {
+            return Err(WireError::Invalid("OPT owner must be root"));
+        }
+        let udp_payload = rec.class.to_u16();
+        let ttl = rec.ttl;
+        let data = match &rec.rdata {
+            RData::Unknown { data, .. } => data.as_slice(),
+            _ => &[],
+        };
+        let mut options = Vec::new();
+        let mut rest = data;
+        while !rest.is_empty() {
+            if rest.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let code = u16::from_be_bytes([rest[0], rest[1]]);
+            let len = u16::from_be_bytes([rest[2], rest[3]]) as usize;
+            if rest.len() < 4 + len {
+                return Err(WireError::Truncated);
+            }
+            options.push((code, rest[4..4 + len].to_vec()));
+            rest = &rest[4 + len..];
+        }
+        Ok(Edns {
+            udp_payload,
+            ext_rcode_high: (ttl >> 24) as u8,
+            version: (ttl >> 16) as u8,
+            dnssec_ok: ttl & 0x8000 != 0,
+            z: (ttl & 0x7fff) as u16,
+            options,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_record_round_trip() {
+        let e = Edns::default();
+        let rec = e.to_record();
+        assert_eq!(Edns::from_record(&rec).unwrap(), e);
+    }
+
+    #[test]
+    fn do_bit_round_trip() {
+        let e = Edns::with_do();
+        assert!(e.dnssec_ok);
+        let rec = e.to_record();
+        assert_eq!(rec.ttl & 0x8000, 0x8000);
+        assert!(Edns::from_record(&rec).unwrap().dnssec_ok);
+    }
+
+    #[test]
+    fn payload_size_in_class_field() {
+        let e = Edns {
+            udp_payload: 1232,
+            ..Default::default()
+        };
+        let rec = e.to_record();
+        assert_eq!(rec.class.to_u16(), 1232);
+        assert_eq!(Edns::from_record(&rec).unwrap().udp_payload, 1232);
+    }
+
+    #[test]
+    fn extended_rcode_and_version() {
+        let e = Edns {
+            ext_rcode_high: 1,
+            version: 0,
+            ..Default::default()
+        };
+        let rec = e.to_record();
+        assert_eq!(rec.ttl >> 24, 1);
+        assert_eq!(Edns::from_record(&rec).unwrap().ext_rcode_high, 1);
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let e = Edns {
+            options: vec![(10, vec![1, 2, 3, 4, 5, 6, 7, 8]), (8, vec![0, 1, 24, 0, 1, 2, 3])],
+            ..Default::default()
+        };
+        let rec = e.to_record();
+        assert_eq!(Edns::from_record(&rec).unwrap().options, e.options);
+    }
+
+    #[test]
+    fn non_opt_rejected() {
+        let rec = Record::new(Name::root(), 0, RData::A("1.2.3.4".parse().unwrap()));
+        assert!(Edns::from_record(&rec).is_err());
+    }
+
+    #[test]
+    fn non_root_owner_rejected() {
+        let mut rec = Edns::default().to_record();
+        rec.name = "x.example.".parse().unwrap();
+        assert!(Edns::from_record(&rec).is_err());
+    }
+
+    #[test]
+    fn truncated_option_rejected() {
+        let mut rec = Edns::default().to_record();
+        rec.rdata = RData::Unknown {
+            rtype: RecordType::OPT.to_u16(),
+            data: vec![0, 10, 0, 9, 1], // claims 9 bytes, has 1
+        };
+        assert!(Edns::from_record(&rec).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Small self-contained codecs used by DNS presentation formats:
+//! base64 (DNSKEY/RRSIG) and hex (DS digests, unknown RDATA per RFC 3597).
+
+/// Encode bytes as standard base64 with padding (RFC 4648).
+pub fn base64_encode(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(n >> 6) as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[n as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+/// Decode standard base64; whitespace is skipped (zone files split long
+/// base64 runs across tokens). Returns `None` on invalid input.
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    let mut acc: u32 = 0;
+    let mut nbits = 0u32;
+    let mut pad = 0usize;
+    for c in s.bytes() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            pad += 1;
+            continue;
+        }
+        if pad > 0 {
+            return None; // data after padding
+        }
+        let v = val(c)?;
+        acc = (acc << 6) | v;
+        nbits += 6;
+        if nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if pad > 2 {
+        return None;
+    }
+    // Leftover bits must be zero padding bits.
+    if nbits > 0 && (acc & ((1 << nbits) - 1)) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Encode bytes as uppercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push_str(&format!("{b:02X}"));
+    }
+    out
+}
+
+/// Decode hex (either case, no separators). Returns `None` on invalid
+/// input or odd length.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_rfc4648_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_decode_vectors() {
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Zg==").unwrap(), b"f");
+        assert_eq!(base64_decode("Zm8=").unwrap(), b"fo");
+        assert_eq!(base64_decode("").unwrap(), b"");
+    }
+
+    #[test]
+    fn base64_whitespace_tolerated() {
+        assert_eq!(base64_decode("Zm9v\n YmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("Z!9v").is_none());
+        assert!(base64_decode("Zg==Zg").is_none()); // data after pad
+        assert!(base64_decode("Zh==").is_none()); // nonzero padding bits
+    }
+
+    #[test]
+    fn base64_round_trip_bytes() {
+        for len in 0..40usize {
+            let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0u8, 1, 0xab, 0xff, 0x10];
+        let s = hex_encode(&data);
+        assert_eq!(s, "0001ABFF10");
+        assert_eq!(hex_decode(&s).unwrap(), data);
+        assert_eq!(hex_decode("0001abff10").unwrap(), data);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(hex_decode("abc").is_none()); // odd length
+        assert!(hex_decode("zz").is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! DNS-over-TCP stream framing (RFC 7766 §8): every message is prefixed
+//! by a two-byte big-endian length. [`FrameBuffer`] incrementally
+//! reassembles messages from arbitrary read chunks, which is what both
+//! the server's connection handler and the querier's response reader use.
+
+use bytes::{Buf, BytesMut};
+
+/// Prefix `msg` with its 16-bit length, as sent on a TCP stream.
+///
+/// Panics if `msg` exceeds 65535 bytes (DNS messages cannot).
+pub fn frame(msg: &[u8]) -> Vec<u8> {
+    assert!(msg.len() <= u16::MAX as usize, "DNS message too large to frame");
+    let mut out = Vec::with_capacity(2 + msg.len());
+    out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Incremental reassembly buffer for a length-framed DNS stream.
+///
+/// Feed it raw bytes as they arrive; pop complete messages out.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: BytesMut,
+}
+
+impl FrameBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer { buf: BytesMut::new() }
+    }
+
+    /// Append newly received bytes.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete message, if one has fully arrived.
+    pub fn next_message(&mut self) -> Option<Vec<u8>> {
+        if self.buf.len() < 2 {
+            return None;
+        }
+        let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
+        if self.buf.len() < 2 + len {
+            return None;
+        }
+        self.buf.advance(2);
+        let msg = self.buf.split_to(len);
+        Some(msg.to_vec())
+    }
+
+    /// Bytes buffered but not yet forming a complete message.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no partial data is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_prepends_length() {
+        let f = frame(b"abc");
+        assert_eq!(f, vec![0, 3, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn empty_message_frames() {
+        assert_eq!(frame(b""), vec![0, 0]);
+    }
+
+    #[test]
+    fn reassembles_single_message() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame(b"hello"));
+        assert_eq!(fb.next_message().unwrap(), b"hello");
+        assert!(fb.next_message().is_none());
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn reassembles_across_chunks() {
+        let framed = frame(b"split message");
+        let mut fb = FrameBuffer::new();
+        for chunk in framed.chunks(3) {
+            fb.extend(chunk);
+        }
+        assert_eq!(fb.next_message().unwrap(), b"split message");
+    }
+
+    #[test]
+    fn byte_at_a_time() {
+        let framed = frame(b"x");
+        let mut fb = FrameBuffer::new();
+        for &b in &framed {
+            assert!(fb.next_message().is_none());
+            fb.extend(&[b]);
+        }
+        assert_eq!(fb.next_message().unwrap(), b"x");
+    }
+
+    #[test]
+    fn multiple_messages_in_one_chunk() {
+        let mut data = frame(b"one");
+        data.extend(frame(b"two"));
+        data.extend(frame(b"three"));
+        let mut fb = FrameBuffer::new();
+        fb.extend(&data);
+        assert_eq!(fb.next_message().unwrap(), b"one");
+        assert_eq!(fb.next_message().unwrap(), b"two");
+        assert_eq!(fb.next_message().unwrap(), b"three");
+        assert!(fb.next_message().is_none());
+    }
+
+    #[test]
+    fn partial_length_prefix_waits() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&[0]);
+        assert!(fb.next_message().is_none());
+        fb.extend(&[2]);
+        assert!(fb.next_message().is_none());
+        fb.extend(b"ab");
+        assert_eq!(fb.next_message().unwrap(), b"ab");
+    }
+
+    #[test]
+    fn pending_len_tracks_partial() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&[0, 5, b'a']);
+        assert_eq!(fb.pending_len(), 3);
+        assert!(fb.next_message().is_none());
+    }
+}

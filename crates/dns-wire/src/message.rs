@@ -1,0 +1,555 @@
+//! Full DNS messages: header, question, and the four record sections,
+//! with EDNS awareness and UDP truncation.
+
+use std::fmt;
+
+use crate::edns::Edns;
+use crate::name::Name;
+use crate::record::Record;
+use crate::types::{Opcode, Rcode, RecordClass, RecordType};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Parsed DNS header flags (the 16-bit field after the ID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// QR: true for responses.
+    pub response: bool,
+    /// AA: authoritative answer.
+    pub authoritative: bool,
+    /// TC: truncated.
+    pub truncated: bool,
+    /// RD: recursion desired.
+    pub recursion_desired: bool,
+    /// RA: recursion available.
+    pub recursion_available: bool,
+    /// AD: authenticated data (DNSSEC).
+    pub authentic_data: bool,
+    /// CD: checking disabled (DNSSEC).
+    pub checking_disabled: bool,
+}
+
+/// The question section entry: name, type, class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+    /// Queried class.
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    /// `IN`-class question.
+    pub fn new(name: Name, qtype: RecordType) -> Self {
+        Question {
+            name,
+            qtype,
+            qclass: RecordClass::IN,
+        }
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.name, self.qclass, self.qtype)
+    }
+}
+
+/// A complete DNS message.
+///
+/// The OPT pseudo-record is lifted out of the additional section into
+/// [`Message::edns`] on decode and re-synthesized on encode, so section
+/// manipulation never has to special-case it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction ID.
+    pub id: u16,
+    /// Header flags.
+    pub flags: Flags,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Response code (combined with EDNS extended bits).
+    pub rcode: Rcode,
+    /// Question section (normally exactly one entry).
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section, excluding the OPT record.
+    pub additionals: Vec<Record>,
+    /// EDNS(0) state, if an OPT record is present.
+    pub edns: Option<Edns>,
+}
+
+impl Message {
+    /// A fresh query message for `name`/`qtype` with RD set.
+    pub fn query(id: u16, name: Name, qtype: RecordType) -> Self {
+        Message {
+            id,
+            flags: Flags {
+                recursion_desired: true,
+                ..Default::default()
+            },
+            opcode: Opcode::Query,
+            rcode: Rcode::NoError,
+            questions: vec![Question::new(name, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// Start a response to this query: copies ID, question, opcode, RD,
+    /// and sets QR.
+    pub fn response_to(&self) -> Message {
+        Message {
+            id: self.id,
+            flags: Flags {
+                response: true,
+                recursion_desired: self.flags.recursion_desired,
+                ..Default::default()
+            },
+            opcode: self.opcode,
+            rcode: Rcode::NoError,
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: self.edns.as_ref().map(|e| Edns {
+                udp_payload: crate::edns::DEFAULT_UDP_PAYLOAD,
+                dnssec_ok: e.dnssec_ok,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// The first (usually only) question.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// True if the DO (DNSSEC OK) bit is set.
+    pub fn dnssec_ok(&self) -> bool {
+        self.edns.as_ref().map(|e| e.dnssec_ok).unwrap_or(false)
+    }
+
+    /// Set or clear the DO bit, creating an EDNS block as needed.
+    pub fn set_dnssec_ok(&mut self, on: bool) {
+        match (&mut self.edns, on) {
+            (Some(e), v) => e.dnssec_ok = v,
+            (None, true) => self.edns = Some(Edns::with_do()),
+            (None, false) => {}
+        }
+    }
+
+    /// Serialize, compressing names, with no size limit (TCP semantics).
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_internal(usize::MAX).0
+    }
+
+    /// Serialize for UDP with `limit` bytes available: if the message
+    /// does not fit, sections are dropped whole-record-at-a-time from the
+    /// back and the TC bit is set (RFC 2181 §9 behaviour).
+    ///
+    /// Returns the bytes and whether truncation occurred.
+    pub fn encode_udp(&self, limit: usize) -> (Vec<u8>, bool) {
+        self.encode_internal(limit)
+    }
+
+    fn encode_internal(&self, limit: usize) -> (Vec<u8>, bool) {
+        // Fast path: encode everything, check size.
+        let full = self.encode_with_counts(
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len(),
+            false,
+        );
+        if full.len() <= limit {
+            return (full, false);
+        }
+        // Drop records from the back: additionals, then authorities,
+        // then answers, until we fit. OPT is preserved (it carries the
+        // payload-size negotiation).
+        let mut an = self.answers.len();
+        let mut ns = self.authorities.len();
+        let mut ar = self.additionals.len();
+        loop {
+            if ar > 0 {
+                ar -= 1;
+            } else if ns > 0 {
+                ns -= 1;
+            } else if an > 0 {
+                an -= 1;
+            } else {
+                let buf = self.encode_with_counts(0, 0, 0, true);
+                return (buf, true);
+            }
+            let buf = self.encode_with_counts(an, ns, ar, true);
+            if buf.len() <= limit {
+                return (buf, true);
+            }
+        }
+    }
+
+    fn encode_with_counts(&self, an: usize, ns: usize, ar: usize, tc: bool) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u16(self.id);
+        let mut f: u16 = 0;
+        if self.flags.response {
+            f |= 0x8000;
+        }
+        f |= (self.opcode.to_u8() as u16) << 11;
+        if self.flags.authoritative {
+            f |= 0x0400;
+        }
+        if self.flags.truncated || tc {
+            f |= 0x0200;
+        }
+        if self.flags.recursion_desired {
+            f |= 0x0100;
+        }
+        if self.flags.recursion_available {
+            f |= 0x0080;
+        }
+        if self.flags.authentic_data {
+            f |= 0x0020;
+        }
+        if self.flags.checking_disabled {
+            f |= 0x0010;
+        }
+        f |= self.rcode.low_bits() as u16;
+        w.put_u16(f);
+        w.put_u16(self.questions.len() as u16);
+        w.put_u16(an as u16);
+        w.put_u16(ns as u16);
+        let opt_count = if self.edns.is_some() { 1 } else { 0 };
+        w.put_u16((ar + opt_count) as u16);
+        for q in &self.questions {
+            w.put_name(&q.name);
+            w.put_u16(q.qtype.to_u16());
+            w.put_u16(q.qclass.to_u16());
+        }
+        for rec in self.answers.iter().take(an) {
+            rec.encode(&mut w);
+        }
+        for rec in self.authorities.iter().take(ns) {
+            rec.encode(&mut w);
+        }
+        for rec in self.additionals.iter().take(ar) {
+            rec.encode(&mut w);
+        }
+        if let Some(edns) = &self.edns {
+            let mut e = edns.clone();
+            e.ext_rcode_high = self.rcode.high_bits();
+            e.to_record().encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a full message from `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+        let mut r = WireReader::new(buf);
+        let id = r.get_u16()?;
+        let f = r.get_u16()?;
+        let flags = Flags {
+            response: f & 0x8000 != 0,
+            authoritative: f & 0x0400 != 0,
+            truncated: f & 0x0200 != 0,
+            recursion_desired: f & 0x0100 != 0,
+            recursion_available: f & 0x0080 != 0,
+            authentic_data: f & 0x0020 != 0,
+            checking_disabled: f & 0x0010 != 0,
+        };
+        let opcode = Opcode::from_u8((f >> 11) as u8 & 0x0f);
+        let rcode_low = (f & 0x0f) as u8;
+        let qd = r.get_u16()? as usize;
+        let an = r.get_u16()? as usize;
+        let ns = r.get_u16()? as usize;
+        let ar = r.get_u16()? as usize;
+        let mut questions = Vec::with_capacity(qd.min(16));
+        for _ in 0..qd {
+            questions.push(Question {
+                name: r.get_name()?,
+                qtype: RecordType::from_u16(r.get_u16()?),
+                qclass: RecordClass::from_u16(r.get_u16()?),
+            });
+        }
+        let read_section = |count: usize, r: &mut WireReader<'_>| -> Result<Vec<Record>, WireError> {
+            let mut recs = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                recs.push(Record::decode(r)?);
+            }
+            Ok(recs)
+        };
+        let answers = read_section(an, &mut r)?;
+        let authorities = read_section(ns, &mut r)?;
+        let mut additionals = read_section(ar, &mut r)?;
+        // Lift OPT out of additionals.
+        let mut edns = None;
+        if let Some(idx) = additionals.iter().position(|rec| rec.rtype() == RecordType::OPT) {
+            let opt = additionals.remove(idx);
+            edns = Some(Edns::from_record(&opt)?);
+            if additionals.iter().any(|rec| rec.rtype() == RecordType::OPT) {
+                return Err(WireError::Invalid("multiple OPT records"));
+            }
+        }
+        let rcode = Rcode::from_parts(
+            rcode_low,
+            edns.as_ref().map(|e| e.ext_rcode_high).unwrap_or(0),
+        );
+        Ok(Message {
+            id,
+            flags,
+            opcode,
+            rcode,
+            questions,
+            answers,
+            authorities,
+            additionals,
+            edns,
+        })
+    }
+
+    /// Total records in answer+authority+additional (not counting OPT).
+    pub fn record_count(&self) -> usize {
+        self.answers.len() + self.authorities.len() + self.additionals.len()
+    }
+}
+
+impl fmt::Display for Message {
+    /// dig-style multi-line rendering, for debugging and logs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ";; opcode: {}, status: {}, id: {}",
+            self.opcode, self.rcode, self.id
+        )?;
+        let mut flag_names = Vec::new();
+        if self.flags.response {
+            flag_names.push("qr");
+        }
+        if self.flags.authoritative {
+            flag_names.push("aa");
+        }
+        if self.flags.truncated {
+            flag_names.push("tc");
+        }
+        if self.flags.recursion_desired {
+            flag_names.push("rd");
+        }
+        if self.flags.recursion_available {
+            flag_names.push("ra");
+        }
+        if self.flags.authentic_data {
+            flag_names.push("ad");
+        }
+        if self.flags.checking_disabled {
+            flag_names.push("cd");
+        }
+        writeln!(
+            f,
+            ";; flags: {}; QUERY: {}, ANSWER: {}, AUTHORITY: {}, ADDITIONAL: {}",
+            flag_names.join(" "),
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len()
+        )?;
+        if let Some(e) = &self.edns {
+            writeln!(
+                f,
+                ";; EDNS: version {}, udp {}, DO {}",
+                e.version, e.udp_payload, e.dnssec_ok
+            )?;
+        }
+        for q in &self.questions {
+            writeln!(f, ";{q}")?;
+        }
+        for rec in &self.answers {
+            writeln!(f, "{rec}")?;
+        }
+        for rec in &self.authorities {
+            writeln!(f, "{rec}")?;
+        }
+        for rec in &self.additionals {
+            writeln!(f, "{rec}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let q = Message::query(0x1234, n("www.example.com"), RecordType::A);
+        let mut resp = q.response_to();
+        resp.flags.authoritative = true;
+        resp.answers.push(Record::new(
+            n("www.example.com"),
+            3600,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ));
+        resp.authorities.push(Record::new(
+            n("example.com"),
+            86400,
+            RData::Ns(n("ns1.example.com")),
+        ));
+        resp.additionals.push(Record::new(
+            n("ns1.example.com"),
+            86400,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ));
+        resp
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(7, n("example.com"), RecordType::AAAA);
+        let buf = q.encode();
+        let d = Message::decode(&buf).unwrap();
+        assert_eq!(d, q);
+        assert!(!d.flags.response);
+        assert!(d.flags.recursion_desired);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = sample_response();
+        let d = Message::decode(&resp.encode()).unwrap();
+        assert_eq!(d, resp);
+        assert!(d.flags.response);
+        assert!(d.flags.authoritative);
+        assert_eq!(d.answers.len(), 1);
+        assert_eq!(d.authorities.len(), 1);
+        assert_eq!(d.additionals.len(), 1);
+    }
+
+    #[test]
+    fn edns_round_trip() {
+        let mut q = Message::query(9, n("example.com"), RecordType::DNSKEY);
+        q.set_dnssec_ok(true);
+        let d = Message::decode(&q.encode()).unwrap();
+        assert!(d.dnssec_ok());
+        assert_eq!(d.edns.as_ref().unwrap().udp_payload, 4096);
+        assert_eq!(d, q);
+    }
+
+    #[test]
+    fn set_dnssec_ok_toggles() {
+        let mut q = Message::query(9, n("example.com"), RecordType::A);
+        assert!(!q.dnssec_ok());
+        q.set_dnssec_ok(false); // no-op without EDNS
+        assert!(q.edns.is_none());
+        q.set_dnssec_ok(true);
+        assert!(q.dnssec_ok());
+        q.set_dnssec_ok(false);
+        assert!(!q.dnssec_ok());
+        assert!(q.edns.is_some()); // block stays, bit clears
+    }
+
+    #[test]
+    fn extended_rcode_via_edns() {
+        let mut resp = Message::query(1, n("example.com"), RecordType::A).response_to();
+        resp.edns = Some(Edns::default());
+        resp.rcode = Rcode::BadVers;
+        let d = Message::decode(&resp.encode()).unwrap();
+        assert_eq!(d.rcode, Rcode::BadVers);
+    }
+
+    #[test]
+    fn truncation_drops_back_sections_first() {
+        let resp = sample_response();
+        let full_len = resp.encode().len();
+        let (buf, tc) = resp.encode_udp(full_len - 1);
+        assert!(tc);
+        let d = Message::decode(&buf).unwrap();
+        assert!(d.flags.truncated);
+        // Additionals dropped first.
+        assert_eq!(d.additionals.len(), 0);
+        assert_eq!(d.answers.len(), 1);
+    }
+
+    #[test]
+    fn truncation_not_applied_when_fits() {
+        let resp = sample_response();
+        let (buf, tc) = resp.encode_udp(4096);
+        assert!(!tc);
+        assert!(!Message::decode(&buf).unwrap().flags.truncated);
+    }
+
+    #[test]
+    fn severe_truncation_keeps_header_and_question() {
+        let resp = sample_response();
+        let (buf, tc) = resp.encode_udp(40);
+        assert!(tc);
+        let d = Message::decode(&buf).unwrap();
+        assert!(d.flags.truncated);
+        assert_eq!(d.record_count(), 0);
+        assert_eq!(d.questions.len(), 1);
+    }
+
+    #[test]
+    fn multiple_opt_rejected() {
+        let mut resp = Message::query(1, n("example.com"), RecordType::A).response_to();
+        resp.edns = Some(Edns::default());
+        let mut buf = resp.encode();
+        // Append a second OPT record manually.
+        let opt = Edns::default().to_record();
+        let mut w = WireWriter::new();
+        opt.encode(&mut w);
+        buf.extend_from_slice(&w.into_bytes());
+        // Bump ARCOUNT.
+        let ar = u16::from_be_bytes([buf[10], buf[11]]) + 1;
+        buf[10..12].copy_from_slice(&ar.to_be_bytes());
+        assert!(Message::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn header_too_short_rejected() {
+        assert!(Message::decode(&[0; 11]).is_err());
+        assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn compression_reduces_size() {
+        let resp = sample_response();
+        let compressed = resp.encode().len();
+        // Uncompressed size lower bound: sum of wire_lens + 12 header +
+        // question.
+        let uncompressed: usize = 12
+            + resp.questions[0].name.wire_len()
+            + 4
+            + resp.answers.iter().map(|r| r.wire_len()).sum::<usize>()
+            + resp.authorities.iter().map(|r| r.wire_len()).sum::<usize>()
+            + resp.additionals.iter().map(|r| r.wire_len()).sum::<usize>();
+        assert!(compressed < uncompressed, "{compressed} < {uncompressed}");
+    }
+
+    #[test]
+    fn response_to_copies_do_bit() {
+        let mut q = Message::query(3, n("example.com"), RecordType::A);
+        q.set_dnssec_ok(true);
+        let resp = q.response_to();
+        assert!(resp.dnssec_ok());
+        assert_eq!(resp.id, 3);
+        assert_eq!(resp.questions, q.questions);
+    }
+
+    #[test]
+    fn display_contains_sections() {
+        let s = sample_response().to_string();
+        assert!(s.contains("status: NOERROR"));
+        assert!(s.contains("www.example.com."));
+        assert!(s.contains("flags: qr aa rd"));
+    }
+}

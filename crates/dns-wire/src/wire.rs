@@ -1,0 +1,465 @@
+//! Low-level wire encoding and decoding.
+//!
+//! [`WireWriter`] serializes integers, byte strings and domain names
+//! (with RFC 1035 §4.1.4 compression). [`WireReader`] is a bounds-checked
+//! cursor that follows compression pointers with loop protection.
+
+use std::collections::HashMap;
+
+use crate::name::Name;
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Read past the end of the buffer.
+    Truncated,
+    /// A compression pointer points at or after its own position, or the
+    /// pointer chain is too long.
+    BadPointer,
+    /// A label length octet uses the reserved 0b10/0b01 prefixes.
+    BadLabelType(u8),
+    /// Decoded name violates length limits.
+    BadName,
+    /// RDATA length disagrees with its content.
+    BadRdataLength,
+    /// Semantically invalid message (e.g. OPT not at root).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadPointer => write!(f, "bad compression pointer"),
+            WireError::BadLabelType(b) => write!(f, "reserved label type {b:#04x}"),
+            WireError::BadName => write!(f, "invalid name"),
+            WireError::BadRdataLength => write!(f, "rdata length mismatch"),
+            WireError::Invalid(what) => write!(f, "invalid message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializer with optional name compression.
+///
+/// Compression offsets are remembered per (suffix → offset); only offsets
+/// that fit in 14 bits are eligible as pointer targets, per the RFC.
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Map from name suffix (as its label-joined display form) to offset.
+    compress_map: HashMap<Name, u16>,
+    /// Whether to emit compression pointers at all.
+    compress: bool,
+}
+
+impl WireWriter {
+    /// New writer with compression enabled (normal for DNS messages).
+    pub fn new() -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(512),
+            compress_map: HashMap::new(),
+            compress: true,
+        }
+    }
+
+    /// New writer that never emits compression pointers (canonical form,
+    /// used inside RRSIG computation and for rdata of DNSSEC types).
+    pub fn new_uncompressed() -> Self {
+        let mut w = WireWriter::new();
+        w.compress = false;
+        w
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a u8.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrite a previously written big-endian u16 at `offset`.
+    ///
+    /// Used to patch RDLENGTH and section counts after the fact.
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a domain name, emitting a compression pointer when a suffix
+    /// of the name was already written at a pointer-representable offset.
+    pub fn put_name(&mut self, name: &Name) {
+        let mut current = name.clone();
+        loop {
+            if current.is_root() {
+                self.buf.push(0);
+                return;
+            }
+            if self.compress {
+                if let Some(&off) = self.compress_map.get(&current) {
+                    self.put_u16(0xc000 | off);
+                    return;
+                }
+            }
+            // Remember this suffix's offset for future compression.
+            if self.buf.len() <= 0x3fff {
+                self.compress_map.insert(current.clone(), self.buf.len() as u16);
+            }
+            let label = current.leftmost().expect("non-root has a label").to_vec();
+            self.buf.push(label.len() as u8);
+            self.buf.extend_from_slice(&label);
+            current = current.parent().expect("non-root has a parent");
+        }
+    }
+
+    /// Append a name without creating or using compression pointers,
+    /// regardless of the writer's compression mode (names inside most
+    /// RDATA must not be compressed per RFC 3597).
+    pub fn put_name_uncompressed(&mut self, name: &Name) {
+        for label in name.labels() {
+            self.buf.push(label.len() as u8);
+            self.buf.extend_from_slice(label);
+        }
+        self.buf.push(0);
+    }
+}
+
+impl Default for WireWriter {
+    fn default() -> Self {
+        WireWriter::new()
+    }
+}
+
+/// Bounds-checked decoding cursor over a full DNS message buffer.
+///
+/// The reader keeps the whole message visible so compression pointers can
+/// jump backwards.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Upper bound on pointer-chain hops while decoding one name; real
+/// messages need at most a handful, so this is purely loop protection.
+const MAX_POINTER_HOPS: usize = 64;
+
+impl<'a> WireReader<'a> {
+    /// New reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Move the cursor (used to re-parse sections).
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Read one u8.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a big-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        if self.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Read a big-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        if self.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let v = u32::from_be_bytes([
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decode a (possibly compressed) domain name at the cursor.
+    ///
+    /// The cursor advances past the name's in-place representation; the
+    /// targets of compression pointers are visited without moving it.
+    pub fn get_name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut pos = self.pos;
+        let mut jumped = false;
+        let mut hops = 0usize;
+        let mut total_len = 1usize; // terminating root octet
+        loop {
+            let len = *self.buf.get(pos).ok_or(WireError::Truncated)?;
+            match len & 0xc0 {
+                0x00 => {
+                    if len == 0 {
+                        if !jumped {
+                            self.pos = pos + 1;
+                        }
+                        return Name::from_labels(labels).map_err(|_| WireError::BadName);
+                    }
+                    let l = len as usize;
+                    let label = self
+                        .buf
+                        .get(pos + 1..pos + 1 + l)
+                        .ok_or(WireError::Truncated)?;
+                    total_len += 1 + l;
+                    if total_len > crate::name::MAX_NAME_LEN {
+                        return Err(WireError::BadName);
+                    }
+                    labels.push(label.to_vec());
+                    pos += 1 + l;
+                }
+                0xc0 => {
+                    let b2 = *self.buf.get(pos + 1).ok_or(WireError::Truncated)?;
+                    let target = (((len & 0x3f) as usize) << 8) | b2 as usize;
+                    // A pointer must point strictly backwards.
+                    if target >= pos {
+                        return Err(WireError::BadPointer);
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::BadPointer);
+                    }
+                    if !jumped {
+                        self.pos = pos + 2;
+                        jumped = true;
+                    }
+                    pos = target;
+                }
+                other => return Err(WireError::BadLabelType(other)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ints_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0x1234);
+        w.put_u32(0xdeadbeef);
+        w.put_bytes(b"xyz");
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.get_bytes(3).unwrap(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.get_u8(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn name_uncompressed_round_trip() {
+        let mut w = WireWriter::new_uncompressed();
+        w.put_name(&n("www.example.com"));
+        let buf = w.into_bytes();
+        assert_eq!(buf.len(), n("www.example.com").wire_len());
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name().unwrap(), n("www.example.com"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn root_name_is_single_zero() {
+        let mut w = WireWriter::new();
+        w.put_name(&Name::root());
+        let buf = w.into_bytes();
+        assert_eq!(buf, vec![0]);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name().unwrap(), Name::root());
+    }
+
+    #[test]
+    fn compression_emits_pointer() {
+        let mut w = WireWriter::new();
+        w.put_name(&n("www.example.com"));
+        let first = w.len();
+        w.put_name(&n("mail.example.com"));
+        let buf = w.into_bytes();
+        // Second name: 1+4 ("mail") + 2 (pointer) = 7 bytes.
+        assert_eq!(buf.len() - first, 7);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name().unwrap(), n("www.example.com"));
+        assert_eq!(r.get_name().unwrap(), n("mail.example.com"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn compression_whole_name_pointer() {
+        let mut w = WireWriter::new();
+        w.put_name(&n("example.com"));
+        w.put_name(&n("example.com"));
+        let buf = w.into_bytes();
+        assert_eq!(buf.len(), n("example.com").wire_len() + 2);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name().unwrap(), n("example.com"));
+        assert_eq!(r.get_name().unwrap(), n("example.com"));
+    }
+
+    #[test]
+    fn pointer_forward_rejected() {
+        // Pointer to itself.
+        let buf = [0xc0u8, 0x00];
+        let mut r = WireReader::new(&buf);
+        r.seek(0);
+        assert_eq!(r.get_name(), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Two pointers pointing at each other: 0 -> 2, 2 -> 0.
+        let buf = [0xc0, 0x02, 0xc0, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name(), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn reserved_label_types_rejected() {
+        let buf = [0x80u8, 0x01, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.get_name(), Err(WireError::BadLabelType(0x80))));
+        let buf = [0x40u8, 0x01, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.get_name(), Err(WireError::BadLabelType(0x40))));
+    }
+
+    #[test]
+    fn truncated_label_rejected() {
+        let buf = [5u8, b'a', b'b']; // label claims 5 bytes, only 2 present
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let buf = [1u8, b'a']; // no trailing root octet
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overlong_name_rejected() {
+        // 4 labels of 63 bytes = 256 octets wire form > 255.
+        let mut buf = Vec::new();
+        for _ in 0..4 {
+            buf.push(63);
+            buf.extend(std::iter::repeat_n(b'a', 63));
+        }
+        buf.push(0);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_name(), Err(WireError::BadName));
+    }
+
+    #[test]
+    fn cursor_positions_after_pointer() {
+        let mut w = WireWriter::new();
+        w.put_u16(0); // padding so names are not at offset 0
+        w.put_name(&n("example.com"));
+        w.put_name(&n("www.example.com"));
+        w.put_u16(0xbeef);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        r.get_u16().unwrap();
+        r.get_name().unwrap();
+        assert_eq!(r.get_name().unwrap(), n("www.example.com"));
+        // Cursor must sit right after the compressed form, at 0xbeef.
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn put_name_uncompressed_inside_compressing_writer() {
+        let mut w = WireWriter::new();
+        w.put_name(&n("example.com"));
+        w.put_name_uncompressed(&n("example.com"));
+        let buf = w.into_bytes();
+        assert_eq!(buf.len(), 2 * n("example.com").wire_len());
+    }
+
+    #[test]
+    fn patch_u16() {
+        let mut w = WireWriter::new();
+        w.put_u16(0);
+        w.put_u8(7);
+        w.patch_u16(0, 0x0102);
+        assert_eq!(w.into_bytes(), vec![1, 2, 7]);
+    }
+
+    #[test]
+    fn compression_only_under_14bit_offsets() {
+        let mut w = WireWriter::new();
+        // Push the buffer past 0x3fff so new suffix offsets are not
+        // eligible as pointer targets.
+        w.put_bytes(&vec![0u8; 0x4000]);
+        w.put_name(&n("big.example.com"));
+        let len_first = w.len();
+        w.put_name(&n("big.example.com"));
+        let buf = w.into_bytes();
+        // Second copy cannot point at the first: full length again.
+        assert_eq!(buf.len() - len_first, n("big.example.com").wire_len());
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based round-trip tests for the DNS wire format: arbitrary
+//! names, records and messages must survive encode → decode and
+//! presentation print → parse unchanged, and the decoder must never
+//! panic on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use dns_wire::message::{Flags, Message, Question};
+use dns_wire::name::Name;
+use dns_wire::rdata::{RData, Rrsig, Soa};
+use dns_wire::record::Record;
+use dns_wire::types::{Opcode, Rcode, RecordType};
+use dns_wire::wire::{WireReader, WireWriter};
+use dns_wire::Edns;
+
+fn arb_label() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..=16)
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..=6)
+        .prop_filter_map("name too long", |labels| Name::from_labels(labels).ok())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(Soa { mname, rname, serial, refresh, retry, expire, minimum })
+            }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=32), 1..=4)
+            .prop_map(RData::Txt),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv { priority, weight, port, target }
+        ),
+        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 1..=40))
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Ds {
+                key_tag, algorithm, digest_type, digest
+            }),
+        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 1..=64)).prop_map(
+            |(flags, algorithm, public_key)| RData::Dnskey { flags, protocol: 3, algorithm, public_key }
+        ),
+        (arb_name(), proptest::collection::vec(0u16..1024, 0..=8)).prop_map(|(next, tys)| {
+            let mut types: Vec<RecordType> = tys.into_iter().map(RecordType::from_u16).collect();
+            types.sort_by_key(|t| t.to_u16());
+            types.dedup();
+            RData::Nsec { next, types }
+        }),
+        (0u16..=20, proptest::collection::vec(any::<u8>(), 0..=32)).prop_map(|(rt, data)| {
+            // Pick type codes that are not structurally decoded.
+            RData::Unknown { rtype: 20000 + rt, data }
+        }),
+    ]
+}
+
+fn arb_rrsig() -> impl Strategy<Value = RData> {
+    (
+        0u16..300,
+        any::<u8>(),
+        0u8..10,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        arb_name(),
+        proptest::collection::vec(any::<u8>(), 1..=64),
+    )
+        .prop_map(
+            |(tc, algorithm, labels, original_ttl, expiration, inception, key_tag, signer_name, signature)| {
+                RData::Rrsig(Rrsig {
+                    type_covered: RecordType::from_u16(tc),
+                    algorithm,
+                    labels,
+                    original_ttl,
+                    expiration,
+                    inception,
+                    key_tag,
+                    signer_name,
+                    signature,
+                })
+            },
+        )
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), prop_oneof![arb_rdata(), arb_rrsig()])
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u16..12,
+        arb_name(),
+        0u16..300,
+        proptest::collection::vec(arb_record(), 0..=4),
+        proptest::collection::vec(arb_record(), 0..=3),
+        proptest::collection::vec(arb_record(), 0..=3),
+        proptest::option::of(any::<bool>()),
+    )
+        .prop_map(
+            |(id, response, aa, rd, rcode, qname, qtype, answers, authorities, additionals, edns_do)| {
+                Message {
+                    id,
+                    flags: Flags {
+                        response,
+                        authoritative: aa,
+                        recursion_desired: rd,
+                        ..Default::default()
+                    },
+                    opcode: Opcode::Query,
+                    rcode: Rcode::from_u16(rcode % 16),
+                    questions: vec![Question::new(qname, RecordType::from_u16(qtype))],
+                    answers,
+                    authorities,
+                    additionals,
+                    edns: edns_do.map(|d| Edns {
+                        dnssec_ok: d,
+                        ..Default::default()
+                    }),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn name_wire_round_trip(name in arb_name()) {
+        let mut w = WireWriter::new();
+        w.put_name(&name);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(r.get_name().unwrap(), name);
+    }
+
+    #[test]
+    fn name_presentation_round_trip(name in arb_name()) {
+        let text = name.to_string();
+        let parsed: Name = text.parse().unwrap();
+        prop_assert_eq!(parsed, name);
+    }
+
+    #[test]
+    fn rdata_wire_round_trip(rd in prop_oneof![arb_rdata(), arb_rrsig()]) {
+        let mut w = WireWriter::new_uncompressed();
+        rd.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        let decoded = RData::decode(rd.record_type(), buf.len(), &mut r).unwrap();
+        prop_assert_eq!(decoded, rd);
+    }
+
+    #[test]
+    fn record_presentation_round_trip(rec in arb_record()) {
+        let text = rec.rdata.to_string();
+        let owned = dns_wire::text::tokenize(&text);
+        let tokens: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
+        let parsed = RData::parse_presentation(rec.rtype(), &tokens, &Name::root()).unwrap();
+        prop_assert_eq!(parsed, rec.rdata);
+    }
+
+    #[test]
+    fn message_round_trip(msg in arb_message()) {
+        let buf = msg.encode();
+        let decoded = Message::decode(&buf).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn message_udp_truncation_always_fits(msg in arb_message(), limit in 64usize..1500) {
+        let (buf, tc) = msg.encode_udp(limit);
+        let decoded = Message::decode(&buf).unwrap();
+        // Either the result fits, or every droppable record was dropped
+        // (header + question + OPT form an irreducible floor).
+        prop_assert!(buf.len() <= limit || decoded.record_count() == 0);
+        if tc {
+            prop_assert!(decoded.flags.truncated);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_with_pointers(
+        mut bytes in proptest::collection::vec(any::<u8>(), 12..128),
+        seed in any::<u8>(),
+    ) {
+        // Salt buffers with plausible compression pointers to stress the
+        // pointer-following paths.
+        let len = bytes.len();
+        bytes[len - 2] = 0xc0 | (seed & 0x3f);
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn canonical_order_total(a in arb_name(), b in arb_name(), c in arb_name()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.canonical_cmp(&b), b.canonical_cmp(&a).reverse());
+        // Transitivity (spot form).
+        if a.canonical_cmp(&b) == Ordering::Less && b.canonical_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.canonical_cmp(&c), Ordering::Less);
+        }
+        // Reflexivity.
+        prop_assert_eq!(a.canonical_cmp(&a), Ordering::Equal);
+    }
+}

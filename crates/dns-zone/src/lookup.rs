@@ -1,0 +1,608 @@
+//! Authoritative query answering over a [`Zone`] (RFC 1034 §4.3.2).
+//!
+//! This is where hierarchy emulation gets its correctness: a query at or
+//! below a delegation point yields a *referral* (NS in authority + glue),
+//! never a final answer — the round trip the paper's meta-DNS-server must
+//! preserve so a recursive resolver walks root → TLD → SLD exactly as it
+//! would against independent servers (paper §2.4).
+
+use dns_wire::{Message, Name, Question, RData, Rcode, Record, RecordType};
+
+use crate::zone::Zone;
+
+/// The semantic category of an authoritative answer, before rendering
+/// into a message. Exposed so tests and the resolver can assert on
+/// answer *kinds*, not just message bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnswerKind {
+    /// Authoritative data for the query.
+    Answer,
+    /// Delegation to a child zone.
+    Referral {
+        /// The zone-cut name.
+        cut: Name,
+    },
+    /// Name exists, no data of the queried type.
+    NoData,
+    /// Name does not exist.
+    NxDomain,
+    /// Answer involved CNAME chasing (terminating in-zone or leaving it).
+    CnameChain,
+}
+
+/// A rendered authoritative answer.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// What kind of response this is.
+    pub kind: AnswerKind,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Whether AA should be set.
+    pub authoritative: bool,
+    /// Answer-section records.
+    pub answers: Vec<Record>,
+    /// Authority-section records.
+    pub authorities: Vec<Record>,
+    /// Additional-section records (glue).
+    pub additionals: Vec<Record>,
+}
+
+impl Answer {
+    /// Render into a response message for `query`, including DNSSEC
+    /// records only when the query set the DO bit.
+    pub fn into_message(self, query: &Message) -> Message {
+        let mut resp = query.response_to();
+        resp.rcode = self.rcode;
+        resp.flags.authoritative = self.authoritative;
+        let strip = !query.dnssec_ok();
+        let keep = |r: &Record| !strip || !r.rtype().is_dnssec();
+        resp.answers = self.answers.into_iter().filter(|r| keep(r)).collect();
+        resp.authorities = self.authorities.into_iter().filter(|r| keep(r)).collect();
+        resp.additionals = self.additionals.into_iter().filter(|r| keep(r)).collect();
+        resp
+    }
+}
+
+/// Maximum in-zone CNAME chain hops (loop protection).
+const MAX_CNAME_HOPS: usize = 8;
+
+/// Answer `question` from `zone` authoritatively.
+///
+/// `zone` must be the closest enclosing zone for the qname (the
+/// [`crate::catalog::Catalog`] picks it); qnames outside the zone yield
+/// REFUSED.
+pub fn lookup(zone: &Zone, question: &Question) -> Answer {
+    if !question.name.is_subdomain_of(zone.origin()) {
+        return Answer {
+            kind: AnswerKind::NxDomain,
+            rcode: Rcode::Refused,
+            authoritative: false,
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
+    }
+
+    // Referral check first: a cut between apex and qname shadows
+    // everything below it.
+    if let Some((cut, ns)) = zone.find_zone_cut(&question.name) {
+        let cut = cut.clone();
+        let mut authorities = ns.to_records();
+        // DS at the cut proves (un)signed delegation when present.
+        if let Some(node) = zone.node(&cut) {
+            if let Some(ds) = node.get(RecordType::DS) {
+                authorities.extend(ds.to_records());
+            }
+            if let Some(sig) = node.get(RecordType::RRSIG) {
+                authorities.extend(sig.to_records());
+            }
+        }
+        let additionals = glue_for(zone, &authorities);
+        return Answer {
+            kind: AnswerKind::Referral { cut },
+            rcode: Rcode::NoError,
+            authoritative: false,
+            answers: vec![],
+            authorities,
+            additionals,
+        };
+    }
+
+    let mut answers: Vec<Record> = Vec::new();
+    let mut current = question.name.clone();
+    let mut chased = false;
+
+    for _ in 0..MAX_CNAME_HOPS {
+        match answer_at_name(zone, &current, question.qtype, &question.name, &mut answers) {
+            NodeResult::Found => {
+                let additionals = glue_for(zone, &answers);
+                return Answer {
+                    kind: if chased { AnswerKind::CnameChain } else { AnswerKind::Answer },
+                    rcode: Rcode::NoError,
+                    authoritative: true,
+                    answers,
+                    authorities: vec![],
+                    additionals,
+                };
+            }
+            NodeResult::Cname(target) => {
+                chased = true;
+                if !target.is_subdomain_of(zone.origin())
+                    || zone.find_zone_cut(&target).is_some()
+                {
+                    // Chain leaves our authority: return what we have.
+                    return Answer {
+                        kind: AnswerKind::CnameChain,
+                        rcode: Rcode::NoError,
+                        authoritative: true,
+                        answers,
+                        authorities: vec![],
+                        additionals: vec![],
+                    };
+                }
+                current = target;
+            }
+            NodeResult::NoData => {
+                return negative(zone, AnswerKind::NoData, Rcode::NoError, answers, &current);
+            }
+            NodeResult::NxDomain => {
+                // RFC 2308: NXDOMAIN for the final name in a CNAME chain
+                // still reports NXDOMAIN alongside the partial answers.
+                return negative(zone, AnswerKind::NxDomain, Rcode::NxDomain, answers, &current);
+            }
+        }
+    }
+    // CNAME loop: serve what was accumulated.
+    Answer {
+        kind: AnswerKind::CnameChain,
+        rcode: Rcode::NoError,
+        authoritative: true,
+        answers,
+        authorities: vec![],
+        additionals: vec![],
+    }
+}
+
+enum NodeResult {
+    /// Records appended; done.
+    Found,
+    /// Followed a CNAME to this target.
+    Cname(Name),
+    NoData,
+    NxDomain,
+}
+
+/// Try to answer `qtype` at `name`, appending to `answers`. `owner`
+/// overrides the record owner for wildcard synthesis on the first hop.
+fn answer_at_name(
+    zone: &Zone,
+    name: &Name,
+    qtype: RecordType,
+    original_qname: &Name,
+    answers: &mut Vec<Record>,
+) -> NodeResult {
+    if let Some(node) = zone.node(name) {
+        return answer_at_node(zone, node, name, qtype, name, answers);
+    }
+    // Empty non-terminal: the name "exists" but holds no data.
+    if zone.has_names_below(name) {
+        return NodeResult::NoData;
+    }
+    // Wildcard: *.closest-encloser, with the original qname as owner.
+    if let Some(encloser) = zone.closest_encloser(name) {
+        if let Ok(wild) = encloser.child(b"*") {
+            if let Some(node) = zone.node(&wild) {
+                // Only the first hop synthesizes at the original qname;
+                // chained hops synthesize at the chased name.
+                let owner = if name == original_qname { original_qname } else { name };
+                return answer_at_node(zone, node, &wild, qtype, owner, answers);
+            }
+        }
+    }
+    NodeResult::NxDomain
+}
+
+fn answer_at_node(
+    _zone: &Zone,
+    node: &crate::zone::Node,
+    _node_name: &Name,
+    qtype: RecordType,
+    owner: &Name,
+    answers: &mut Vec<Record>,
+) -> NodeResult {
+    if qtype == RecordType::ANY {
+        let mut any = false;
+        for set in node.iter() {
+            if set.rtype == RecordType::RRSIG {
+                continue; // covered below per-set
+            }
+            answers.extend(set.to_records_as(owner));
+            any = true;
+        }
+        if let Some(sigs) = node.get(RecordType::RRSIG) {
+            answers.extend(sigs.to_records_as(owner));
+        }
+        return if any { NodeResult::Found } else { NodeResult::NoData };
+    }
+    if let Some(set) = node.get(qtype) {
+        answers.extend(set.to_records_as(owner));
+        append_covering_rrsig(node, qtype, owner, answers);
+        return NodeResult::Found;
+    }
+    if qtype != RecordType::CNAME {
+        if let Some(cname) = node.get(RecordType::CNAME) {
+            answers.extend(cname.to_records_as(owner));
+            append_covering_rrsig(node, RecordType::CNAME, owner, answers);
+            if let Some(RData::Cname(target)) = cname.rdatas.first() {
+                return NodeResult::Cname(target.clone());
+            }
+        }
+    }
+    NodeResult::NoData
+}
+
+/// Attach the RRSIG covering `covered` at this node, if present.
+fn append_covering_rrsig(
+    node: &crate::zone::Node,
+    covered: RecordType,
+    owner: &Name,
+    answers: &mut Vec<Record>,
+) {
+    if let Some(sigs) = node.get(RecordType::RRSIG) {
+        for rec in sigs.to_records_as(owner) {
+            if let RData::Rrsig(ref s) = rec.rdata {
+                if s.type_covered == covered {
+                    answers.push(rec);
+                }
+            }
+        }
+    }
+}
+
+/// Build a negative (NoData/NXDOMAIN) answer with SOA (+NSEC when
+/// present) in the authority section.
+fn negative(
+    zone: &Zone,
+    kind: AnswerKind,
+    rcode: Rcode,
+    answers: Vec<Record>,
+    qname: &Name,
+) -> Answer {
+    let mut authorities = Vec::new();
+    if let Some(soa) = zone.soa_rrset() {
+        // Negative TTL is min(SOA TTL, SOA.minimum) per RFC 2308.
+        let neg_ttl = zone
+            .soa()
+            .map(|s| s.minimum.min(soa.ttl))
+            .unwrap_or(soa.ttl);
+        for mut rec in soa.to_records() {
+            rec.ttl = neg_ttl;
+            authorities.push(rec);
+        }
+        if let Some(apex) = zone.node(zone.origin()) {
+            // SOA's covering RRSIG.
+            if let Some(sigs) = apex.get(RecordType::RRSIG) {
+                for rec in sigs.to_records() {
+                    if let RData::Rrsig(ref s) = rec.rdata {
+                        if s.type_covered == RecordType::SOA {
+                            authorities.push(rec);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // NSEC denial of existence: the covering NSEC is the one owned by
+    // the last zone name canonically ≤ qname that carries an NSEC RRset.
+    let covering = zone
+        .names()
+        .filter(|name| name.canonical_cmp(qname) != std::cmp::Ordering::Greater)
+        .filter(|name| {
+            zone.node(name)
+                .map(|node| node.get(RecordType::NSEC).is_some())
+                .unwrap_or(false)
+        })
+        .last()
+        .cloned();
+    if let Some(holder) = covering {
+        if let Some(node) = zone.node(&holder) {
+            if let Some(nsec) = node.get(RecordType::NSEC) {
+                authorities.extend(nsec.to_records());
+                if let Some(sigs) = node.get(RecordType::RRSIG) {
+                    for rec in sigs.to_records() {
+                        if let RData::Rrsig(ref s) = rec.rdata {
+                            if s.type_covered == RecordType::NSEC {
+                                authorities.push(rec);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Answer {
+        kind,
+        rcode,
+        authoritative: true,
+        answers,
+        authorities,
+        additionals: vec![],
+    }
+}
+
+/// Glue: A/AAAA records for every NS/MX/SRV target that lives in-zone.
+fn glue_for(zone: &Zone, records: &[Record]) -> Vec<Record> {
+    let mut glue = Vec::new();
+    for rec in records {
+        let target = match &rec.rdata {
+            RData::Ns(t) => t,
+            RData::Mx { exchange, .. } => exchange,
+            RData::Srv { target, .. } => target,
+            _ => continue,
+        };
+        if let Some(node) = zone.node(target) {
+            for ty in [RecordType::A, RecordType::AAAA] {
+                if let Some(set) = node.get(ty) {
+                    for g in set.to_records() {
+                        if !glue.contains(&g) {
+                            glue.push(g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    glue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::Soa;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn rec(name: &str, rd: RData) -> Record {
+        Record::new(n(name), 3600, rd)
+    }
+
+    fn q(name: &str, t: RecordType) -> Question {
+        Question::new(n(name), t)
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::new(n("example.com"));
+        z.insert(rec(
+            "example.com",
+            RData::Soa(Soa {
+                mname: n("ns1.example.com"),
+                rname: n("admin.example.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ))
+        .unwrap();
+        z.insert(rec("example.com", RData::Ns(n("ns1.example.com")))).unwrap();
+        z.insert(rec("ns1.example.com", RData::A("10.0.0.53".parse().unwrap()))).unwrap();
+        z.insert(rec("www.example.com", RData::A("10.0.0.1".parse().unwrap()))).unwrap();
+        z.insert(rec("www.example.com", RData::Aaaa("2001:db8::1".parse().unwrap()))).unwrap();
+        z.insert(rec("alias.example.com", RData::Cname(n("www.example.com")))).unwrap();
+        z.insert(rec("extalias.example.com", RData::Cname(n("cdn.example.net")))).unwrap();
+        z.insert(rec("chain1.example.com", RData::Cname(n("chain2.example.com")))).unwrap();
+        z.insert(rec("chain2.example.com", RData::Cname(n("www.example.com")))).unwrap();
+        z.insert(rec("loop1.example.com", RData::Cname(n("loop2.example.com")))).unwrap();
+        z.insert(rec("loop2.example.com", RData::Cname(n("loop1.example.com")))).unwrap();
+        z.insert(rec("*.wild.example.com", RData::A("10.9.9.9".parse().unwrap()))).unwrap();
+        z.insert(rec("sub.example.com", RData::Ns(n("ns.sub.example.com")))).unwrap();
+        z.insert(rec("ns.sub.example.com", RData::A("10.0.1.53".parse().unwrap()))).unwrap();
+        z.insert(rec("deep.under.example.com", RData::A("10.0.0.7".parse().unwrap()))).unwrap();
+        z
+    }
+
+    #[test]
+    fn positive_answer() {
+        let z = test_zone();
+        let a = lookup(&z, &q("www.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::Answer);
+        assert_eq!(a.rcode, Rcode::NoError);
+        assert!(a.authoritative);
+        assert_eq!(a.answers.len(), 1);
+        assert_eq!(a.answers[0].rdata, RData::A("10.0.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn nodata_for_missing_type() {
+        let z = test_zone();
+        let a = lookup(&z, &q("www.example.com", RecordType::MX));
+        assert_eq!(a.kind, AnswerKind::NoData);
+        assert_eq!(a.rcode, Rcode::NoError);
+        assert!(a.answers.is_empty());
+        // SOA in authority with negative TTL = SOA.minimum (300 < 3600).
+        assert_eq!(a.authorities[0].rtype(), RecordType::SOA);
+        assert_eq!(a.authorities[0].ttl, 300);
+    }
+
+    #[test]
+    fn nxdomain_for_missing_name() {
+        let z = test_zone();
+        let a = lookup(&z, &q("missing.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::NxDomain);
+        assert_eq!(a.rcode, Rcode::NxDomain);
+        assert_eq!(a.authorities[0].rtype(), RecordType::SOA);
+    }
+
+    #[test]
+    fn referral_below_cut() {
+        let z = test_zone();
+        let a = lookup(&z, &q("host.sub.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::Referral { cut: n("sub.example.com") });
+        assert_eq!(a.rcode, Rcode::NoError);
+        assert!(!a.authoritative, "referrals are not authoritative");
+        assert!(a.answers.is_empty());
+        assert_eq!(a.authorities[0].rtype(), RecordType::NS);
+        // Glue for in-zone NS target.
+        assert_eq!(a.additionals.len(), 1);
+        assert_eq!(a.additionals[0].name, n("ns.sub.example.com"));
+    }
+
+    #[test]
+    fn referral_at_cut_itself() {
+        let z = test_zone();
+        let a = lookup(&z, &q("sub.example.com", RecordType::A));
+        assert!(matches!(a.kind, AnswerKind::Referral { .. }));
+    }
+
+    #[test]
+    fn cname_followed_in_zone() {
+        let z = test_zone();
+        let a = lookup(&z, &q("alias.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::CnameChain);
+        assert_eq!(a.answers.len(), 2);
+        assert_eq!(a.answers[0].rtype(), RecordType::CNAME);
+        assert_eq!(a.answers[1].rtype(), RecordType::A);
+        assert_eq!(a.answers[1].name, n("www.example.com"));
+    }
+
+    #[test]
+    fn cname_chain_two_hops() {
+        let z = test_zone();
+        let a = lookup(&z, &q("chain1.example.com", RecordType::A));
+        assert_eq!(a.answers.len(), 3);
+        assert_eq!(a.answers[2].rtype(), RecordType::A);
+    }
+
+    #[test]
+    fn cname_out_of_zone_stops() {
+        let z = test_zone();
+        let a = lookup(&z, &q("extalias.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::CnameChain);
+        assert_eq!(a.answers.len(), 1);
+        assert_eq!(a.answers[0].rtype(), RecordType::CNAME);
+        assert_eq!(a.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn cname_loop_terminates() {
+        let z = test_zone();
+        let a = lookup(&z, &q("loop1.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::CnameChain);
+        // Loop protection: bounded answer count.
+        assert!(a.answers.len() <= 2 * MAX_CNAME_HOPS);
+    }
+
+    #[test]
+    fn cname_query_returns_cname_itself() {
+        let z = test_zone();
+        let a = lookup(&z, &q("alias.example.com", RecordType::CNAME));
+        assert_eq!(a.kind, AnswerKind::Answer);
+        assert_eq!(a.answers.len(), 1);
+        assert_eq!(a.answers[0].rtype(), RecordType::CNAME);
+    }
+
+    #[test]
+    fn wildcard_synthesis() {
+        let z = test_zone();
+        let a = lookup(&z, &q("anything.wild.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::Answer);
+        assert_eq!(a.answers.len(), 1);
+        // Owner is the query name, not the wildcard.
+        assert_eq!(a.answers[0].name, n("anything.wild.example.com"));
+        assert_eq!(a.answers[0].rdata, RData::A("10.9.9.9".parse().unwrap()));
+    }
+
+    #[test]
+    fn wildcard_does_not_match_other_branches() {
+        let z = test_zone();
+        // missing.example.com has closest encloser example.com which has
+        // no *.example.com wildcard.
+        let a = lookup(&z, &q("missing.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::NxDomain);
+    }
+
+    #[test]
+    fn wildcard_nodata_for_missing_type() {
+        let z = test_zone();
+        let a = lookup(&z, &q("x.wild.example.com", RecordType::MX));
+        assert_eq!(a.kind, AnswerKind::NoData);
+    }
+
+    #[test]
+    fn empty_non_terminal_is_nodata() {
+        let z = test_zone();
+        // under.example.com exists only as part of deep.under.example.com.
+        let a = lookup(&z, &q("under.example.com", RecordType::A));
+        assert_eq!(a.kind, AnswerKind::NoData, "ENT must be NODATA, not NXDOMAIN");
+        assert_eq!(a.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn any_query_returns_all_types() {
+        let z = test_zone();
+        let a = lookup(&z, &q("www.example.com", RecordType::ANY));
+        assert_eq!(a.kind, AnswerKind::Answer);
+        assert_eq!(a.answers.len(), 2); // A + AAAA
+    }
+
+    #[test]
+    fn out_of_zone_refused() {
+        let z = test_zone();
+        let a = lookup(&z, &q("www.example.org", RecordType::A));
+        assert_eq!(a.rcode, Rcode::Refused);
+        assert!(!a.authoritative);
+    }
+
+    #[test]
+    fn apex_soa_query() {
+        let z = test_zone();
+        let a = lookup(&z, &q("example.com", RecordType::SOA));
+        assert_eq!(a.kind, AnswerKind::Answer);
+        assert_eq!(a.answers[0].rtype(), RecordType::SOA);
+    }
+
+    #[test]
+    fn into_message_sets_flags() {
+        let z = test_zone();
+        let query = Message::query(77, n("www.example.com"), RecordType::A);
+        let a = lookup(&z, &q("www.example.com", RecordType::A));
+        let msg = a.into_message(&query);
+        assert_eq!(msg.id, 77);
+        assert!(msg.flags.response);
+        assert!(msg.flags.authoritative);
+        assert_eq!(msg.answers.len(), 1);
+    }
+
+    #[test]
+    fn into_message_strips_dnssec_without_do() {
+        let mut z = test_zone();
+        z.insert(rec(
+            "www.example.com",
+            RData::Rrsig(dns_wire::Rrsig {
+                type_covered: RecordType::A,
+                algorithm: 8,
+                labels: 3,
+                original_ttl: 3600,
+                expiration: 0,
+                inception: 0,
+                key_tag: 1,
+                signer_name: n("example.com"),
+                signature: vec![0; 128],
+            }),
+        ))
+        .unwrap();
+        let a = lookup(&z, &q("www.example.com", RecordType::A));
+        assert_eq!(a.answers.len(), 2, "A + RRSIG gathered");
+
+        let mut query = Message::query(1, n("www.example.com"), RecordType::A);
+        let plain = lookup(&z, &q("www.example.com", RecordType::A)).into_message(&query);
+        assert_eq!(plain.answers.len(), 1, "no DO → RRSIG stripped");
+
+        query.set_dnssec_ok(true);
+        let signed = lookup(&z, &q("www.example.com", RecordType::A)).into_message(&query);
+        assert_eq!(signed.answers.len(), 2, "DO → RRSIG included");
+    }
+}

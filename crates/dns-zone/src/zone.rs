@@ -1,0 +1,417 @@
+//! The zone: an origin plus a canonical-ordered tree of nodes, each
+//! holding RRsets, with delegation (zone cut) awareness.
+
+use std::collections::BTreeMap;
+
+use dns_wire::{Name, RData, Record, RecordType, Soa};
+
+use crate::rrset::RRset;
+
+/// Errors constructing a zone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneError {
+    /// Record owner is outside the zone's origin.
+    OutOfZone {
+        /// The offending owner name.
+        name: String,
+    },
+    /// The zone has no SOA at its apex.
+    MissingSoa,
+    /// A CNAME coexists with other data at the same node.
+    CnameAndOther(String),
+    /// Multiple CNAMEs at one node.
+    MultipleCname(String),
+}
+
+impl std::fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZoneError::OutOfZone { name } => write!(f, "record {name} outside zone"),
+            ZoneError::MissingSoa => write!(f, "zone has no SOA record at apex"),
+            ZoneError::CnameAndOther(n) => write!(f, "CNAME and other data at {n}"),
+            ZoneError::MultipleCname(n) => write!(f, "multiple CNAME records at {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+/// All RRsets at one owner name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Node {
+    /// RRsets keyed by type.
+    pub rrsets: BTreeMap<u16, RRset>,
+}
+
+impl Node {
+    /// RRset of `rtype` at this node, if present.
+    pub fn get(&self, rtype: RecordType) -> Option<&RRset> {
+        self.rrsets.get(&rtype.to_u16())
+    }
+
+    /// True if the node carries an NS RRset (a delegation point when not
+    /// the apex).
+    pub fn has_ns(&self) -> bool {
+        self.get(RecordType::NS).is_some()
+    }
+
+    /// All RRsets at this node.
+    pub fn iter(&self) -> impl Iterator<Item = &RRset> {
+        self.rrsets.values()
+    }
+
+    /// The record types present (for NSEC synthesis).
+    pub fn types(&self) -> Vec<RecordType> {
+        self.rrsets
+            .keys()
+            .map(|&t| RecordType::from_u16(t))
+            .collect()
+    }
+}
+
+/// An authoritative zone: origin name and the node tree.
+///
+/// Nodes are kept in canonical DNS order ([`Name`]'s `Ord`), which makes
+/// closest-encloser walks and NSEC chains straightforward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Zone {
+    origin: Name,
+    nodes: BTreeMap<Name, Node>,
+}
+
+impl Zone {
+    /// Empty zone rooted at `origin`.
+    pub fn new(origin: Name) -> Self {
+        Zone {
+            origin,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// The zone origin (apex name).
+    pub fn origin(&self) -> &Name {
+        &self.origin
+    }
+
+    /// Insert a record. Owner must be at or below the origin.
+    pub fn insert(&mut self, rec: Record) -> Result<(), ZoneError> {
+        if !rec.name.is_subdomain_of(&self.origin) {
+            return Err(ZoneError::OutOfZone {
+                name: rec.name.to_string(),
+            });
+        }
+        let rtype = rec.rdata.record_type();
+        let node = self.nodes.entry(rec.name.clone()).or_default();
+        // CNAME exclusivity (RFC 1034 §3.6.2); DNSSEC types may coexist.
+        if rtype == RecordType::CNAME {
+            if node
+                .rrsets
+                .keys()
+                .any(|&t| !RecordType::from_u16(t).is_dnssec() && t != RecordType::CNAME.to_u16())
+            {
+                return Err(ZoneError::CnameAndOther(rec.name.to_string()));
+            }
+            if let Some(existing) = node.get(RecordType::CNAME) {
+                if !existing.rdatas.contains(&rec.rdata) && !existing.rdatas.is_empty() {
+                    return Err(ZoneError::MultipleCname(rec.name.to_string()));
+                }
+            }
+        } else if !rtype.is_dnssec() && node.get(RecordType::CNAME).is_some() {
+            return Err(ZoneError::CnameAndOther(rec.name.to_string()));
+        }
+        node.rrsets
+            .entry(rtype.to_u16())
+            .or_insert_with(|| RRset::new(rec.name.clone(), rtype, rec.ttl))
+            .push(rec);
+        Ok(())
+    }
+
+    /// Node at exactly `name`, if any.
+    pub fn node(&self, name: &Name) -> Option<&Node> {
+        self.nodes.get(name)
+    }
+
+    /// The SOA RRset at the apex.
+    pub fn soa_rrset(&self) -> Option<&RRset> {
+        self.nodes.get(&self.origin)?.get(RecordType::SOA)
+    }
+
+    /// The parsed SOA fields.
+    pub fn soa(&self) -> Option<&Soa> {
+        match self.soa_rrset()?.rdatas.first()? {
+            RData::Soa(soa) => Some(soa),
+            _ => None,
+        }
+    }
+
+    /// The apex NS RRset.
+    pub fn apex_ns(&self) -> Option<&RRset> {
+        self.nodes.get(&self.origin)?.get(RecordType::NS)
+    }
+
+    /// Validate structural invariants: SOA present at apex.
+    pub fn validate(&self) -> Result<(), ZoneError> {
+        if self.soa().is_none() {
+            return Err(ZoneError::MissingSoa);
+        }
+        Ok(())
+    }
+
+    /// Walk from the apex towards `qname` and return the first
+    /// delegation point strictly between apex and `qname` (exclusive of
+    /// the apex, inclusive of `qname`'s ancestors *and* `qname` itself).
+    ///
+    /// Returns the cut name and its NS RRset. A query at or below a cut
+    /// must be answered with a referral, not an authoritative answer —
+    /// this is exactly the behaviour that forces naive single-server
+    /// hierarchies to give wrong answers (paper §2.4) and that our
+    /// split-horizon emulation preserves.
+    pub fn find_zone_cut(&self, qname: &Name) -> Option<(&Name, &RRset)> {
+        if !qname.is_subdomain_of(&self.origin) {
+            return None;
+        }
+        // Candidate ancestor names from just-below-apex down to qname.
+        let mut ancestors: Vec<Name> = Vec::new();
+        let mut cur = qname.clone();
+        while cur.label_count() > self.origin.label_count() {
+            ancestors.push(cur.clone());
+            cur = cur.parent()?;
+        }
+        for anc in ancestors.iter().rev() {
+            if let Some(node) = self.nodes.get(anc) {
+                if node.has_ns() {
+                    let (name, _) = self.nodes.get_key_value(anc).expect("just found");
+                    return Some((name, node.get(RecordType::NS).expect("has_ns")));
+                }
+            }
+        }
+        None
+    }
+
+    /// Find the closest encloser: the longest existing ancestor name of
+    /// `qname` (used for wildcard lookup and NXDOMAIN proofs).
+    pub fn closest_encloser(&self, qname: &Name) -> Option<Name> {
+        let mut cur = qname.parent()?;
+        loop {
+            // A name "exists" if it holds records or is an empty
+            // non-terminal (names exist below it) — both make it a valid
+            // closest encloser for wildcard matching (RFC 4592 §3.3.1).
+            if self.nodes.contains_key(&cur) || self.has_names_below(&cur) {
+                return Some(cur);
+            }
+            if cur == self.origin {
+                return None;
+            }
+            cur = cur.parent()?;
+        }
+    }
+
+    /// Whether any node exists strictly below `name` (an "empty
+    /// non-terminal" check: `b.example` has no records but exists when
+    /// `a.b.example` does).
+    pub fn has_names_below(&self, name: &Name) -> bool {
+        self.nodes
+            .range(name.clone()..)
+            .any(|(n, _)| n != name && n.is_subdomain_of(name))
+    }
+
+    /// Iterate all nodes in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Node)> {
+        self.nodes.iter()
+    }
+
+    /// Iterate all records in canonical order.
+    pub fn records(&self) -> impl Iterator<Item = Record> + '_ {
+        self.nodes
+            .values()
+            .flat_map(|node| node.iter().flat_map(|set| set.to_records()))
+    }
+
+    /// Number of nodes (owner names).
+    pub fn name_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of records.
+    pub fn record_count(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|n| n.iter().map(|s| s.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Remove signing output (DNSKEY/RRSIG/NSEC/NSEC3). DS records are
+    /// *kept*: they are delegation data owned by this zone's operator,
+    /// not an artifact of signing, and re-signing must preserve them.
+    pub fn strip_dnssec(&mut self) {
+        for node in self.nodes.values_mut() {
+            node.rrsets.retain(|&t, _| {
+                let ty = RecordType::from_u16(t);
+                !ty.is_dnssec() || ty == RecordType::DS
+            });
+        }
+        self.nodes.retain(|_, node| !node.rrsets.is_empty());
+    }
+
+    /// Names in canonical order (for NSEC chain construction).
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.nodes.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn rec(name: &str, rd: RData) -> Record {
+        Record::new(n(name), 3600, rd)
+    }
+
+    fn soa_rec(zone: &str) -> Record {
+        rec(
+            zone,
+            RData::Soa(Soa {
+                mname: n("ns1.example.com"),
+                rname: n("admin.example.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 3600,
+            }),
+        )
+    }
+
+    fn example_zone() -> Zone {
+        let mut z = Zone::new(n("example.com"));
+        z.insert(soa_rec("example.com")).unwrap();
+        z.insert(rec("example.com", RData::Ns(n("ns1.example.com")))).unwrap();
+        z.insert(rec("ns1.example.com", RData::A("10.0.0.53".parse().unwrap()))).unwrap();
+        z.insert(rec("www.example.com", RData::A("10.0.0.1".parse().unwrap()))).unwrap();
+        // Delegation: sub.example.com is its own zone.
+        z.insert(rec("sub.example.com", RData::Ns(n("ns.sub.example.com")))).unwrap();
+        z.insert(rec("ns.sub.example.com", RData::A("10.0.1.53".parse().unwrap()))).unwrap();
+        // Deep name creating an empty non-terminal at b.example.com.
+        z.insert(rec("a.b.example.com", RData::A("10.0.0.2".parse().unwrap()))).unwrap();
+        z
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let z = example_zone();
+        assert!(z.validate().is_ok());
+        assert_eq!(z.node(&n("www.example.com")).unwrap().types(), vec![RecordType::A]);
+        assert!(z.node(&n("nothere.example.com")).is_none());
+        assert!(z.soa().is_some());
+        assert_eq!(z.apex_ns().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn out_of_zone_rejected() {
+        let mut z = Zone::new(n("example.com"));
+        let err = z
+            .insert(rec("example.org", RData::A("1.1.1.1".parse().unwrap())))
+            .unwrap_err();
+        assert!(matches!(err, ZoneError::OutOfZone { .. }));
+    }
+
+    #[test]
+    fn missing_soa_invalid() {
+        let z = Zone::new(n("example.com"));
+        assert_eq!(z.validate(), Err(ZoneError::MissingSoa));
+    }
+
+    #[test]
+    fn zone_cut_found_for_names_below() {
+        let z = example_zone();
+        let (cut, ns) = z.find_zone_cut(&n("host.sub.example.com")).unwrap();
+        assert_eq!(cut, &n("sub.example.com"));
+        assert_eq!(ns.rtype, RecordType::NS);
+        // Query exactly at the cut is also a referral.
+        let (cut, _) = z.find_zone_cut(&n("sub.example.com")).unwrap();
+        assert_eq!(cut, &n("sub.example.com"));
+    }
+
+    #[test]
+    fn apex_ns_is_not_a_cut() {
+        let z = example_zone();
+        assert!(z.find_zone_cut(&n("www.example.com")).is_none());
+        assert!(z.find_zone_cut(&n("example.com")).is_none());
+    }
+
+    #[test]
+    fn closest_encloser_walks_up() {
+        let z = example_zone();
+        assert_eq!(z.closest_encloser(&n("x.y.www.example.com")).unwrap(), n("www.example.com"));
+        assert_eq!(z.closest_encloser(&n("zzz.example.com")).unwrap(), n("example.com"));
+        // Empty non-terminal is a valid encloser.
+        assert_eq!(z.closest_encloser(&n("x.b.example.com")).unwrap(), n("b.example.com"));
+    }
+
+    #[test]
+    fn empty_non_terminal_detected() {
+        let z = example_zone();
+        assert!(z.node(&n("b.example.com")).is_none());
+        assert!(z.has_names_below(&n("b.example.com")));
+        assert!(!z.has_names_below(&n("www.example.com")));
+    }
+
+    #[test]
+    fn cname_exclusivity() {
+        let mut z = Zone::new(n("example.com"));
+        z.insert(soa_rec("example.com")).unwrap();
+        z.insert(rec("alias.example.com", RData::Cname(n("www.example.com")))).unwrap();
+        let err = z
+            .insert(rec("alias.example.com", RData::A("1.1.1.1".parse().unwrap())))
+            .unwrap_err();
+        assert!(matches!(err, ZoneError::CnameAndOther(_)));
+        // And the reverse order.
+        let mut z2 = Zone::new(n("example.com"));
+        z2.insert(rec("x.example.com", RData::A("1.1.1.1".parse().unwrap()))).unwrap();
+        let err = z2
+            .insert(rec("x.example.com", RData::Cname(n("y.example.com"))))
+            .unwrap_err();
+        assert!(matches!(err, ZoneError::CnameAndOther(_)));
+    }
+
+    #[test]
+    fn multiple_cname_rejected() {
+        let mut z = Zone::new(n("example.com"));
+        z.insert(rec("alias.example.com", RData::Cname(n("a.example.com")))).unwrap();
+        let err = z
+            .insert(rec("alias.example.com", RData::Cname(n("b.example.com"))))
+            .unwrap_err();
+        assert!(matches!(err, ZoneError::MultipleCname(_)));
+    }
+
+    #[test]
+    fn counts() {
+        let z = example_zone();
+        assert_eq!(z.name_count(), 6);
+        assert_eq!(z.record_count(), 7);
+        assert_eq!(z.records().count(), 7);
+    }
+
+    #[test]
+    fn strip_dnssec_removes_only_dnssec() {
+        let mut z = example_zone();
+        z.insert(rec(
+            "example.com",
+            RData::Dnskey {
+                flags: 256,
+                protocol: 3,
+                algorithm: 8,
+                public_key: vec![1, 2, 3],
+            },
+        ))
+        .unwrap();
+        let before = z.record_count();
+        z.strip_dnssec();
+        assert_eq!(z.record_count(), before - 1);
+        assert!(z.soa().is_some());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the zone layer: master-file round trips for
+//! arbitrary zones, lookup total-ness (never panics, always classifies),
+//! and signing invariants.
+
+use proptest::prelude::*;
+
+use dns_wire::{Name, Question, RData, Record, RecordType, Soa};
+use dns_zone::dnssec::{sign_zone, SignConfig};
+use dns_zone::{lookup, parse_zone, write_zone, AnswerKind, Zone};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_map(|s| s)
+}
+
+fn arb_rel_name() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_label(), 1..3)
+}
+
+#[derive(Debug, Clone)]
+enum GenRecord {
+    A(Vec<String>, [u8; 4]),
+    Txt(Vec<String>, String),
+    Mx(Vec<String>, u16),
+    Cname(Vec<String>, Vec<String>),
+    Delegation(Vec<String>),
+}
+
+fn arb_record() -> impl Strategy<Value = GenRecord> {
+    prop_oneof![
+        (arb_rel_name(), any::<[u8; 4]>()).prop_map(|(n, ip)| GenRecord::A(n, ip)),
+        (arb_rel_name(), "[a-z ]{0,20}").prop_map(|(n, t)| GenRecord::Txt(n, t)),
+        (arb_rel_name(), any::<u16>()).prop_map(|(n, p)| GenRecord::Mx(n, p)),
+        (arb_rel_name(), arb_rel_name()).prop_map(|(n, t)| GenRecord::Cname(n, t)),
+        arb_rel_name().prop_map(GenRecord::Delegation),
+    ]
+}
+
+/// Build a valid zone from generated records (skipping CNAME conflicts,
+/// as a zone file loader would reject them).
+fn build_zone(records: Vec<GenRecord>) -> Zone {
+    let origin: Name = "prop.example".parse().unwrap();
+    let mut zone = Zone::new(origin.clone());
+    zone.insert(Record::new(
+        origin.clone(),
+        3600,
+        RData::Soa(Soa {
+            mname: "ns1.prop.example".parse().unwrap(),
+            rname: "host.prop.example".parse().unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 86400,
+            minimum: 300,
+        }),
+    ))
+    .unwrap();
+    zone.insert(Record::new(origin.clone(), 3600, RData::Ns("ns1.prop.example".parse().unwrap())))
+        .unwrap();
+    zone.insert(Record::new(
+        "ns1.prop.example".parse().unwrap(),
+        3600,
+        RData::A("10.0.0.1".parse().unwrap()),
+    ))
+    .unwrap();
+
+    let full = |labels: &[String]| -> Name {
+        format!("{}.prop.example", labels.join(".")).parse().unwrap()
+    };
+    for r in records {
+        let _ = match r {
+            GenRecord::A(n, ip) => zone.insert(Record::new(full(&n), 300, RData::A(ip.into()))),
+            GenRecord::Txt(n, t) => zone.insert(Record::new(
+                full(&n),
+                300,
+                RData::Txt(vec![t.into_bytes()]),
+            )),
+            GenRecord::Mx(n, p) => zone.insert(Record::new(
+                full(&n),
+                300,
+                RData::Mx { preference: p, exchange: "mx.prop.example".parse().unwrap() },
+            )),
+            GenRecord::Cname(n, t) => {
+                zone.insert(Record::new(full(&n), 300, RData::Cname(full(&t))))
+            }
+            GenRecord::Delegation(n) => zone.insert(Record::new(
+                full(&n),
+                300,
+                RData::Ns("ns.child.invalid.".parse().unwrap()),
+            )),
+        };
+    }
+    zone
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn master_file_round_trip(records in proptest::collection::vec(arb_record(), 0..20)) {
+        let zone = build_zone(records);
+        let text = write_zone(&zone);
+        let parsed = parse_zone(&text, zone.origin()).expect("writer output parses");
+        prop_assert_eq!(parsed, zone);
+    }
+
+    #[test]
+    fn lookup_total_and_classified(
+        records in proptest::collection::vec(arb_record(), 0..20),
+        qname in arb_rel_name(),
+        qtype in 1u16..60,
+    ) {
+        let zone = build_zone(records);
+        let name: Name = format!("{}.prop.example", qname.join(".")).parse().unwrap();
+        let q = Question::new(name, RecordType::from_u16(qtype));
+        let ans = lookup(&zone, &q);
+        // Total: every query is classified, and the invariants of each
+        // class hold.
+        match ans.kind {
+            AnswerKind::Answer | AnswerKind::CnameChain => {
+                prop_assert!(ans.authoritative);
+            }
+            AnswerKind::Referral { .. } => {
+                prop_assert!(!ans.authoritative);
+                prop_assert!(ans.answers.is_empty());
+                prop_assert!(ans.authorities.iter().any(|r| r.rtype() == RecordType::NS));
+            }
+            AnswerKind::NoData | AnswerKind::NxDomain => {
+                prop_assert!(ans.authorities.iter().any(|r| r.rtype() == RecordType::SOA),
+                    "negative answers carry SOA");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_zone_is_refused(qname in arb_rel_name()) {
+        let zone = build_zone(vec![]);
+        let name: Name = format!("{}.other.example", qname.join(".")).parse().unwrap();
+        let ans = lookup(&zone, &Question::new(name, RecordType::A));
+        prop_assert_eq!(ans.rcode, dns_wire::Rcode::Refused);
+    }
+
+    #[test]
+    fn signing_preserves_unsigned_data(records in proptest::collection::vec(arb_record(), 0..12)) {
+        let zone = build_zone(records);
+        let signed = sign_zone(&zone, SignConfig::with_zsk_bits(1024));
+        // Every original record is still present in the signed zone.
+        for rec in zone.records() {
+            let node = signed.zone.node(&rec.name);
+            prop_assert!(node.is_some(), "name {} survives signing", rec.name);
+            let node = node.unwrap();
+            let set = node.get(rec.rtype());
+            prop_assert!(set.is_some(), "rrset {}/{} survives", rec.name, rec.rtype());
+            prop_assert!(set.unwrap().rdatas.contains(&rec.rdata));
+        }
+        // And the signed zone is strictly bigger.
+        prop_assert!(signed.zone.record_count() > zone.record_count());
+    }
+
+    #[test]
+    fn signed_zone_round_trips_master_file(records in proptest::collection::vec(arb_record(), 0..8)) {
+        let zone = build_zone(records);
+        let signed = sign_zone(&zone, SignConfig::with_zsk_bits(1024));
+        let text = write_zone(&signed.zone);
+        let parsed = parse_zone(&text, signed.zone.origin()).expect("signed zone parses");
+        prop_assert_eq!(parsed, signed.zone);
+    }
+}

@@ -1,0 +1,60 @@
+//! The host trait: what a simulated endpoint (DNS server, resolver,
+//! querier, proxy) implements to receive packets, connection events and
+//! timers.
+
+use std::net::SocketAddr;
+
+use crate::sim::{ConnId, Ctx};
+
+/// Events delivered to a host about its TCP (or emulated-TLS)
+/// connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Server side: a new connection completed its handshake.
+    Incoming {
+        /// Connection id (shared by both endpoints).
+        conn: ConnId,
+        /// The client's address.
+        peer: SocketAddr,
+        /// The local (server) address the client connected to.
+        local: SocketAddr,
+        /// Whether the connection carries emulated TLS.
+        tls: bool,
+    },
+    /// Client side: the connection (including any TLS handshake) is
+    /// ready for data.
+    Connected {
+        /// Connection id.
+        conn: ConnId,
+    },
+    /// Application data arrived (one TCP "message" per send; apps do
+    /// their own DNS length-framing on top).
+    Data {
+        /// Connection id.
+        conn: ConnId,
+        /// The received bytes.
+        data: Vec<u8>,
+    },
+    /// The connection is closed (peer close, idle timeout or local
+    /// close completed).
+    Closed {
+        /// Connection id.
+        conn: ConnId,
+    },
+}
+
+/// A simulated endpoint. One `Host` may own several IP addresses.
+///
+/// Callbacks receive a [`Ctx`] through which all actions (sending,
+/// connecting, timers) are queued; actions take effect when the callback
+/// returns, keeping the event loop single-borrow and deterministic.
+pub trait Host {
+    /// A UDP datagram arrived.
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: Vec<u8>);
+
+    /// A TCP/TLS connection event occurred.
+    fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+}

@@ -1,0 +1,224 @@
+//! Server resource models: memory as a function of connection state and
+//! CPU as a function of message/handshake mix.
+//!
+//! The paper measures these on real hardware (NSD on a 24-core Xeon with
+//! an Intel X710 NIC, Figures 11/13/14). We replace the hardware with
+//! explicit per-connection and per-operation cost models whose constants
+//! are calibrated to the paper's reported operating points; the *shape*
+//! of every curve (linearity in connection count, flatness in timeout,
+//! UDP > TCP CPU due to NIC offload) then emerges from the simulated
+//! connection dynamics rather than being baked in. Calibration constants
+//! are documented in EXPERIMENTS.md.
+
+use crate::sim::HostStats;
+
+/// Memory model for a DNS server host.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    /// Process baseline (zone data, code, UDP-only operation): the
+    /// paper's "2 GB RAM" UDP bottom line.
+    pub base_bytes: u64,
+    /// Per established TCP connection: kernel socket buffers + NSD
+    /// connection state. Calibrated: ~15 GB at ~60 k established
+    /// connections ⇒ ~216 KiB each.
+    pub tcp_conn_bytes: u64,
+    /// Extra bytes per established TLS connection (OpenSSL session
+    /// state): ~18 GB vs 15 GB at the same connection count ⇒ ~64 KiB.
+    pub tls_extra_bytes: u64,
+    /// Per TIME_WAIT socket (kernel keeps a tiny protocol block only).
+    pub time_wait_bytes: u64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            base_bytes: 2 * 1024 * 1024 * 1024,
+            tcp_conn_bytes: 216 * 1024,
+            tls_extra_bytes: 64 * 1024,
+            time_wait_bytes: 512,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Server memory given current connection state. `tls` selects
+    /// whether established connections carry TLS sessions.
+    pub fn bytes(&self, stats: &HostStats, tls: bool) -> u64 {
+        let per_conn = self.tcp_conn_bytes + if tls { self.tls_extra_bytes } else { 0 };
+        self.base_bytes
+            + stats.established * per_conn
+            + stats.time_wait * self.time_wait_bytes
+    }
+
+    /// Same, in GiB for reporting.
+    pub fn gib(&self, stats: &HostStats, tls: bool) -> f64 {
+        self.bytes(stats, tls) as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+/// CPU model for a DNS server host.
+///
+/// Costs are in CPU-microseconds per operation across all cores; percent
+/// utilisation = total cost / (wall time × cores).
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Per UDP query processed. Calibrated so the original trace (97 %
+    /// UDP at ~39 k q/s on 48 threads) sits at ~10 % — the paper's
+    /// surprising "UDP costs more than TCP" point, attributed to NIC
+    /// TCP offload (TOE/TSO on the Intel X710).
+    pub udp_query_us: f64,
+    /// Per TCP query (NIC offload makes this cheaper than UDP).
+    pub tcp_query_us: f64,
+    /// Per TLS query (symmetric crypto on the payload).
+    pub tls_query_us: f64,
+    /// Per TCP handshake accepted.
+    pub tcp_handshake_us: f64,
+    /// Per TLS handshake accepted (asymmetric crypto).
+    pub tls_handshake_us: f64,
+    /// Hardware threads available.
+    pub cores: u32,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            udp_query_us: 118.0,
+            tcp_query_us: 55.0,
+            tls_query_us: 105.0,
+            tcp_handshake_us: 15.0,
+            tls_handshake_us: 260.0,
+            cores: 48,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Total CPU cost in seconds for the work recorded in `stats`.
+    pub fn cost_seconds(&self, stats: &HostStats) -> f64 {
+        (stats.udp_rx as f64 * self.udp_query_us
+            + stats.tcp_rx as f64 * self.tcp_query_us
+            + stats.tls_rx as f64 * self.tls_query_us
+            + stats.tcp_accepts as f64 * self.tcp_handshake_us
+            + stats.tls_accepts as f64 * self.tls_handshake_us)
+            / 1e6
+    }
+
+    /// Overall percent CPU over `wall_seconds` of operation.
+    pub fn percent(&self, stats: &HostStats, wall_seconds: f64) -> f64 {
+        if wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.cost_seconds(stats) / (wall_seconds * self.cores as f64)
+    }
+
+    /// Percent CPU over an interval, given stats at its start and end.
+    pub fn percent_delta(&self, start: &HostStats, end: &HostStats, wall_seconds: f64) -> f64 {
+        let delta = HostStats {
+            udp_rx: end.udp_rx - start.udp_rx,
+            tcp_rx: end.tcp_rx - start.tcp_rx,
+            tls_rx: end.tls_rx - start.tls_rx,
+            tcp_accepts: end.tcp_accepts - start.tcp_accepts,
+            tls_accepts: end.tls_accepts - start.tls_accepts,
+            ..Default::default()
+        };
+        self.percent(&delta, wall_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_udp_baseline() {
+        let m = MemoryModel::default();
+        let stats = HostStats::default();
+        assert!((m.gib(&stats, false) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn memory_matches_paper_operating_point() {
+        // ~60k established + ~120k TIME_WAIT at 20 s timeout → ~15 GB
+        // (TCP) and ~18 GB (TLS).
+        let m = MemoryModel::default();
+        let stats = HostStats {
+            established: 60_000,
+            time_wait: 120_000,
+            ..Default::default()
+        };
+        let tcp = m.gib(&stats, false);
+        let tls = m.gib(&stats, true);
+        assert!((tcp - 15.0).abs() < 1.5, "TCP memory {tcp} GiB");
+        assert!((tls - 18.0).abs() < 2.0, "TLS memory {tls} GiB");
+        assert!(tls > tcp);
+    }
+
+    #[test]
+    fn memory_linear_in_connections() {
+        let m = MemoryModel::default();
+        let s1 = HostStats { established: 10_000, ..Default::default() };
+        let s2 = HostStats { established: 20_000, ..Default::default() };
+        let d1 = m.bytes(&s1, false) - m.base_bytes;
+        let d2 = m.bytes(&s2, false) - m.base_bytes;
+        assert_eq!(d2, 2 * d1);
+    }
+
+    #[test]
+    fn cpu_udp_costs_more_than_tcp() {
+        // The paper's counter-intuitive observation, preserved by the
+        // calibrated model.
+        let m = CpuModel::default();
+        let udp = HostStats { udp_rx: 1_000_000, ..Default::default() };
+        let tcp = HostStats { tcp_rx: 1_000_000, tcp_accepts: 10_000, ..Default::default() };
+        assert!(m.cost_seconds(&udp) > m.cost_seconds(&tcp));
+    }
+
+    #[test]
+    fn cpu_matches_paper_operating_points() {
+        // B-Root-17a-like hour: ~141M queries.
+        let m = CpuModel::default();
+        let wall = 3600.0;
+        let total = 141_000_000u64;
+        // Original trace: 97% UDP / 3% TCP → ~10%.
+        let orig = HostStats {
+            udp_rx: total * 97 / 100,
+            tcp_rx: total * 3 / 100,
+            tcp_accepts: 400_000,
+            ..Default::default()
+        };
+        let p = m.percent(&orig, wall);
+        assert!((p - 10.0).abs() < 1.5, "original mix {p}%");
+        // All TCP → ~5%.
+        let all_tcp = HostStats {
+            tcp_rx: total,
+            tcp_accepts: 2_000_000,
+            ..Default::default()
+        };
+        let p = m.percent(&all_tcp, wall);
+        assert!((p - 5.0).abs() < 1.0, "all TCP {p}%");
+        // All TLS → ~9-10%.
+        let all_tls = HostStats {
+            tls_rx: total,
+            tls_accepts: 2_000_000,
+            ..Default::default()
+        };
+        let p = m.percent(&all_tls, wall);
+        assert!(p > 8.0 && p < 11.0, "all TLS {p}%");
+    }
+
+    #[test]
+    fn cpu_percent_delta() {
+        let m = CpuModel::default();
+        let start = HostStats { udp_rx: 100, ..Default::default() };
+        let end = HostStats { udp_rx: 200, ..Default::default() };
+        let p1 = m.percent_delta(&start, &end, 1.0);
+        let whole = HostStats { udp_rx: 100, ..Default::default() };
+        assert!((p1 - m.percent(&whole, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_wall_time_is_zero_percent() {
+        let m = CpuModel::default();
+        assert_eq!(m.percent(&HostStats::default(), 0.0), 0.0);
+    }
+}

@@ -1,0 +1,879 @@
+//! The discrete-event simulator: virtual clock, event queue, UDP
+//! delivery, and a connection-level TCP/TLS model with the behaviours
+//! the paper's experiments depend on — handshake round trips, Nagle
+//! coalescing with delayed ACKs, server idle timeouts, and TIME_WAIT
+//! accounting (Figures 11, 13, 14, 15).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::{IpAddr, SocketAddr};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::host::{Host, TcpEvent};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// Identifies a registered host.
+pub type HostId = usize;
+
+/// Identifies a TCP/TLS connection (shared by both endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// Tunable protocol constants.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// TIME_WAIT residence time for the close initiator (Linux: 60 s).
+    pub time_wait: SimDuration,
+    /// Delayed-ACK timer (Linux: up to 40 ms).
+    pub delayed_ack: SimDuration,
+    /// Default server-side idle timeout for incoming connections; hosts
+    /// may override per connection.
+    pub default_idle_timeout: Option<SimDuration>,
+    /// Whether Nagle's algorithm is enabled by default on new
+    /// connections (the paper disables it on clients, §5.2.1).
+    pub default_nagle: bool,
+    /// RNG seed (packet loss draws).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            time_wait: SimDuration::from_secs(60),
+            delayed_ack: SimDuration::from_millis(40),
+            default_idle_timeout: Some(SimDuration::from_secs(20)),
+            default_nagle: false,
+            seed: 0xd15ea5e,
+        }
+    }
+}
+
+/// Wire/connection counters per host, powering the resource models.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostStats {
+    /// UDP datagrams received.
+    pub udp_rx: u64,
+    /// UDP datagrams sent.
+    pub udp_tx: u64,
+    /// UDP bytes sent.
+    pub udp_tx_bytes: u64,
+    /// UDP bytes received.
+    pub udp_rx_bytes: u64,
+    /// TCP data messages received (plain TCP connections).
+    pub tcp_rx: u64,
+    /// TCP data messages sent.
+    pub tcp_tx: u64,
+    /// TCP payload bytes sent.
+    pub tcp_tx_bytes: u64,
+    /// TLS data messages received.
+    pub tls_rx: u64,
+    /// TLS data messages sent.
+    pub tls_tx: u64,
+    /// TLS payload bytes sent.
+    pub tls_tx_bytes: u64,
+    /// TCP handshakes completed as the server.
+    pub tcp_accepts: u64,
+    /// TLS handshakes completed as the server.
+    pub tls_accepts: u64,
+    /// Currently established connections (either role).
+    pub established: u64,
+    /// Connections currently in TIME_WAIT at this host.
+    pub time_wait: u64,
+}
+
+#[derive(Debug, Clone)]
+enum SegKind {
+    Syn,
+    SynAck,
+    AckOfSyn,
+    TlsClientHello,
+    TlsServerHello,
+    TlsClientFinished,
+    TlsServerFinished,
+    Data { bytes: Vec<u8> },
+    Ack,
+    Fin,
+    FinAck,
+}
+
+#[derive(Debug, Clone)]
+enum Payload {
+    Udp(Vec<u8>),
+    Tcp { conn: ConnId, kind: SegKind },
+}
+
+#[derive(Debug, Clone)]
+struct Packet {
+    src: SocketAddr,
+    dst: SocketAddr,
+    payload: Payload,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// SYN sent, awaiting SYN-ACK.
+    Connecting,
+    /// TLS handshake in progress (after TCP established).
+    TlsHandshake,
+    Established,
+    /// FIN sent by one side, awaiting FIN-ACK.
+    Closing,
+    Closed,
+}
+
+/// Per-direction send state (0 = client→server, 1 = server→client).
+#[derive(Debug, Default)]
+struct DirState {
+    /// Bytes in flight awaiting ACK.
+    unacked: usize,
+    /// Nagle buffer: writes deferred until the in-flight data is acked.
+    pending: Vec<Vec<u8>>,
+    /// Receiver owes an ACK (delayed-ACK pending).
+    ack_owed: bool,
+}
+
+#[derive(Debug)]
+struct Conn {
+    client: SocketAddr,
+    server: SocketAddr,
+    client_host: HostId,
+    server_host: HostId,
+    tls: bool,
+    nagle: bool,
+    state: ConnState,
+    /// Who initiated close (enters TIME_WAIT): host id.
+    closer: Option<HostId>,
+    last_activity: SimTime,
+    idle_timeout: Option<SimDuration>,
+    dirs: [DirState; 2],
+    /// Whether each side (0 = client, 1 = server) has seen Closed.
+    side_closed: [bool; 2],
+}
+
+impl Conn {
+    fn host_at(&self, addr: SocketAddr) -> HostId {
+        if addr == self.client {
+            self.client_host
+        } else {
+            self.server_host
+        }
+    }
+
+    /// Direction index for data flowing *from* `src`.
+    fn dir_from(&self, src: SocketAddr) -> usize {
+        if src == self.client {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnTimer {
+    IdleCheck,
+    TimeWaitDone,
+    DelayedAck { dir: usize },
+}
+
+enum Event {
+    Deliver(Packet),
+    HostTimer { host: HostId, token: u64 },
+    ConnTimer { conn: ConnId, kind: ConnTimer },
+}
+
+/// Actions queued by host callbacks, applied when the callback returns.
+enum Command {
+    SendUdp {
+        from: SocketAddr,
+        to: SocketAddr,
+        data: Vec<u8>,
+    },
+    TcpConnect {
+        conn: ConnId,
+        from: SocketAddr,
+        to: SocketAddr,
+        tls: bool,
+        from_host: HostId,
+    },
+    TcpSend {
+        conn: ConnId,
+        data: Vec<u8>,
+        sender: HostId,
+    },
+    TcpClose {
+        conn: ConnId,
+        closer: HostId,
+    },
+    SetIdleTimeout {
+        conn: ConnId,
+        timeout: Option<SimDuration>,
+    },
+    SetTimer {
+        host: HostId,
+        delay: SimDuration,
+        token: u64,
+    },
+}
+
+/// The command/query interface host callbacks use to act on the world.
+pub struct Ctx<'a> {
+    now: SimTime,
+    host: HostId,
+    commands: &'a mut Vec<Command>,
+    next_conn: &'a mut u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the host this callback runs on.
+    pub fn host_id(&self) -> HostId {
+        self.host
+    }
+
+    /// Send a UDP datagram.
+    pub fn send_udp(&mut self, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+        self.commands.push(Command::SendUdp { from, to, data });
+    }
+
+    /// Open a TCP (or emulated-TLS) connection; returns its id
+    /// immediately. `Connected` is delivered after the handshake.
+    pub fn tcp_connect(&mut self, from: SocketAddr, to: SocketAddr, tls: bool) -> ConnId {
+        let id = ConnId(*self.next_conn);
+        *self.next_conn += 1;
+        self.commands.push(Command::TcpConnect {
+            conn: id,
+            from,
+            to,
+            tls,
+            from_host: self.host,
+        });
+        id
+    }
+
+    /// Send application data on a connection (queued until the
+    /// connection is ready if the handshake is still in flight).
+    pub fn tcp_send(&mut self, conn: ConnId, data: Vec<u8>) {
+        self.commands.push(Command::TcpSend {
+            conn,
+            data,
+            sender: self.host,
+        });
+    }
+
+    /// Close a connection from this side (this side enters TIME_WAIT).
+    pub fn tcp_close(&mut self, conn: ConnId) {
+        self.commands.push(Command::TcpClose {
+            conn,
+            closer: self.host,
+        });
+    }
+
+    /// Override the idle timeout of a connection (typically the server
+    /// on `Incoming`; `None` disables).
+    pub fn tcp_set_idle_timeout(&mut self, conn: ConnId, timeout: Option<SimDuration>) {
+        self.commands.push(Command::SetIdleTimeout { conn, timeout });
+    }
+
+    /// Arrange `on_timer(token)` on this host after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.commands.push(Command::SetTimer {
+            host: self.host,
+            delay,
+            token,
+        });
+    }
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    events: HashMap<u64, Event>,
+    hosts: Vec<Option<Box<dyn Host>>>,
+    addr_map: HashMap<IpAddr, HostId>,
+    topology: Topology,
+    config: SimConfig,
+    conns: HashMap<ConnId, Conn>,
+    next_conn: u64,
+    stats: Vec<HostStats>,
+    rng: StdRng,
+    commands: Vec<Command>,
+}
+
+impl Simulator {
+    /// New simulator over `topology` with protocol `config`.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            events: HashMap::new(),
+            hosts: Vec::new(),
+            addr_map: HashMap::new(),
+            topology,
+            config,
+            conns: HashMap::new(),
+            next_conn: 0,
+            stats: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            commands: Vec::new(),
+        }
+    }
+
+    /// Register a host owning `addrs`. Panics if an address is taken.
+    pub fn add_host(&mut self, addrs: &[IpAddr], host: Box<dyn Host>) -> HostId {
+        let id = self.hosts.len();
+        for addr in addrs {
+            let prev = self.addr_map.insert(*addr, id);
+            assert!(prev.is_none(), "address {addr} already registered");
+        }
+        self.hosts.push(Some(host));
+        self.stats.push(HostStats::default());
+        id
+    }
+
+    /// Attach an additional address to an existing host.
+    pub fn add_address(&mut self, host: HostId, addr: IpAddr) {
+        let prev = self.addr_map.insert(addr, host);
+        assert!(prev.is_none(), "address {addr} already registered");
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counters for a host.
+    pub fn stats(&self, host: HostId) -> HostStats {
+        self.stats[host]
+    }
+
+    /// Mutable access to the topology (for mid-run RTT changes).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Borrow a host back (e.g. to read results after the run).
+    ///
+    /// Panics if the id is invalid.
+    pub fn host(&self, id: HostId) -> &dyn Host {
+        self.hosts[id].as_deref().expect("host is checked in")
+    }
+
+    /// Mutable borrow of a host between events.
+    pub fn host_mut(&mut self, id: HostId) -> &mut (dyn Host + '_) {
+        self.hosts[id].as_deref_mut().expect("host is checked in")
+    }
+
+    /// Schedule a host timer externally (before the run starts).
+    pub fn schedule_timer(&mut self, host: HostId, at: SimTime, token: u64) {
+        self.push_event(at, Event::HostTimer { host, token });
+    }
+
+    /// Inject a UDP datagram from outside (used by drivers).
+    pub fn inject_udp(&mut self, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+        let cmd = Command::SendUdp { from, to, data };
+        self.apply_command(cmd);
+    }
+
+    /// Run until the event queue drains or `deadline` passes. Returns
+    /// the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(&Reverse((t, seq))) = self.queue.peek() {
+            if t > deadline {
+                break;
+            }
+            self.queue.pop();
+            let event = self.events.remove(&seq).expect("event exists");
+            assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(event);
+            n += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Run until the queue drains completely.
+    pub fn run(&mut self) -> u64 {
+        let mut n = 0;
+        while let Some(&Reverse((t, seq))) = self.queue.peek() {
+            self.queue.pop();
+            let event = self.events.remove(&seq).expect("event exists");
+            self.now = t;
+            self.dispatch(event);
+            n += 1;
+        }
+        n
+    }
+
+    /// True if no events remain.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn push_event(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at, seq)));
+        self.events.insert(seq, event);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Deliver(pkt) => self.deliver(pkt),
+            Event::HostTimer { host, token } => {
+                self.with_host(host, |h, ctx| h.on_timer(ctx, token));
+            }
+            Event::ConnTimer { conn, kind } => self.conn_timer(conn, kind),
+        }
+    }
+
+    /// Run a host callback with a command-collecting ctx, then apply.
+    fn with_host<F>(&mut self, host: HostId, f: F)
+    where
+        F: FnOnce(&mut dyn Host, &mut Ctx<'_>),
+    {
+        let mut boxed = self.hosts[host].take().expect("host re-entered");
+        let mut commands = std::mem::take(&mut self.commands);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                host,
+                commands: &mut commands,
+                next_conn: &mut self.next_conn,
+            };
+            f(boxed.as_mut(), &mut ctx);
+        }
+        self.hosts[host] = Some(boxed);
+        // Restore the scratch buffer and apply what the host queued.
+        self.commands = Vec::new();
+        for cmd in commands.drain(..) {
+            self.apply_command(cmd);
+        }
+        self.commands = commands;
+    }
+
+    fn apply_command(&mut self, cmd: Command) {
+        match cmd {
+            Command::SendUdp { from, to, data } => {
+                let path = self.topology.path(from.ip(), to.ip());
+                if path.loss > 0.0 && self.rng.gen::<f64>() < path.loss {
+                    return; // dropped
+                }
+                if let Some(&h) = self.addr_map.get(&from.ip()) {
+                    self.stats[h].udp_tx += 1;
+                    self.stats[h].udp_tx_bytes += data.len() as u64;
+                }
+                let delay = path.one_way(data.len() + 28); // + IP/UDP headers
+                let at = self.now + delay;
+                self.push_event(
+                    at,
+                    Event::Deliver(Packet {
+                        src: from,
+                        dst: to,
+                        payload: Payload::Udp(data),
+                    }),
+                );
+            }
+            Command::TcpConnect {
+                conn,
+                from,
+                to,
+                tls,
+                from_host,
+            } => {
+                let Some(&server_host) = self.addr_map.get(&to.ip()) else {
+                    return; // no listener: connection silently fails
+                };
+                self.conns.insert(
+                    conn,
+                    Conn {
+                        client: from,
+                        server: to,
+                        client_host: from_host,
+                        server_host,
+                        tls,
+                        nagle: self.config.default_nagle,
+                        state: ConnState::Connecting,
+                        closer: None,
+                        last_activity: self.now,
+                        idle_timeout: self.config.default_idle_timeout,
+                        dirs: [DirState::default(), DirState::default()],
+                        side_closed: [false, false],
+                    },
+                );
+                self.send_segment(conn, from, to, SegKind::Syn);
+            }
+            Command::TcpSend { conn, data, sender } => {
+                self.tcp_send_internal(conn, data, sender);
+            }
+            Command::TcpClose { conn, closer } => {
+                self.tcp_close_internal(conn, closer);
+            }
+            Command::SetIdleTimeout { conn, timeout } => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.idle_timeout = timeout;
+                    if let Some(t) = timeout {
+                        let at = self.now + t;
+                        self.push_event(at, Event::ConnTimer { conn, kind: ConnTimer::IdleCheck });
+                    }
+                }
+            }
+            Command::SetTimer { host, delay, token } => {
+                let at = self.now + delay;
+                self.push_event(at, Event::HostTimer { host, token });
+            }
+        }
+    }
+
+    /// Emit one TCP segment between connection endpoints.
+    fn send_segment(&mut self, conn: ConnId, from: SocketAddr, to: SocketAddr, kind: SegKind) {
+        let path = self.topology.path(from.ip(), to.ip());
+        let size = 40 + match &kind {
+            SegKind::Data { bytes } => bytes.len(),
+            _ => 0,
+        };
+        let at = self.now + path.one_way(size);
+        self.push_event(
+            at,
+            Event::Deliver(Packet {
+                src: from,
+                dst: to,
+                payload: Payload::Tcp { conn, kind },
+            }),
+        );
+    }
+
+    fn deliver(&mut self, pkt: Packet) {
+        match pkt.payload {
+            Payload::Udp(data) => {
+                let Some(&host) = self.addr_map.get(&pkt.dst.ip()) else {
+                    return; // unroutable: dropped (the paper's TUN capture
+                            // exists precisely because such packets die)
+                };
+                self.stats[host].udp_rx += 1;
+                self.stats[host].udp_rx_bytes += data.len() as u64;
+                let (src, dst) = (pkt.src, pkt.dst);
+                self.with_host(host, |h, ctx| h.on_udp(ctx, src, dst, data));
+            }
+            Payload::Tcp { conn, kind } => self.deliver_segment(conn, pkt.src, pkt.dst, kind),
+        }
+    }
+
+    fn deliver_segment(&mut self, conn_id: ConnId, src: SocketAddr, dst: SocketAddr, kind: SegKind) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // connection already gone (e.g. late segment)
+        };
+        conn.last_activity = self.now;
+        match kind {
+            SegKind::Syn => {
+                // Server side: reply SYN-ACK.
+                self.send_segment(conn_id, dst, src, SegKind::SynAck);
+            }
+            SegKind::SynAck => {
+                // Client side: complete TCP handshake.
+                self.send_segment(conn_id, dst, src, SegKind::AckOfSyn);
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                if conn.tls {
+                    conn.state = ConnState::TlsHandshake;
+                    let (c, s) = (conn.client, conn.server);
+                    self.send_segment(conn_id, c, s, SegKind::TlsClientHello);
+                } else {
+                    self.establish(conn_id, true);
+                }
+            }
+            SegKind::AckOfSyn => {
+                // Server: plain TCP is now established server-side.
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                if !conn.tls {
+                    self.establish(conn_id, false);
+                }
+            }
+            SegKind::TlsClientHello => {
+                self.send_segment(conn_id, dst, src, SegKind::TlsServerHello);
+            }
+            SegKind::TlsServerHello => {
+                self.send_segment(conn_id, dst, src, SegKind::TlsClientFinished);
+            }
+            SegKind::TlsClientFinished => {
+                self.send_segment(conn_id, dst, src, SegKind::TlsServerFinished);
+                // Server side established once it sends Finished.
+                self.establish(conn_id, false);
+            }
+            SegKind::TlsServerFinished => {
+                self.establish(conn_id, true);
+            }
+            SegKind::Data { bytes } => {
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let dir = conn.dir_from(src);
+                let host = conn.host_at(dst);
+                let tls = conn.tls;
+                // Receiver owes an ACK; schedule a delayed ACK unless
+                // one is already pending (ACK may be piggybacked onto
+                // response data before the timer fires).
+                let need_ack_timer = if !conn.dirs[dir].ack_owed {
+                    conn.dirs[dir].ack_owed = true;
+                    true
+                } else {
+                    false
+                };
+                if need_ack_timer {
+                    let at = self.now + self.config.delayed_ack;
+                    self.push_event(
+                        at,
+                        Event::ConnTimer { conn: conn_id, kind: ConnTimer::DelayedAck { dir } },
+                    );
+                }
+                self.stats[host].tcp_rx += u64::from(!tls);
+                self.stats[host].tls_rx += u64::from(tls);
+                self.with_host(host, |h, ctx| {
+                    h.on_tcp_event(ctx, TcpEvent::Data { conn: conn_id, data: bytes })
+                });
+            }
+            SegKind::Ack => {
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                // ACK for data sent *by the receiver of this segment's
+                // direction*: data flowing src→dst was acked by dst...
+                // here, `src` acks data that `dst`... — direction of the
+                // acked data is the one *towards* the ACK sender.
+                let dir = 1 - conn.dir_from(src);
+                conn.dirs[dir].unacked = 0;
+                self.flush_pending(conn_id, dir);
+            }
+            SegKind::Fin => {
+                // Passive close: reply FIN-ACK, deliver Closed. The
+                // passive closer does not enter TIME_WAIT.
+                self.send_segment(conn_id, dst, src, SegKind::FinAck);
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                conn.state = ConnState::Closed;
+                let side = usize::from(dst == conn.server);
+                if !conn.side_closed[side] {
+                    conn.side_closed[side] = true;
+                    let host = conn.host_at(dst);
+                    self.stats[host].established = self.stats[host].established.saturating_sub(1);
+                    self.with_host(host, |h, ctx| {
+                        h.on_tcp_event(ctx, TcpEvent::Closed { conn: conn_id })
+                    });
+                }
+            }
+            SegKind::FinAck => {
+                // Active closer: enter TIME_WAIT for 2·MSL.
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let side = usize::from(dst == conn.server);
+                if !conn.side_closed[side] {
+                    conn.side_closed[side] = true;
+                    conn.state = ConnState::Closed;
+                    let host = conn.host_at(dst);
+                    self.stats[host].established = self.stats[host].established.saturating_sub(1);
+                    self.stats[host].time_wait += 1;
+                    let at = self.now + self.config.time_wait;
+                    self.push_event(
+                        at,
+                        Event::ConnTimer { conn: conn_id, kind: ConnTimer::TimeWaitDone },
+                    );
+                    self.with_host(host, |h, ctx| {
+                        h.on_tcp_event(ctx, TcpEvent::Closed { conn: conn_id })
+                    });
+                }
+            }
+        }
+    }
+
+    /// Mark the connection established on one side and deliver the
+    /// corresponding event; also arm the idle timer on the server side.
+    fn establish(&mut self, conn_id: ConnId, client_side: bool) {
+        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        // A close can race the tail of the handshake (the app closed
+        // while the final ACK was in flight): never resurrect it.
+        if matches!(conn.state, ConnState::Closing | ConnState::Closed) {
+            return;
+        }
+        if conn.side_closed[usize::from(!client_side)] {
+            return;
+        }
+        conn.state = ConnState::Established;
+        let (host, peer, local, tls) = if client_side {
+            (conn.client_host, conn.server, conn.client, conn.tls)
+        } else {
+            (conn.server_host, conn.client, conn.server, conn.tls)
+        };
+        self.stats[host].established += 1;
+        if !client_side {
+            self.stats[host].tcp_accepts += u64::from(!tls);
+            self.stats[host].tls_accepts += u64::from(tls);
+            if let Some(t) = self.conns[&conn_id].idle_timeout {
+                let at = self.now + t;
+                self.push_event(at, Event::ConnTimer { conn: conn_id, kind: ConnTimer::IdleCheck });
+            }
+        }
+        // Data the client queued while the handshake was in flight goes
+        // out before the Connected event (it was written first).
+        if client_side {
+            self.flush_pending(conn_id, 0);
+        }
+        let event = if client_side {
+            TcpEvent::Connected { conn: conn_id }
+        } else {
+            TcpEvent::Incoming { conn: conn_id, peer, local, tls }
+        };
+        self.with_host(host, |h, ctx| h.on_tcp_event(ctx, event));
+    }
+
+    fn tcp_send_internal(&mut self, conn_id: ConnId, data: Vec<u8>, sender: HostId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.state == ConnState::Closed || conn.state == ConnState::Closing {
+            return;
+        }
+        let src = if sender == conn.client_host && sender == conn.server_host {
+            // Loopback host talking to itself: infer by unmatched state;
+            // treat as client.
+            conn.client
+        } else if sender == conn.client_host {
+            conn.client
+        } else {
+            conn.server
+        };
+        let dir = conn.dir_from(src);
+        let established = matches!(conn.state, ConnState::Established);
+        let must_buffer = !established || (conn.nagle && conn.dirs[dir].unacked > 0);
+        if must_buffer {
+            conn.dirs[dir].pending.push(data);
+            return;
+        }
+        self.transmit_data(conn_id, dir, data);
+    }
+
+    /// Send one data message, consuming any owed ACK (piggyback).
+    fn transmit_data(&mut self, conn_id: ConnId, dir: usize, data: Vec<u8>) {
+        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let (src, dst) = if dir == 0 {
+            (conn.client, conn.server)
+        } else {
+            (conn.server, conn.client)
+        };
+        conn.dirs[dir].unacked += data.len();
+        // Data implies an ACK of the opposite direction (piggyback).
+        let opposite = 1 - dir;
+        let acked = conn.dirs[opposite].ack_owed;
+        if acked {
+            conn.dirs[opposite].ack_owed = false;
+            conn.dirs[opposite].unacked = 0;
+        }
+        let host = conn.host_at(src);
+        let tls = conn.tls;
+        self.stats[host].tcp_tx += u64::from(!tls);
+        self.stats[host].tls_tx += u64::from(tls);
+        if tls {
+            self.stats[host].tls_tx_bytes += data.len() as u64;
+        } else {
+            self.stats[host].tcp_tx_bytes += data.len() as u64;
+        }
+        self.send_segment(conn_id, src, dst, SegKind::Data { bytes: data });
+        if acked {
+            // Piggybacked ACK unblocks the peer's Nagle buffer when the
+            // data arrives; emulate by flushing on delivery of the ACK:
+            // the Data segment above carries it, so flush at the peer
+            // happens when that segment is delivered. To keep the model
+            // simple, flush the opposite direction now (the timing
+            // difference is one in-flight serialization).
+            self.flush_pending(conn_id, opposite);
+        }
+    }
+
+    /// Flush the Nagle buffer of a direction, coalescing all pending
+    /// writes into one segment (the "many replies reassembled into a
+    /// large TCP message" effect the paper observed).
+    fn flush_pending(&mut self, conn_id: ConnId, dir: usize) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if !matches!(conn.state, ConnState::Established) {
+            return;
+        }
+        if conn.dirs[dir].pending.is_empty() {
+            return;
+        }
+        let coalesced: Vec<u8> = conn.dirs[dir].pending.drain(..).flatten().collect();
+        self.transmit_data(conn_id, dir, coalesced);
+    }
+
+    fn tcp_close_internal(&mut self, conn_id: ConnId, closer: HostId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if matches!(conn.state, ConnState::Closing | ConnState::Closed) {
+            return;
+        }
+        conn.state = ConnState::Closing;
+        conn.closer = Some(closer);
+        let (from, to) = if closer == conn.server_host && conn.client_host != conn.server_host {
+            (conn.server, conn.client)
+        } else {
+            (conn.client, conn.server)
+        };
+        self.send_segment(conn_id, from, to, SegKind::Fin);
+    }
+
+    fn conn_timer(&mut self, conn_id: ConnId, kind: ConnTimer) {
+        match kind {
+            ConnTimer::IdleCheck => {
+                let Some(conn) = self.conns.get(&conn_id) else {
+                    return;
+                };
+                let Some(timeout) = conn.idle_timeout else {
+                    return;
+                };
+                if !matches!(conn.state, ConnState::Established) {
+                    return;
+                }
+                let idle = self.now.saturating_sub(conn.last_activity);
+                if idle >= timeout {
+                    let server = conn.server_host;
+                    self.tcp_close_internal(conn_id, server);
+                } else {
+                    // Re-arm relative to the most recent activity.
+                    let at = conn.last_activity + timeout;
+                    self.push_event(at, Event::ConnTimer { conn: conn_id, kind });
+                }
+            }
+            ConnTimer::TimeWaitDone => {
+                if let Some(conn) = self.conns.remove(&conn_id) {
+                    let host = conn.closer.unwrap_or(conn.server_host);
+                    self.stats[host].time_wait = self.stats[host].time_wait.saturating_sub(1);
+                }
+            }
+            ConnTimer::DelayedAck { dir } => {
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                if !conn.dirs[dir].ack_owed {
+                    return;
+                }
+                conn.dirs[dir].ack_owed = false;
+                // The ACK travels from the data receiver back to the
+                // sender: data flowed in `dir`, so the ACK goes opposite.
+                let (from, to) = if dir == 0 {
+                    (conn.server, conn.client)
+                } else {
+                    (conn.client, conn.server)
+                };
+                self.send_segment(conn_id, from, to, SegKind::Ack);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Network topology: per-path delay, loss and transmission rate.
+//!
+//! The paper's testbeds (Figures 5 and 12) are stars around an IXP LAN
+//! with configurable client–server RTT; this model captures exactly the
+//! knobs those experiments vary.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use crate::time::SimDuration;
+
+/// Properties of the path between two hosts (one direction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathConfig {
+    /// Round-trip propagation time for the pair; one-way delay is half.
+    pub rtt: SimDuration,
+    /// Link rate in bits per second used for transmission delay
+    /// (serialization); `None` disables transmission delay.
+    pub bandwidth_bps: Option<u64>,
+    /// Independent per-packet drop probability (failure injection).
+    pub loss: f64,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        // The paper's LAN: 1 Gb/s, <1 ms RTT.
+        PathConfig {
+            rtt: SimDuration::from_micros(500),
+            bandwidth_bps: Some(1_000_000_000),
+            loss: 0.0,
+        }
+    }
+}
+
+impl PathConfig {
+    /// A path with the given RTT and the default 1 Gb/s rate.
+    pub fn with_rtt(rtt: SimDuration) -> Self {
+        PathConfig {
+            rtt,
+            ..Default::default()
+        }
+    }
+
+    /// One-way latency for a packet of `bytes` bytes: propagation (half
+    /// the RTT) plus serialization at the link rate.
+    pub fn one_way(&self, bytes: usize) -> SimDuration {
+        let prop = self.rtt.half();
+        match self.bandwidth_bps {
+            Some(bps) if bps > 0 => {
+                let tx_ns = (bytes as u128 * 8 * 1_000_000_000 / bps as u128) as u64;
+                prop + SimDuration::from_nanos(tx_ns)
+            }
+            _ => prop,
+        }
+    }
+}
+
+/// The topology: a default path plus per-(src,dst) overrides. Lookups
+/// try (src,dst), then per-src, then the default, so experiments can
+/// give each client a different RTT to the server (Figure 15's RTT
+/// sweep uses exactly this).
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    default: PathConfig,
+    per_pair: HashMap<(IpAddr, IpAddr), PathConfig>,
+    per_src: HashMap<IpAddr, PathConfig>,
+}
+
+impl Topology {
+    /// Topology where every path uses `default`.
+    pub fn uniform(default: PathConfig) -> Self {
+        Topology {
+            default,
+            ..Default::default()
+        }
+    }
+
+    /// Override the path for a specific ordered pair.
+    pub fn set_pair(&mut self, src: IpAddr, dst: IpAddr, cfg: PathConfig) {
+        self.per_pair.insert((src, dst), cfg);
+    }
+
+    /// Override every path *from* a given source host.
+    pub fn set_from(&mut self, src: IpAddr, cfg: PathConfig) {
+        self.per_src.insert(src, cfg);
+    }
+
+    /// Resolve the path config for a packet from `src` to `dst`.
+    pub fn path(&self, src: IpAddr, dst: IpAddr) -> PathConfig {
+        if let Some(cfg) = self.per_pair.get(&(src, dst)) {
+            return *cfg;
+        }
+        if let Some(cfg) = self.per_src.get(&src) {
+            return *cfg;
+        }
+        self.default
+    }
+
+    /// Make paths symmetric for a pair (sets both directions).
+    pub fn set_symmetric(&mut self, a: IpAddr, b: IpAddr, cfg: PathConfig) {
+        self.set_pair(a, b, cfg);
+        self.set_pair(b, a, cfg);
+    }
+
+    /// The default path configuration.
+    pub fn default_path(&self) -> PathConfig {
+        self.default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn one_way_includes_serialization() {
+        let cfg = PathConfig {
+            rtt: SimDuration::from_millis(10),
+            bandwidth_bps: Some(8_000_000), // 1 MB/s
+            loss: 0.0,
+        };
+        // 1000 bytes at 1 MB/s = 1 ms tx + 5 ms prop.
+        assert_eq!(cfg.one_way(1000), SimDuration::from_millis(6));
+        // Zero-size packet: pure propagation.
+        assert_eq!(cfg.one_way(0), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn no_bandwidth_means_pure_propagation() {
+        let cfg = PathConfig {
+            rtt: SimDuration::from_millis(10),
+            bandwidth_bps: None,
+            loss: 0.0,
+        };
+        assert_eq!(cfg.one_way(1_000_000), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn lookup_precedence() {
+        let mut topo = Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(1)));
+        topo.set_from(ip("10.0.0.1"), PathConfig::with_rtt(SimDuration::from_millis(20)));
+        topo.set_pair(
+            ip("10.0.0.1"),
+            ip("10.0.0.9"),
+            PathConfig::with_rtt(SimDuration::from_millis(100)),
+        );
+
+        assert_eq!(
+            topo.path(ip("10.0.0.1"), ip("10.0.0.9")).rtt,
+            SimDuration::from_millis(100)
+        );
+        assert_eq!(
+            topo.path(ip("10.0.0.1"), ip("10.0.0.2")).rtt,
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(
+            topo.path(ip("10.0.0.3"), ip("10.0.0.2")).rtt,
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn symmetric_sets_both() {
+        let mut topo = Topology::default();
+        topo.set_symmetric(
+            ip("1.1.1.1"),
+            ip("2.2.2.2"),
+            PathConfig::with_rtt(SimDuration::from_millis(40)),
+        );
+        assert_eq!(topo.path(ip("1.1.1.1"), ip("2.2.2.2")).rtt, SimDuration::from_millis(40));
+        assert_eq!(topo.path(ip("2.2.2.2"), ip("1.1.1.1")).rtt, SimDuration::from_millis(40));
+    }
+}

@@ -1,0 +1,23 @@
+//! # ldp-proxy
+//!
+//! The server proxies of paper §2.4: the address-rewriting mechanism
+//! that lets a *single* authoritative server (the meta-DNS-server)
+//! emulate every level of the DNS hierarchy. The recursive's iterative
+//! queries, addressed to public nameserver addresses, are captured,
+//! their source rewritten to the original query destination address
+//! (OQDA) — the meta server's split-horizon views key on exactly that —
+//! and the replies are rewritten back so the recursive never notices.
+//!
+//! Two deployments of the same algebra ([`rewrite`]):
+//! - [`SimProxy`] — a netsim host owning all public NS addresses;
+//! - [`tokio_proxy`] — a real-socket UDP forwarder for loopback testbeds.
+
+#![warn(missing_docs)]
+
+pub mod rewrite;
+pub mod sim_proxy;
+pub mod tokio_proxy;
+
+pub use rewrite::{rewrite_inbound, rewrite_outbound, Flow, FlowTable};
+pub use sim_proxy::{ProxyStats, SimProxy};
+pub use tokio_proxy::{spawn, ProxyCounters, RunningProxy};

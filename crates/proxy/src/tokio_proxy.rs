@@ -1,0 +1,200 @@
+//! The recursive proxy over real sockets: a UDP forwarder that performs
+//! the §2.4 rewrite on loopback testbeds, standing in for the paper's
+//! TUN + iptables capture (which needs root and real interfaces).
+//!
+//! One listener socket is bound per emulated public nameserver address
+//! (e.g. distinct 127.x.y.z loopback addresses); queries are forwarded
+//! to the meta server from a per-flow upstream socket whose *local bind
+//! address is the listener's address*, so the meta server sees the
+//! query "coming from" the OQDA — the same source-address signal the
+//! simulated proxy produces.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::net::UdpSocket;
+use tokio::sync::watch;
+
+/// Counters for the socket proxy.
+#[derive(Debug, Default)]
+pub struct ProxyCounters {
+    /// Queries forwarded to the meta server.
+    pub forwarded: AtomicU64,
+    /// Replies relayed back to clients.
+    pub replied: AtomicU64,
+}
+
+/// Handle to a running proxy; call [`RunningProxy::shutdown`] to stop.
+pub struct RunningProxy {
+    /// The addresses actually bound (one per emulated nameserver).
+    pub listen_addrs: Vec<SocketAddr>,
+    /// Live counters.
+    pub counters: Arc<ProxyCounters>,
+    stop: watch::Sender<bool>,
+}
+
+impl RunningProxy {
+    /// Stop all proxy tasks.
+    pub fn shutdown(&self) {
+        let _ = self.stop.send(true);
+    }
+}
+
+/// Spawn a UDP rewrite proxy: one task per `listen` address, forwarding
+/// to `meta`. Each client query gets a fresh upstream socket bound to
+/// the listener's IP, and the reply is relayed back from the listener
+/// socket — so the client's view is a normal exchange with the OQDA.
+pub async fn spawn(listen: Vec<SocketAddr>, meta: SocketAddr) -> std::io::Result<RunningProxy> {
+    let counters = Arc::new(ProxyCounters::default());
+    let (stop_tx, stop_rx) = watch::channel(false);
+    let mut bound = Vec::new();
+
+    for addr in listen {
+        let sock = Arc::new(UdpSocket::bind(addr).await?);
+        bound.push(sock.local_addr()?);
+        let counters = counters.clone();
+        let mut stop = stop_rx.clone();
+        tokio::spawn(async move {
+            let mut buf = vec![0u8; 65535];
+            loop {
+                tokio::select! {
+                    _ = stop.changed() => break,
+                    res = sock.recv_from(&mut buf) => {
+                        let Ok((len, client)) = res else { break };
+                        let query = buf[..len].to_vec();
+                        let listener = sock.clone();
+                        let counters = counters.clone();
+                        tokio::spawn(async move {
+                            // Per-flow upstream socket bound to the
+                            // OQDA's IP: the meta server sees the query
+                            // arrive from that address.
+                            let local = SocketAddr::new(listener.local_addr().unwrap().ip(), 0);
+                            let Ok(upstream) = UdpSocket::bind(local).await else { return };
+                            if upstream.send_to(&query, meta).await.is_err() {
+                                return;
+                            }
+                            counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                            let mut rbuf = vec![0u8; 65535];
+                            if let Ok(Ok((rlen, _))) = tokio::time::timeout(
+                                Duration::from_secs(3),
+                                upstream.recv_from(&mut rbuf),
+                            )
+                            .await {
+                                // Reply relayed from the listener
+                                // socket: source = OQDA:53.
+                                if listener.send_to(&rbuf[..rlen], client).await.is_ok() {
+                                    counters.replied.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    Ok(RunningProxy {
+        listen_addrs: bound,
+        counters,
+        stop: stop_tx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_server::{spawn as spawn_server, ServerConfig, ServerEngine};
+    use dns_wire::{Message, Name, RData, Record, RecordType, Soa};
+    use dns_zone::{Catalog, Zone};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> Arc<ServerEngine> {
+        let mut z = Zone::new(n("example"));
+        z.insert(Record::new(
+            n("example"),
+            60,
+            RData::Soa(Soa {
+                mname: n("ns1.example"),
+                rname: n("a.example"),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 60,
+            }),
+        ))
+        .unwrap();
+        z.insert(Record::new(n("www.example"), 60, RData::A("1.2.3.4".parse().unwrap())))
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(z);
+        Arc::new(ServerEngine::with_catalog(cat))
+    }
+
+    #[tokio::test]
+    async fn proxy_relays_and_rewrites_source() {
+        // Meta server on loopback.
+        let server = spawn_server(engine(), ServerConfig::default()).await.unwrap();
+        // Proxy emulating a public NS at another loopback address.
+        let proxy = spawn(vec!["127.0.0.1:0".parse().unwrap()], server.udp_addr)
+            .await
+            .unwrap();
+        let ns_addr = proxy.listen_addrs[0];
+
+        // A "recursive" client queries the emulated NS address.
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let q = Message::query(5, n("www.example"), RecordType::A);
+        client.send_to(&q.encode(), ns_addr).await.unwrap();
+        let mut buf = [0u8; 4096];
+        let (len, from) = tokio::time::timeout(Duration::from_secs(5), client.recv_from(&mut buf))
+            .await
+            .unwrap()
+            .unwrap();
+        // Reply must come from the emulated NS address, not the meta
+        // server — the transparency property of §2.4.
+        assert_eq!(from, ns_addr);
+        let resp = Message::decode(&buf[..len]).unwrap();
+        assert_eq!(resp.id, 5);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(proxy.counters.forwarded.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.counters.replied.load(Ordering::Relaxed), 1);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn concurrent_flows_do_not_cross() {
+        let server = spawn_server(engine(), ServerConfig::default()).await.unwrap();
+        let proxy = spawn(vec!["127.0.0.1:0".parse().unwrap()], server.udp_addr)
+            .await
+            .unwrap();
+        let ns_addr = proxy.listen_addrs[0];
+
+        let mut handles = Vec::new();
+        for i in 0..20u16 {
+            let ns = ns_addr;
+            handles.push(tokio::spawn(async move {
+                let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+                let q = Message::query(i, n("www.example"), RecordType::A);
+                client.send_to(&q.encode(), ns).await.unwrap();
+                let mut buf = [0u8; 4096];
+                let (len, _) =
+                    tokio::time::timeout(Duration::from_secs(5), client.recv_from(&mut buf))
+                        .await
+                        .unwrap()
+                        .unwrap();
+                Message::decode(&buf[..len]).unwrap().id
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.await.unwrap(), i as u16, "each client got its own reply");
+        }
+        proxy.shutdown();
+        server.shutdown();
+    }
+}

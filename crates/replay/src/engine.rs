@@ -1,0 +1,559 @@
+//! The distributed query engine over real sockets (paper §2.6 and §3,
+//! Figure 4): a Controller (Reader + Postman) feeds Distributors over
+//! bounded channels (the pre-load window), which feed Queriers; each
+//! querier owns the emulated sockets of the original sources assigned
+//! to it and sends queries at their trace deadlines.
+//!
+//! In-process threads play the roles the paper implements as processes;
+//! the channel topology, sticky source routing, timing algebra and
+//! per-source socket ownership are the same.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dns_wire::framing::frame;
+use dns_wire::Transport;
+use ldp_trace::TraceEntry;
+
+use crate::sticky::StickyRouter;
+use crate::timing::TimingTracker;
+
+/// Replay configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Number of distributor threads ("client instances").
+    pub distributors: usize,
+    /// Queriers per distributor.
+    pub queriers_per_distributor: usize,
+    /// Where to send every query (UDP and TCP reach the same host).
+    pub target_udp: SocketAddr,
+    /// TCP target (may differ in port).
+    pub target_tcp: SocketAddr,
+    /// Replay speed factor (1.0 = real time).
+    pub speed: f64,
+    /// Fast mode: no timers, send as fast as possible (paper §4.3).
+    pub fast_mode: bool,
+    /// Bounded channel capacity — the Reader's pre-load window.
+    pub channel_capacity: usize,
+    /// Warm-up offset before the first query is due.
+    pub warmup: Duration,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            distributors: 2,
+            queriers_per_distributor: 3,
+            target_udp: "127.0.0.1:53".parse().unwrap(),
+            target_tcp: "127.0.0.1:53".parse().unwrap(),
+            speed: 1.0,
+            fast_mode: false,
+            channel_capacity: 4096,
+            warmup: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One query handed down the distribution tree: pre-encoded, so the
+/// querier's work at the deadline is just a socket write.
+#[derive(Debug, Clone)]
+struct QueryJob {
+    seq: u64,
+    trace_us: u64,
+    source: IpAddr,
+    transport: Transport,
+    payload: Arc<Vec<u8>>,
+}
+
+/// What a querier recorded about one sent query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentRecord {
+    /// Sequence number in the input trace.
+    pub seq: u64,
+    /// The query's trace timestamp (µs).
+    pub trace_us: u64,
+    /// When it was actually sent, µs since the replay origin.
+    pub sent_us: u64,
+    /// Which querier sent it.
+    pub querier: usize,
+    /// Transport used.
+    pub transport: Transport,
+}
+
+/// The outcome of a replay run.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Per-query send records, in send order per querier (globally
+    /// unsorted; sort by `seq` or `sent_us` as needed).
+    pub sent: Vec<SentRecord>,
+    /// Total queries sent successfully.
+    pub total_sent: u64,
+    /// Send errors (socket failures).
+    pub errors: u64,
+    /// Distinct original sources seen by the controller.
+    pub distinct_sources: usize,
+    /// Wall-clock duration of the replay.
+    pub elapsed: Duration,
+}
+
+impl ReplayReport {
+    /// Send-time error (sent − intended) in microseconds for every
+    /// query, the quantity behind the paper's Figure 6.
+    pub fn timing_errors_us(&self, trace_start_us: u64, speed: f64) -> Vec<f64> {
+        self.sent
+            .iter()
+            .map(|r| {
+                let intended = (r.trace_us.saturating_sub(trace_start_us)) as f64 / speed;
+                r.sent_us as f64 - intended
+            })
+            .collect()
+    }
+}
+
+/// Run a replay of `trace` per `config`. Blocks until every query has
+/// been sent and all threads joined.
+pub fn replay(trace: &[TraceEntry], config: &ReplayConfig) -> ReplayReport {
+    assert!(!trace.is_empty(), "cannot replay an empty trace");
+    let start_wall = Instant::now();
+    let origin = start_wall + config.warmup;
+    let tracker = TimingTracker::start(trace[0].time_us, origin).with_speed(config.speed);
+
+    let errors = Arc::new(AtomicU64::new(0));
+    let (record_tx, record_rx) = bounded::<SentRecord>(65536);
+
+    // Build querier threads.
+    let n_d = config.distributors.max(1);
+    let n_q = config.queriers_per_distributor.max(1);
+    let mut querier_txs: Vec<Vec<Sender<QueryJob>>> = Vec::with_capacity(n_d);
+    let mut handles = Vec::new();
+    for d in 0..n_d {
+        let mut txs = Vec::with_capacity(n_q);
+        for q in 0..n_q {
+            let (tx, rx) = bounded::<QueryJob>(config.channel_capacity);
+            let cfg = config.clone();
+            let errors = errors.clone();
+            let record_tx = record_tx.clone();
+            let idx = d * n_q + q;
+            handles.push(std::thread::spawn(move || {
+                querier_loop(idx, rx, cfg, tracker, origin, errors, record_tx)
+            }));
+            txs.push(tx);
+        }
+        querier_txs.push(txs);
+    }
+    drop(record_tx);
+
+    // Distributor threads: receive from the controller, sticky-route to
+    // their queriers.
+    let mut dist_txs: Vec<Sender<QueryJob>> = Vec::with_capacity(n_d);
+    for txs in &querier_txs {
+        let (tx, rx): (Sender<QueryJob>, Receiver<QueryJob>) = bounded(config.channel_capacity);
+        let txs = txs.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut router = StickyRouter::new(txs.len());
+            for job in rx.iter() {
+                let child = router.route(job.source);
+                if txs[child].send(job).is_err() {
+                    break;
+                }
+            }
+            // Closing txs (drop) ends the queriers.
+        }));
+        dist_txs.push(tx);
+    }
+    // The distributor threads hold the only live clones now; without
+    // this drop the querier channels never close and join deadlocks.
+    drop(querier_txs);
+
+    // Collect send records while queriers run. The collector MUST be
+    // draining before the controller starts pushing: with it absent, a
+    // trace larger than the combined channel capacity would fill
+    // record_tx and deadlock the whole tree.
+    let collector = std::thread::spawn(move || {
+        let mut sent = Vec::new();
+        for rec in record_rx.iter() {
+            sent.push(rec);
+        }
+        sent
+    });
+
+    // Controller: Reader (pre-encode) + Postman (sticky distribution).
+    let mut controller_router = StickyRouter::new(n_d);
+    for (seq, entry) in trace.iter().enumerate() {
+        let payload = Arc::new(entry.message.encode());
+        let job = QueryJob {
+            seq: seq as u64,
+            trace_us: entry.time_us,
+            source: entry.src.ip(),
+            transport: entry.transport,
+            payload,
+        };
+        let d = controller_router.route(job.source);
+        if dist_txs[d].send(job).is_err() {
+            break;
+        }
+    }
+    let distinct_sources = controller_router.sources();
+    drop(dist_txs);
+
+    for h in handles {
+        let _ = h.join();
+    }
+    let sent = collector.join().expect("collector joins");
+    let total_sent = sent.len() as u64;
+    ReplayReport {
+        sent,
+        total_sent,
+        errors: errors.load(Ordering::Relaxed),
+        distinct_sources,
+        elapsed: start_wall.elapsed(),
+    }
+}
+
+/// Hybrid wait: sleep until ~1 ms before the deadline, then spin — the
+/// paper's timer events need sub-millisecond placement that plain
+/// `sleep` cannot give.
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(1200) {
+            std::thread::sleep(remaining - Duration::from_micros(1000));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn querier_loop(
+    idx: usize,
+    rx: Receiver<QueryJob>,
+    cfg: ReplayConfig,
+    tracker: TimingTracker,
+    origin: Instant,
+    errors: Arc<AtomicU64>,
+    record_tx: Sender<SentRecord>,
+) {
+    // Per-source sockets: same original source → same socket, so the
+    // server sees a stable set of (addr, port) pairs per source.
+    let mut udp_socks: HashMap<IpAddr, UdpSocket> = HashMap::new();
+    let mut tcp_conns: HashMap<IpAddr, TcpStream> = HashMap::new();
+    let mut scrap = vec![0u8; 65536];
+
+    for job in rx.iter() {
+        if !cfg.fast_mode {
+            if let Some(_delay) = tracker.delay_from(job.trace_us, Instant::now()) {
+                wait_until(tracker.deadline(job.trace_us));
+            }
+            // else: behind schedule, send immediately.
+        }
+        let ok = match job.transport {
+            Transport::Udp => {
+                let sock = udp_socks.entry(job.source).or_insert_with(|| {
+                    let s = UdpSocket::bind("127.0.0.1:0").expect("bind querier socket");
+                    s.set_nonblocking(true).expect("nonblocking");
+                    s
+                });
+                // Drain any buffered responses so the kernel buffer
+                // never fills (responses are measured at the server for
+                // the fidelity experiments).
+                while let Ok(_n) = sock.recv(&mut scrap) {}
+                sock.send_to(&job.payload, cfg.target_udp).is_ok()
+            }
+            Transport::Tcp | Transport::Tls => {
+                let stream = match tcp_conns.get_mut(&job.source) {
+                    Some(s) => Some(s),
+                    None => match TcpStream::connect(cfg.target_tcp) {
+                        Ok(s) => {
+                            s.set_nodelay(true).ok();
+                            s.set_nonblocking(true).ok();
+                            tcp_conns.insert(job.source, s);
+                            tcp_conns.get_mut(&job.source)
+                        }
+                        Err(_) => None,
+                    },
+                };
+                match stream {
+                    Some(s) => {
+                        use std::io::{Read, Write};
+                        while let Ok(n) = s.read(&mut scrap) {
+                            if n == 0 {
+                                break;
+                            }
+                        }
+                        let framed = frame(&job.payload);
+                        match s.write_all(&framed) {
+                            Ok(()) => true,
+                            Err(_) => {
+                                // Connection died (idle-closed by the
+                                // server): reconnect once.
+                                tcp_conns.remove(&job.source);
+                                match TcpStream::connect(cfg.target_tcp) {
+                                    Ok(mut ns) => {
+                                        ns.set_nodelay(true).ok();
+                                        let ok = ns.write_all(&framed).is_ok();
+                                        ns.set_nonblocking(true).ok();
+                                        tcp_conns.insert(job.source, ns);
+                                        ok
+                                    }
+                                    Err(_) => false,
+                                }
+                            }
+                        }
+                    }
+                    None => false,
+                }
+            }
+        };
+        let sent_us = Instant::now().saturating_duration_since(origin).as_micros() as u64;
+        if ok {
+            let _ = record_tx.send(SentRecord {
+                seq: job.seq,
+                trace_us: job.trace_us,
+                sent_us,
+                querier: idx,
+                transport: job.transport,
+            });
+        } else {
+            errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::RecordType;
+
+    fn mk_trace(n: u64, gap_us: u64) -> Vec<TraceEntry> {
+        (0..n)
+            .map(|i| {
+                TraceEntry::query(
+                    1_000_000 + i * gap_us,
+                    format!("10.0.0.{}:999", 1 + i % 50).parse().unwrap(),
+                    "127.0.0.1:53".parse().unwrap(),
+                    i as u16,
+                    format!("q{i}.example.com").parse().unwrap(),
+                    RecordType::A,
+                )
+            })
+            .collect()
+    }
+
+    fn sink_socket() -> (UdpSocket, SocketAddr) {
+        let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let a = s.local_addr().unwrap();
+        (s, a)
+    }
+
+    #[test]
+    fn replays_every_query() {
+        let (_sink, addr) = sink_socket();
+        let trace = mk_trace(200, 1000); // 1 ms apart
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            fast_mode: true,
+            ..Default::default()
+        };
+        let report = replay(&trace, &config);
+        assert_eq!(report.total_sent, 200);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.distinct_sources, 50);
+        // Every seq present exactly once.
+        let mut seqs: Vec<u64> = report.sent.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timed_replay_respects_deadlines() {
+        let (_sink, addr) = sink_socket();
+        // 50 queries, 5 ms apart = 250 ms replay.
+        let trace = mk_trace(50, 5000);
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            ..Default::default()
+        };
+        let report = replay(&trace, &config);
+        assert_eq!(report.total_sent, 50);
+        let errs = report.timing_errors_us(trace[0].time_us, 1.0);
+        // Send-side timing error must be tiny (well under the paper's
+        // ±2.5 ms quartiles; allow slack for CI noise).
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean.abs() < 2_000.0, "mean error {mean} µs");
+        let max = errs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max < 20_000.0, "max error {max} µs");
+        // Total duration ≈ 245 ms + warmup.
+        assert!(report.elapsed >= Duration::from_millis(240));
+    }
+
+    #[test]
+    fn fast_mode_is_fast() {
+        let (_sink, addr) = sink_socket();
+        // Trace nominally lasts 10 s; fast mode must finish way sooner.
+        let trace = mk_trace(1000, 10_000);
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            fast_mode: true,
+            ..Default::default()
+        };
+        let report = replay(&trace, &config);
+        assert_eq!(report.total_sent, 1000);
+        assert!(report.elapsed < Duration::from_secs(2), "elapsed {:?}", report.elapsed);
+    }
+
+    #[test]
+    fn speedup_halves_duration() {
+        let (_sink, addr) = sink_socket();
+        let trace = mk_trace(20, 10_000); // 200 ms at 1x
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            speed: 2.0,
+            warmup: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let report = replay(&trace, &config);
+        assert!(report.elapsed < Duration::from_millis(190), "elapsed {:?}", report.elapsed);
+        assert_eq!(report.total_sent, 20);
+    }
+
+    #[test]
+    fn same_source_seen_from_same_port() {
+        // Replay over UDP to a recording sink: all packets from the same
+        // original source must arrive from one (addr, port) — the
+        // same-socket emulation property.
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let addr = sink.local_addr().unwrap();
+        let mut trace = mk_trace(40, 100);
+        // Two sources only.
+        for (i, e) in trace.iter_mut().enumerate() {
+            e.src = format!("10.0.0.{}:999", 1 + i % 2).parse().unwrap();
+        }
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            fast_mode: true,
+            distributors: 2,
+            queriers_per_distributor: 2,
+            ..Default::default()
+        };
+        let handle = {
+            let trace = trace.clone();
+            std::thread::spawn(move || replay(&trace, &config))
+        };
+        let mut seen: HashMap<u64, std::collections::HashSet<SocketAddr>> = HashMap::new();
+        let mut buf = [0u8; 2048];
+        let mut got = 0;
+        while got < 40 {
+            let Ok((len, from)) = sink.recv_from(&mut buf) else {
+                break;
+            };
+            let msg = dns_wire::Message::decode(&buf[..len]).unwrap();
+            // q<i>. names: even i ↔ source .1, odd ↔ .2.
+            let name = msg.question().unwrap().name.to_string();
+            let i: u64 = name[1..name.find('.').unwrap()].parse().unwrap();
+            seen.entry(i % 2).or_default().insert(from);
+            got += 1;
+        }
+        let report = handle.join().unwrap();
+        assert_eq!(report.total_sent, 40);
+        assert_eq!(got, 40, "sink saw everything");
+        for (src, ports) in &seen {
+            assert_eq!(ports.len(), 1, "source {src} used one socket: {ports:?}");
+        }
+        // And the two sources used different sockets.
+        assert_ne!(
+            seen[&0].iter().next().unwrap(),
+            seen[&1].iter().next().unwrap()
+        );
+    }
+
+    #[test]
+    fn tcp_replay_reuses_connections() {
+        // A tiny TCP sink that counts connections and messages.
+        use std::io::Read;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counts = Arc::new(AtomicU64::new(0));
+        let msgs = Arc::new(AtomicU64::new(0));
+        {
+            let counts = counts.clone();
+            let msgs = msgs.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(mut stream) = stream else { break };
+                    counts.fetch_add(1, Ordering::Relaxed);
+                    let msgs = msgs.clone();
+                    std::thread::spawn(move || {
+                        let mut fb = dns_wire::framing::FrameBuffer::new();
+                        let mut buf = [0u8; 4096];
+                        while let Ok(n) = stream.read(&mut buf) {
+                            if n == 0 {
+                                break;
+                            }
+                            fb.extend(&buf[..n]);
+                            while fb.next_message().is_some() {
+                                msgs.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let mut trace = mk_trace(30, 100);
+        for e in trace.iter_mut() {
+            e.transport = Transport::Tcp;
+            e.src = "10.0.0.7:999".parse().unwrap(); // single source
+        }
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            fast_mode: true,
+            distributors: 1,
+            queriers_per_distributor: 1,
+            ..Default::default()
+        };
+        let report = replay(&trace, &config);
+        assert_eq!(report.total_sent, 30);
+        // Give the sink a moment to drain.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(msgs.load(Ordering::Relaxed), 30, "all messages arrived");
+        assert_eq!(counts.load(Ordering::Relaxed), 1, "one reused connection");
+    }
+
+    #[test]
+    fn large_trace_exceeding_channel_capacity_completes() {
+        // Regression: with the collector spawned after the controller,
+        // traces bigger than record_tx + all stage channels (~100k)
+        // deadlocked the distribution tree.
+        let (_sink, addr) = sink_socket();
+        let trace = mk_trace(120_000, 10);
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            fast_mode: true,
+            ..Default::default()
+        };
+        let report = replay(&trace, &config);
+        assert_eq!(report.total_sent, 120_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let config = ReplayConfig::default();
+        replay(&[], &config);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ldp-replay
+//!
+//! LDplayer's distributed query engine (paper §2.6, §3, Figure 4): a
+//! Controller (Reader + Postman) distributes pre-encoded queries through
+//! Distributors to Queriers over bounded channels; same-source queries
+//! stick to the same querier and the same emulated socket/connection;
+//! each query is sent at ΔTᵢ = Δt̄ᵢ − Δtᵢ, re-anchored continuously so
+//! pipeline delay never accumulates — or immediately in fast mode.
+//!
+//! Two drivers share the timing and routing logic:
+//! - [`engine`] — real sockets and threads (replay fidelity and
+//!   throughput experiments, paper §4);
+//! - [`sim_replay`] — a simulator host with per-source connection reuse
+//!   and latency logging (the §5.2 what-if experiments).
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod engine;
+pub mod sim_replay;
+pub mod sticky;
+pub mod timing;
+
+pub use capture::{parse_tag_seq, Arrival, CaptureServer};
+pub use engine::{replay, ReplayConfig, ReplayReport, SentRecord};
+pub use sim_replay::{LatencyLog, LatencyRecord, SimReplayClient};
+pub use sticky::StickyRouter;
+pub use timing::{virtual_deadline, TimingTracker};

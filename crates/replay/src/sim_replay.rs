@@ -1,0 +1,396 @@
+//! Replay inside the network simulator: a querier host that emulates
+//! every original source, reuses per-source TCP/TLS connections, and
+//! logs per-query latency — the client side of the §5.2 experiments
+//! (memory, CPU, and the latency-vs-RTT Figures 15a/15b).
+
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr};
+use std::sync::{Arc, Mutex};
+
+use dns_wire::framing::{frame, FrameBuffer};
+use dns_wire::{Message, Transport};
+use ldp_trace::TraceEntry;
+use netsim::{ConnId, Ctx, Host, HostId, SimTime, Simulator, TcpEvent};
+
+/// One completed query/response pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRecord {
+    /// Index of the query in the replayed trace.
+    pub seq: u64,
+    /// Send time (seconds, sim clock).
+    pub sent_s: f64,
+    /// Response arrival time (seconds, sim clock).
+    pub replied_s: f64,
+    /// Transport the query used.
+    pub transport: Transport,
+    /// The original source address.
+    pub source: IpAddr,
+    /// Response size in bytes.
+    pub response_bytes: usize,
+}
+
+impl LatencyRecord {
+    /// Query latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.replied_s - self.sent_s
+    }
+}
+
+/// Shared output log.
+pub type LatencyLog = Arc<Mutex<Vec<LatencyRecord>>>;
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    seq: u64,
+    sent_s: f64,
+    transport: Transport,
+    source: IpAddr,
+}
+
+/// The simulated replay client: owns all original source addresses and
+/// replays the trace with same-source socket/connection reuse.
+pub struct SimReplayClient {
+    trace: Vec<TraceEntry>,
+    server: SocketAddr,
+    /// Force every query onto this transport (otherwise per-entry).
+    pub transport_override: Option<Transport>,
+    /// Reuse per-source connections (the paper's same-source emulation).
+    /// When false, every query opens a fresh connection and closes it
+    /// after the response — the ablation baseline that models predict
+    /// costs a full extra RTT per query.
+    pub reuse_connections: bool,
+    /// Per-source open TCP/TLS connection (reused until closed).
+    conns: HashMap<IpAddr, ConnId>,
+    conn_sources: HashMap<ConnId, IpAddr>,
+    frame_bufs: HashMap<ConnId, FrameBuffer>,
+    /// In-flight queries by (source, DNS id).
+    pending_udp: HashMap<(IpAddr, u16), Pending>,
+    pending_tcp: HashMap<(ConnId, u16), Pending>,
+    /// Queries queued on a connection still handshaking.
+    log: LatencyLog,
+    /// Queries sent.
+    pub sent: u64,
+    /// Fresh connections opened (reuse misses).
+    pub connects: u64,
+}
+
+impl SimReplayClient {
+    /// New client replaying `trace` against `server`, logging latencies
+    /// into `log`.
+    pub fn new(trace: Vec<TraceEntry>, server: SocketAddr, log: LatencyLog) -> Self {
+        SimReplayClient {
+            trace,
+            server,
+            transport_override: None,
+            reuse_connections: true,
+            conns: HashMap::new(),
+            conn_sources: HashMap::new(),
+            frame_bufs: HashMap::new(),
+            pending_udp: HashMap::new(),
+            pending_tcp: HashMap::new(),
+            log,
+            sent: 0,
+            connects: 0,
+        }
+    }
+
+    /// The distinct source addresses in the trace (register these with
+    /// the simulator for this host).
+    pub fn source_addrs(&self) -> Vec<IpAddr> {
+        let set: std::collections::BTreeSet<IpAddr> =
+            self.trace.iter().map(|e| e.src.ip()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Schedule one timer per trace entry, offset so the first query
+    /// fires at `start`.
+    pub fn schedule(sim: &mut Simulator, host: HostId, trace: &[TraceEntry], start: SimTime) {
+        let Some(first) = trace.first() else {
+            return;
+        };
+        let t0 = first.time_us;
+        for (i, e) in trace.iter().enumerate() {
+            let at = start + netsim::SimDuration::from_micros(e.time_us - t0);
+            sim.schedule_timer(host, at, i as u64);
+        }
+    }
+
+    fn send_entry(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let entry = &self.trace[idx];
+        let transport = self.transport_override.unwrap_or(entry.transport);
+        let src = entry.src;
+        let payload = entry.message.encode();
+        let id = entry.message.id;
+        let pending = Pending {
+            seq: idx as u64,
+            sent_s: ctx.now().as_secs_f64(),
+            transport,
+            source: src.ip(),
+        };
+        self.sent += 1;
+        match transport {
+            Transport::Udp => {
+                self.pending_udp.insert((src.ip(), id), pending);
+                ctx.send_udp(src, self.server, payload);
+            }
+            Transport::Tcp | Transport::Tls => {
+                let reusable = if self.reuse_connections {
+                    self.conns.get(&src.ip()).copied()
+                } else {
+                    None
+                };
+                let conn = match reusable {
+                    Some(c) => c,
+                    None => {
+                        // Fresh connection: pays the handshake RTTs.
+                        let c = ctx.tcp_connect(src, self.server, transport == Transport::Tls);
+                        self.connects += 1;
+                        if self.reuse_connections {
+                            self.conns.insert(src.ip(), c);
+                            self.conn_sources.insert(c, src.ip());
+                        }
+                        self.frame_bufs.insert(c, FrameBuffer::new());
+                        c
+                    }
+                };
+                self.pending_tcp.insert((conn, id), pending);
+                ctx.tcp_send(conn, frame(&payload));
+            }
+        }
+    }
+
+    fn complete(&mut self, pending: Pending, now_s: f64, bytes: usize) {
+        self.log.lock().unwrap().push(LatencyRecord {
+            seq: pending.seq,
+            sent_s: pending.sent_s,
+            replied_s: now_s,
+            transport: pending.transport,
+            source: pending.source,
+            response_bytes: bytes,
+        });
+    }
+}
+
+impl Host for SimReplayClient {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, _from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+        let Ok(msg) = Message::decode(&data) else {
+            return;
+        };
+        if let Some(p) = self.pending_udp.remove(&(to.ip(), msg.id)) {
+            self.complete(p, ctx.now().as_secs_f64(), data.len());
+        }
+    }
+
+    fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        match event {
+            TcpEvent::Data { conn, data } => {
+                let Some(fb) = self.frame_bufs.get_mut(&conn) else {
+                    return;
+                };
+                fb.extend(&data);
+                let mut done = Vec::new();
+                while let Some(body) = fb.next_message() {
+                    if let Ok(msg) = Message::decode(&body) {
+                        if let Some(p) = self.pending_tcp.remove(&(conn, msg.id)) {
+                            done.push((p, body.len()));
+                        }
+                    }
+                }
+                let now = ctx.now().as_secs_f64();
+                let any_done = !done.is_empty();
+                for (p, bytes) in done {
+                    self.complete(p, now, bytes);
+                }
+                // No-reuse ablation: close as soon as the (single)
+                // outstanding query on this throwaway connection is
+                // answered.
+                if !self.reuse_connections
+                    && any_done
+                    && !self.pending_tcp.keys().any(|(c, _)| *c == conn)
+                {
+                    ctx.tcp_close(conn);
+                    self.frame_bufs.remove(&conn);
+                }
+            }
+            TcpEvent::Closed { conn } => {
+                // Server idle-closed us: next query from this source
+                // opens a fresh connection (and pays the handshake).
+                if let Some(src) = self.conn_sources.remove(&conn) {
+                    self.conns.remove(&src);
+                }
+                self.frame_bufs.remove(&conn);
+            }
+            TcpEvent::Connected { .. } | TcpEvent::Incoming { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let idx = token as usize;
+        if idx < self.trace.len() {
+            self.send_entry(ctx, idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_server::{ServerEngine, SimDnsServer};
+    use dns_wire::{Name, RData, Record, RecordType, Soa};
+    use dns_zone::{Catalog, Zone};
+    use ldp_trace::{Mutation, Mutator};
+    use netsim::{PathConfig, SimConfig, SimDuration, Topology};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> Arc<ServerEngine> {
+        let mut z = Zone::new(n("example"));
+        z.insert(Record::new(
+            n("example"),
+            60,
+            RData::Soa(Soa {
+                mname: n("ns1.example"),
+                rname: n("a.example"),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 60,
+            }),
+        ))
+        .unwrap();
+        z.insert(Record::new(n("*.example"), 60, RData::A("9.9.9.9".parse().unwrap())))
+            .unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(z);
+        Arc::new(ServerEngine::with_catalog(cat))
+    }
+
+    fn mk_trace(num: u64, gap_us: u64, sources: u64) -> Vec<TraceEntry> {
+        (0..num)
+            .map(|i| {
+                TraceEntry::query(
+                    i * gap_us,
+                    format!("10.1.0.{}:5000", 1 + i % sources).parse().unwrap(),
+                    "10.9.0.1:53".parse().unwrap(),
+                    (i % 65536) as u16,
+                    format!("u{i}.example").parse().unwrap(),
+                    RecordType::A,
+                )
+            })
+            .collect()
+    }
+
+    fn run(
+        trace: Vec<TraceEntry>,
+        transport: Option<Transport>,
+        rtt_ms: u64,
+        idle_secs: u64,
+        horizon_s: f64,
+    ) -> (Vec<LatencyRecord>, netsim::HostStats, u64) {
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(rtt_ms),
+                bandwidth_bps: None,
+                loss: 0.0,
+            }),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        let server_id = sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(
+                engine(),
+                server_addr,
+                Some(SimDuration::from_secs(idle_secs)),
+            )),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let mut client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        client.transport_override = transport;
+        let srcs = client.source_addrs();
+        let connects_probe = Arc::new(Mutex::new(0u64));
+        let _ = connects_probe;
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(horizon_s));
+        let stats = sim.stats(server_id);
+        let out = log.lock().unwrap().clone();
+        (out, stats, 0)
+    }
+
+    #[test]
+    fn udp_latency_is_one_rtt() {
+        let trace = mk_trace(20, 10_000, 5);
+        let (log, stats, _) = run(trace, None, 40, 20, 10.0);
+        assert_eq!(log.len(), 20);
+        for r in &log {
+            assert!((r.latency() - 0.040).abs() < 0.002, "latency {}", r.latency());
+        }
+        assert_eq!(stats.udp_rx, 20);
+    }
+
+    #[test]
+    fn tcp_first_query_two_rtt_then_one() {
+        let trace = mk_trace(3, 50_000, 1); // one source, 50 ms apart
+        let (mut log, stats, _) = run(trace, Some(Transport::Tcp), 20, 20, 10.0);
+        log.sort_by_key(|r| r.seq);
+        assert_eq!(log.len(), 3);
+        assert!((log[0].latency() - 0.040).abs() < 0.002, "fresh conn: 2 RTT, got {}", log[0].latency());
+        assert!((log[1].latency() - 0.020).abs() < 0.002, "reused conn: 1 RTT, got {}", log[1].latency());
+        assert!((log[2].latency() - 0.020).abs() < 0.002);
+        assert_eq!(stats.tcp_accepts, 1, "single reused connection");
+    }
+
+    #[test]
+    fn tls_first_query_four_rtt() {
+        // 200 ms apart so the second query lands after the 3-RTT
+        // connection setup (60 ms) has fully completed.
+        let trace = mk_trace(2, 200_000, 1);
+        let (mut log, stats, _) = run(trace, Some(Transport::Tls), 20, 20, 10.0);
+        log.sort_by_key(|r| r.seq);
+        assert!((log[0].latency() - 0.080).abs() < 0.002, "TLS fresh: 4 RTT, got {}", log[0].latency());
+        assert!((log[1].latency() - 0.020).abs() < 0.002, "TLS reused: 1 RTT");
+        assert_eq!(stats.tls_accepts, 1);
+    }
+
+    #[test]
+    fn idle_close_forces_reconnect() {
+        // Two queries 10 s apart with a 5 s server idle timeout: the
+        // second query pays the handshake again.
+        let trace = mk_trace(2, 10_000_000, 1);
+        let (mut log, stats, _) = run(trace, Some(Transport::Tcp), 20, 5, 60.0);
+        log.sort_by_key(|r| r.seq);
+        assert_eq!(log.len(), 2);
+        assert!((log[0].latency() - 0.040).abs() < 0.002);
+        assert!(
+            (log[1].latency() - 0.040).abs() < 0.002,
+            "reconnect pays 2 RTT again, got {}",
+            log[1].latency()
+        );
+        assert_eq!(stats.tcp_accepts, 2, "two connections over the run");
+    }
+
+    #[test]
+    fn transport_mutation_pipeline_works_end_to_end() {
+        // Mutate a UDP trace to all-TLS via the trace mutator, then
+        // replay — the §5.2 what-if pipeline in miniature.
+        let mut trace = mk_trace(10, 20_000, 3);
+        Mutator::new(vec![Mutation::SetTransport(Transport::Tls)]).apply(&mut trace);
+        let (log, stats, _) = run(trace, None, 10, 20, 10.0);
+        assert_eq!(log.len(), 10);
+        assert_eq!(stats.tls_rx, 10);
+        assert_eq!(stats.udp_rx, 0);
+        assert!(log.iter().all(|r| r.transport == Transport::Tls));
+    }
+
+    #[test]
+    fn per_source_connections_are_separate() {
+        let trace = mk_trace(8, 10_000, 4);
+        let (log, stats, _) = run(trace, Some(Transport::Tcp), 5, 20, 10.0);
+        assert_eq!(log.len(), 8);
+        assert_eq!(stats.tcp_accepts, 4, "one connection per source");
+    }
+}

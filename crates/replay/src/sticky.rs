@@ -1,0 +1,131 @@
+//! Same-source sticky distribution (paper §2.6, "Emulating queries from
+//! the same source").
+//!
+//! Queries from one original source IP must reach the same end querier,
+//! because that querier owns the source's emulated socket (and, for
+//! TCP, its reusable connection). Controller and distributors use the
+//! same rule: route by the recorded assignment for a known source, pick
+//! the least-loaded child for a new one.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Sticky source-to-child router used at each distribution level.
+#[derive(Debug, Clone)]
+pub struct StickyRouter {
+    children: usize,
+    assignment: HashMap<IpAddr, usize>,
+    load: Vec<u64>,
+}
+
+impl StickyRouter {
+    /// Router over `children` downstream entities.
+    pub fn new(children: usize) -> Self {
+        assert!(children > 0, "router needs at least one child");
+        StickyRouter {
+            children,
+            assignment: HashMap::new(),
+            load: vec![0; children],
+        }
+    }
+
+    /// Route a query from `source`: same source → same child, forever.
+    pub fn route(&mut self, source: IpAddr) -> usize {
+        if let Some(&child) = self.assignment.get(&source) {
+            self.load[child] += 1;
+            return child;
+        }
+        // New source: least-loaded child (random-ish tie-break by map
+        // iteration order would be nondeterministic; index order is
+        // deterministic and keeps the experiment repeatable).
+        let child = (0..self.children)
+            .min_by_key(|&c| self.load[c])
+            .expect("children > 0");
+        self.assignment.insert(source, child);
+        self.load[child] += 1;
+        child
+    }
+
+    /// Queries routed per child so far.
+    pub fn loads(&self) -> &[u64] {
+        &self.load
+    }
+
+    /// Distinct sources seen.
+    pub fn sources(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of children.
+    pub fn children(&self) -> usize {
+        self.children
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn same_source_same_child() {
+        let mut r = StickyRouter::new(4);
+        let first = r.route(ip("10.0.0.1"));
+        for _ in 0..100 {
+            assert_eq!(r.route(ip("10.0.0.1")), first);
+        }
+    }
+
+    #[test]
+    fn new_sources_balance() {
+        let mut r = StickyRouter::new(4);
+        for i in 0..200u32 {
+            let octets = i.to_be_bytes();
+            r.route(IpAddr::from([10, octets[1], octets[2], octets[3]]));
+        }
+        let loads = r.loads();
+        assert_eq!(loads.iter().sum::<u64>(), 200);
+        for &l in loads {
+            assert_eq!(l, 50, "even split for uniform sources: {loads:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_source_stays_put() {
+        let mut r = StickyRouter::new(3);
+        let heavy = ip("10.0.0.9");
+        let child = r.route(heavy);
+        for i in 0..50u8 {
+            r.route(IpAddr::from([10, 0, 1, i]));
+            assert_eq!(r.route(heavy), child);
+        }
+        assert_eq!(r.sources(), 51);
+    }
+
+    #[test]
+    fn single_child_takes_all() {
+        let mut r = StickyRouter::new(1);
+        assert_eq!(r.route(ip("1.1.1.1")), 0);
+        assert_eq!(r.route(ip("2.2.2.2")), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one child")]
+    fn zero_children_panics() {
+        StickyRouter::new(0);
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let run = || {
+            let mut r = StickyRouter::new(5);
+            (0..100u8)
+                .map(|i| r.route(IpAddr::from([10, 0, 0, i])))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

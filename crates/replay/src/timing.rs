@@ -1,0 +1,128 @@
+//! Replay timing (paper §2.6, "Correct timing for replayed queries").
+//!
+//! LDplayer tracks *trace time* and *real time* in parallel. For query
+//! `i` with trace timestamp t̄ᵢ, the relative trace time Δt̄ᵢ = t̄ᵢ − t̄₁ is
+//! the delay the replay should reproduce; the relative real time
+//! Δtᵢ = tᵢ − t₁ is the delay that has already elapsed (input processing,
+//! distribution). The querier therefore schedules the send ΔTᵢ = Δt̄ᵢ − Δtᵢ
+//! in the future — and if the pipeline has fallen behind (ΔTᵢ ≤ 0) sends
+//! immediately, continuously re-anchoring so errors do not accumulate.
+
+use std::time::{Duration, Instant};
+
+/// Tracks trace-time vs real-time and computes per-query send delays.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingTracker {
+    /// t̄₁: trace timestamp of the first query (microseconds).
+    trace_start_us: u64,
+    /// t₁: real time at the synchronization message.
+    real_start: Instant,
+    /// Optional speedup factor (2.0 = replay twice as fast).
+    speed: f64,
+}
+
+impl TimingTracker {
+    /// Start tracking: called when the time-synchronization message
+    /// arrives, with the first query's trace timestamp.
+    pub fn start(trace_start_us: u64, real_start: Instant) -> Self {
+        TimingTracker {
+            trace_start_us,
+            real_start,
+            speed: 1.0,
+        }
+    }
+
+    /// Replay faster or slower than real time.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0);
+        self.speed = speed;
+        self
+    }
+
+    /// The absolute instant at which a query stamped `trace_us` should
+    /// be sent.
+    pub fn deadline(&self, trace_us: u64) -> Instant {
+        let delta_trace = trace_us.saturating_sub(self.trace_start_us);
+        let scaled = (delta_trace as f64 / self.speed) as u64;
+        self.real_start + Duration::from_micros(scaled)
+    }
+
+    /// ΔTᵢ: how long to wait from `now` before sending the query
+    /// stamped `trace_us`. `None` means the replay has fallen behind —
+    /// send immediately without a timer (paper: "if the input
+    /// processing falls behind (ΔTᵢ ≤ 0), LDplayer sends the query
+    /// immediately").
+    pub fn delay_from(&self, trace_us: u64, now: Instant) -> Option<Duration> {
+        let deadline = self.deadline(trace_us);
+        deadline.checked_duration_since(now)
+    }
+}
+
+/// The same computation over plain numbers (virtual clocks), for the
+/// simulator-driven replays: returns the send time in seconds given the
+/// trace time, trace origin and replay origin.
+pub fn virtual_deadline(trace_us: u64, trace_start_us: u64, replay_start_s: f64, speed: f64) -> f64 {
+    replay_start_s + (trace_us.saturating_sub(trace_start_us)) as f64 / 1e6 / speed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_tracks_trace_offsets() {
+        let t0 = Instant::now();
+        let tr = TimingTracker::start(1_000_000, t0);
+        assert_eq!(tr.deadline(1_000_000), t0);
+        assert_eq!(tr.deadline(1_500_000), t0 + Duration::from_millis(500));
+        // Before the start clamps to the origin.
+        assert_eq!(tr.deadline(900_000), t0);
+    }
+
+    #[test]
+    fn delay_positive_when_ahead() {
+        let t0 = Instant::now();
+        let tr = TimingTracker::start(0, t0);
+        let d = tr.delay_from(2_000_000, t0 + Duration::from_millis(500)).unwrap();
+        assert!((d.as_millis() as i64 - 1500).abs() <= 1, "delay {d:?}");
+    }
+
+    #[test]
+    fn behind_schedule_sends_immediately() {
+        let t0 = Instant::now();
+        let tr = TimingTracker::start(0, t0);
+        // Real time is already past the query's deadline.
+        assert!(tr.delay_from(100_000, t0 + Duration::from_millis(200)).is_none());
+    }
+
+    #[test]
+    fn accumulated_input_delay_is_removed() {
+        // The defining property: even if the previous query was sent
+        // late, the next deadline is computed from the *origin*, not
+        // from the previous send, so the error does not accumulate.
+        let t0 = Instant::now();
+        let tr = TimingTracker::start(0, t0);
+        // Query at Δt̄=10 ms was processed at Δt=14 ms (4 ms late, sent
+        // immediately). The next query at Δt̄=30 ms still gets its full
+        // deadline at t0+30 ms.
+        let now = t0 + Duration::from_millis(14);
+        assert!(tr.delay_from(10_000, now).is_none());
+        let d = tr.delay_from(30_000, now).unwrap();
+        assert!((d.as_micros() as i64 - 16_000).abs() <= 50, "delay {d:?}");
+    }
+
+    #[test]
+    fn speedup_compresses_deadlines() {
+        let t0 = Instant::now();
+        let tr = TimingTracker::start(0, t0).with_speed(2.0);
+        assert_eq!(tr.deadline(1_000_000), t0 + Duration::from_millis(500));
+    }
+
+    #[test]
+    fn virtual_deadline_matches() {
+        let d = virtual_deadline(2_500_000, 500_000, 100.0, 1.0);
+        assert!((d - 102.0).abs() < 1e-9);
+        let d = virtual_deadline(2_500_000, 500_000, 100.0, 2.0);
+        assert!((d - 101.0).abs() < 1e-9);
+    }
+}

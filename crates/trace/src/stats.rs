@@ -1,0 +1,137 @@
+//! Trace statistics: the columns of the paper's Table 1 (duration,
+//! inter-arrival mean/stddev, distinct client IPs, record count).
+
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+use crate::entry::TraceEntry;
+
+/// Summary statistics for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of records (queries) in the trace.
+    pub records: usize,
+    /// Trace duration in seconds (first to last timestamp).
+    pub duration_secs: f64,
+    /// Mean inter-arrival time, seconds.
+    pub interarrival_mean: f64,
+    /// Standard deviation of inter-arrival time, seconds.
+    pub interarrival_stddev: f64,
+    /// Number of distinct client (source) IPs.
+    pub client_ips: usize,
+    /// Mean query rate (records / duration), per second.
+    pub mean_rate: f64,
+}
+
+impl TraceStats {
+    /// Compute stats over `trace` (assumed time-ordered; sorts a copy of
+    /// the timestamps if not). Returns `None` for an empty trace.
+    pub fn compute(trace: &[TraceEntry]) -> Option<TraceStats> {
+        if trace.is_empty() {
+            return None;
+        }
+        let mut times: Vec<u64> = trace.iter().map(|e| e.time_us).collect();
+        if times.windows(2).any(|w| w[0] > w[1]) {
+            times.sort_unstable();
+        }
+        let duration_us = times[times.len() - 1] - times[0];
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64 / 1e6)
+            .collect();
+        let (mean, sd) = if gaps.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            (mean, var.sqrt())
+        };
+        let clients: HashSet<IpAddr> = trace.iter().map(|e| e.src.ip()).collect();
+        let duration_secs = duration_us as f64 / 1e6;
+        Some(TraceStats {
+            records: trace.len(),
+            duration_secs,
+            interarrival_mean: mean,
+            interarrival_stddev: sd,
+            client_ips: clients.len(),
+            mean_rate: if duration_secs > 0.0 {
+                trace.len() as f64 / duration_secs
+            } else {
+                trace.len() as f64
+            },
+        })
+    }
+
+    /// Render a Table 1-style row.
+    pub fn render_row(&self, name: &str) -> String {
+        format!(
+            "{:<12} {:>10} rec  {:>9.1} s  inter-arrival {:.6} ±{:.6} s  {:>8} client IPs  {:>9.0} q/s",
+            name,
+            self.records,
+            self.duration_secs,
+            self.interarrival_mean,
+            self.interarrival_stddev,
+            self.client_ips,
+            self.mean_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::RecordType;
+
+    fn entry(t_us: u64, client: u8) -> TraceEntry {
+        TraceEntry::query(
+            t_us,
+            format!("10.0.0.{client}:999").parse().unwrap(),
+            "10.9.9.9:53".parse().unwrap(),
+            1,
+            "example.com".parse().unwrap(),
+            RecordType::A,
+        )
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(TraceStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn fixed_interarrival() {
+        // 1 ms gaps, 11 records → 10 gaps, duration 10 ms.
+        let trace: Vec<TraceEntry> = (0..11).map(|i| entry(i * 1000, (i % 3) as u8)).collect();
+        let s = TraceStats::compute(&trace).unwrap();
+        assert_eq!(s.records, 11);
+        assert!((s.interarrival_mean - 0.001).abs() < 1e-12);
+        assert!(s.interarrival_stddev < 1e-12);
+        assert_eq!(s.client_ips, 3);
+        assert!((s.duration_secs - 0.01).abs() < 1e-12);
+        assert!((s.mean_rate - 1100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unordered_input_tolerated() {
+        let trace = vec![entry(5000, 1), entry(1000, 2), entry(3000, 3)];
+        let s = TraceStats::compute(&trace).unwrap();
+        assert!((s.duration_secs - 0.004).abs() < 1e-12);
+        assert!((s.interarrival_mean - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_record() {
+        let s = TraceStats::compute(&[entry(1000, 1)]).unwrap();
+        assert_eq!(s.records, 1);
+        assert_eq!(s.duration_secs, 0.0);
+        assert_eq!(s.interarrival_mean, 0.0);
+    }
+
+    #[test]
+    fn render_row_contains_fields() {
+        let trace: Vec<TraceEntry> = (0..10).map(|i| entry(i * 100, 1)).collect();
+        let row = TraceStats::compute(&trace).unwrap().render_row("syn-0");
+        assert!(row.contains("syn-0"));
+        assert!(row.contains("10 rec"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests: arbitrary trace entries survive every format round
+//! trip the Figure 3 pipeline performs, and the decoders never panic on
+//! arbitrary bytes.
+
+use proptest::prelude::*;
+
+use dns_wire::{Name, RecordType, Transport};
+use ldp_trace::{
+    parse_binary, parse_pcap, parse_text, write_binary, write_pcap, write_text, Mutation, Mutator,
+    TraceEntry,
+};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec("[a-z0-9]{1,12}", 1..4).prop_map(|labels| {
+        Name::from_labels(labels.iter().map(|l| l.as_bytes())).expect("valid")
+    })
+}
+
+fn arb_v4_addr() -> impl Strategy<Value = SocketAddr> {
+    (any::<u32>(), 1024u16..65535).prop_map(|(ip, port)| {
+        SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::from(ip), port))
+    })
+}
+
+prop_compose! {
+    fn arb_entry()(
+        time_us in 0u64..10_000_000_000,
+        src in arb_v4_addr(),
+        dst in arb_v4_addr(),
+        id in any::<u16>(),
+        name in arb_name(),
+        qtype in 1u16..260,
+        transport in 0u8..3,
+        do_bit in any::<bool>(),
+        rd in any::<bool>(),
+    ) -> TraceEntry {
+        let mut e = TraceEntry::query(time_us, src, dst, id, name, RecordType::from_u16(qtype));
+        e.transport = match transport { 0 => Transport::Udp, 1 => Transport::Tcp, _ => Transport::Tls };
+        e.message.set_dnssec_ok(do_bit);
+        e.message.flags.recursion_desired = rd;
+        e
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_round_trip(entries in proptest::collection::vec(arb_entry(), 0..20)) {
+        let bin = write_binary(&entries);
+        prop_assert_eq!(parse_binary(&bin).unwrap(), entries);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_query_fields(entries in proptest::collection::vec(arb_entry(), 1..20)) {
+        let text = write_text(&entries);
+        let back = parse_text(&text).unwrap();
+        prop_assert_eq!(back.len(), entries.len());
+        for (a, b) in entries.iter().zip(&back) {
+            prop_assert_eq!(a.time_us, b.time_us);
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.transport, b.transport);
+            prop_assert_eq!(a.message.id, b.message.id);
+            prop_assert_eq!(a.message.question(), b.message.question());
+            prop_assert_eq!(a.message.dnssec_ok(), b.message.dnssec_ok());
+            prop_assert_eq!(a.message.flags.recursion_desired, b.message.flags.recursion_desired);
+        }
+    }
+
+    #[test]
+    fn pcap_round_trip_v4(entries in proptest::collection::vec(arb_entry(), 0..20)) {
+        let (pcap, skipped) = write_pcap(&entries);
+        prop_assert_eq!(skipped, 0, "all-v4 entries all written");
+        let (back, bad) = parse_pcap(&pcap).unwrap();
+        prop_assert_eq!(bad, 0);
+        // pcap is lossy about TLS (it is just TCP on the wire unless a
+        // port is 853): normalize the expectation accordingly.
+        let expected: Vec<TraceEntry> = entries
+            .into_iter()
+            .map(|mut e| {
+                if e.transport == Transport::Tls && e.src.port() != 853 && e.dst.port() != 853 {
+                    e.transport = Transport::Tcp;
+                }
+                e
+            })
+            .collect();
+        prop_assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn binary_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_binary(&bytes);
+    }
+
+    #[test]
+    fn pcap_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_pcap(&bytes);
+    }
+
+    #[test]
+    fn text_parser_never_panics(s in "[ -~\n]{0,300}") {
+        let _ = parse_text(&s);
+    }
+
+    #[test]
+    fn mutator_preserves_count_and_order(
+        entries in proptest::collection::vec(arb_entry(), 1..30),
+        scale in 0.1f64..5.0,
+    ) {
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|e| e.time_us);
+        let mut mutated = sorted.clone();
+        Mutator::new(vec![
+            Mutation::SetTransport(Transport::Tcp),
+            Mutation::ScaleTime(scale),
+            Mutation::UniquePrefix { tag: "p".into() },
+        ]).apply(&mut mutated);
+        prop_assert_eq!(mutated.len(), sorted.len());
+        // Time order preserved under positive scaling.
+        prop_assert!(mutated.windows(2).all(|w| w[0].time_us <= w[1].time_us));
+        // First timestamp anchored.
+        prop_assert_eq!(mutated[0].time_us, sorted[0].time_us);
+        // Unique names.
+        let names: std::collections::HashSet<String> =
+            mutated.iter().map(|e| e.qname().unwrap().to_string()).collect();
+        prop_assert_eq!(names.len(), mutated.len());
+    }
+
+    #[test]
+    fn message_embedding_is_lossless_for_responses(
+        entry in arb_entry(),
+        answers in 0usize..4,
+    ) {
+        // Responses with answer bodies only survive the binary format.
+        let mut e = entry;
+        let mut resp = e.message.response_to();
+        for i in 0..answers {
+            resp.answers.push(dns_wire::Record::new(
+                e.message.question().unwrap().name.clone(),
+                60 + i as u32,
+                dns_wire::RData::A(Ipv4Addr::from(i as u32 + 1)),
+            ));
+        }
+        e.message = resp;
+        let bin = write_binary(std::slice::from_ref(&e));
+        let back = parse_binary(&bin).unwrap();
+        prop_assert_eq!(&back[0], &e);
+        prop_assert_eq!(back[0].message.answers.len(), answers);
+    }
+}
+
+/// Text round trip must also survive a full re-serialization cycle
+/// (text → entries → text): fixed point after one pass.
+#[test]
+fn text_fixed_point() {
+    let entries: Vec<TraceEntry> = (0..10)
+        .map(|i| {
+            TraceEntry::query(
+                i * 1000,
+                "10.0.0.1:53".parse().unwrap(),
+                "10.0.0.2:53".parse().unwrap(),
+                i as u16,
+                format!("n{i}.example.com").parse().unwrap(),
+                RecordType::A,
+            )
+        })
+        .collect();
+    let t1 = write_text(&entries);
+    let t2 = write_text(&parse_text(&t1).unwrap());
+    assert_eq!(t1, t2);
+}

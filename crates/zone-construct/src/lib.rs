@@ -1,0 +1,20 @@
+//! # zone-construct
+//!
+//! The Zone Constructor of paper §2.3: rebuild the parts of the DNS
+//! hierarchy a trace touches, as reusable zone files, by replaying
+//! unique queries once through a cold-cache recursive walk and
+//! reversing the captured authoritative responses into per-zone files —
+//! with zone-cut splitting, glue recovery, fake-but-valid SOA synthesis
+//! and first-answer-wins conflict handling.
+//!
+//! The "real Internet" of the one-time fetch is replaced by
+//! [`SimulatedInternet`] (substitution documented in DESIGN.md §2),
+//! which exercises the identical code path without network access.
+
+#![warn(missing_docs)]
+
+pub mod construct;
+pub mod simulated_internet;
+
+pub use construct::{build_from_trace, construct, harvest, ConstructedHierarchy};
+pub use simulated_internet::{CapturedExchange, SimulatedInternet};

@@ -1,0 +1,238 @@
+//! A synthetic "real Internet" for the zone constructor's one-time
+//! fetch (paper §2.3).
+//!
+//! The paper builds zones by replaying unique queries once against the
+//! live Internet and harvesting authoritative responses. A reproduction
+//! cannot (and must not) hit the real Internet, so this module builds a
+//! deterministic global hierarchy — root, TLDs, and an SLD zone for
+//! every name the workload will query — served by per-zone
+//! [`ServerEngine`]s at distinct public addresses. The constructor's
+//! recursive walk then exercises exactly the code path the paper
+//! describes: cold-cache iteration from the root with every referral and
+//! glue fetch.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+use dns_resolver::Upstream;
+use dns_server::ServerEngine;
+use dns_wire::{Message, Name, RData, Record, Soa};
+use dns_zone::{Catalog, Zone};
+
+/// One captured query/response exchange, tagged with the authoritative
+/// server that answered — the unit the constructor reverses.
+#[derive(Debug, Clone)]
+pub struct CapturedExchange {
+    /// The authoritative server's (public) address.
+    pub server: IpAddr,
+    /// The query sent.
+    pub query: Message,
+    /// The response received.
+    pub response: Message,
+}
+
+/// The synthetic global hierarchy.
+pub struct SimulatedInternet {
+    engines: HashMap<IpAddr, ServerEngine>,
+    /// Root server addresses (hints for the resolver).
+    pub root_addrs: Vec<IpAddr>,
+    /// Captured exchanges, appended by [`Upstream::exchange`].
+    pub capture: Vec<CapturedExchange>,
+    /// Queries answered (for load accounting: zone construction is a
+    /// one-time cost, paper §2.3).
+    pub queries_served: u64,
+}
+
+fn soa_for(origin: &Name) -> Record {
+    Record::new(
+        origin.clone(),
+        86400,
+        RData::Soa(Soa {
+            mname: format!("ns1.{origin}").parse().unwrap_or_else(|_| origin.clone()),
+            rname: "hostmaster.invalid.".parse().unwrap(),
+            serial: 20181031,
+            refresh: 1800,
+            retry: 900,
+            expire: 604800,
+            minimum: 86400,
+        }),
+    )
+}
+
+impl SimulatedInternet {
+    /// Build a hierarchy that can answer every name in `sld_zones`,
+    /// each zone holding A records for `hosts` labels plus its apex
+    /// NS/SOA. TLDs are inferred from the zone names.
+    pub fn new(sld_zones: &[String], hosts: &[&str]) -> Self {
+        let mut engines = HashMap::new();
+        let mut next_ip = 1u32;
+        let mut alloc = || {
+            let ip = Ipv4Addr::from(0xc600_0000u32 + next_ip); // 198.x pool
+            next_ip += 1;
+            IpAddr::V4(ip)
+        };
+
+        // Infer the TLD set.
+        let mut tlds: Vec<Name> = Vec::new();
+        let mut sld_names: Vec<Name> = Vec::new();
+        for z in sld_zones {
+            let name: Name = z.parse().expect("valid zone name");
+            let mut tld = name.clone();
+            while tld.label_count() > 1 {
+                tld = tld.parent().unwrap();
+            }
+            if !tlds.contains(&tld) {
+                tlds.push(tld);
+            }
+            sld_names.push(name);
+        }
+        tlds.sort();
+
+        // Allocate nameserver addresses.
+        let root_addr = alloc();
+        let tld_addrs: HashMap<Name, IpAddr> = tlds.iter().map(|t| (t.clone(), alloc())).collect();
+        let sld_addrs: HashMap<Name, IpAddr> =
+            sld_names.iter().map(|z| (z.clone(), alloc())).collect();
+
+        // Root zone: delegations for each TLD.
+        let mut root = Zone::new(Name::root());
+        root.insert(soa_for(&Name::root())).unwrap();
+        root.insert(Record::new(Name::root(), 518400, RData::Ns("a.root-servers.net.".parse().unwrap()))).unwrap();
+        root.insert(Record::new("a.root-servers.net.".parse().unwrap(), 518400, ip_rdata(root_addr))).unwrap();
+        for tld in &tlds {
+            let ns_name: Name = format!("ns.{tld}").parse().unwrap();
+            root.insert(Record::new(tld.clone(), 172800, RData::Ns(ns_name.clone()))).unwrap();
+            root.insert(Record::new(ns_name, 172800, ip_rdata(tld_addrs[tld]))).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.insert(root);
+        engines.insert(root_addr, ServerEngine::with_catalog(cat));
+
+        // TLD zones: delegations for each SLD under them.
+        for tld in &tlds {
+            let mut zone = Zone::new(tld.clone());
+            zone.insert(soa_for(tld)).unwrap();
+            let tld_ns: Name = format!("ns.{tld}").parse().unwrap();
+            zone.insert(Record::new(tld.clone(), 172800, RData::Ns(tld_ns.clone()))).unwrap();
+            zone.insert(Record::new(tld_ns, 172800, ip_rdata(tld_addrs[tld]))).unwrap();
+            for sld in sld_names.iter().filter(|s| s.is_proper_subdomain_of(tld)) {
+                let ns_name: Name = format!("ns1.{sld}").parse().unwrap();
+                zone.insert(Record::new(sld.clone(), 172800, RData::Ns(ns_name.clone()))).unwrap();
+                zone.insert(Record::new(ns_name, 172800, ip_rdata(sld_addrs[sld]))).unwrap();
+            }
+            let mut cat = Catalog::new();
+            cat.insert(zone);
+            engines.insert(tld_addrs[tld], ServerEngine::with_catalog(cat));
+        }
+
+        // SLD zones: hosts with deterministic addresses.
+        for (zi, sld) in sld_names.iter().enumerate() {
+            let mut zone = Zone::new(sld.clone());
+            zone.insert(soa_for(sld)).unwrap();
+            let ns_name: Name = format!("ns1.{sld}").parse().unwrap();
+            zone.insert(Record::new(sld.clone(), 3600, RData::Ns(ns_name.clone()))).unwrap();
+            zone.insert(Record::new(ns_name, 3600, ip_rdata(sld_addrs[sld]))).unwrap();
+            for (hi, host) in hosts.iter().enumerate() {
+                let hname: Name = format!("{host}.{sld}").parse().unwrap();
+                let addr = Ipv4Addr::new(203, (zi % 250) as u8, (hi % 250) as u8, 10);
+                zone.insert(Record::new(hname, 300, RData::A(addr))).unwrap();
+            }
+            let mut cat = Catalog::new();
+            cat.insert(zone);
+            engines.insert(sld_addrs[sld], ServerEngine::with_catalog(cat));
+        }
+
+        SimulatedInternet {
+            engines,
+            root_addrs: vec![root_addr],
+            capture: Vec::new(),
+            queries_served: 0,
+        }
+    }
+
+    /// Number of distinct authoritative servers.
+    pub fn server_count(&self) -> usize {
+        self.engines.len()
+    }
+}
+
+fn ip_rdata(addr: IpAddr) -> RData {
+    match addr {
+        IpAddr::V4(v4) => RData::A(v4),
+        IpAddr::V6(v6) => RData::Aaaa(v6),
+    }
+}
+
+impl Upstream for SimulatedInternet {
+    fn exchange(&mut self, server: IpAddr, query: &Message) -> Option<Message> {
+        let engine = self.engines.get(&server)?;
+        // The constructor captures at the recursive's upstream
+        // interface: every response is recorded with its source.
+        let response = engine.answer("10.2.0.1".parse().unwrap(), query);
+        self.queries_served += 1;
+        self.capture.push(CapturedExchange {
+            server,
+            query: query.clone(),
+            response: response.clone(),
+        });
+        Some(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_resolver::IterativeResolver;
+    use dns_wire::{Rcode, RecordType};
+
+    fn zones() -> Vec<String> {
+        vec![
+            "zone0.ex0.com".into(),
+            "zone1.ex1.net".into(),
+            "zone2.ex2.org".into(),
+        ]
+    }
+
+    #[test]
+    fn builds_expected_server_population() {
+        let net = SimulatedInternet::new(&zones(), &["www", "mail"]);
+        // 1 root + 3 TLDs + 3 SLDs.
+        assert_eq!(net.server_count(), 7);
+    }
+
+    #[test]
+    fn cold_cache_resolution_succeeds_and_captures() {
+        let mut net = SimulatedInternet::new(&zones(), &["www", "mail"]);
+        let hints = net.root_addrs.clone();
+        let mut resolver = IterativeResolver::new(hints);
+        let res = resolver
+            .resolve(&mut net, &"www.zone0.ex0.com".parse().unwrap(), RecordType::A, 0.0)
+            .unwrap();
+        assert_eq!(res.rcode, Rcode::NoError);
+        assert_eq!(res.upstream_queries, 3, "root → tld → sld");
+        // All three exchanges captured with distinct servers.
+        assert_eq!(net.capture.len(), 3);
+        let servers: std::collections::HashSet<IpAddr> =
+            net.capture.iter().map(|c| c.server).collect();
+        assert_eq!(servers.len(), 3);
+    }
+
+    #[test]
+    fn nonexistent_names_get_nxdomain() {
+        let mut net = SimulatedInternet::new(&zones(), &["www"]);
+        let hints = net.root_addrs.clone();
+        let mut resolver = IterativeResolver::new(hints);
+        let res = resolver
+            .resolve(&mut net, &"nope.zone0.ex0.com".parse().unwrap(), RecordType::A, 0.0)
+            .unwrap();
+        assert_eq!(res.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn deterministic_addressing() {
+        let a = SimulatedInternet::new(&zones(), &["www"]);
+        let b = SimulatedInternet::new(&zones(), &["www"]);
+        assert_eq!(a.root_addrs, b.root_addrs);
+        assert_eq!(a.server_count(), b.server_count());
+    }
+}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Captures the real-socket experiments (Figures 6-9) and the ablations.
+# Run after the simulator chain so the timing experiments get the CPU.
+set -e
+./target/release/fig06_07_08 --seconds 10 --trials 3 --broot-rate 1000 > results/fig06_07_08.txt 2>&1
+./target/release/fig09 --seconds 10 > results/fig09.txt 2>&1
+./target/release/ablations --seconds 3 > results/ablations.txt 2>&1
+echo FIDELITY_SUITE_DONE
