@@ -9,7 +9,7 @@
 //! [`crate::IterativeResolver`] handles glue-less chains and is what
 //! zone construction uses).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
 
 use dns_wire::{Message, Name, RData, Rcode, RecordType};
@@ -54,9 +54,9 @@ pub struct SimResolver {
     addr: SocketAddr,
     root_hints: Vec<IpAddr>,
     cache: Cache,
-    delegations: HashMap<Name, Vec<IpAddr>>,
-    tasks: HashMap<u64, Task>,
-    upstream_map: HashMap<u16, u64>,
+    delegations: BTreeMap<Name, Vec<IpAddr>>,
+    tasks: BTreeMap<u64, Task>,
+    upstream_map: BTreeMap<u16, u64>,
     next_task: u64,
     next_id: u16,
     /// Upstream query timeout.
@@ -74,9 +74,9 @@ impl SimResolver {
             addr,
             root_hints,
             cache: Cache::new(),
-            delegations: HashMap::new(),
-            tasks: HashMap::new(),
-            upstream_map: HashMap::new(),
+            delegations: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            upstream_map: BTreeMap::new(),
             next_task: 0,
             next_id: 1,
             timeout: SimDuration::from_secs(2),

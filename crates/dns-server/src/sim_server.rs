@@ -3,7 +3,7 @@
 //! idle-timeout control — the server side of the §5.2 resource and
 //! latency experiments.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
@@ -21,7 +21,7 @@ pub struct SimDnsServer {
     /// Idle timeout imposed on incoming connections (`None` = never).
     idle_timeout: Option<SimDuration>,
     /// Per-connection reassembly buffers and peer addresses.
-    conns: HashMap<ConnId, (FrameBuffer, SocketAddr)>,
+    conns: BTreeMap<ConnId, (FrameBuffer, SocketAddr)>,
     /// Optional response rate limiter (UDP responses only, as deployed).
     pub rrl: Option<RateLimiter>,
     /// Total queries answered (all transports).
@@ -35,7 +35,7 @@ impl SimDnsServer {
             engine,
             addr,
             idle_timeout,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             rrl: None,
             queries_handled: 0,
         }

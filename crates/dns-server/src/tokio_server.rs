@@ -37,8 +37,8 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            udp_addr: "127.0.0.1:0".parse().unwrap(),
-            tcp_addr: "127.0.0.1:0".parse().unwrap(),
+            udp_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            tcp_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             udp_workers: 4,
             tcp_idle_timeout: Duration::from_secs(20),
         }

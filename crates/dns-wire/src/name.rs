@@ -190,8 +190,12 @@ impl Name {
 
     /// Replace the leftmost label with `*` (for wildcard synthesis).
     pub fn to_wildcard(&self) -> Option<Name> {
+        // Swapping a label for the one-byte `*` can only shrink the
+        // name, so this construction never exceeds the wire limits.
         self.parent().map(|p| {
-            p.child(b"*").expect("wildcard label always fits")
+            let mut labels = vec![b"*".to_vec().into_boxed_slice()];
+            labels.extend(p.labels.iter().cloned());
+            Name { labels }
         })
     }
 

@@ -439,12 +439,9 @@ impl RData {
             if data.len() != len {
                 return Err(format!("generic rdata length {} != declared {len}", data.len()));
             }
-            return Ok(match rtype {
-                t if RData::decode_from_generic(t, &data).is_some() =>
-                {
-                    RData::decode_from_generic(t, &data).unwrap()
-                }
-                t => RData::Unknown { rtype: t.to_u16(), data },
+            return Ok(match RData::decode_from_generic(rtype, &data) {
+                Some(rd) => rd,
+                None => RData::Unknown { rtype: rtype.to_u16(), data },
             });
         }
 

@@ -132,10 +132,18 @@ impl WireWriter {
             if self.buf.len() <= 0x3fff {
                 self.compress_map.insert(current.clone(), self.buf.len() as u16);
             }
-            let label = current.leftmost().expect("non-root has a label").to_vec();
+            let (Some(label), Some(parent)) = (
+                current.leftmost().map(<[u8]>::to_vec),
+                current.parent(),
+            ) else {
+                // Unreachable for a non-root name; emit the terminator
+                // rather than panic in the encode hot path (rule P1).
+                self.buf.push(0);
+                return;
+            };
             self.buf.push(label.len() as u8);
             self.buf.extend_from_slice(&label);
-            current = current.parent().expect("non-root has a parent");
+            current = parent;
         }
     }
 

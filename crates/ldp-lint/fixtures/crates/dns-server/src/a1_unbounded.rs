@@ -1,0 +1,5 @@
+// Fixture: trips A1 — unbounded channel in a server crate.
+
+pub fn make_pipeline() {
+    let (_tx, _rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+}

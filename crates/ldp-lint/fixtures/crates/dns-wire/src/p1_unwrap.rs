@@ -1,0 +1,8 @@
+// Fixture: trips P1 — panic in a packet-decode hot path.
+
+pub fn read_id(buf: &[u8]) -> u16 {
+    // A truncated packet panics the server here.
+    let hi = *buf.first().unwrap() as u16;
+    let lo = buf[1] as u16;
+    (hi << 8) | lo
+}

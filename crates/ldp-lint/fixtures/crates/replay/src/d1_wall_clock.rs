@@ -1,0 +1,7 @@
+// Fixture: trips D1 — wall-clock read in virtual-time code.
+use std::time::Instant;
+
+pub fn elapsed_since_start() -> std::time::Duration {
+    let now = Instant::now();
+    now.elapsed()
+}

@@ -1,0 +1,6 @@
+// Fixture: trips D3 — ambient randomness instead of a seeded RNG.
+
+pub fn pick_jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

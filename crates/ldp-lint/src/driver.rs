@@ -1,0 +1,225 @@
+//! Workspace walk, diagnostic rendering, and exit-code policy.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::Allowlist;
+use crate::rules::{analyze_source, Diagnostic, Severity};
+
+/// Outcome of a full `check` run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Errors that survived the allowlist (non-empty → exit 1).
+    pub errors: Vec<Diagnostic>,
+    /// Warnings (never fail the run).
+    pub warnings: Vec<Diagnostic>,
+    /// Diagnostics suppressed by the allowlist.
+    pub suppressed: usize,
+    /// Stale allowlist entries (`RULE path` strings).
+    pub unused_allows: Vec<String>,
+    /// Number of `.rs` files analyzed.
+    pub files: usize,
+}
+
+impl CheckReport {
+    /// Process exit code for this report.
+    pub fn exit_code(&self) -> i32 {
+        if self.errors.is_empty() {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &[".git", "target", "node_modules"];
+
+/// Recursively collect `.rs` files under `root`, sorted for stable output.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?.filter_map(|e| e.ok()).collect();
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Run every rule over every `.rs` file under `root`, filtering through
+/// `allowlist`.
+pub fn check(root: &Path, mut allowlist: Allowlist) -> std::io::Result<CheckReport> {
+    let mut report = CheckReport::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => continue, // non-UTF8 (shouldn't happen in this tree)
+        };
+        report.files += 1;
+        for diag in analyze_source(&rel, &src) {
+            if allowlist.allows(&diag) {
+                report.suppressed += 1;
+            } else if diag.severity == Severity::Error {
+                report.errors.push(diag);
+            } else {
+                report.warnings.push(diag);
+            }
+        }
+    }
+    report.unused_allows = allowlist
+        .unused()
+        .iter()
+        .map(|e| format!("{} {} ({}:{})", e.rule, e.path_suffix, allowlist.name(), e.line))
+        .collect();
+    Ok(report)
+}
+
+/// Render one diagnostic in the conventional `path:line` form.
+pub fn render(diag: &Diagnostic) -> String {
+    let sev = match diag.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    format!(
+        "{}:{}: {sev}[{}]: {}",
+        diag.path, diag.line, diag.rule, diag.message
+    )
+}
+
+/// Print the full report to stdout/stderr; returns the exit code.
+pub fn print_report(report: &CheckReport) -> i32 {
+    for w in &report.warnings {
+        println!("{}", render(w));
+    }
+    for e in &report.errors {
+        println!("{}", render(e));
+    }
+    for u in &report.unused_allows {
+        println!("warning[allowlist]: unused entry {u}");
+    }
+    let verdict = if report.errors.is_empty() { "ok" } else { "FAIL" };
+    println!(
+        "ldp-lint: {} — {} files, {} error(s), {} warning(s), {} suppressed",
+        verdict,
+        report.files,
+        report.errors.len(),
+        report.warnings.len(),
+        report.suppressed
+    );
+    report.exit_code()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed fixture tree, resolved both under cargo and under a
+    /// bare `rustc --test` invoked from the repo root.
+    fn fixture_root() -> PathBuf {
+        if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+            return Path::new(dir).join("fixtures");
+        }
+        for cand in ["crates/ldp-lint/fixtures", "fixtures"] {
+            let p = Path::new(cand);
+            if p.is_dir() {
+                return p.to_path_buf();
+            }
+        }
+        panic!("fixture tree not found; run from the repo root");
+    }
+
+    fn fixture_report() -> CheckReport {
+        check(&fixture_root(), Allowlist::default()).expect("fixture walk")
+    }
+
+    #[test]
+    fn fixtures_fail_with_nonzero_exit() {
+        let report = fixture_report();
+        assert!(!report.errors.is_empty());
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn fixtures_trip_every_rule_with_correct_locations() {
+        let report = fixture_report();
+        let hit = |rule: &str, path_suffix: &str| {
+            report
+                .errors
+                .iter()
+                .find(|d| d.rule == rule && d.path.ends_with(path_suffix))
+                .unwrap_or_else(|| panic!("expected {rule} in {path_suffix}: {:#?}", report.errors))
+        };
+        assert_eq!(hit("D1", "replay/src/d1_wall_clock.rs").line, 5);
+        assert_eq!(hit("D2", "netsim/src/d2_hash_iter.rs").line, 10);
+        assert_eq!(hit("D3", "workloads/src/d3_thread_rng.rs").line, 4);
+        assert_eq!(hit("P1", "dns-wire/src/p1_unwrap.rs").line, 5);
+        assert_eq!(hit("A1", "dns-server/src/a1_unbounded.rs").line, 4);
+    }
+
+    #[test]
+    fn clean_fixture_produces_no_errors() {
+        let report = fixture_report();
+        assert!(
+            !report.errors.iter().any(|d| d.path.ends_with("clean.rs")),
+            "clean fixture must not be flagged: {:#?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn allowlist_suppresses_fixture_errors() {
+        let al = Allowlist::parse(
+            "D1 replay/src/d1_wall_clock.rs -- fixture\n\
+             D2 netsim/src/d2_hash_iter.rs\n\
+             D3 workloads/src/d3_thread_rng.rs\n\
+             P1 dns-wire/src/p1_unwrap.rs\n\
+             A1 dns-server/src/a1_unbounded.rs\n",
+        )
+        .unwrap();
+        let report = check(&fixture_root(), al).expect("fixture walk");
+        assert!(report.errors.is_empty(), "{:#?}", report.errors);
+        assert!(report.suppressed >= 5);
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn unused_allowlist_entries_are_reported() {
+        let al = Allowlist::parse("P1 no/such/file.rs").unwrap();
+        let report = check(&fixture_root(), al).expect("fixture walk");
+        assert_eq!(report.unused_allows.len(), 1);
+        assert!(report.unused_allows[0].contains("no/such/file.rs"));
+    }
+
+    #[test]
+    fn render_is_path_line_rule_message() {
+        let d = Diagnostic {
+            rule: "D1",
+            severity: Severity::Error,
+            path: "crates/replay/src/engine.rs".into(),
+            line: 121,
+            message: "wall clock".into(),
+        };
+        assert_eq!(
+            render(&d),
+            "crates/replay/src/engine.rs:121: error[D1]: wall clock"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! `ldp-lint` — LDplayer's own static-analysis pass.
+//!
+//! Enforces the determinism and panic-safety invariants the simulator's
+//! correctness claims rest on (see DESIGN.md "Correctness invariants"):
+//!
+//! * **D1** no wall-clock reads outside real-clock modules
+//! * **D2** no order-dependent hash-map iteration in simulator paths
+//! * **D3** no ambient randomness — all RNG flows from a seed
+//! * **P1** no panics in packet-decode / server hot paths
+//! * **A1** no unbounded channels in server/replay/proxy crates
+//!
+//! Usage:
+//!
+//! ```text
+//! ldp-lint check [--root DIR] [--allowlist FILE]
+//! ldp-lint rules
+//! ```
+//!
+//! `check` walks every `.rs` file under `--root` (default: the nearest
+//! ancestor containing `Cargo.toml`, i.e. the workspace root), applies
+//! the rules, filters through the allowlist (default: `ldp-lint.allow`
+//! next to that `Cargo.toml`, if present), prints `path:line` diagnostics
+//! and exits 1 on any non-allowlisted error.
+//!
+//! The crate is deliberately dependency-free (a hand-rolled lexer rather
+//! than `syn`) so the pass runs even on offline builders where the
+//! registry is unreachable: `rustc --edition 2021 crates/ldp-lint/src/main.rs`
+//! produces a working binary.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod allowlist;
+mod driver;
+mod lexer;
+mod rules;
+
+use allowlist::Allowlist;
+
+fn usage() -> &'static str {
+    "usage: ldp-lint <check [--root DIR] [--allowlist FILE] | rules>"
+}
+
+/// Nearest ancestor of the current directory containing a `Cargo.toml`
+/// with a `[workspace]` table (falls back to plain `Cargo.toml`, then `.`).
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut fallback: Option<PathBuf> = None;
+    let mut dir: Option<&Path> = Some(&cwd);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d.to_path_buf();
+            }
+            fallback.get_or_insert_with(|| d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    fallback.unwrap_or(cwd)
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("ldp-lint: --root needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("ldp-lint: --allowlist needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("ldp-lint: unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    if !root.is_dir() {
+        eprintln!("ldp-lint: root {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+
+    // Default allowlist: `ldp-lint.allow` at the root, when it exists.
+    let allow_path = allow_path.or_else(|| {
+        let p = root.join("ldp-lint.allow");
+        p.is_file().then_some(p)
+    });
+    let allow = match &allow_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match Allowlist::parse_named(&text, &p.display().to_string()) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("ldp-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("ldp-lint: cannot read {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Allowlist::default(),
+    };
+
+    match driver::check(&root, allow) {
+        Ok(report) => ExitCode::from(driver::print_report(&report) as u8),
+        Err(e) => {
+            eprintln!("ldp-lint: walk failed under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_rules() -> ExitCode {
+    print!(
+        "\
+D1  error    no Instant::now/SystemTime::now outside real-clock modules
+             (tokio_* modules, capture.rs, crates/bench)
+D2  error    no order-dependent iteration over HashMap/HashSet in
+             simulator paths (crates/netsim/src, sim_*.rs) — use BTreeMap
+    warning  any HashMap/HashSet mention in those paths
+D3  error    no thread_rng / rand::random / from_entropy anywhere —
+             randomness must flow from a seeded RNG
+P1  error    no unwrap/expect/panic!/unreachable!/todo!/unimplemented!
+             in hot paths (crates/dns-wire/src, crates/proxy/src,
+             crates/dns-server/src/engine.rs)
+A1  error    no unbounded channels in dns-server/replay/proxy crates
+
+Test code (#[cfg(test)], #[test]), tests/, benches/, examples/ and
+fixtures/ are exempt. Intentional exceptions go in ldp-lint.allow as
+`RULE path-suffix -- reason`.
+"
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("rules") => cmd_rules(),
+        Some(other) => {
+            eprintln!("ldp-lint: unknown command {other:?}\n{}", usage());
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

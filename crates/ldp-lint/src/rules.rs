@@ -1,0 +1,645 @@
+//! The five LDplayer correctness rules.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D1   | no wall-clock reads (`Instant::now`, `SystemTime::now`) outside real-clock modules |
+//! | D2   | no order-dependent iteration over `HashMap`/`HashSet` in simulator-path code |
+//! | D3   | no ambient randomness (`thread_rng`, `rand::random`, `from_entropy`) — all RNG is seeded |
+//! | P1   | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in packet-decode and server hot paths |
+//! | A1   | no unbounded channels in the server/replay/proxy crates |
+//!
+//! Detection is token-based (see [`crate::lexer`]): comments, strings
+//! and `#[cfg(test)]` code never trigger a rule. Scoping is path-based
+//! and mirrors the workspace layout, so the fixture tree under
+//! `crates/ldp-lint/fixtures/` can reproduce every scope.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{test_code_mask, tokenize, Token};
+
+/// Diagnostic severity. Only errors fail the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; reported but does not fail the run.
+    Warning,
+    /// Invariant violation; fails the run unless allowlisted.
+    Error,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id: `D1`, `D2`, `D3`, `P1`, `A1`.
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Path as given to the analyzer (workspace-relative).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Path-derived scope of a file, controlling which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// Test/bench/example/fixture code: no rules at all.
+    pub exempt: bool,
+    /// Real-clock module (D1 does not apply): `tokio_*`, `capture.rs`,
+    /// bench binaries.
+    pub real_clock_ok: bool,
+    /// Simulator-path file (D2 applies): `crates/netsim/src/**`,
+    /// `sim_*.rs` anywhere.
+    pub sim_path: bool,
+    /// Panic-safety hot path (P1 applies): `crates/dns-wire/src/**`,
+    /// `crates/proxy/src/**`, `crates/dns-server/src/engine.rs`.
+    pub hot_path: bool,
+    /// Channel-discipline crate (A1 applies): dns-server, replay, proxy.
+    pub channel_scope: bool,
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(path: &str) -> FileScope {
+    let p = path.replace('\\', "/");
+    let file = p.rsplit('/').next().unwrap_or(&p);
+    let in_dir = |d: &str| p.contains(&format!("/{d}/")) || p.starts_with(&format!("{d}/"));
+
+    let exempt = in_dir("tests")
+        || in_dir("benches")
+        || in_dir("examples")
+        || in_dir("fixtures")
+        || in_dir("target");
+    let real_clock_ok = file.starts_with("tokio_")
+        || file == "capture.rs"
+        || in_dir("crates/bench")
+        || p.contains("crates/bench/");
+    let sim_path = p.contains("crates/netsim/src/") || file.starts_with("sim_");
+    let hot_path = p.contains("crates/dns-wire/src/")
+        || p.contains("crates/proxy/src/")
+        || p.ends_with("crates/dns-server/src/engine.rs")
+        || p == "crates/dns-server/src/engine.rs";
+    let channel_scope = p.contains("crates/dns-server/")
+        || p.contains("crates/replay/")
+        || p.contains("crates/proxy/");
+
+    FileScope { exempt, real_clock_ok, sim_path, hot_path, channel_scope }
+}
+
+/// Run every applicable rule over one file's source.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let scope = classify(path);
+    if scope.exempt {
+        return Vec::new();
+    }
+    let tokens = tokenize(src);
+    let mask = test_code_mask(&tokens);
+    // Production-code tokens only (indices preserved via filtering pairs).
+    let prod: Vec<&Token> = tokens
+        .iter()
+        .zip(&mask)
+        .filter(|(_, &m)| !m)
+        .map(|(t, _)| t)
+        .collect();
+
+    let mut diags = Vec::new();
+    if !scope.real_clock_ok {
+        rule_d1(path, &prod, &mut diags);
+    }
+    if scope.sim_path {
+        rule_d2(path, &prod, &mut diags);
+    }
+    rule_d3(path, &prod, &mut diags);
+    if scope.hot_path {
+        rule_p1(path, &prod, &mut diags);
+    }
+    if scope.channel_scope {
+        rule_a1(path, &prod, &mut diags);
+    }
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+fn push(
+    diags: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    severity: Severity,
+    path: &str,
+    line: u32,
+    message: impl Into<String>,
+) {
+    diags.push(Diagnostic {
+        rule,
+        severity,
+        path: path.to_string(),
+        line,
+        message: message.into(),
+    });
+}
+
+/// D1 — wall-clock reads in virtual-time code.
+fn rule_d1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    for w in toks.windows(3) {
+        let clock = w[0].text.as_str();
+        if (clock == "Instant" || clock == "SystemTime")
+            && w[1].text == "::"
+            && w[2].text == "now"
+        {
+            push(
+                diags,
+                "D1",
+                Severity::Error,
+                path,
+                w[0].line,
+                format!(
+                    "{clock}::now() outside a real-clock module — route time through \
+                     the clock abstraction (replay::clock / netsim virtual time)"
+                ),
+            );
+        }
+    }
+}
+
+/// Methods whose call on a hash collection is order-dependent.
+const ORDER_DEPENDENT_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// D2 — order-dependent iteration over hash collections in sim paths.
+///
+/// Two layers:
+/// 1. *Error*: iteration (`.iter()`, `.keys()`, `for … in map`, …) over
+///    an identifier that this file declares with a `HashMap`/`HashSet`
+///    type (struct field, `let` with annotation, or `= HashMap::new()`).
+/// 2. *Warning*: any other mention of `HashMap`/`HashSet` in a sim-path
+///    file — the type itself invites order dependence; use `BTreeMap`/
+///    `BTreeSet`.
+fn rule_d2(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    let hash_names = collect_hash_decls(toks);
+
+    for (i, t) in toks.iter().enumerate() {
+        // Layer 1a: `recv.method(` where recv ∈ hash_names, method order-dependent.
+        if t.text == "."
+            && i + 2 < toks.len()
+            && ORDER_DEPENDENT_METHODS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].text == "("
+        {
+            if let Some(recv) = receiver_ident(toks, i) {
+                if hash_names.contains(recv.as_str()) {
+                    push(
+                        diags,
+                        "D2",
+                        Severity::Error,
+                        path,
+                        toks[i + 1].line,
+                        format!(
+                            "order-dependent `.{}()` over hash collection `{recv}` in \
+                             simulator-path code — use BTreeMap/BTreeSet",
+                            toks[i + 1].text
+                        ),
+                    );
+                }
+            }
+        }
+        // Layer 1b: `for pat in [&[mut]] recv {` / `for (…) in recv.…`.
+        if t.text == "for" {
+            if let Some((recv, line)) = for_loop_receiver(toks, i) {
+                if hash_names.contains(recv.as_str()) {
+                    push(
+                        diags,
+                        "D2",
+                        Severity::Error,
+                        path,
+                        line,
+                        format!(
+                            "order-dependent `for` over hash collection `{recv}` in \
+                             simulator-path code — use BTreeMap/BTreeSet"
+                        ),
+                    );
+                }
+            }
+        }
+        // Layer 2: hash collection types at all in sim paths.
+        if t.text == "HashMap" || t.text == "HashSet" {
+            // Skip the declaration-position duplicates only if already
+            // flagged as errors? No: the warning is cheap and explicit.
+            push(
+                diags,
+                "D2",
+                Severity::Warning,
+                path,
+                t.line,
+                format!(
+                    "`{}` in simulator-path code — prefer BTreeMap/BTreeSet so \
+                     iteration order can never leak into event order",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Names declared in this file with a hash-collection type.
+fn collect_hash_decls(toks: &[&Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.text != "HashMap" && t.text != "HashSet" {
+            continue;
+        }
+        // `name : HashMap` (field or annotated binding), possibly
+        // through `std :: collections ::` path prefix.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].text == "::" {
+            j -= 2; // skip `ident ::`
+        }
+        if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].is_ident() {
+            names.insert(toks[j - 2].text.clone());
+        }
+        // `let [mut] name = HashMap::new(...)` / `with_capacity`.
+        if j >= 2 && toks[j - 1].text == "=" {
+            let mut k = j - 2;
+            if toks[k].is_ident() {
+                // skip nothing; `let mut name =` → toks[k] is name.
+                if toks[k].text == "mut" && k >= 1 {
+                    k -= 1;
+                }
+                names.insert(toks[k].text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// The identifier receiving a method call at dot-index `i`:
+/// `name . m (` → `name`; `self . name . m (` → `name`.
+fn receiver_ident(toks: &[&Token], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let prev = &toks[dot - 1];
+    if prev.is_ident() && prev.text != "self" {
+        return Some(prev.text.clone());
+    }
+    // `) . m (` — a call result; can't resolve.
+    None
+}
+
+/// For `for <pat> in <expr> {`, the trailing identifier of the iterated
+/// expression (before `{` or before `.iter()`-style tails).
+fn for_loop_receiver(toks: &[&Token], for_idx: usize) -> Option<(String, u32)> {
+    // Find `in` at paren/bracket depth 0 after `for`.
+    let mut j = for_idx + 1;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => break,
+            "{" => return None, // malformed / not a for loop
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    // Collect expr tokens until the loop body `{` at depth 0.
+    let mut expr: Vec<&Token> = Vec::new();
+    let mut k = j + 1;
+    depth = 0;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            _ => {}
+        }
+        expr.push(toks[k]);
+        k += 1;
+    }
+    // `&map`, `&mut map`, `map`, `self.map` → last ident token, but
+    // only when the expression is a plain (borrowed) place with no
+    // call: calls like `map.keys()` are handled by the method matcher.
+    if expr.iter().any(|t| t.text == "(") {
+        return None;
+    }
+    let last_ident = expr.iter().rev().find(|t| t.is_ident() && t.text != "mut")?;
+    Some((last_ident.text.clone(), last_ident.line))
+}
+
+/// D3 — ambient (unseeded) randomness anywhere in production code.
+fn rule_d3(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        let flagged = match t.text.as_str() {
+            "thread_rng" => Some("rand::thread_rng()"),
+            "from_entropy" => Some("SeedableRng::from_entropy()"),
+            "random" => {
+                // Only `rand :: random` (the free function), not a field
+                // or method called `random`.
+                if i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "rand" {
+                    Some("rand::random()")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = flagged {
+            push(
+                diags,
+                "D3",
+                Severity::Error,
+                path,
+                t.line,
+                format!(
+                    "{what} draws from ambient entropy — all randomness must flow \
+                     from a seeded RNG (e.g. StdRng::seed_from_u64) for repeatability"
+                ),
+            );
+        }
+    }
+}
+
+/// P1 — panics in packet-decode / server hot paths.
+fn rule_p1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        // `.unwrap()` / `.expect(`
+        if t.text == "."
+            && i + 2 < toks.len()
+            && toks[i + 2].text == "("
+            && (toks[i + 1].text == "unwrap" || toks[i + 1].text == "expect")
+        {
+            push(
+                diags,
+                "P1",
+                Severity::Error,
+                path,
+                toks[i + 1].line,
+                format!(
+                    "`.{}()` in a packet-decode/server hot path — return a typed \
+                     error instead (a malformed packet must never panic the server)",
+                    toks[i + 1].text
+                ),
+            );
+        }
+        // `panic!(` / `unreachable!(` / `todo!(` / `unimplemented!(`
+        if i + 1 < toks.len()
+            && toks[i + 1].text == "!"
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+        {
+            push(
+                diags,
+                "P1",
+                Severity::Error,
+                path,
+                t.line,
+                format!("`{}!` in a packet-decode/server hot path — return a typed error", t.text),
+            );
+        }
+    }
+}
+
+/// A1 — unbounded channels in server/replay/proxy crates.
+fn rule_a1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    for t in toks {
+        if t.text == "unbounded" || t.text == "unbounded_channel" {
+            push(
+                diags,
+                "A1",
+                Severity::Error,
+                path,
+                t.line,
+                format!(
+                    "`{}` creates an unbounded channel — server/replay/proxy stages \
+                     must use bounded channels (the pre-load window, paper §2.6)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn errors(path: &str, src: &str) -> Vec<Diagnostic> {
+        analyze_source(path, src)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    // ---- D1 ----
+
+    #[test]
+    fn d1_flags_wall_clock_in_sim_code() {
+        let src = "fn f() { let t = Instant::now(); let s = std::time::SystemTime::now(); }";
+        let ds = errors("crates/replay/src/engine.rs", src);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.rule == "D1"));
+        assert_eq!(ds[0].line, 1);
+    }
+
+    #[test]
+    fn d1_allows_real_clock_modules() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(errors("crates/replay/src/capture.rs", src).is_empty());
+        assert!(errors("crates/dns-server/src/tokio_server.rs", src).is_empty());
+        assert!(errors("crates/bench/src/bin/ablations.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_ignores_tests_comments_strings() {
+        let src = r#"
+            // Instant::now() here is fine
+            fn f() { let s = "Instant::now()"; }
+            #[cfg(test)]
+            mod tests {
+                fn t() { let x = Instant::now(); }
+            }
+        "#;
+        assert!(errors("crates/netsim/src/sim.rs", src).is_empty());
+    }
+
+    // ---- D2 ----
+
+    #[test]
+    fn d2_flags_iteration_over_declared_hashmap() {
+        let src = r#"
+            use std::collections::HashMap;
+            struct S { events: HashMap<u64, u32> }
+            impl S {
+                fn f(&self) {
+                    for (k, v) in &self.events {}
+                    let _ = self.events.keys().next();
+                }
+            }
+        "#;
+        let ds = errors("crates/netsim/src/sim.rs", src);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule == "D2"));
+    }
+
+    #[test]
+    fn d2_flags_let_bound_hashmap_iteration() {
+        let src = r#"
+            fn f() {
+                let mut m = std::collections::HashMap::new();
+                m.insert(1, 2);
+                for x in m.values() {}
+            }
+        "#;
+        let ds = errors("crates/dns-server/src/sim_server.rs", src);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].rule, "D2");
+    }
+
+    #[test]
+    fn d2_allows_keyed_access_and_btreemap() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            struct S { events: BTreeMap<u64, u32>, lookup: std::collections::HashMap<u64, u32> }
+            impl S {
+                fn f(&mut self) {
+                    let _ = self.lookup.get(&1);
+                    self.lookup.insert(1, 2);
+                    for (k, v) in &self.events {}
+                }
+            }
+        "#;
+        // Keyed access on a HashMap is not an error (warning only);
+        // iterating the BTreeMap is fine.
+        assert!(errors("crates/netsim/src/sim.rs", src).is_empty());
+        // But the HashMap type itself draws a warning in sim paths.
+        let warns: Vec<_> = analyze_source("crates/netsim/src/sim.rs", src)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .collect();
+        assert!(!warns.is_empty());
+    }
+
+    #[test]
+    fn d2_not_applied_outside_sim_paths() {
+        let src = r#"
+            struct S { m: std::collections::HashMap<u64, u32> }
+            impl S { fn f(&self) { for x in self.m.values() {} } }
+        "#;
+        assert!(errors("crates/dns-zone/src/zone.rs", src).is_empty());
+    }
+
+    // ---- D3 ----
+
+    #[test]
+    fn d3_flags_ambient_randomness_everywhere() {
+        let src = r#"
+            fn f() -> u64 {
+                let mut rng = rand::thread_rng();
+                let x: u64 = rand::random();
+                let r = StdRng::from_entropy();
+                0
+            }
+        "#;
+        let ds = errors("crates/workloads/src/zipf.rs", src);
+        assert_eq!(ds.len(), 3, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule == "D3"));
+    }
+
+    #[test]
+    fn d3_allows_seeded_rng_and_random_methods() {
+        let src = r#"
+            fn f(seed: u64) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let v: f64 = rng.gen();
+                let x = config.random; // a field named random is fine
+                let y = obj.random();
+            }
+        "#;
+        assert!(errors("crates/workloads/src/zipf.rs", src).is_empty());
+    }
+
+    // ---- P1 ----
+
+    #[test]
+    fn p1_flags_panics_in_hot_paths() {
+        let src = r#"
+            fn decode(b: &[u8]) -> u8 {
+                let x = b.first().unwrap();
+                let y = b.get(1).expect("has second");
+                if b.len() > 9000 { panic!("too big") }
+                match x { 0 => *x, _ => unreachable!() }
+            }
+        "#;
+        let ds = errors("crates/dns-wire/src/message.rs", src);
+        assert_eq!(ds.len(), 4, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule == "P1"));
+        // Line numbers point at the offending tokens.
+        assert_eq!(ds[0].line, 3);
+    }
+
+    #[test]
+    fn p1_scope_is_hot_paths_only() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }";
+        assert!(!errors("crates/dns-wire/src/name.rs", src).is_empty());
+        assert!(!errors("crates/proxy/src/rewrite.rs", src).is_empty());
+        assert!(!errors("crates/dns-server/src/engine.rs", src).is_empty());
+        // Non-hot-path code may still unwrap (clippy governs it instead).
+        assert!(errors("crates/metrics/src/histogram.rs", src).is_empty());
+        assert!(errors("crates/dns-server/src/rrl.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_ignores_test_code() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("boom"); }
+            }
+        "#;
+        assert!(errors("crates/dns-wire/src/message.rs", src).is_empty());
+    }
+
+    // ---- A1 ----
+
+    #[test]
+    fn a1_flags_unbounded_channels() {
+        let src = r#"
+            fn f() {
+                let (tx, rx) = crossbeam::channel::unbounded::<u8>();
+                let (t2, r2) = tokio::sync::mpsc::unbounded_channel::<u8>();
+            }
+        "#;
+        let ds = errors("crates/replay/src/engine.rs", src);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule == "A1"));
+    }
+
+    #[test]
+    fn a1_allows_bounded_and_other_crates() {
+        let bounded = "fn f() { let (tx, rx) = crossbeam::channel::bounded::<u8>(64); }";
+        assert!(errors("crates/replay/src/engine.rs", bounded).is_empty());
+        let unbounded = "fn f() { let (tx, rx) = crossbeam::channel::unbounded::<u8>(); }";
+        assert!(errors("crates/workloads/src/broot.rs", unbounded).is_empty());
+    }
+
+    // ---- scoping ----
+
+    #[test]
+    fn exempt_dirs_produce_nothing() {
+        let src = "fn f() { Instant::now(); Some(1).unwrap(); }";
+        assert!(analyze_source("crates/netsim/tests/determinism.rs", src).is_empty());
+        assert!(analyze_source("examples/quickstart.rs", src).is_empty());
+        assert!(analyze_source("crates/ldp-lint/fixtures/crates/netsim/src/bad.rs", src).is_empty());
+    }
+}

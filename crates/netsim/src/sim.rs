@@ -4,8 +4,7 @@
 //! coalescing with delayed ACKs, server idle timeouts, and TIME_WAIT
 //! accounting (Figures 11, 13, 14, 15).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
 
 use rand::rngs::StdRng;
@@ -296,13 +295,15 @@ impl<'a> Ctx<'a> {
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
-    events: HashMap<u64, Event>,
+    /// The event queue, keyed by (time, insertion seq): `pop_first`
+    /// yields events in time order with FIFO tie-breaking, and the
+    /// ordering is fully deterministic — never hash-dependent (rule D2).
+    queue: BTreeMap<(SimTime, u64), Event>,
     hosts: Vec<Option<Box<dyn Host>>>,
-    addr_map: HashMap<IpAddr, HostId>,
+    addr_map: BTreeMap<IpAddr, HostId>,
     topology: Topology,
     config: SimConfig,
-    conns: HashMap<ConnId, Conn>,
+    conns: BTreeMap<ConnId, Conn>,
     next_conn: u64,
     stats: Vec<HostStats>,
     rng: StdRng,
@@ -315,13 +316,12 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            events: HashMap::new(),
+            queue: BTreeMap::new(),
             hosts: Vec::new(),
-            addr_map: HashMap::new(),
+            addr_map: BTreeMap::new(),
             topology,
             config,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             next_conn: 0,
             stats: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
@@ -389,12 +389,11 @@ impl Simulator {
     /// the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(&Reverse((t, seq))) = self.queue.peek() {
+        while let Some((&(t, _), _)) = self.queue.first_key_value() {
             if t > deadline {
                 break;
             }
-            self.queue.pop();
-            let event = self.events.remove(&seq).expect("event exists");
+            let ((t, _), event) = self.queue.pop_first().expect("peeked above");
             assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatch(event);
@@ -409,9 +408,7 @@ impl Simulator {
     /// Run until the queue drains completely.
     pub fn run(&mut self) -> u64 {
         let mut n = 0;
-        while let Some(&Reverse((t, seq))) = self.queue.peek() {
-            self.queue.pop();
-            let event = self.events.remove(&seq).expect("event exists");
+        while let Some(((t, _), event)) = self.queue.pop_first() {
             self.now = t;
             self.dispatch(event);
             n += 1;
@@ -427,8 +424,7 @@ impl Simulator {
     fn push_event(&mut self, at: SimTime, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse((at, seq)));
-        self.events.insert(seq, event);
+        self.queue.insert((at, seq), event);
     }
 
     fn dispatch(&mut self, event: Event) {

@@ -4,7 +4,7 @@
 //! with configurable client–server RTT; this model captures exactly the
 //! knobs those experiments vary.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::IpAddr;
 
 use crate::time::SimDuration;
@@ -62,8 +62,8 @@ impl PathConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     default: PathConfig,
-    per_pair: HashMap<(IpAddr, IpAddr), PathConfig>,
-    per_src: HashMap<IpAddr, PathConfig>,
+    per_pair: BTreeMap<(IpAddr, IpAddr), PathConfig>,
+    per_src: BTreeMap<IpAddr, PathConfig>,
 }
 
 impl Topology {

@@ -70,7 +70,8 @@ pub async fn spawn(listen: Vec<SocketAddr>, meta: SocketAddr) -> std::io::Result
                             // Per-flow upstream socket bound to the
                             // OQDA's IP: the meta server sees the query
                             // arrive from that address.
-                            let local = SocketAddr::new(listener.local_addr().unwrap().ip(), 0);
+                            let Ok(listen_addr) = listener.local_addr() else { return };
+                            let local = SocketAddr::new(listen_addr.ip(), 0);
                             let Ok(upstream) = UdpSocket::bind(local).await else { return };
                             if upstream.send_to(&query, meta).await.is_err() {
                                 return;

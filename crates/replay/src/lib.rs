@@ -16,13 +16,15 @@
 #![warn(missing_docs)]
 
 pub mod capture;
+pub mod clock;
 pub mod engine;
 pub mod sim_replay;
 pub mod sticky;
 pub mod timing;
 
 pub use capture::{parse_tag_seq, Arrival, CaptureServer};
-pub use engine::{replay, ReplayConfig, ReplayReport, SentRecord};
+pub use clock::{ReplayClock, VirtualClock, WallClock};
+pub use engine::{replay, replay_with_clock, ReplayConfig, ReplayReport, SentRecord};
 pub use sim_replay::{LatencyLog, LatencyRecord, SimReplayClient};
 pub use sticky::StickyRouter;
 pub use timing::{virtual_deadline, TimingTracker};

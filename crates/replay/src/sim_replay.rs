@@ -3,7 +3,7 @@
 //! logs per-query latency — the client side of the §5.2 experiments
 //! (memory, CPU, and the latency-vs-RTT Figures 15a/15b).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
 use std::sync::{Arc, Mutex};
 
@@ -60,12 +60,12 @@ pub struct SimReplayClient {
     /// costs a full extra RTT per query.
     pub reuse_connections: bool,
     /// Per-source open TCP/TLS connection (reused until closed).
-    conns: HashMap<IpAddr, ConnId>,
-    conn_sources: HashMap<ConnId, IpAddr>,
-    frame_bufs: HashMap<ConnId, FrameBuffer>,
+    conns: BTreeMap<IpAddr, ConnId>,
+    conn_sources: BTreeMap<ConnId, IpAddr>,
+    frame_bufs: BTreeMap<ConnId, FrameBuffer>,
     /// In-flight queries by (source, DNS id).
-    pending_udp: HashMap<(IpAddr, u16), Pending>,
-    pending_tcp: HashMap<(ConnId, u16), Pending>,
+    pending_udp: BTreeMap<(IpAddr, u16), Pending>,
+    pending_tcp: BTreeMap<(ConnId, u16), Pending>,
     /// Queries queued on a connection still handshaking.
     log: LatencyLog,
     /// Queries sent.
@@ -83,11 +83,11 @@ impl SimReplayClient {
             server,
             transport_override: None,
             reuse_connections: true,
-            conns: HashMap::new(),
-            conn_sources: HashMap::new(),
-            frame_bufs: HashMap::new(),
-            pending_udp: HashMap::new(),
-            pending_tcp: HashMap::new(),
+            conns: BTreeMap::new(),
+            conn_sources: BTreeMap::new(),
+            frame_bufs: BTreeMap::new(),
+            pending_udp: BTreeMap::new(),
+            pending_tcp: BTreeMap::new(),
             log,
             sent: 0,
             connects: 0,

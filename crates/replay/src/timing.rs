@@ -7,27 +7,32 @@
 //! distribution). The querier therefore schedules the send ΔTᵢ = Δt̄ᵢ − Δtᵢ
 //! in the future — and if the pipeline has fallen behind (ΔTᵢ ≤ 0) sends
 //! immediately, continuously re-anchoring so errors do not accumulate.
+//!
+//! All arithmetic here is over microseconds on a [`crate::ReplayClock`]
+//! — never `Instant` — so the identical tracker drives wall-clock and
+//! virtual-time replays (rule D1).
 
-use std::time::{Duration, Instant};
-
-/// Tracks trace-time vs real-time and computes per-query send delays.
+/// Tracks trace-time vs replay-clock time and computes per-query send
+/// deadlines. Times are microseconds on the replay clock, whose origin
+/// is the start of the run.
 #[derive(Debug, Clone, Copy)]
 pub struct TimingTracker {
     /// t̄₁: trace timestamp of the first query (microseconds).
     trace_start_us: u64,
-    /// t₁: real time at the synchronization message.
-    real_start: Instant,
+    /// t₁: replay-clock time of the synchronization point (the first
+    /// query's deadline), typically the warm-up offset.
+    origin_us: u64,
     /// Optional speedup factor (2.0 = replay twice as fast).
     speed: f64,
 }
 
 impl TimingTracker {
-    /// Start tracking: called when the time-synchronization message
-    /// arrives, with the first query's trace timestamp.
-    pub fn start(trace_start_us: u64, real_start: Instant) -> Self {
+    /// Start tracking: called at the time-synchronization point, with
+    /// the first query's trace timestamp and its replay-clock deadline.
+    pub fn start(trace_start_us: u64, origin_us: u64) -> Self {
         TimingTracker {
             trace_start_us,
-            real_start,
+            origin_us,
             speed: 1.0,
         }
     }
@@ -39,28 +44,28 @@ impl TimingTracker {
         self
     }
 
-    /// The absolute instant at which a query stamped `trace_us` should
-    /// be sent.
-    pub fn deadline(&self, trace_us: u64) -> Instant {
+    /// The replay-clock time (µs) at which a query stamped `trace_us`
+    /// should be sent.
+    pub fn deadline_us(&self, trace_us: u64) -> u64 {
         let delta_trace = trace_us.saturating_sub(self.trace_start_us);
         let scaled = (delta_trace as f64 / self.speed) as u64;
-        self.real_start + Duration::from_micros(scaled)
+        self.origin_us + scaled
     }
 
-    /// ΔTᵢ: how long to wait from `now` before sending the query
+    /// ΔTᵢ: how many µs to wait from `now_us` before sending the query
     /// stamped `trace_us`. `None` means the replay has fallen behind —
     /// send immediately without a timer (paper: "if the input
     /// processing falls behind (ΔTᵢ ≤ 0), LDplayer sends the query
     /// immediately").
-    pub fn delay_from(&self, trace_us: u64, now: Instant) -> Option<Duration> {
-        let deadline = self.deadline(trace_us);
-        deadline.checked_duration_since(now)
+    pub fn delay_from(&self, trace_us: u64, now_us: u64) -> Option<u64> {
+        let deadline = self.deadline_us(trace_us);
+        deadline.checked_sub(now_us)
     }
 }
 
-/// The same computation over plain numbers (virtual clocks), for the
-/// simulator-driven replays: returns the send time in seconds given the
-/// trace time, trace origin and replay origin.
+/// The same computation in seconds (the simulator's native unit), for
+/// simulator-driven replays: returns the send time given the trace
+/// time, trace origin and replay origin.
 pub fn virtual_deadline(trace_us: u64, trace_start_us: u64, replay_start_s: f64, speed: f64) -> f64 {
     replay_start_s + (trace_us.saturating_sub(trace_start_us)) as f64 / 1e6 / speed
 }
@@ -71,28 +76,25 @@ mod tests {
 
     #[test]
     fn deadline_tracks_trace_offsets() {
-        let t0 = Instant::now();
-        let tr = TimingTracker::start(1_000_000, t0);
-        assert_eq!(tr.deadline(1_000_000), t0);
-        assert_eq!(tr.deadline(1_500_000), t0 + Duration::from_millis(500));
+        let tr = TimingTracker::start(1_000_000, 50_000);
+        assert_eq!(tr.deadline_us(1_000_000), 50_000);
+        assert_eq!(tr.deadline_us(1_500_000), 550_000);
         // Before the start clamps to the origin.
-        assert_eq!(tr.deadline(900_000), t0);
+        assert_eq!(tr.deadline_us(900_000), 50_000);
     }
 
     #[test]
     fn delay_positive_when_ahead() {
-        let t0 = Instant::now();
-        let tr = TimingTracker::start(0, t0);
-        let d = tr.delay_from(2_000_000, t0 + Duration::from_millis(500)).unwrap();
-        assert!((d.as_millis() as i64 - 1500).abs() <= 1, "delay {d:?}");
+        let tr = TimingTracker::start(0, 0);
+        let d = tr.delay_from(2_000_000, 500_000).unwrap();
+        assert_eq!(d, 1_500_000);
     }
 
     #[test]
     fn behind_schedule_sends_immediately() {
-        let t0 = Instant::now();
-        let tr = TimingTracker::start(0, t0);
-        // Real time is already past the query's deadline.
-        assert!(tr.delay_from(100_000, t0 + Duration::from_millis(200)).is_none());
+        let tr = TimingTracker::start(0, 0);
+        // Replay-clock time is already past the query's deadline.
+        assert!(tr.delay_from(100_000, 200_000).is_none());
     }
 
     #[test]
@@ -100,22 +102,26 @@ mod tests {
         // The defining property: even if the previous query was sent
         // late, the next deadline is computed from the *origin*, not
         // from the previous send, so the error does not accumulate.
-        let t0 = Instant::now();
-        let tr = TimingTracker::start(0, t0);
+        let tr = TimingTracker::start(0, 0);
         // Query at Δt̄=10 ms was processed at Δt=14 ms (4 ms late, sent
         // immediately). The next query at Δt̄=30 ms still gets its full
-        // deadline at t0+30 ms.
-        let now = t0 + Duration::from_millis(14);
-        assert!(tr.delay_from(10_000, now).is_none());
-        let d = tr.delay_from(30_000, now).unwrap();
-        assert!((d.as_micros() as i64 - 16_000).abs() <= 50, "delay {d:?}");
+        // deadline at 30 ms.
+        let now_us = 14_000;
+        assert!(tr.delay_from(10_000, now_us).is_none());
+        assert_eq!(tr.delay_from(30_000, now_us), Some(16_000));
     }
 
     #[test]
     fn speedup_compresses_deadlines() {
-        let t0 = Instant::now();
-        let tr = TimingTracker::start(0, t0).with_speed(2.0);
-        assert_eq!(tr.deadline(1_000_000), t0 + Duration::from_millis(500));
+        let tr = TimingTracker::start(0, 0).with_speed(2.0);
+        assert_eq!(tr.deadline_us(1_000_000), 500_000);
+    }
+
+    #[test]
+    fn warmup_shifts_every_deadline() {
+        let tr = TimingTracker::start(7_000_000, 100_000);
+        assert_eq!(tr.deadline_us(7_000_000), 100_000);
+        assert_eq!(tr.deadline_us(7_250_000), 350_000);
     }
 
     #[test]
