@@ -1,0 +1,222 @@
+//! Offline hot-path microbenchmarks: simulator event throughput (heap
+//! vs. BTreeMap event queue on the identical workload), fast-mode
+//! replay throughput against a loopback UDP sink, and dns-wire
+//! encode/decode throughput. Writes `BENCH_hotpath.json` (hand-rolled
+//! JSON, no serde) so CI and the offline static-analysis gate can
+//! check the numbers without any dependency beyond the workspace.
+//!
+//! `cargo run --release -p ldp-bench --bin hotpath [-- <output.json>]`
+//!
+//! Unlike the figure binaries this one is deliberately buildable with
+//! bare rustc against the offline rlib chain: std + netsim +
+//! ldp-replay + dns-wire + ldp-trace only (no tokio, no criterion).
+
+use std::hint::black_box;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Instant;
+
+use dns_wire::{Message, RecordType};
+use ldp_replay::{replay, ReplayConfig};
+use ldp_trace::TraceEntry;
+use netsim::{
+    Ctx, EventQueue, Host, PacketBytes, PathConfig, QueueKind, SimConfig, SimDuration, SimTime,
+    Simulator, TcpEvent, Topology,
+};
+
+/// Best wall-clock seconds out of `runs` attempts of `f` (noise floor).
+fn best_of<F: FnMut() -> u64>(runs: usize, mut f: F) -> (u64, f64) {
+    let mut best = f64::MAX;
+    let mut count = 0u64;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        count = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (count, best)
+}
+
+/// A host that bursts shared-payload datagrams to its peers on every
+/// timer tick and re-arms until its tick budget runs out — the steady
+/// churn (timer pop → pushes → delivery pops) a replaying simulation
+/// puts on the event queue, with a few thousand events resident.
+struct Blaster {
+    me: SocketAddr,
+    peers: Vec<SocketAddr>,
+    payload: PacketBytes,
+    ticks: u64,
+}
+
+impl Host for Blaster {
+    fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: PacketBytes) {}
+    fn on_tcp_event(&mut self, _: &mut Ctx<'_>, _: TcpEvent) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        for peer in &self.peers {
+            ctx.send_udp(self.me, *peer, self.payload.clone());
+        }
+        if self.ticks > 0 {
+            self.ticks -= 1;
+            ctx.set_timer(SimDuration::from_micros(20), token + 1);
+        }
+    }
+}
+
+/// One full simulator run on the given queue backend; returns events
+/// processed. 8 hosts × `ticks` re-armed 20 µs timers × 2-peer bursts
+/// over a 2 ms RTT keeps ~1.5k events resident for the whole run.
+fn sim_run(queue: QueueKind, ticks: u64) -> u64 {
+    let topo = Topology::uniform(PathConfig {
+        rtt: SimDuration::from_millis(2),
+        bandwidth_bps: None,
+        loss: 0.0,
+    });
+    let config = SimConfig {
+        queue,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(topo, config);
+    let payload: PacketBytes = vec![0u8; 64].into();
+    let n_hosts = 8usize;
+    let socks: Vec<SocketAddr> = (0..n_hosts)
+        .map(|i| format!("10.9.0.{}:5300", i + 1).parse().expect("addr"))
+        .collect();
+    for i in 0..n_hosts {
+        let peers = vec![socks[(i + 1) % n_hosts], socks[(i + 3) % n_hosts]];
+        let id = sim.add_host(
+            &[socks[i].ip()],
+            Box::new(Blaster {
+                me: socks[i],
+                peers,
+                payload: payload.clone(),
+                ticks,
+            }),
+        );
+        sim.schedule_timer(id, SimTime::from_micros(i as u64), 0);
+    }
+    sim.run_until(SimTime::from_secs_f64(3600.0))
+}
+
+/// Raw queue ops/sec: push/pop cycles on the bare [`EventQueue`], the
+/// isolated data-structure comparison behind the sim-level numbers.
+fn queue_raw(kind: QueueKind, ops: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new(kind);
+    // Keep ~4096 entries resident; interleave pushes and pops with a
+    // mildly non-monotonic time pattern (like real timer re-arming).
+    let mut now = 0u64;
+    let mut popped = 0u64;
+    for i in 0..ops {
+        let jitter = (i.wrapping_mul(2654435761)) % 1000;
+        q.push(SimTime::from_nanos(now + jitter), i);
+        if q.len() > 4096 {
+            if let Some((at, item)) = q.pop() {
+                now = now.max(at.as_nanos());
+                popped = popped.wrapping_add(item);
+            }
+        }
+    }
+    while let Some((_, item)) = q.pop() {
+        popped = popped.wrapping_add(item);
+    }
+    black_box(popped);
+    ops * 2
+}
+
+fn replay_qps(queries: u64) -> (u64, f64, u64) {
+    let sink = UdpSocket::bind("127.0.0.1:0").expect("bind sink");
+    let addr = sink.local_addr().expect("sink addr");
+    let trace: Vec<TraceEntry> = (0..queries)
+        .map(|i| {
+            TraceEntry::query(
+                1_000_000 + i * 100,
+                format!("10.0.{}.{}:999", i % 4, 1 + i % 200).parse().expect("src"),
+                "127.0.0.1:53".parse().expect("dst"),
+                i as u16,
+                format!("q{i}.example.com").parse().expect("qname"),
+                RecordType::A,
+            )
+        })
+        .collect();
+    let config = ReplayConfig {
+        target_udp: addr,
+        target_tcp: addr,
+        fast_mode: true,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let report = replay(&trace, &config);
+    (report.total_sent, t0.elapsed().as_secs_f64(), report.errors)
+}
+
+fn wire_throughput(iters: u64) -> (f64, f64, usize) {
+    let msg = Message::query(
+        4660,
+        "www.example-workload.com".parse().expect("qname"),
+        RecordType::A,
+    );
+    let encoded = msg.encode();
+    let size = encoded.len();
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(black_box(&msg).encode());
+    }
+    let enc_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let m = Message::decode(black_box(&encoded)).expect("decodes");
+        black_box(m);
+    }
+    let dec_s = t0.elapsed().as_secs_f64();
+
+    (iters as f64 / enc_s, iters as f64 / dec_s, size)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    // --- Simulator: heap vs. BTreeMap on the identical workload. ---
+    let ticks = 20_000u64;
+    println!("sim: 8 hosts × {ticks} ticks × 2 backends (best of 3)…");
+    let (heap_events, heap_s) = best_of(3, || sim_run(QueueKind::Heap, ticks));
+    let (btree_events, btree_s) = best_of(3, || sim_run(QueueKind::BTree, ticks));
+    assert_eq!(heap_events, btree_events, "backends processed identical event counts");
+    let heap_eps = heap_events as f64 / heap_s;
+    let btree_eps = btree_events as f64 / btree_s;
+    println!("  heap  {heap_eps:>12.0} events/s");
+    println!("  btree {btree_eps:>12.0} events/s   (speedup {:.2}×)", heap_eps / btree_eps);
+
+    let ops = 2_000_000u64;
+    let (heap_ops, heap_raw_s) = best_of(3, || queue_raw(QueueKind::Heap, ops));
+    let (btree_ops, btree_raw_s) = best_of(3, || queue_raw(QueueKind::BTree, ops));
+    let heap_raw = heap_ops as f64 / heap_raw_s;
+    let btree_raw = btree_ops as f64 / btree_raw_s;
+    println!("  raw queue: heap {heap_raw:>12.0} ops/s, btree {btree_raw:>12.0} ops/s");
+    assert_eq!(heap_ops, btree_ops);
+
+    // --- Replay: fast-mode UDP throughput to a loopback sink. ---
+    let queries = 40_000u64;
+    println!("replay: {queries} fast-mode queries…");
+    let (sent, replay_s, errors) = replay_qps(queries);
+    let qps = sent as f64 / replay_s;
+    println!("  {sent} sent in {replay_s:.3} s = {qps:.0} q/s ({errors} errors)");
+    assert_eq!(sent, queries, "every query sent");
+
+    // --- Wire: encode/decode round-trip throughput. ---
+    let iters = 200_000u64;
+    println!("wire: {iters} encode + decode iterations…");
+    let (enc_mps, dec_mps, msg_size) = wire_throughput(iters);
+    println!("  encode {enc_mps:>12.0} msg/s   decode {dec_mps:>12.0} msg/s   ({msg_size} B msg)");
+
+    // Hand-rolled JSON: this binary must build with bare rustc offline.
+    let json = format!(
+        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }}\n}}\n",
+        heap_eps / btree_eps,
+        heap_raw / btree_raw,
+        enc_mps * msg_size as f64 / 1e6,
+        dec_mps * msg_size as f64 / 1e6,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+    println!("wrote {out_path}");
+}

@@ -126,7 +126,7 @@ mod tests {
     use super::*;
     use dns_wire::{Message, RecordType};
     use ldp_trace::TraceEntry;
-    use netsim::{Ctx, Host, SimTime, TcpEvent};
+    use netsim::{Ctx, Host, PacketBytes, SimTime, TcpEvent};
     use std::sync::Mutex;
     use zone_construct::{build_from_trace, SimulatedInternet};
 
@@ -140,7 +140,7 @@ mod tests {
     }
 
     impl Host for StubDriver {
-        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: Vec<u8>) {
+        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: PacketBytes) {
             if let Ok(m) = Message::decode(&data) {
                 self.responses.lock().unwrap().push(m);
             }

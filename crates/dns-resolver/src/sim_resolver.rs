@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
 
 use dns_wire::{Message, Name, RData, Rcode, RecordType};
-use netsim::{Ctx, Host, SimDuration, TcpEvent};
+use netsim::{Ctx, Host, PacketBytes, SimDuration, TcpEvent};
 
 use crate::cache::{Cache, CachedAnswer};
 
@@ -295,7 +295,7 @@ impl SimResolver {
 }
 
 impl Host for SimResolver {
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, _to: SocketAddr, data: Vec<u8>) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, _to: SocketAddr, data: PacketBytes) {
         let Ok(msg) = Message::decode(&data) else {
             return;
         };

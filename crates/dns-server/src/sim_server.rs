@@ -8,7 +8,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 
 use dns_wire::framing::{frame, FrameBuffer};
-use netsim::{ConnId, Ctx, Host, SimDuration, TcpEvent};
+use netsim::{ConnId, Ctx, Host, PacketBytes, SimDuration, TcpEvent};
 
 use crate::engine::ServerEngine;
 use crate::rrl::{response_key, RateLimiter, RrlAction};
@@ -59,7 +59,7 @@ impl SimDnsServer {
 }
 
 impl Host for SimDnsServer {
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: PacketBytes) {
         let Some(reply) = self.engine.handle_udp_bytes(from.ip(), &data) else {
             return;
         };
@@ -186,7 +186,7 @@ mod tests {
     }
 
     impl Host for TestClient {
-        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: Vec<u8>) {
+        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: PacketBytes) {
             self.replies.lock().unwrap().push(Message::decode(&data).unwrap());
         }
         fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {

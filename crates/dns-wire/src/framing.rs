@@ -9,11 +9,22 @@ use bytes::{Buf, BytesMut};
 ///
 /// Panics if `msg` exceeds 65535 bytes (DNS messages cannot).
 pub fn frame(msg: &[u8]) -> Vec<u8> {
-    assert!(msg.len() <= u16::MAX as usize, "DNS message too large to frame");
     let mut out = Vec::with_capacity(2 + msg.len());
+    frame_into(msg, &mut out);
+    out
+}
+
+/// Like [`frame`], but appends into a caller-owned buffer after
+/// clearing it, so hot paths (the replay querier sends millions of
+/// frames) can reuse one allocation instead of allocating per message.
+///
+/// Panics if `msg` exceeds 65535 bytes (DNS messages cannot).
+pub fn frame_into(msg: &[u8], out: &mut Vec<u8>) {
+    assert!(msg.len() <= u16::MAX as usize, "DNS message too large to frame");
+    out.clear();
+    out.reserve(2 + msg.len());
     out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
     out.extend_from_slice(msg);
-    out
 }
 
 /// Incremental reassembly buffer for a length-framed DNS stream.
@@ -73,6 +84,16 @@ mod tests {
     #[test]
     fn empty_message_frames() {
         assert_eq!(frame(b""), vec![0, 0]);
+    }
+
+    #[test]
+    fn frame_into_reuses_buffer() {
+        let mut buf = Vec::new();
+        frame_into(b"abc", &mut buf);
+        assert_eq!(buf, vec![0, 3, b'a', b'b', b'c']);
+        frame_into(b"zz", &mut buf);
+        assert_eq!(buf, vec![0, 2, b'z', b'z'], "buffer cleared between frames");
+        assert_eq!(frame(b"zz"), buf, "frame and frame_into agree");
     }
 
     #[test]

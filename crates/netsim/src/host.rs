@@ -3,8 +3,18 @@
 //! timers.
 
 use std::net::SocketAddr;
+use std::sync::Arc;
 
 use crate::sim::{ConnId, Ctx};
+
+/// A shared, immutable packet payload.
+///
+/// Payloads travel the simulator as reference-counted buffers so that
+/// send → queue → deliver never copies the bytes (DESIGN.md
+/// "Performance invariants"). `Vec<u8>` and `&[u8]` convert into it
+/// (one copy at the boundary); forwarding an existing `PacketBytes` is
+/// free.
+pub type PacketBytes = Arc<[u8]>;
 
 /// Events delivered to a host about its TCP (or emulated-TLS)
 /// connections.
@@ -32,8 +42,8 @@ pub enum TcpEvent {
     Data {
         /// Connection id.
         conn: ConnId,
-        /// The received bytes.
-        data: Vec<u8>,
+        /// The received bytes (shared with the sender — zero-copy).
+        data: PacketBytes,
     },
     /// The connection is closed (peer close, idle timeout or local
     /// close completed).
@@ -50,7 +60,7 @@ pub enum TcpEvent {
 /// returns, keeping the event loop single-borrow and deterministic.
 pub trait Host {
     /// A UDP datagram arrived.
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: Vec<u8>);
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: PacketBytes);
 
     /// A TCP/TLS connection event occurred.
     fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent);

@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod host;
+pub mod queue;
 pub mod resources;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
-pub use host::{Host, TcpEvent};
+pub use host::{Host, PacketBytes, TcpEvent};
+pub use queue::{EventQueue, QueueKind};
 pub use resources::{CpuModel, MemoryModel};
 pub use sim::{ConnId, Ctx, HostId, HostStats, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
@@ -49,7 +51,7 @@ mod tests {
     }
 
     impl Host for Echo {
-        fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+        fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: PacketBytes) {
             self.log
                 .lock()
                 .unwrap()
@@ -99,7 +101,7 @@ mod tests {
     }
 
     impl Host for Client {
-        fn on_udp(&mut self, ctx: &mut Ctx<'_>, _from: SocketAddr, _to: SocketAddr, data: Vec<u8>) {
+        fn on_udp(&mut self, ctx: &mut Ctx<'_>, _from: SocketAddr, _to: SocketAddr, data: PacketBytes) {
             self.log
                 .lock()
                 .unwrap()
@@ -241,7 +243,7 @@ mod tests {
             sent_second: bool,
         }
         impl Host for Reuser {
-            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: Vec<u8>) {}
+            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: PacketBytes) {}
             fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
                 match event {
                     TcpEvent::Connected { conn } => ctx.tcp_send(conn, vec![1; 30]),
@@ -400,7 +402,7 @@ mod tests {
             n: usize,
         }
         impl Host for Pusher {
-            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: Vec<u8>) {}
+            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: PacketBytes) {}
             fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
                 if let TcpEvent::Incoming { conn, .. } = event {
                     for _ in 0..self.n {
@@ -416,7 +418,7 @@ mod tests {
             server: SocketAddr,
         }
         impl Host for Collector {
-            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: Vec<u8>) {}
+            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: PacketBytes) {}
             fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
                 if let TcpEvent::Data { data, .. } = event {
                     self.log
@@ -465,7 +467,7 @@ mod tests {
     fn no_nagle_sends_immediately() {
         struct Pusher;
         impl Host for Pusher {
-            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: Vec<u8>) {}
+            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: PacketBytes) {}
             fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
                 if let TcpEvent::Incoming { conn, .. } = event {
                     ctx.tcp_send(conn, vec![7; 100]);
@@ -480,7 +482,7 @@ mod tests {
             server: SocketAddr,
         }
         impl Host for Collector {
-            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: Vec<u8>) {}
+            fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: PacketBytes) {}
             fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
                 if let TcpEvent::Data { data, .. } = event {
                     self.log

@@ -3,6 +3,13 @@
 //! the paper's experiments depend on — handshake round trips, Nagle
 //! coalescing with delayed ACKs, server idle timeouts, and TIME_WAIT
 //! accounting (Figures 11, 13, 14, 15).
+//!
+//! Hot-path invariants (see DESIGN.md "Performance invariants"):
+//! the event queue is a binary heap over `(time, insertion seq)` —
+//! a strict total order, so event ordering is byte-identical to the
+//! old `BTreeMap` queue and never depends on heap layout; packet
+//! payloads are shared [`PacketBytes`] buffers that are never copied
+//! between send and delivery.
 
 use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
@@ -10,7 +17,8 @@ use std::net::{IpAddr, SocketAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::host::{Host, TcpEvent};
+use crate::host::{Host, PacketBytes, TcpEvent};
+use crate::queue::{EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 
@@ -36,6 +44,11 @@ pub struct SimConfig {
     pub default_nagle: bool,
     /// RNG seed (packet loss draws).
     pub seed: u64,
+    /// Event-queue backend. [`QueueKind::Heap`] is the production
+    /// default; [`QueueKind::BTree`] is the measured baseline kept for
+    /// benchmarking and equivalence tests — both yield the identical
+    /// event order.
+    pub queue: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -46,6 +59,7 @@ impl Default for SimConfig {
             default_idle_timeout: Some(SimDuration::from_secs(20)),
             default_nagle: false,
             seed: 0xd15ea5e,
+            queue: QueueKind::Heap,
         }
     }
 }
@@ -92,7 +106,7 @@ enum SegKind {
     TlsServerHello,
     TlsClientFinished,
     TlsServerFinished,
-    Data { bytes: Vec<u8> },
+    Data { bytes: PacketBytes },
     Ack,
     Fin,
     FinAck,
@@ -100,7 +114,7 @@ enum SegKind {
 
 #[derive(Debug, Clone)]
 enum Payload {
-    Udp(Vec<u8>),
+    Udp(PacketBytes),
     Tcp { conn: ConnId, kind: SegKind },
 }
 
@@ -129,7 +143,7 @@ struct DirState {
     /// Bytes in flight awaiting ACK.
     unacked: usize,
     /// Nagle buffer: writes deferred until the in-flight data is acked.
-    pending: Vec<Vec<u8>>,
+    pending: Vec<PacketBytes>,
     /// Receiver owes an ACK (delayed-ACK pending).
     ack_owed: bool,
 }
@@ -145,9 +159,17 @@ struct Conn {
     state: ConnState,
     /// Who initiated close (enters TIME_WAIT): host id.
     closer: Option<HostId>,
+    /// A close requested before the handshake finished: performed after
+    /// establishment so queued writes are delivered first (graceful
+    /// close never discards the send buffer).
+    pending_close: Option<HostId>,
     last_activity: SimTime,
     idle_timeout: Option<SimDuration>,
     dirs: [DirState; 2],
+    /// Earliest arrival time of the next segment per direction: TCP is
+    /// in-order, so a small segment (e.g. a FIN) must never overtake a
+    /// large one sent earlier just because it serializes faster.
+    fifo_free: [SimTime; 2],
     /// Whether each side (0 = client, 1 = server) has seen Closed.
     side_closed: [bool; 2],
 }
@@ -189,7 +211,7 @@ enum Command {
     SendUdp {
         from: SocketAddr,
         to: SocketAddr,
-        data: Vec<u8>,
+        data: PacketBytes,
     },
     TcpConnect {
         conn: ConnId,
@@ -200,7 +222,7 @@ enum Command {
     },
     TcpSend {
         conn: ConnId,
-        data: Vec<u8>,
+        data: PacketBytes,
         sender: HostId,
     },
     TcpClose {
@@ -237,9 +259,15 @@ impl<'a> Ctx<'a> {
         self.host
     }
 
-    /// Send a UDP datagram.
-    pub fn send_udp(&mut self, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
-        self.commands.push(Command::SendUdp { from, to, data });
+    /// Send a UDP datagram. Accepts anything convertible to the shared
+    /// [`PacketBytes`] buffer (`Vec<u8>`, `&[u8]`, or an existing
+    /// `PacketBytes` which is forwarded without copying).
+    pub fn send_udp(&mut self, from: SocketAddr, to: SocketAddr, data: impl Into<PacketBytes>) {
+        self.commands.push(Command::SendUdp {
+            from,
+            to,
+            data: data.into(),
+        });
     }
 
     /// Open a TCP (or emulated-TLS) connection; returns its id
@@ -259,10 +287,10 @@ impl<'a> Ctx<'a> {
 
     /// Send application data on a connection (queued until the
     /// connection is ready if the handshake is still in flight).
-    pub fn tcp_send(&mut self, conn: ConnId, data: Vec<u8>) {
+    pub fn tcp_send(&mut self, conn: ConnId, data: impl Into<PacketBytes>) {
         self.commands.push(Command::TcpSend {
             conn,
-            data,
+            data: data.into(),
             sender: self.host,
         });
     }
@@ -294,11 +322,11 @@ impl<'a> Ctx<'a> {
 /// The discrete-event network simulator.
 pub struct Simulator {
     now: SimTime,
-    seq: u64,
-    /// The event queue, keyed by (time, insertion seq): `pop_first`
-    /// yields events in time order with FIFO tie-breaking, and the
-    /// ordering is fully deterministic — never hash-dependent (rule D2).
-    queue: BTreeMap<(SimTime, u64), Event>,
+    /// The event queue, keyed by (time, insertion seq): `pop` yields
+    /// events in time order with FIFO tie-breaking, and the ordering is
+    /// fully deterministic — never hash- or heap-layout-dependent
+    /// (rule D2). See [`crate::queue`].
+    queue: EventQueue<Event>,
     hosts: Vec<Option<Box<dyn Host>>>,
     addr_map: BTreeMap<IpAddr, HostId>,
     topology: Topology,
@@ -315,8 +343,7 @@ impl Simulator {
     pub fn new(topology: Topology, config: SimConfig) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BTreeMap::new(),
+            queue: EventQueue::new(config.queue),
             hosts: Vec::new(),
             addr_map: BTreeMap::new(),
             topology,
@@ -380,8 +407,12 @@ impl Simulator {
     }
 
     /// Inject a UDP datagram from outside (used by drivers).
-    pub fn inject_udp(&mut self, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
-        let cmd = Command::SendUdp { from, to, data };
+    pub fn inject_udp(&mut self, from: SocketAddr, to: SocketAddr, data: impl Into<PacketBytes>) {
+        let cmd = Command::SendUdp {
+            from,
+            to,
+            data: data.into(),
+        };
         self.apply_command(cmd);
     }
 
@@ -389,11 +420,11 @@ impl Simulator {
     /// the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some((&(t, _), _)) = self.queue.first_key_value() {
+        while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
             }
-            let ((t, _), event) = self.queue.pop_first().expect("peeked above");
+            let (t, event) = self.queue.pop().expect("peeked above");
             assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatch(event);
@@ -408,7 +439,7 @@ impl Simulator {
     /// Run until the queue drains completely.
     pub fn run(&mut self) -> u64 {
         let mut n = 0;
-        while let Some(((t, _), event)) = self.queue.pop_first() {
+        while let Some((t, event)) = self.queue.pop() {
             self.now = t;
             self.dispatch(event);
             n += 1;
@@ -422,9 +453,7 @@ impl Simulator {
     }
 
     fn push_event(&mut self, at: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.insert((at, seq), event);
+        self.queue.push(at, event);
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -505,9 +534,11 @@ impl Simulator {
                         nagle: self.config.default_nagle,
                         state: ConnState::Connecting,
                         closer: None,
+                        pending_close: None,
                         last_activity: self.now,
                         idle_timeout: self.config.default_idle_timeout,
                         dirs: [DirState::default(), DirState::default()],
+                        fifo_free: [SimTime::ZERO, SimTime::ZERO],
                         side_closed: [false, false],
                     },
                 );
@@ -535,14 +566,25 @@ impl Simulator {
         }
     }
 
-    /// Emit one TCP segment between connection endpoints.
+    /// Emit one TCP segment between connection endpoints. Arrival is
+    /// clamped to the connection's per-direction FIFO horizon: TCP
+    /// delivers in order, so a fast-serializing segment (an ACK or FIN)
+    /// queued behind a large data segment arrives after it, never
+    /// before.
     fn send_segment(&mut self, conn: ConnId, from: SocketAddr, to: SocketAddr, kind: SegKind) {
         let path = self.topology.path(from.ip(), to.ip());
         let size = 40 + match &kind {
             SegKind::Data { bytes } => bytes.len(),
             _ => 0,
         };
-        let at = self.now + path.one_way(size);
+        let mut at = self.now + path.one_way(size);
+        if let Some(c) = self.conns.get_mut(&conn) {
+            let dir = c.dir_from(from);
+            if at < c.fifo_free[dir] {
+                at = c.fifo_free[dir];
+            }
+            c.fifo_free[dir] = at;
+        }
         self.push_event(
             at,
             Event::Deliver(Packet {
@@ -726,13 +768,29 @@ impl Simulator {
             TcpEvent::Incoming { conn: conn_id, peer, local, tls }
         };
         self.with_host(host, |h, ctx| h.on_tcp_event(ctx, event));
+        // A close requested while the handshake was in flight happens
+        // now, after the queued writes above went out.
+        let deferred = {
+            let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+            if conn.pending_close == Some(host) {
+                conn.pending_close.take()
+            } else {
+                None
+            }
+        };
+        if let Some(closer) = deferred {
+            self.tcp_close_internal(conn_id, closer);
+        }
     }
 
-    fn tcp_send_internal(&mut self, conn_id: ConnId, data: Vec<u8>, sender: HostId) {
+    fn tcp_send_internal(&mut self, conn_id: ConnId, data: PacketBytes, sender: HostId) {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
             return;
         };
-        if conn.state == ConnState::Closed || conn.state == ConnState::Closing {
+        if conn.state == ConnState::Closed
+            || conn.state == ConnState::Closing
+            || conn.pending_close.is_some()
+        {
             return;
         }
         let src = if sender == conn.client_host && sender == conn.server_host {
@@ -755,7 +813,7 @@ impl Simulator {
     }
 
     /// Send one data message, consuming any owed ACK (piggyback).
-    fn transmit_data(&mut self, conn_id: ConnId, dir: usize, data: Vec<u8>) {
+    fn transmit_data(&mut self, conn_id: ConnId, dir: usize, data: PacketBytes) {
         let conn = self.conns.get_mut(&conn_id).expect("conn exists");
         let (src, dst) = if dir == 0 {
             (conn.client, conn.server)
@@ -793,7 +851,8 @@ impl Simulator {
 
     /// Flush the Nagle buffer of a direction, coalescing all pending
     /// writes into one segment (the "many replies reassembled into a
-    /// large TCP message" effect the paper observed).
+    /// large TCP message" effect the paper observed). A single pending
+    /// write is forwarded as-is — zero-copy.
     fn flush_pending(&mut self, conn_id: ConnId, dir: usize) {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
             return;
@@ -801,10 +860,18 @@ impl Simulator {
         if !matches!(conn.state, ConnState::Established) {
             return;
         }
-        if conn.dirs[dir].pending.is_empty() {
-            return;
-        }
-        let coalesced: Vec<u8> = conn.dirs[dir].pending.drain(..).flatten().collect();
+        let coalesced: PacketBytes = match conn.dirs[dir].pending.len() {
+            0 => return,
+            1 => conn.dirs[dir].pending.pop().expect("len checked"),
+            _ => {
+                let total: usize = conn.dirs[dir].pending.iter().map(|p| p.len()).sum();
+                let mut buf = Vec::with_capacity(total);
+                for chunk in conn.dirs[dir].pending.drain(..) {
+                    buf.extend_from_slice(&chunk);
+                }
+                buf.into()
+            }
+        };
         self.transmit_data(conn_id, dir, coalesced);
     }
 
@@ -812,16 +879,31 @@ impl Simulator {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
             return;
         };
-        if matches!(conn.state, ConnState::Closing | ConnState::Closed) {
+        if matches!(conn.state, ConnState::Closing | ConnState::Closed)
+            || conn.pending_close.is_some()
+        {
             return;
         }
-        conn.state = ConnState::Closing;
-        conn.closer = Some(closer);
+        if !matches!(conn.state, ConnState::Established) {
+            // Handshake still in flight: defer the close until the
+            // connection establishes, so writes queued before the close
+            // are delivered first (graceful-close semantics).
+            conn.pending_close = Some(closer);
+            return;
+        }
         let (from, to) = if closer == conn.server_host && conn.client_host != conn.server_host {
             (conn.server, conn.client)
         } else {
             (conn.client, conn.server)
         };
+        // Flush buffered writes before the FIN: close never discards
+        // the send buffer, and the FIFO clamp in `send_segment` keeps
+        // the FIN behind the flushed data on the wire.
+        let dir = conn.dir_from(from);
+        self.flush_pending(conn_id, dir);
+        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        conn.state = ConnState::Closing;
+        conn.closer = Some(closer);
         self.send_segment(conn_id, from, to, SegKind::Fin);
     }
 
@@ -834,15 +916,24 @@ impl Simulator {
                 let Some(timeout) = conn.idle_timeout else {
                     return;
                 };
-                if !matches!(conn.state, ConnState::Established) {
+                if matches!(conn.state, ConnState::Closing | ConnState::Closed)
+                    || conn.pending_close.is_some()
+                {
                     return;
                 }
                 let idle = self.now.saturating_sub(conn.last_activity);
                 if idle >= timeout {
+                    // Idle too long — in whatever phase: an established
+                    // connection idle-closes, and a handshake stalled
+                    // past the timeout is torn down rather than left to
+                    // re-arm forever.
                     let server = conn.server_host;
                     self.tcp_close_internal(conn_id, server);
                 } else {
-                    // Re-arm relative to the most recent activity.
+                    // Re-arm relative to the most recent activity. This
+                    // also covers Connecting/TlsHandshake: a timeout
+                    // armed before establishment used to be dropped
+                    // here, silently disabling the idle timeout.
                     let at = conn.last_activity + timeout;
                     self.push_event(at, Event::ConnTimer { conn: conn_id, kind });
                 }

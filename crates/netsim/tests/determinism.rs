@@ -12,7 +12,8 @@ use std::net::{IpAddr, SocketAddr};
 use std::sync::{Arc, Mutex};
 
 use netsim::{
-    Ctx, Host, PathConfig, SimConfig, SimDuration, SimTime, Simulator, TcpEvent, Topology,
+    Ctx, Host, PacketBytes, PathConfig, QueueKind, SimConfig, SimDuration, SimTime, Simulator,
+    TcpEvent, Topology,
 };
 
 type Log = Arc<Mutex<String>>;
@@ -35,11 +36,11 @@ impl Chatter {
 }
 
 impl Host for Chatter {
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, _to: SocketAddr, data: Vec<u8>) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, _to: SocketAddr, data: PacketBytes) {
         self.note(ctx, &format!("udp from={from} len={}", data.len()));
         // Echo once (queries have even length, echoes odd).
         if data.len() % 2 == 0 {
-            let mut reply = data;
+            let mut reply = data.to_vec();
             reply.push(0xAA);
             ctx.send_udp(self.me, from, reply);
         }
@@ -57,7 +58,7 @@ impl Host for Chatter {
             TcpEvent::Data { conn, data } => {
                 self.note(ctx, &format!("data {conn:?} len={}", data.len()));
                 if data.len() < 16 {
-                    let mut more = data;
+                    let mut more = data.to_vec();
                     more.push(0xBB);
                     ctx.tcp_send(conn, more);
                 } else {
@@ -87,6 +88,10 @@ impl Host for Chatter {
 
 /// Run the scenario once and return the full event transcript.
 fn run_once(seed: u64) -> String {
+    run_once_with(seed, QueueKind::Heap)
+}
+
+fn run_once_with(seed: u64, queue: QueueKind) -> String {
     let mut topo = Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(2)));
     let log: Log = Arc::new(Mutex::new(String::new()));
 
@@ -107,6 +112,7 @@ fn run_once(seed: u64) -> String {
     let mut config = SimConfig::default();
     config.seed = seed;
     config.time_wait = SimDuration::from_millis(50);
+    config.queue = queue;
     let mut sim = Simulator::new(topo, config);
 
     let names = ["alpha", "bravo", "charlie", "delta"];
@@ -142,6 +148,24 @@ fn same_seed_runs_are_byte_identical() {
     let b = run_once(42);
     assert!(!a.is_empty());
     assert_eq!(a.as_bytes(), b.as_bytes(), "same-seed runs diverged");
+}
+
+/// The heap queue must replay the exact event order of the BTreeMap
+/// baseline: same seed, both backends, byte-identical transcripts — for
+/// every seed in a small randomized sweep (each seed shapes a different
+/// loss/timer history).
+#[test]
+fn heap_queue_matches_btree_baseline() {
+    for seed in [1u64, 7, 42, 1337, 0xdead_beef] {
+        let heap = run_once_with(seed, QueueKind::Heap);
+        let btree = run_once_with(seed, QueueKind::BTree);
+        assert!(!heap.is_empty());
+        assert_eq!(
+            heap.as_bytes(),
+            btree.as_bytes(),
+            "queue backends diverged at seed {seed}"
+        );
+    }
 }
 
 #[test]

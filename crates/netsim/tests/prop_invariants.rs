@@ -9,7 +9,8 @@ use std::sync::{Arc, Mutex};
 use proptest::prelude::*;
 
 use netsim::{
-    Ctx, Host, HostId, PathConfig, SimConfig, SimDuration, SimTime, Simulator, TcpEvent, Topology,
+    Ctx, Host, HostId, PacketBytes, PathConfig, SimConfig, SimDuration, SimTime, Simulator,
+    TcpEvent, Topology,
 };
 
 /// A scripted client: at each timer token i, performs action[i].
@@ -29,7 +30,7 @@ struct ScriptClient {
 }
 
 impl Host for ScriptClient {
-    fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, d: Vec<u8>) {
+    fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, d: PacketBytes) {
         self.events.lock().unwrap().push(format!("udp_reply {}", d.len()));
     }
     fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, event: TcpEvent) {
@@ -73,7 +74,7 @@ impl Host for ScriptClient {
 /// Echo server host.
 struct Echo;
 impl Host for Echo {
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, d: Vec<u8>) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, d: PacketBytes) {
         ctx.send_udp(to, from, d);
     }
     fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {

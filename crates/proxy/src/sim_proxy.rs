@@ -13,7 +13,7 @@
 
 use std::net::SocketAddr;
 
-use netsim::{Ctx, Host, TcpEvent};
+use netsim::{Ctx, Host, PacketBytes, TcpEvent};
 
 use crate::rewrite::{rewrite_inbound, rewrite_outbound, FlowTable};
 
@@ -56,7 +56,7 @@ impl SimProxy {
 }
 
 impl Host for SimProxy {
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: PacketBytes) {
         if from == self.meta {
             // A reply from the meta server: `to` is (oqda_ip, flow_port).
             match self.flows.remove(to.port()) {
@@ -163,7 +163,7 @@ mod tests {
     }
 
     impl Host for Stub {
-        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: Vec<u8>) {
+        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: PacketBytes) {
             self.replies.lock().unwrap().push(Message::decode(&data).unwrap());
         }
         fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, _e: TcpEvent) {}

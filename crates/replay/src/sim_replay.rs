@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 use dns_wire::framing::{frame, FrameBuffer};
 use dns_wire::{Message, Transport};
 use ldp_trace::TraceEntry;
-use netsim::{ConnId, Ctx, Host, HostId, SimTime, Simulator, TcpEvent};
+use netsim::{ConnId, Ctx, Host, HostId, PacketBytes, SimTime, Simulator, TcpEvent};
 
 /// One completed query/response pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,7 +172,7 @@ impl SimReplayClient {
 }
 
 impl Host for SimReplayClient {
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, _from: SocketAddr, to: SocketAddr, data: Vec<u8>) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, _from: SocketAddr, to: SocketAddr, data: PacketBytes) {
         let Ok(msg) = Message::decode(&data) else {
             return;
         };

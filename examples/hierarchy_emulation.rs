@@ -14,7 +14,7 @@ use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 
 use ldplayer::core::{build_emulation, EmulationConfig};
-use ldplayer::netsim::{Ctx, Host, SimTime, TcpEvent};
+use ldplayer::netsim::{Ctx, Host, PacketBytes, SimTime, TcpEvent};
 use ldplayer::wire::{Message, Rcode};
 use ldplayer::workloads::RecursiveSpec;
 use ldplayer::zone_construct::{build_from_trace, SimulatedInternet};
@@ -27,7 +27,7 @@ struct Stub {
 }
 
 impl Host for Stub {
-    fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: Vec<u8>) {
+    fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: PacketBytes) {
         if let Ok(m) = Message::decode(&data) {
             self.responses.lock().unwrap().push(m);
         }

@@ -1,0 +1,11 @@
+//! Offline shim for ldp-core minus `session.rs` (whose capture server
+//! rides on the tokio transport, unavailable without a registry).
+//! Built as `ldp_core` by `run_static_analysis.sh`; also compiled with
+//! `rustc --test` to run the emulation/experiment suites offline.
+
+#[path = "../crates/core/src/emulation.rs"]
+pub mod emulation;
+#[path = "../crates/core/src/experiment.rs"]
+pub mod experiment;
+
+pub use emulation::{build_emulation, views_from_hierarchy, EmulatedHierarchy, EmulationConfig};

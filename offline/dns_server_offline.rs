@@ -1,0 +1,14 @@
+//! Offline shim for dns-server minus `tokio_server.rs` (tokio is
+//! unavailable without a registry). Built as `dns_server` by
+//! `run_static_analysis.sh` so replay's sim-path tests link offline.
+
+#[path = "../crates/dns-server/src/engine.rs"]
+pub mod engine;
+#[path = "../crates/dns-server/src/rrl.rs"]
+pub mod rrl;
+#[path = "../crates/dns-server/src/sim_server.rs"]
+pub mod sim_server;
+
+pub use engine::ServerEngine;
+pub use rrl::{RateLimiter, RrlAction, RrlConfig};
+pub use sim_server::SimDnsServer;

@@ -1,0 +1,17 @@
+//! Offline shim for the `ldplayer` facade crate: the same re-exports
+//! as `src/lib.rs`, but with the offline `ldp_core` (no session.rs)
+//! so the integration tests and examples that stay on the sim path
+//! type-check and run without a registry.
+
+pub use dns_resolver as resolver;
+pub use dns_server as server;
+pub use dns_wire as wire;
+pub use dns_zone as zone;
+pub use ldp_core as core;
+pub use ldp_metrics as metrics;
+pub use ldp_proxy as proxy;
+pub use ldp_replay as replay;
+pub use ldp_trace as trace;
+pub use netsim;
+pub use workloads;
+pub use zone_construct;

@@ -1,0 +1,12 @@
+//! Offline shim for ldp-proxy minus `tokio_proxy.rs` (tokio is
+//! unavailable without a registry). Built as `ldp_proxy` by
+//! `run_static_analysis.sh`; also compiled with `rustc --test` to run
+//! the rewrite/sim_proxy suites offline.
+
+#[path = "../crates/proxy/src/rewrite.rs"]
+pub mod rewrite;
+#[path = "../crates/proxy/src/sim_proxy.rs"]
+pub mod sim_proxy;
+
+pub use rewrite::{rewrite_inbound, rewrite_outbound, Flow, FlowTable};
+pub use sim_proxy::{ProxyStats, SimProxy};

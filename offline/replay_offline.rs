@@ -1,0 +1,22 @@
+//! Offline shim for the replay crate minus `capture.rs` (which needs
+//! dns-server's tokio transport, unavailable without a registry).
+//! Built as `ldp_replay` by `run_static_analysis.sh`; also compiled
+//! with `rustc --test` to run the engine/clock/sticky/timing/sim_replay
+//! suites offline.
+
+#[path = "../crates/replay/src/clock.rs"]
+pub mod clock;
+#[path = "../crates/replay/src/engine.rs"]
+pub mod engine;
+#[path = "../crates/replay/src/sim_replay.rs"]
+pub mod sim_replay;
+#[path = "../crates/replay/src/sticky.rs"]
+pub mod sticky;
+#[path = "../crates/replay/src/timing.rs"]
+pub mod timing;
+
+pub use clock::{ReplayClock, VirtualClock, WallClock};
+pub use engine::{replay, replay_with_clock, ReplayConfig, ReplayReport, SentRecord};
+pub use sim_replay::{LatencyLog, LatencyRecord, SimReplayClient};
+pub use sticky::StickyRouter;
+pub use timing::{virtual_deadline, TimingTracker};

@@ -1,0 +1,63 @@
+//! Minimal offline stand-in for the `bytes` crate: BytesMut + Buf as
+//! used by dns-wire framing (extend_from_slice, advance, split_to,
+//! indexing, len).
+
+use std::ops::{Deref, Index};
+
+pub trait Buf {
+    fn advance(&mut self, n: usize);
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), start: 0 }
+    }
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len());
+        let out = self.data[self.start..self.start + n].to_vec();
+        self.start += n;
+        BytesMut { data: out, start: 0 }
+    }
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.start..].to_vec()
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len());
+        self.start += n;
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl Index<usize> for BytesMut {
+    type Output = u8;
+    fn index(&self, i: usize) -> &u8 {
+        &self.data[self.start + i]
+    }
+}

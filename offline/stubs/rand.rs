@@ -1,0 +1,97 @@
+//! Minimal offline stand-in for the `rand` crate API surface this
+//! workspace uses: StdRng (SplitMix64), SeedableRng::seed_from_u64,
+//! Rng::{gen, gen_range}.
+
+pub mod rngs {
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed ^ 0xA0761D6478BD642F }
+    }
+}
+
+pub trait Standard: Sized {
+    fn from_u64(x: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64(x: u64) -> Self {
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for u64 {
+    fn from_u64(x: u64) -> Self {
+        x
+    }
+}
+impl Standard for u32 {
+    fn from_u64(x: u64) -> Self {
+        (x >> 32) as u32
+    }
+}
+impl Standard for u16 {
+    fn from_u64(x: u64) -> Self {
+        (x >> 48) as u16
+    }
+}
+impl Standard for u8 {
+    fn from_u64(x: u64) -> Self {
+        (x >> 56) as u8
+    }
+}
+impl Standard for bool {
+    fn from_u64(x: u64) -> Self {
+        x & 1 == 1
+    }
+}
+
+pub trait SampleUniform: Copy {
+    fn from_range(lo: Self, hi: Self, r: u64) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_range(lo: Self, hi: Self, r: u64) -> Self {
+                let span = (hi - lo) as u64;
+                lo + (r % span.max(1)) as $t
+            }
+        }
+    )*};
+}
+impl_uniform!(usize, u64, u32, u16, u8, i64, i32);
+
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        let r = self.next_u64();
+        T::from_range(range.start, range.end, r)
+    }
+}
+
+impl<T: RngCore> Rng for T {}

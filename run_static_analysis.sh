@@ -1,12 +1,15 @@
 #!/bin/sh
 # Static-analysis gate for the workspace: formatting, clippy, the
 # ldp-lint determinism/panic-safety pass (see DESIGN.md "Correctness
-# invariants"), then the test suite. Run before sending a PR.
+# invariants"), the test suite, and a smoke run of the `hotpath`
+# microbench (which must produce BENCH_hotpath.json). Run before
+# sending a PR.
 #
 # Degrades gracefully offline: if cargo cannot reach a registry (no
-# lockfile, no vendored deps), the cargo-driven steps are skipped with
-# a notice and ldp-lint is built with bare rustc — the lint pass itself
-# has zero dependencies precisely so it survives this.
+# lockfile, no vendored deps), the whole sim-path chain is built with
+# bare rustc against the stubs in offline/ — ldp-lint, the netsim and
+# replay test suites, and the hotpath bench all still run; only fmt,
+# clippy and the tokio-dependent crates are skipped.
 set -u
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -33,12 +36,122 @@ if cargo_works; then
 
     note "cargo test"
     cargo test --workspace -q || fail=1
+
+    note "hotpath microbench smoke run"
+    rm -f BENCH_hotpath.json
+    cargo run --release -q -p ldp-bench --bin hotpath -- BENCH_hotpath.json || fail=1
 else
-    note "cargo cannot resolve dependencies here; running ldp-lint via rustc"
+    note "cargo cannot resolve dependencies here; running the offline rustc chain"
     bin=${TMPDIR:-/tmp}/ldp-lint-gate
     rustc --edition 2021 -O -o "$bin" crates/ldp-lint/src/main.rs || exit 2
     "$bin" check || fail=1
-    note "SKIPPED: fmt, clippy, cargo test (registry unreachable)"
+
+    od=${TMPDIR:-/tmp}/ldp-offline
+    mkdir -p "$od"
+    # -L lets rustc load transitive rlibs (a crate's own deps).
+    rc() { rustc --edition 2021 -O --out-dir "$od" -L "dependency=$od" "$@"; }
+    # Stub externs (offline/stubs/README): networked builds use the
+    # real crates; these only exist so bare rustc can link the chain.
+    RAND="--extern rand=$od/librand.rlib"
+    BYTES="--extern bytes=$od/libbytes.rlib"
+    XBEAM="--extern crossbeam=$od/libcrossbeam.rlib"
+    WIRE="--extern dns_wire=$od/libdns_wire.rlib"
+    TRACE="--extern ldp_trace=$od/libldp_trace.rlib"
+    NETSIM="--extern netsim=$od/libnetsim.rlib"
+    ZONE="--extern dns_zone=$od/libdns_zone.rlib"
+    SERVER="--extern dns_server=$od/libdns_server.rlib"
+    REPLAY="--extern ldp_replay=$od/libldp_replay.rlib"
+    RESOLVER="--extern dns_resolver=$od/libdns_resolver.rlib"
+    PROXY="--extern ldp_proxy=$od/libldp_proxy.rlib"
+    METRICS="--extern ldp_metrics=$od/libldp_metrics.rlib"
+    WORKLOADS="--extern workloads=$od/libworkloads.rlib"
+    ZC="--extern zone_construct=$od/libzone_construct.rlib"
+    CORE="--extern ldp_core=$od/libldp_core.rlib"
+    LDP="--extern ldplayer=$od/libldplayer.rlib"
+
+    note "offline: dependency stubs (rand, bytes, crossbeam)"
+    rc --crate-type lib --crate-name rand offline/stubs/rand.rs || exit 2
+    rc --crate-type lib --crate-name bytes offline/stubs/bytes.rs || exit 2
+    rc --crate-type lib --crate-name crossbeam offline/stubs/crossbeam.rs || exit 2
+
+    note "offline: workspace rlibs (dns-wire, trace, netsim, dns-zone, dns-server, replay)"
+    rc --crate-type lib --crate-name dns_wire $BYTES crates/dns-wire/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name ldp_trace $WIRE $RAND crates/trace/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name netsim $RAND crates/netsim/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name dns_zone $WIRE $RAND crates/dns-zone/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name dns_server $WIRE $ZONE $NETSIM \
+        offline/dns_server_offline.rs || fail=1
+    rc --crate-type lib --crate-name ldp_replay $XBEAM $WIRE $TRACE $NETSIM \
+        offline/replay_offline.rs || fail=1
+
+    note "offline: workspace rlibs (metrics, workloads, resolver, proxy, zone-construct, core)"
+    rc --crate-type lib --crate-name ldp_metrics crates/metrics/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name workloads $WIRE $TRACE $RAND \
+        crates/workloads/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name dns_resolver $WIRE $ZONE $NETSIM $RAND \
+        crates/dns-resolver/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name ldp_proxy $WIRE $NETSIM \
+        offline/proxy_offline.rs || fail=1
+    rc --crate-type lib --crate-name zone_construct $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE \
+        crates/zone-construct/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name ldp_core \
+        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS \
+        offline/core_offline.rs || fail=1
+
+    note "offline: dns-wire unit tests"
+    rc --test --crate-name dns_wire_t $BYTES crates/dns-wire/src/lib.rs &&
+        "$od/dns_wire_t" -q || fail=1
+
+    note "offline: netsim unit tests (event queue, sim, tcp model)"
+    rc --test --crate-name netsim_t $RAND crates/netsim/src/lib.rs &&
+        "$od/netsim_t" -q || fail=1
+
+    note "offline: netsim determinism + tcp-model regression suites"
+    rc --test --crate-name determinism_t $NETSIM crates/netsim/tests/determinism.rs &&
+        "$od/determinism_t" -q || fail=1
+    rc --test --crate-name tcp_model_t $NETSIM crates/netsim/tests/tcp_model.rs &&
+        "$od/tcp_model_t" -q || fail=1
+
+    note "offline: replay engine/clock/sticky/timing/sim_replay suites"
+    rc --test --crate-name replay_t $XBEAM $WIRE $TRACE $NETSIM $ZONE $SERVER \
+        offline/replay_offline.rs &&
+        "$od/replay_t" -q || fail=1
+
+    note "offline: resolver, proxy, emulation suites"
+    rc --test --crate-name resolver_t $WIRE $ZONE $NETSIM $RAND $SERVER \
+        crates/dns-resolver/src/lib.rs &&
+        "$od/resolver_t" -q || fail=1
+    rc --test --crate-name proxy_t $WIRE $NETSIM $ZONE $SERVER $RESOLVER \
+        offline/proxy_offline.rs &&
+        "$od/proxy_t" -q || fail=1
+    rc --test --crate-name core_t \
+        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS \
+        offline/core_offline.rs &&
+        "$od/core_t" -q || fail=1
+
+    note "offline: facade + sim-path integration suite (full_pipeline)"
+    rc --crate-type lib --crate-name ldplayer \
+        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE \
+        offline/ldplayer_offline.rs || fail=1
+    rc --test --crate-name full_pipeline_t $LDP tests/full_pipeline.rs &&
+        "$od/full_pipeline_t" -q || fail=1
+    # Type-check (not run) the sim-path example against the facade.
+    rc --crate-name hierarchy_emulation_ex $LDP examples/hierarchy_emulation.rs || fail=1
+
+    note "offline: hotpath microbench"
+    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY \
+        crates/bench/src/bin/hotpath.rs || fail=1
+    rm -f BENCH_hotpath.json
+    "$od/hotpath" BENCH_hotpath.json || fail=1
+
+    note "SKIPPED: fmt, clippy, tokio-dependent crates (registry unreachable)"
+fi
+
+if [ -f BENCH_hotpath.json ]; then
+    note "BENCH_hotpath.json written"
+else
+    note "FAILED: hotpath bench produced no BENCH_hotpath.json"
+    fail=1
 fi
 
 if [ "$fail" -eq 0 ]; then

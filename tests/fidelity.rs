@@ -91,7 +91,7 @@ fn fast_mode_exceeds_nominal_rate() {
 #[test]
 fn emulation_survives_packet_loss() {
     use ldplayer::core::{build_emulation, EmulationConfig};
-    use ldplayer::netsim::{Ctx, Host, PathConfig, SimDuration, SimTime, TcpEvent, Topology};
+    use ldplayer::netsim::{Ctx, Host, PacketBytes, PathConfig, SimDuration, SimTime, TcpEvent, Topology};
     use ldplayer::wire::{Message, Rcode, RecordType};
     use ldplayer::workloads::RecursiveSpec;
     use ldplayer::zone_construct::{build_from_trace, SimulatedInternet};
@@ -126,7 +126,7 @@ fn emulation_survives_packet_loss() {
         ok: Arc<Mutex<usize>>,
     }
     impl Host for Stub {
-        fn on_udp(&mut self, _c: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: Vec<u8>) {
+        fn on_udp(&mut self, _c: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: PacketBytes) {
             if let Ok(m) = Message::decode(&data) {
                 if m.rcode == Rcode::NoError && !m.answers.is_empty() {
                     *self.ok.lock().unwrap() += 1;

@@ -7,7 +7,7 @@ use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 
 use ldplayer::core::{build_emulation, views_from_hierarchy, EmulationConfig};
-use ldplayer::netsim::{Ctx, Host, SimTime, TcpEvent};
+use ldplayer::netsim::{Ctx, Host, PacketBytes, SimTime, TcpEvent};
 use ldplayer::resolver::IterativeResolver;
 use ldplayer::trace::TraceEntry;
 use ldplayer::wire::{Message, RData, Rcode, RecordType};
@@ -31,7 +31,7 @@ struct Stub {
 }
 
 impl Host for Stub {
-    fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: Vec<u8>) {
+    fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: PacketBytes) {
         if let Ok(m) = Message::decode(&data) {
             self.responses.lock().unwrap().push(m);
         }
