@@ -1,0 +1,133 @@
+//! The chaos agent: a simulated host that executes a [`FaultPlan`]'s
+//! host-level events (crashes and restarts) at their scheduled virtual
+//! times.
+//!
+//! Packet-level faults (loss, delay, cuts, ...) run inside the
+//! simulator's delivery path via [`PlanInjector`]; crashes need a
+//! different channel because they act on *hosts*, not packets. The
+//! agent is an ordinary [`Host`] with one pre-armed timer per action,
+//! so crash timing flows through the same deterministic event queue as
+//! everything else.
+
+use std::net::IpAddr;
+
+use netsim::{Ctx, Host, HostId, PacketBytes, Simulator, TcpEvent};
+
+use crate::injector::PlanInjector;
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// One host-level action the agent performs when its timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Crash(IpAddr),
+    Restart(IpAddr),
+}
+
+/// A host that crashes and restarts other hosts on schedule.
+///
+/// Built and wired by [`install`]; it never sends or receives packets.
+pub struct ChaosAgent {
+    /// Timer token `i` executes `actions[i]`.
+    actions: Vec<Action>,
+}
+
+impl Host for ChaosAgent {
+    fn on_udp(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        _from: std::net::SocketAddr,
+        _to: std::net::SocketAddr,
+        _data: PacketBytes,
+    ) {
+    }
+
+    fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, _event: TcpEvent) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(action) = usize::try_from(token).ok().and_then(|i| self.actions.get(i)) else {
+            return;
+        };
+        match *action {
+            Action::Crash(addr) => ctx.crash_host(addr),
+            Action::Restart(addr) => ctx.restart_host(addr),
+        }
+    }
+}
+
+/// Wire a [`FaultPlan`] into `sim`: installs a [`PlanInjector`] for the
+/// packet-level faults and a [`ChaosAgent`] (registered at
+/// `agent_addr`) whose timers deliver the plan's crash/restart events.
+///
+/// Returns the agent's [`HostId`]. `agent_addr` must be an address not
+/// used by any workload host.
+pub fn install(sim: &mut Simulator, plan: &FaultPlan, agent_addr: IpAddr) -> HostId {
+    sim.set_fault_injector(Box::new(PlanInjector::new(plan)));
+
+    let mut schedule = Vec::new();
+    for pf in &plan.faults {
+        match pf.fault {
+            FaultEvent::ServerCrash { addr } => schedule.push((pf.at, Action::Crash(addr))),
+            FaultEvent::ServerRestart { addr } => schedule.push((pf.at, Action::Restart(addr))),
+            _ => {}
+        }
+    }
+    schedule.sort_by_key(|(at, _)| *at);
+
+    let actions: Vec<Action> = schedule.iter().map(|(_, a)| *a).collect();
+    let agent = sim.add_host(&[agent_addr], Box::new(ChaosAgent { actions }));
+    for (i, (at, _)) in schedule.iter().enumerate() {
+        sim.schedule_timer(agent, *at, i as u64);
+    }
+    agent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name::Name;
+    use netsim::{PathConfig, QueueKind, SimConfig, SimDuration, SimTime, Topology};
+
+    fn root_ip(i: u8) -> IpAddr {
+        format!("10.13.0.{}", i + 1).parse().unwrap()
+    }
+
+    #[test]
+    fn crash_and_restart_fire_on_schedule() {
+        let topo = Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(10)));
+        let mut sim = Simulator::new(topo, SimConfig { queue: QueueKind::Heap, ..SimConfig::default() });
+
+        let mut catalog = dns_zone::catalog::Catalog::new();
+        catalog.insert(dns_zone::zone::Zone::new(Name::root()));
+        let engine = std::sync::Arc::new(dns_server::engine::ServerEngine::with_catalog(catalog));
+        let target = root_ip(0);
+        sim.add_host(
+            &[target],
+            Box::new(dns_server::sim_server::SimDnsServer::new(
+                engine,
+                std::net::SocketAddr::new(target, 53),
+                None,
+            )),
+        );
+
+        let plan = FaultPlan::new(1)
+            .at(SimTime::from_secs_f64(1.0), FaultEvent::ServerCrash { addr: target })
+            .at(SimTime::from_secs_f64(2.0), FaultEvent::ServerRestart { addr: target });
+        install(&mut sim, &plan, "10.255.0.1".parse().unwrap());
+
+        assert!(!sim.host_is_down(target));
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        assert!(sim.host_is_down(target), "crash timer fired at t=1s");
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        assert!(!sim.host_is_down(target), "restart timer fired at t=2s");
+    }
+
+    #[test]
+    fn out_of_range_token_is_ignored() {
+        let topo = Topology::default();
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        let id = sim.add_host(&["10.255.0.1".parse().unwrap()], Box::new(ChaosAgent { actions: vec![] }));
+        // A stray timer on an empty action table must be a no-op.
+        sim.schedule_timer(id, SimTime::from_secs_f64(1.0), 42);
+        sim.run();
+    }
+}

@@ -1,0 +1,33 @@
+//! `ldp-chaos`: deterministic fault injection for the LDplayer
+//! simulator.
+//!
+//! LDplayer's value (paper §3) is *controlled* DNS experimentation:
+//! the same trace replayed under systematically varied conditions.
+//! This crate supplies the "varied conditions" half for failures — a
+//! declarative, virtual-time-scheduled [`FaultPlan`] of link cuts,
+//! loss bursts, delay spikes, duplication, CPU throttles, and server
+//! crash/restart events, executed inside the simulator with all
+//! randomness drawn from the plan's own seeded RNG. Same seed, same
+//! plan → byte-identical simulator transcripts across both event-queue
+//! backends, so every failure experiment is exactly reproducible.
+//!
+//! The pieces:
+//! - [`plan`]: the declarative [`FaultPlan`] (+ a line-based text
+//!   format that round-trips exactly),
+//! - [`injector`]: [`PlanInjector`], the packet-level executor wired
+//!   into `netsim`'s delivery path,
+//! - [`agent`]: [`ChaosAgent`] and [`agent::install`], delivering the
+//!   host-level crash/restart events on schedule,
+//! - [`outage`]: the root-letter outage study (the `fig_outage`
+//!   scenario) built on all of the above.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod injector;
+pub mod outage;
+pub mod plan;
+
+pub use agent::{install, ChaosAgent};
+pub use injector::PlanInjector;
+pub use plan::{FaultEvent, FaultPlan, PlanParseError, PlannedFault};

@@ -1,0 +1,76 @@
+//! Property test: any `FaultPlan` survives a text round-trip exactly —
+//! `from_text(to_text(p)) == p`, including awkward f64 rates and
+//! extreme timestamps. Cargo-only (proptest is unavailable in the
+//! offline bare-rustc gate, which runs the deterministic unit tests in
+//! `plan.rs` instead).
+
+use ldp_chaos::plan::{FaultEvent, FaultPlan, PlannedFault};
+use netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = std::net::IpAddr> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| std::net::IpAddr::from(o)),
+        any::<[u8; 16]>().prop_map(|o| std::net::IpAddr::from(o)),
+    ]
+}
+
+fn arb_rate() -> impl Strategy<Value = f64> {
+    // Finite, non-NaN: NaN breaks equality (and makes no sense as a
+    // probability); the parser accepts whatever `{:?}` printed.
+    prop_oneof![
+        0.0f64..=1.0,
+        Just(0.1 + 0.2),
+        Just(f64::MIN_POSITIVE),
+        Just(1.0e-300),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = FaultEvent> {
+    let t = any::<u64>().prop_map(SimTime::from_nanos);
+    let d = any::<u64>().prop_map(SimDuration::from_nanos);
+    prop_oneof![
+        (arb_ip(), arb_ip()).prop_map(|(src, dst)| FaultEvent::LinkDown { src, dst }),
+        (arb_ip(), arb_ip()).prop_map(|(src, dst)| FaultEvent::LinkUp { src, dst }),
+        (arb_rate(), t.clone()).prop_map(|(rate, until)| FaultEvent::LossBurst { rate, until }),
+        (d.clone(), d.clone(), t.clone())
+            .prop_map(|(extra, jitter, until)| FaultEvent::DelaySpike { extra, jitter, until }),
+        (arb_rate(), d.clone(), t.clone())
+            .prop_map(|(rate, window, until)| FaultEvent::Reorder { rate, window, until }),
+        (arb_rate(), t.clone()).prop_map(|(rate, until)| FaultEvent::Duplicate { rate, until }),
+        arb_ip().prop_map(|addr| FaultEvent::ServerCrash { addr }),
+        arb_ip().prop_map(|addr| FaultEvent::ServerRestart { addr }),
+        (arb_ip(), arb_rate(), t)
+            .prop_map(|(addr, factor, until)| FaultEvent::CpuThrottle { addr, factor, until }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        proptest::collection::vec((any::<u64>().prop_map(SimTime::from_nanos), arb_event()), 0..24),
+    )
+        .prop_map(|(seed, faults)| FaultPlan {
+            seed,
+            faults: faults
+                .into_iter()
+                .map(|(at, fault)| PlannedFault { at, fault })
+                .collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn text_round_trip_is_exact(plan in arb_plan()) {
+        let text = plan.to_text();
+        let back = FaultPlan::from_text(&text).expect("own output parses");
+        prop_assert_eq!(&plan, &back);
+        // Serialization is a fixed point: re-encoding changes nothing.
+        prop_assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn parser_never_panics(text in "\\PC*") {
+        let _ = FaultPlan::from_text(&text);
+    }
+}

@@ -14,6 +14,8 @@ use std::net::{IpAddr, SocketAddr};
 
 use dns_wire::{Message, Name, RData, Rcode, RecordType};
 use netsim::{Ctx, Host, PacketBytes, SimDuration, TcpEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::cache::{Cache, CachedAnswer};
 
@@ -32,6 +34,8 @@ struct Task {
     cname_hops: usize,
     retries: usize,
     outstanding: Option<u16>,
+    /// Timeout for the current attempt (grows under backoff).
+    cur_timeout: SimDuration,
 }
 
 /// Counters for the resolver host.
@@ -59,12 +63,25 @@ pub struct SimResolver {
     upstream_map: BTreeMap<u16, u64>,
     next_task: u64,
     next_id: u16,
-    /// Upstream query timeout.
+    /// Upstream query timeout (the base timeout when backoff is on).
     pub timeout: SimDuration,
     /// Max retries across servers before SERVFAIL.
     pub max_retries: usize,
+    /// Exponential backoff with decorrelated jitter: when set, each
+    /// retry's timeout is drawn uniformly from `[timeout, 3 × prev]`
+    /// and capped here (AWS-style decorrelated jitter — desynchronizes
+    /// retry storms during an outage). `None` keeps a fixed per-attempt
+    /// timeout.
+    pub backoff_cap: Option<SimDuration>,
+    /// Spread each query's first nameserver across the server list by
+    /// task id instead of always starting at index 0 — approximates
+    /// real resolvers' server selection so an outage of some servers
+    /// only delays the share of queries that pick them first.
+    pub rotate_servers: bool,
     /// Live counters.
     pub stats: ResolverStats,
+    /// Seeded RNG for backoff jitter (rule D3: no ambient randomness).
+    rng: StdRng,
 }
 
 impl SimResolver {
@@ -81,8 +98,33 @@ impl SimResolver {
             next_id: 1,
             timeout: SimDuration::from_secs(2),
             max_retries: 6,
+            backoff_cap: None,
+            rotate_servers: false,
             stats: ResolverStats::default(),
+            rng: StdRng::seed_from_u64(0x1d9_c0de),
         }
+    }
+
+    /// First-server index for a task over an `n`-long server list.
+    fn start_idx(&self, task_id: u64, n: usize) -> usize {
+        if self.rotate_servers && n > 0 {
+            (task_id as usize) % n
+        } else {
+            0
+        }
+    }
+
+    /// Grow a task's timeout for its next attempt (decorrelated
+    /// jitter), or keep it fixed when backoff is disabled.
+    fn next_timeout(&mut self, prev: SimDuration) -> SimDuration {
+        let Some(cap) = self.backoff_cap else {
+            return self.timeout;
+        };
+        let base = self.timeout.as_nanos();
+        let hi = prev.as_nanos().saturating_mul(3).max(base + 1);
+        let span = (hi - base) as f64;
+        let drawn = base + (self.rng.gen::<f64>() * span) as u64;
+        SimDuration::from_nanos(drawn.min(cap.as_nanos()))
     }
 
     /// The resolver's service address.
@@ -137,6 +179,7 @@ impl SimResolver {
         let task_id = self.next_task;
         self.next_task += 1;
         let servers = self.best_servers(&q.name);
+        let server_idx = self.start_idx(task_id, servers.len());
         let task = Task {
             stub: from,
             stub_query: query,
@@ -144,11 +187,12 @@ impl SimResolver {
             qname: q.name,
             qtype: q.qtype,
             servers,
-            server_idx: 0,
+            server_idx,
             answers: vec![],
             cname_hops: 0,
             retries: 0,
             outstanding: None,
+            cur_timeout: self.timeout,
         };
         self.tasks.insert(task_id, task);
         self.send_upstream(ctx, task_id);
@@ -169,12 +213,37 @@ impl SimResolver {
             q.set_dnssec_ok(true);
         }
         task.outstanding = Some(id);
+        let attempt_timeout = task.cur_timeout;
         self.upstream_map.insert(id, task_id);
         self.stats.upstream_queries += 1;
         ctx.send_udp(self.addr, SocketAddr::new(server, 53), q.encode());
         // Timer token encodes (task, attempt) so a stale timer from an
         // attempt that already completed is ignored.
-        ctx.set_timer(self.timeout, (task_id << 16) | id as u64);
+        ctx.set_timer(attempt_timeout, (task_id << 16) | id as u64);
+    }
+
+    /// A server attempt failed (timeout or error rcode): advance to the
+    /// next listed nameserver with a (possibly backed-off) timeout, or
+    /// give up with SERVFAIL once the retry budget is spent.
+    fn failover(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
+        let retry = match self.tasks.get_mut(&task_id) {
+            Some(task) => {
+                task.retries += 1;
+                task.server_idx += 1;
+                task.retries <= self.max_retries
+            }
+            None => return,
+        };
+        if retry {
+            let prev = self.tasks[&task_id].cur_timeout;
+            let next = self.next_timeout(prev);
+            if let Some(task) = self.tasks.get_mut(&task_id) {
+                task.cur_timeout = next;
+            }
+            self.send_upstream(ctx, task_id);
+        } else {
+            self.fail(ctx, task_id);
+        }
     }
 
     fn fail(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
@@ -230,7 +299,14 @@ impl SimResolver {
             return;
         }
         if resp.rcode != Rcode::NoError {
-            self.fail(ctx, task_id);
+            // SERVFAIL/REFUSED/FormErr from one server says nothing
+            // about the others (lame delegation, overload, partial
+            // outage): fail over to the next listed nameserver rather
+            // than giving up — same path as a timeout.
+            if let Some(task) = self.tasks.get_mut(&task_id) {
+                task.outstanding = None;
+            }
+            self.failover(ctx, task_id);
             return;
         }
         if !resp.answers.is_empty() {
@@ -249,9 +325,11 @@ impl SimResolver {
                         return;
                     }
                     task.qname = target;
-                    task.server_idx = 0;
                     let servers = self.best_servers(&self.tasks[&task_id].qname);
-                    self.tasks.get_mut(&task_id).unwrap().servers = servers;
+                    let idx = self.start_idx(task_id, servers.len());
+                    let task = self.tasks.get_mut(&task_id).expect("task exists");
+                    task.servers = servers;
+                    task.server_idx = idx;
                     self.send_upstream(ctx, task_id);
                     return;
                 }
@@ -281,9 +359,10 @@ impl SimResolver {
                     return;
                 }
                 self.delegations.insert(zone, addrs.clone());
+                let idx = self.start_idx(task_id, addrs.len());
                 let task = self.tasks.get_mut(&task_id).expect("task exists");
                 task.servers = addrs;
-                task.server_idx = 0;
+                task.server_idx = idx;
                 self.send_upstream(ctx, task_id);
                 return;
             }
@@ -314,22 +393,199 @@ impl Host for SimResolver {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let task_id = token >> 16;
         let attempt_id = (token & 0xffff) as u16;
-        let retry = match self.tasks.get_mut(&task_id) {
+        match self.tasks.get_mut(&task_id) {
             Some(task) if task.outstanding == Some(attempt_id) => {
                 // That exact attempt timed out.
                 task.outstanding = None;
                 self.upstream_map.remove(&attempt_id);
-                let task = self.tasks.get_mut(&task_id).expect("task exists");
-                task.retries += 1;
-                task.server_idx += 1;
-                task.retries <= self.max_retries
             }
             _ => return, // answered, superseded or gone
-        };
-        if retry {
-            self.send_upstream(ctx, task_id);
-        } else {
-            self.fail(ctx, task_id);
         }
+        self.failover(ctx, task_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    use dns_server::engine::ServerEngine;
+    use dns_server::sim_server::SimDnsServer;
+    use dns_wire::record::Record;
+    use dns_zone::catalog::Catalog;
+    use dns_zone::zone::Zone;
+    use netsim::{SimConfig, Simulator, Topology};
+
+    /// A stub that records every response it receives.
+    struct CaptureStub {
+        got: Rc<RefCell<Vec<Message>>>,
+    }
+
+    impl Host for CaptureStub {
+        fn on_udp(
+            &mut self,
+            _ctx: &mut Ctx<'_>,
+            _from: SocketAddr,
+            _to: SocketAddr,
+            data: PacketBytes,
+        ) {
+            if let Ok(msg) = Message::decode(&data) {
+                self.got.borrow_mut().push(msg);
+            }
+        }
+        fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, _event: TcpEvent) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    }
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn good_engine() -> Arc<ServerEngine> {
+        let mut zone = Zone::new(name("example."));
+        zone.insert(Record::new(
+            name("www.example."),
+            3600,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ))
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.insert(zone);
+        Arc::new(ServerEngine::with_catalog(catalog))
+    }
+
+    /// Empty catalog: the server answers, but never with NoError +
+    /// data — the resolver must treat it as a failed attempt.
+    fn lame_engine() -> Arc<ServerEngine> {
+        Arc::new(ServerEngine::with_catalog(Catalog::new()))
+    }
+
+    struct Rig {
+        sim: Simulator,
+        got: Rc<RefCell<Vec<Message>>>,
+        stub_addr: SocketAddr,
+        resolver_addr: SocketAddr,
+        server_ids: Vec<netsim::HostId>,
+    }
+
+    /// Build a sim with a stub, a resolver hinted at `upstreams`
+    /// in order, and one server host per `Some(engine)` entry
+    /// (a `None` upstream is a dead address — queries to it vanish).
+    fn rig(upstreams: &[Option<Arc<ServerEngine>>], tune: impl FnOnce(&mut SimResolver)) -> Rig {
+        let mut sim = Simulator::new(Topology::default(), SimConfig::default());
+        let mut hints = Vec::new();
+        let mut server_ids = Vec::new();
+        for (i, up) in upstreams.iter().enumerate() {
+            let ip: IpAddr = format!("10.0.0.{}", i + 1).parse().unwrap();
+            hints.push(ip);
+            if let Some(engine) = up {
+                let server =
+                    SimDnsServer::new(engine.clone(), SocketAddr::new(ip, 53), None);
+                server_ids.push(sim.add_host(&[ip], Box::new(server)));
+            }
+        }
+        let resolver_addr: SocketAddr = "10.1.0.1:53".parse().unwrap();
+        let mut resolver = SimResolver::new(resolver_addr, hints);
+        tune(&mut resolver);
+        sim.add_host(&[resolver_addr.ip()], Box::new(resolver));
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let stub_addr: SocketAddr = "10.2.0.1:5353".parse().unwrap();
+        let stub = CaptureStub { got: Rc::clone(&got) };
+        sim.add_host(&[stub_addr.ip()], Box::new(stub));
+        Rig { sim, got, stub_addr, resolver_addr, server_ids }
+    }
+
+    fn ask(rig: &mut Rig, id: u16, qname: &str) {
+        let q = Message::query(id, name(qname), RecordType::A);
+        rig.sim
+            .inject_udp(rig.stub_addr, rig.resolver_addr, q.encode());
+    }
+
+    #[test]
+    fn timeout_fails_over_to_next_nameserver() {
+        // First hint is a dead address: the attempt must time out and
+        // the query succeed via the second server.
+        let mut rig = rig(&[None, Some(good_engine())], |r| r.max_retries = 3);
+        ask(&mut rig, 1, "www.example.");
+        rig.sim.run();
+        let got = rig.got.borrow();
+        assert_eq!(got.len(), 1, "exactly one answer to the stub");
+        assert_eq!(got[0].rcode, Rcode::NoError);
+        assert!(!got[0].answers.is_empty(), "positive answer after failover");
+    }
+
+    #[test]
+    fn error_rcode_fails_over_to_next_nameserver() {
+        // First server answers REFUSED/SERVFAIL (lame); a single bad
+        // rcode must advance to the next listed server, not SERVFAIL
+        // the stub.
+        let mut rig = rig(&[Some(lame_engine()), Some(good_engine())], |r| {
+            r.max_retries = 3;
+        });
+        ask(&mut rig, 2, "www.example.");
+        rig.sim.run();
+        let got = rig.got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rcode, Rcode::NoError, "failover past the lame server");
+        assert!(!got[0].answers.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_servfails() {
+        let mut rig = rig(&[None, Some(good_engine())], |r| r.max_retries = 0);
+        ask(&mut rig, 3, "www.example.");
+        rig.sim.run();
+        let got = rig.got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rcode, Rcode::ServFail, "no budget to reach server 2");
+    }
+
+    #[test]
+    fn rotation_spreads_first_attempts() {
+        // Two good servers, two queries: with rotation on, task 0
+        // starts at server 0 and task 1 at server 1.
+        let mut rig = rig(&[Some(good_engine()), Some(good_engine())], |r| {
+            r.rotate_servers = true;
+        });
+        ask(&mut rig, 4, "www.example.");
+        ask(&mut rig, 5, "w2.example.");
+        rig.sim.run();
+        let rx: Vec<u64> = rig
+            .server_ids
+            .iter()
+            .map(|&id| rig.sim.stats(id).udp_rx)
+            .collect();
+        assert_eq!(rx, vec![1, 1], "one first attempt per server");
+    }
+
+    #[test]
+    fn backoff_draws_stay_within_bounds_and_grow() {
+        let mut r = SimResolver::new("10.1.0.1:53".parse().unwrap(), vec![]);
+        let cap = SimDuration::from_secs(8);
+        r.backoff_cap = Some(cap);
+        let base = r.timeout;
+        let mut prev = base;
+        let mut grew = false;
+        for _ in 0..64 {
+            let next = r.next_timeout(prev);
+            assert!(next >= base, "never below the base timeout");
+            assert!(next <= cap, "never above the cap");
+            if next > prev {
+                grew = true;
+            }
+            prev = next;
+        }
+        assert!(grew, "decorrelated jitter must actually back off");
+    }
+
+    #[test]
+    fn fixed_timeout_without_backoff() {
+        let mut r = SimResolver::new("10.1.0.1:53".parse().unwrap(), vec![]);
+        let base = r.timeout;
+        assert_eq!(r.next_timeout(base), base);
+        assert_eq!(r.next_timeout(SimDuration::from_secs(30)), base);
     }
 }

@@ -150,6 +150,12 @@ impl RateLimiter {
         self.buckets.retain(|_, b| b.last >= cutoff);
     }
 
+    /// Forget all buckets (a process restart starts from scratch);
+    /// lifetime counters are kept.
+    pub fn reset(&mut self) {
+        self.buckets.clear();
+    }
+
     /// Number of live buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()

@@ -138,6 +138,17 @@ impl Host for SimDnsServer {
     }
 
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    fn on_crash(&mut self) {
+        // Power-off semantics: every tracked connection (and its
+        // half-parsed frame buffer) is gone. The zone data (`engine`)
+        // is on-disk state and survives; RRL buckets are in-memory and
+        // a real restart would begin with them empty.
+        self.conns.clear();
+        if let Some(rrl) = &mut self.rrl {
+            rrl.reset();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +279,21 @@ mod tests {
         let replies = run(true, true);
         assert_eq!(replies.len(), 2);
         assert_eq!(replies[0].answers.len(), 1);
+    }
+
+    #[test]
+    fn crash_drops_connection_state() {
+        let mut s = SimDnsServer::new(engine(), "10.0.0.1:53".parse().unwrap(), None)
+            .with_rrl(RateLimiter::new(crate::rrl::RrlConfig::default()));
+        s.conns
+            .insert(ConnId(7), (FrameBuffer::new(), "10.0.0.2:5000".parse().unwrap()));
+        if let Some(rrl) = &mut s.rrl {
+            rrl.check("10.0.0.2".parse().unwrap(), 1, 0.0);
+            assert_eq!(rrl.bucket_count(), 1);
+        }
+        netsim::Host::on_crash(&mut s);
+        assert_eq!(s.open_connections(), 0, "conns do not survive a power-off");
+        assert_eq!(s.rrl.as_ref().unwrap().bucket_count(), 0, "RRL state is in-memory");
     }
 
     #[test]

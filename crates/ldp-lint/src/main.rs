@@ -12,7 +12,7 @@
 //! Usage:
 //!
 //! ```text
-//! ldp-lint check [--root DIR] [--allowlist FILE]
+//! ldp-lint check [--root DIR] [--allowlist FILE] [--deny-unused-allows]
 //! ldp-lint rules
 //! ```
 //!
@@ -38,7 +38,7 @@ mod rules;
 use allowlist::Allowlist;
 
 fn usage() -> &'static str {
-    "usage: ldp-lint <check [--root DIR] [--allowlist FILE] | rules>"
+    "usage: ldp-lint <check [--root DIR] [--allowlist FILE] [--deny-unused-allows] | rules>"
 }
 
 /// Nearest ancestor of the current directory containing a `Cargo.toml`
@@ -63,9 +63,11 @@ fn find_workspace_root() -> PathBuf {
 fn cmd_check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allow_path: Option<PathBuf> = None;
+    let mut deny_unused = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--deny-unused-allows" => deny_unused = true,
             "--root" => match it.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => {
@@ -116,7 +118,21 @@ fn cmd_check(args: &[String]) -> ExitCode {
     };
 
     match driver::check(&root, allow) {
-        Ok(report) => ExitCode::from(driver::print_report(&report) as u8),
+        // With --deny-unused-allows, allowlist rot (an entry that no
+        // longer suppresses anything) fails the run instead of warning,
+        // so CI keeps ldp-lint.allow minimal.
+        Ok(report) => {
+            let mut code = driver::print_report(&report);
+            if deny_unused && !report.unused_allows.is_empty() {
+                println!(
+                    "ldp-lint: FAIL — {} unused allowlist entr{} (--deny-unused-allows)",
+                    report.unused_allows.len(),
+                    if report.unused_allows.len() == 1 { "y" } else { "ies" }
+                );
+                code = 1;
+            }
+            ExitCode::from(code as u8)
+        }
         Err(e) => {
             eprintln!("ldp-lint: walk failed under {}: {e}", root.display());
             ExitCode::from(2)

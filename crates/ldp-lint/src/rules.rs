@@ -50,7 +50,8 @@ pub struct FileScope {
     /// bench binaries.
     pub real_clock_ok: bool,
     /// Simulator-path file (D2 applies): `crates/netsim/src/**`,
-    /// `sim_*.rs` anywhere.
+    /// `crates/chaos/src/**` (fault injection runs inside the
+    /// simulator's delivery path), `sim_*.rs` anywhere.
     pub sim_path: bool,
     /// Panic-safety hot path (P1 applies): `crates/dns-wire/src/**`,
     /// `crates/proxy/src/**`, `crates/dns-server/src/engine.rs`.
@@ -74,7 +75,9 @@ pub fn classify(path: &str) -> FileScope {
         || file == "capture.rs"
         || in_dir("crates/bench")
         || p.contains("crates/bench/");
-    let sim_path = p.contains("crates/netsim/src/") || file.starts_with("sim_");
+    let sim_path = p.contains("crates/netsim/src/")
+        || p.contains("crates/chaos/src/")
+        || file.starts_with("sim_");
     let hot_path = p.contains("crates/dns-wire/src/")
         || p.contains("crates/proxy/src/")
         || p.ends_with("crates/dns-server/src/engine.rs")
@@ -527,6 +530,17 @@ mod tests {
             .filter(|d| d.severity == Severity::Warning)
             .collect();
         assert!(!warns.is_empty());
+    }
+
+    #[test]
+    fn d2_applies_to_chaos_crate() {
+        let src = r#"
+            struct S { m: std::collections::HashMap<u64, u32> }
+            impl S { fn f(&self) { for x in self.m.values() {} } }
+        "#;
+        let ds = errors("crates/chaos/src/injector.rs", src);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].rule, "D2");
     }
 
     #[test]

@@ -67,4 +67,17 @@ pub trait Host {
 
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+
+    /// The host crashed (fault injection): all its connections are
+    /// gone, its pending timers will never fire, and no callbacks run
+    /// until [`Host::on_restart`]. No [`Ctx`] is provided — a crashed
+    /// host cannot act on the world; implementations should drop
+    /// whatever in-memory state a power-off would lose.
+    fn on_crash(&mut self) {}
+
+    /// The host came back up after a crash. Re-arm timers and rebuild
+    /// state here; the address registrations survive the crash.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
 }

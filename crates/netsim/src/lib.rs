@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod host;
 pub mod queue;
 pub mod resources;
@@ -23,6 +24,7 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use fault::{FaultInjector, FnInjector, PacketFate, WireKind};
 pub use host::{Host, PacketBytes, TcpEvent};
 pub use queue::{EventQueue, QueueKind};
 pub use resources::{CpuModel, MemoryModel};

@@ -17,6 +17,7 @@ use std::net::{IpAddr, SocketAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fault::{FaultInjector, WireKind};
 use crate::host::{Host, PacketBytes, TcpEvent};
 use crate::queue::{EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
@@ -172,6 +173,10 @@ struct Conn {
     fifo_free: [SimTime; 2],
     /// Whether each side (0 = client, 1 = server) has seen Closed.
     side_closed: [bool; 2],
+    /// Whether each side has completed its handshake (its `established`
+    /// counter was incremented) — needed so an abortive kill can undo
+    /// exactly the bookkeeping that happened.
+    side_established: [bool; 2],
 }
 
 impl Conn {
@@ -202,8 +207,21 @@ enum ConnTimer {
 
 enum Event {
     Deliver(Packet),
-    HostTimer { host: HostId, token: u64 },
+    /// `epoch` is the host's crash generation at arm time: a timer from
+    /// before a crash never fires after the restart.
+    HostTimer { host: HostId, token: u64, epoch: u64 },
     ConnTimer { conn: ConnId, kind: ConnTimer },
+    /// Deferred abortive kill (fault injection / crash): processed as
+    /// its own event so a drop decided mid-delivery never invalidates
+    /// connection state the current dispatch still holds.
+    KillConn { conn: ConnId },
+    /// A dial to a dead or unlistened address failing back to the
+    /// client one RTT later (the RST / ICMP-unreachable a real stack
+    /// would surface), delivered as `TcpEvent::Closed` so dialers can
+    /// run reconnect/backoff logic instead of waiting on a half-open
+    /// connection forever. `epoch` guards against the dialer itself
+    /// having crashed in the meantime.
+    ConnRefused { conn: ConnId, host: HostId, epoch: u64 },
 }
 
 /// Actions queued by host callbacks, applied when the callback returns.
@@ -237,6 +255,12 @@ enum Command {
         host: HostId,
         delay: SimDuration,
         token: u64,
+    },
+    Crash {
+        addr: IpAddr,
+    },
+    Restart {
+        addr: IpAddr,
     },
 }
 
@@ -317,6 +341,21 @@ impl<'a> Ctx<'a> {
             token,
         });
     }
+
+    /// Crash the host owning `addr`: every connection it participates
+    /// in dies abortively (peers see `Closed`, no TIME_WAIT), inbound
+    /// packets and pending timers are dropped, and no callbacks run on
+    /// it until [`Ctx::restart_host`]. Used by fault-injection agents
+    /// (`ldp-chaos`).
+    pub fn crash_host(&mut self, addr: IpAddr) {
+        self.commands.push(Command::Crash { addr });
+    }
+
+    /// Bring a crashed host back; it receives `on_restart` to re-arm
+    /// timers and rebuild state. No-op if the host is not down.
+    pub fn restart_host(&mut self, addr: IpAddr) {
+        self.commands.push(Command::Restart { addr });
+    }
 }
 
 /// The discrete-event network simulator.
@@ -336,6 +375,14 @@ pub struct Simulator {
     stats: Vec<HostStats>,
     rng: StdRng,
     commands: Vec<Command>,
+    /// Installed fault injector (None = no faults). Consulted once per
+    /// packet in deterministic event order (see [`crate::fault`]).
+    injector: Option<Box<dyn FaultInjector>>,
+    /// Per-host crashed flag (indexed by `HostId`).
+    down: Vec<bool>,
+    /// Per-host crash generation; bumped on crash so timers armed
+    /// before the crash are stale after a restart.
+    epochs: Vec<u64>,
 }
 
 impl Simulator {
@@ -353,7 +400,23 @@ impl Simulator {
             stats: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
             commands: Vec::new(),
+            injector: None,
+            down: Vec::new(),
+            epochs: Vec::new(),
         }
+    }
+
+    /// Install a fault injector consulted for every packet the
+    /// simulator sends (UDP datagrams and TCP segments). Replaces any
+    /// previous injector. Determinism holds as long as the injector's
+    /// decisions depend only on its arguments and its own seeded state.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Whether the host owning `addr` is currently crashed.
+    pub fn host_is_down(&self, addr: IpAddr) -> bool {
+        self.addr_map.get(&addr).map(|&h| self.down[h]).unwrap_or(false)
     }
 
     /// Register a host owning `addrs`. Panics if an address is taken.
@@ -365,6 +428,8 @@ impl Simulator {
         }
         self.hosts.push(Some(host));
         self.stats.push(HostStats::default());
+        self.down.push(false);
+        self.epochs.push(0);
         id
     }
 
@@ -403,7 +468,8 @@ impl Simulator {
 
     /// Schedule a host timer externally (before the run starts).
     pub fn schedule_timer(&mut self, host: HostId, at: SimTime, token: u64) {
-        self.push_event(at, Event::HostTimer { host, token });
+        let epoch = self.epochs[host];
+        self.push_event(at, Event::HostTimer { host, token, epoch });
     }
 
     /// Inject a UDP datagram from outside (used by drivers).
@@ -459,10 +525,24 @@ impl Simulator {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Deliver(pkt) => self.deliver(pkt),
-            Event::HostTimer { host, token } => {
+            Event::HostTimer { host, token, epoch } => {
+                // A crashed host loses its timers; a timer armed before
+                // the crash is stale forever (epoch mismatch).
+                if self.down[host] || self.epochs[host] != epoch {
+                    return;
+                }
                 self.with_host(host, |h, ctx| h.on_timer(ctx, token));
             }
             Event::ConnTimer { conn, kind } => self.conn_timer(conn, kind),
+            Event::KillConn { conn } => self.kill_conn(conn),
+            Event::ConnRefused { conn, host, epoch } => {
+                if self.down[host] || self.epochs[host] != epoch {
+                    return;
+                }
+                self.with_host(host, |h, ctx| {
+                    h.on_tcp_event(ctx, TcpEvent::Closed { conn })
+                });
+            }
         }
     }
 
@@ -498,12 +578,29 @@ impl Simulator {
                 if path.loss > 0.0 && self.rng.gen::<f64>() < path.loss {
                     return; // dropped
                 }
+                let fate = match &mut self.injector {
+                    Some(inj) => inj.fate(self.now, from, to, WireKind::Udp, data.len()),
+                    None => crate::fault::PacketFate::DELIVER,
+                };
+                if fate.drop {
+                    return; // injected loss / link down
+                }
                 if let Some(&h) = self.addr_map.get(&from.ip()) {
                     self.stats[h].udp_tx += 1;
                     self.stats[h].udp_tx_bytes += data.len() as u64;
                 }
                 let delay = path.one_way(data.len() + 28); // + IP/UDP headers
-                let at = self.now + delay;
+                let at = self.now + delay + fate.extra_delay;
+                if let Some(gap) = fate.duplicate {
+                    self.push_event(
+                        at + gap,
+                        Event::Deliver(Packet {
+                            src: from,
+                            dst: to,
+                            payload: Payload::Udp(data.clone()),
+                        }),
+                    );
+                }
                 self.push_event(
                     at,
                     Event::Deliver(Packet {
@@ -520,8 +617,21 @@ impl Simulator {
                 tls,
                 from_host,
             } => {
-                let Some(&server_host) = self.addr_map.get(&to.ip()) else {
-                    return; // no listener: connection silently fails
+                let listener = self.addr_map.get(&to.ip()).copied();
+                let server_host = match listener {
+                    Some(h) if !self.down[h] => h,
+                    // No listener at that address, or a crashed one: the
+                    // dial fails. Surface it to the dialer one RTT later
+                    // (SYN out, refusal back) instead of leaving the
+                    // connection half-open and the client waiting
+                    // forever.
+                    _ => {
+                        let path = self.topology.path(from.ip(), to.ip());
+                        let at = self.now + path.one_way(40) + path.one_way(40);
+                        let epoch = self.epochs[from_host];
+                        self.push_event(at, Event::ConnRefused { conn, host: from_host, epoch });
+                        return;
+                    }
                 };
                 self.conns.insert(
                     conn,
@@ -540,6 +650,7 @@ impl Simulator {
                         dirs: [DirState::default(), DirState::default()],
                         fifo_free: [SimTime::ZERO, SimTime::ZERO],
                         side_closed: [false, false],
+                        side_established: [false, false],
                     },
                 );
                 self.send_segment(conn, from, to, SegKind::Syn);
@@ -561,8 +672,11 @@ impl Simulator {
             }
             Command::SetTimer { host, delay, token } => {
                 let at = self.now + delay;
-                self.push_event(at, Event::HostTimer { host, token });
+                let epoch = self.epochs[host];
+                self.push_event(at, Event::HostTimer { host, token, epoch });
             }
+            Command::Crash { addr } => self.do_crash(addr),
+            Command::Restart { addr } => self.do_restart(addr),
         }
     }
 
@@ -577,7 +691,20 @@ impl Simulator {
             SegKind::Data { bytes } => bytes.len(),
             _ => 0,
         };
-        let mut at = self.now + path.one_way(size);
+        let fate = match &mut self.injector {
+            Some(inj) => inj.fate(self.now, from, to, WireKind::Tcp, size - 40),
+            None => crate::fault::PacketFate::DELIVER,
+        };
+        if fate.drop {
+            // This TCP model has no retransmission, so a dropped segment
+            // is fatal to the connection (the stack would hit its retry
+            // limit). The kill is deferred to its own event: callers may
+            // still hold expectations about this conn's state within the
+            // current dispatch.
+            self.push_event(self.now, Event::KillConn { conn });
+            return;
+        }
+        let mut at = self.now + path.one_way(size) + fate.extra_delay;
         if let Some(c) = self.conns.get_mut(&conn) {
             let dir = c.dir_from(from);
             if at < c.fifo_free[dir] {
@@ -602,6 +729,9 @@ impl Simulator {
                     return; // unroutable: dropped (the paper's TUN capture
                             // exists precisely because such packets die)
                 };
+                if self.down[host] {
+                    return; // crashed host: inbound packets die on the floor
+                }
                 self.stats[host].udp_rx += 1;
                 self.stats[host].udp_rx_bytes += data.len() as u64;
                 let (src, dst) = (pkt.src, pkt.dst);
@@ -743,6 +873,7 @@ impl Simulator {
             return;
         }
         conn.state = ConnState::Established;
+        conn.side_established[usize::from(!client_side)] = true;
         let (host, peer, local, tls) = if client_side {
             (conn.client_host, conn.server, conn.client, conn.tls)
         } else {
@@ -962,5 +1093,90 @@ impl Simulator {
                 self.send_segment(conn_id, from, to, SegKind::Ack);
             }
         }
+    }
+
+    /// Abortively kill a connection: remove it, undo its stats
+    /// contributions, and deliver `Closed` to every side that has not
+    /// already seen it (skipping crashed hosts — they get nothing).
+    /// No TIME_WAIT: this models a reset/crash, not a graceful close.
+    fn kill_conn(&mut self, conn_id: ConnId) {
+        let Some(conn) = self.conns.remove(&conn_id) else {
+            return; // already gone (duplicate kill, late event)
+        };
+        // If the active closer already entered TIME_WAIT, its pending
+        // TimeWaitDone event will find the conn gone and never decrement
+        // the counter — do it here.
+        if let Some(closer) = conn.closer {
+            let closer_side = usize::from(closer == conn.server_host
+                && conn.client_host != conn.server_host);
+            if conn.state == ConnState::Closed && conn.side_closed[closer_side] {
+                self.stats[closer].time_wait = self.stats[closer].time_wait.saturating_sub(1);
+            }
+        }
+        let sides = [conn.client_host, conn.server_host];
+        for (side, &host) in sides.iter().enumerate() {
+            if conn.side_closed[side] {
+                continue;
+            }
+            if conn.side_established[side] {
+                self.stats[host].established = self.stats[host].established.saturating_sub(1);
+            }
+            if self.down[host] {
+                continue; // a crashed host hears nothing
+            }
+            self.with_host(host, |h, ctx| {
+                h.on_tcp_event(ctx, TcpEvent::Closed { conn: conn_id })
+            });
+        }
+    }
+
+    /// Crash the host owning `addr` (see [`Ctx::crash_host`]).
+    pub fn crash_now(&mut self, addr: IpAddr) {
+        self.do_crash(addr);
+    }
+
+    /// Restart a crashed host (see [`Ctx::restart_host`]).
+    pub fn restart_now(&mut self, addr: IpAddr) {
+        self.do_restart(addr);
+    }
+
+    fn do_crash(&mut self, addr: IpAddr) {
+        let Some(&id) = self.addr_map.get(&addr) else {
+            return;
+        };
+        if self.down[id] {
+            return;
+        }
+        self.down[id] = true;
+        // Invalidate every timer armed before the crash: they must not
+        // fire after a restart.
+        self.epochs[id] += 1;
+        // The host learns it crashed with no Ctx — a dead host cannot
+        // act on the world; it drops its in-memory state here.
+        if let Some(h) = self.hosts[id].as_deref_mut() {
+            h.on_crash();
+        }
+        // Kill every connection the host participates in. BTreeMap
+        // iteration order keeps this deterministic (rule D2).
+        let doomed: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.client_host == id || c.server_host == id)
+            .map(|(&cid, _)| cid)
+            .collect();
+        for cid in doomed {
+            self.kill_conn(cid);
+        }
+    }
+
+    fn do_restart(&mut self, addr: IpAddr) {
+        let Some(&id) = self.addr_map.get(&addr) else {
+            return;
+        };
+        if !self.down[id] {
+            return;
+        }
+        self.down[id] = false;
+        self.with_host(id, |h, ctx| h.on_restart(ctx));
     }
 }

@@ -221,3 +221,68 @@ fn close_while_connecting_delivers_queued_write() {
     assert_eq!(sim.stats(server).established, 0);
     assert_eq!(sim.stats(client).time_wait, 1, "client initiated the close");
 }
+
+/// Dialing a crashed listener (or an address nobody listens on) is not
+/// a silent black hole: the dialer hears `Closed` one RTT later — the
+/// refusal a real stack surfaces — so reconnect/backoff logic has an
+/// event to react to.
+#[test]
+fn dial_to_dead_address_is_refused() {
+    struct Dialer {
+        log: Log,
+        me: SocketAddr,
+        server: SocketAddr,
+    }
+    impl Host for Dialer {
+        fn on_udp(&mut self, _: &mut Ctx<'_>, _: SocketAddr, _: SocketAddr, _: PacketBytes) {}
+        fn on_tcp_event(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+            match event {
+                TcpEvent::Closed { .. } => {
+                    let t = ctx.now().as_secs_f64();
+                    self.log.lock().unwrap().push(format!("closed@{t:.3}"));
+                }
+                TcpEvent::Connected { .. } => self.log.lock().unwrap().push("connected".into()),
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            // Token 0: dial the (crashed) server. Token 1: dial an
+            // address with no listener at all.
+            let to = if token == 0 { self.server } else { sa("10.0.0.99:53") };
+            ctx.tcp_connect(self.me, to, false);
+        }
+    }
+
+    let topo = Topology::uniform(PathConfig {
+        rtt: SimDuration::from_millis(100),
+        bandwidth_bps: None,
+        loss: 0.0,
+    });
+    let mut sim = Simulator::new(topo, SimConfig::default());
+    let slog: Log = Arc::new(Mutex::new(vec![]));
+    let clog: Log = Arc::new(Mutex::new(vec![]));
+    sim.add_host(
+        &["10.0.0.1".parse().unwrap()],
+        Box::new(Recorder { log: slog.clone() }),
+    );
+    let client = sim.add_host(
+        &["10.0.0.2".parse().unwrap()],
+        Box::new(Dialer {
+            log: clog.clone(),
+            me: sa("10.0.0.2:4000"),
+            server: sa("10.0.0.1:53"),
+        }),
+    );
+    sim.crash_now("10.0.0.1".parse().unwrap());
+    sim.schedule_timer(client, SimTime::ZERO, 0);
+    sim.schedule_timer(client, SimTime::ZERO, 1);
+    sim.run_until(SimTime::from_secs_f64(2.0));
+
+    let c = clog.lock().unwrap();
+    assert_eq!(
+        *c,
+        vec!["closed@0.100".to_string(), "closed@0.100".to_string()],
+        "both dials must be refused after exactly one RTT"
+    );
+    assert!(slog.lock().unwrap().is_empty(), "the dead server heard nothing");
+}

@@ -269,6 +269,31 @@ enum SendOutcome {
 const STALL_YIELDS: u32 = 32;
 const STALL_LIMIT: u32 = 512;
 
+/// Reconnect budget after a connection dies: attempts with doubling
+/// sleeps between them (200 µs, 400 µs, ...). Like the stall budget,
+/// counted in iterations — no wall-clock reads.
+const RECONNECT_ATTEMPTS: u32 = 3;
+const RECONNECT_BACKOFF_BASE_US: u64 = 200;
+
+/// Dial `target` with a bounded exponential backoff. A dead TCP path
+/// (server restarting, listen queue overflowing under load) often heals
+/// within a millisecond; giving up on the first refused connect drops
+/// every queued query for that source.
+fn reconnect_with_backoff(target: SocketAddr) -> Option<TcpStream> {
+    for attempt in 0..RECONNECT_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_micros(
+                RECONNECT_BACKOFF_BASE_US << (attempt - 1),
+            ));
+        }
+        if let Ok(s) = TcpStream::connect(target) {
+            s.set_nodelay(true).ok();
+            return Some(s);
+        }
+    }
+    None
+}
+
 /// Write one length-framed message to a (possibly non-blocking) stream.
 ///
 /// `WouldBlock` is backpressure, not death: the querier used to treat
@@ -324,86 +349,107 @@ fn querier_loop(
     // allocation per query.
     let mut frame_buf: Vec<u8> = Vec::with_capacity(4096);
 
-    for job in rx.iter() {
-        if !cfg.fast_mode {
-            // Behind schedule (a past deadline) returns immediately —
-            // the paper's "send immediately" rule falls out of the
-            // clock's sleep contract.
-            clock.sleep_until_us(tracker.deadline_us(job.trace_us));
+    // Fast mode drains bursts: one blocking recv, then opportunistic
+    // try_recv up to the batch cap, so a hot querier pays the channel's
+    // wakeup synchronization once per batch instead of once per job.
+    // Timed mode keeps per-job recv — between deadlines the querier
+    // should be parked in recv, not holding jobs it cannot send yet.
+    const RECV_BATCH: usize = 64;
+    let mut batch: Vec<QueryJob> = Vec::with_capacity(RECV_BATCH);
+
+    loop {
+        match rx.recv() {
+            Ok(job) => batch.push(job),
+            Err(_) => break, // channel closed and drained: done
         }
-        let ok = match job.transport {
-            Transport::Udp => {
-                let sock = udp_socks.entry(job.source).or_insert_with(|| {
-                    let s = UdpSocket::bind("127.0.0.1:0").expect("bind querier socket");
-                    s.set_nonblocking(true).expect("nonblocking");
-                    s
-                });
-                // Drain any buffered responses so the kernel buffer
-                // never fills (responses are measured at the server for
-                // the fidelity experiments).
-                while let Ok(_n) = sock.recv(&mut scrap) {}
-                sock.send_to(&job.payload, cfg.target_udp).is_ok()
+        if cfg.fast_mode {
+            while batch.len() < RECV_BATCH {
+                match rx.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
             }
-            Transport::Tcp | Transport::Tls => {
-                let stream = match tcp_conns.get_mut(&job.source) {
-                    Some(s) => Some(s),
-                    None => match TcpStream::connect(cfg.target_tcp) {
-                        Ok(s) => {
-                            s.set_nodelay(true).ok();
-                            s.set_nonblocking(true).ok();
-                            tcp_conns.insert(job.source, s);
-                            tcp_conns.get_mut(&job.source)
-                        }
-                        Err(_) => None,
-                    },
-                };
-                match stream {
-                    Some(s) => {
-                        use std::io::Read;
-                        while let Ok(n) = s.read(&mut scrap) {
-                            if n == 0 {
-                                break;
+        }
+        for job in batch.drain(..) {
+            if !cfg.fast_mode {
+                // Behind schedule (a past deadline) returns immediately —
+                // the paper's "send immediately" rule falls out of the
+                // clock's sleep contract.
+                clock.sleep_until_us(tracker.deadline_us(job.trace_us));
+            }
+            let ok = match job.transport {
+                Transport::Udp => {
+                    let sock = udp_socks.entry(job.source).or_insert_with(|| {
+                        let s = UdpSocket::bind("127.0.0.1:0").expect("bind querier socket");
+                        s.set_nonblocking(true).expect("nonblocking");
+                        s
+                    });
+                    // Drain any buffered responses so the kernel buffer
+                    // never fills (responses are measured at the server for
+                    // the fidelity experiments).
+                    while let Ok(_n) = sock.recv(&mut scrap) {}
+                    sock.send_to(&job.payload, cfg.target_udp).is_ok()
+                }
+                Transport::Tcp | Transport::Tls => {
+                    let stream = match tcp_conns.get_mut(&job.source) {
+                        Some(s) => Some(s),
+                        None => match reconnect_with_backoff(cfg.target_tcp) {
+                            Some(s) => {
+                                s.set_nonblocking(true).ok();
+                                tcp_conns.insert(job.source, s);
+                                tcp_conns.get_mut(&job.source)
                             }
-                        }
-                        frame_into(&job.payload, &mut frame_buf);
-                        match send_framed(s, &frame_buf) {
-                            SendOutcome::Sent => true,
-                            // Backpressure exhausted the budget but the
-                            // connection is intact — keep it.
-                            SendOutcome::Stalled => false,
-                            SendOutcome::Dead => {
-                                // Connection died (idle-closed by the
-                                // server): reconnect once.
-                                tcp_conns.remove(&job.source);
-                                match TcpStream::connect(cfg.target_tcp) {
-                                    Ok(mut ns) => {
-                                        ns.set_nodelay(true).ok();
-                                        let ok = send_framed(&mut ns, &frame_buf)
-                                            == SendOutcome::Sent;
-                                        ns.set_nonblocking(true).ok();
-                                        tcp_conns.insert(job.source, ns);
-                                        ok
+                            None => None,
+                        },
+                    };
+                    match stream {
+                        Some(s) => {
+                            use std::io::Read;
+                            while let Ok(n) = s.read(&mut scrap) {
+                                if n == 0 {
+                                    break;
+                                }
+                            }
+                            frame_into(&job.payload, &mut frame_buf);
+                            match send_framed(s, &frame_buf) {
+                                SendOutcome::Sent => true,
+                                // Backpressure exhausted the budget but the
+                                // connection is intact — keep it.
+                                SendOutcome::Stalled => false,
+                                SendOutcome::Dead => {
+                                    // Connection died (idle-closed by the
+                                    // server, or the server restarted):
+                                    // reconnect with backoff and resend.
+                                    tcp_conns.remove(&job.source);
+                                    match reconnect_with_backoff(cfg.target_tcp) {
+                                        Some(mut ns) => {
+                                            let ok = send_framed(&mut ns, &frame_buf)
+                                                == SendOutcome::Sent;
+                                            ns.set_nonblocking(true).ok();
+                                            tcp_conns.insert(job.source, ns);
+                                            ok
+                                        }
+                                        None => false,
                                     }
-                                    Err(_) => false,
                                 }
                             }
                         }
+                        None => false,
                     }
-                    None => false,
                 }
+            };
+            let sent_us = clock.now_us().saturating_sub(origin_us);
+            if ok {
+                let _ = record_tx.send(SentRecord {
+                    seq: job.seq,
+                    trace_us: job.trace_us,
+                    sent_us,
+                    querier: idx,
+                    transport: job.transport,
+                });
+            } else {
+                errors.fetch_add(1, Ordering::Relaxed);
             }
-        };
-        let sent_us = clock.now_us().saturating_sub(origin_us);
-        if ok {
-            let _ = record_tx.send(SentRecord {
-                seq: job.seq,
-                trace_us: job.trace_us,
-                sent_us,
-                querier: idx,
-                transport: job.transport,
-            });
-        } else {
-            errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

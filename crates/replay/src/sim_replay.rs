@@ -39,6 +39,11 @@ impl LatencyRecord {
 /// Shared output log.
 pub type LatencyLog = Arc<Mutex<Vec<LatencyRecord>>>;
 
+/// Timer-token namespace for reconnect retries. Trace replay uses the
+/// low token space `[0, trace.len())`; retry tokens set the top bit so
+/// the two can never collide.
+const RETRY_TOKEN_BIT: u64 = 1 << 63;
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     seq: u64,
@@ -66,12 +71,24 @@ pub struct SimReplayClient {
     /// In-flight queries by (source, DNS id).
     pending_udp: BTreeMap<(IpAddr, u16), Pending>,
     pending_tcp: BTreeMap<(ConnId, u16), Pending>,
+    /// Reconnect-with-backoff for queries orphaned when their
+    /// connection dies (server crash, fault-injected kill, refusal):
+    /// base delay before the first resend, doubling per attempt.
+    /// `None` disables recovery — orphans are simply lost, the
+    /// pre-fault behavior.
+    pub reconnect_backoff: Option<netsim::SimDuration>,
+    /// Resend budget per query across connection deaths.
+    pub max_reconnects: u32,
+    /// Live retry chains: seq → (original send time, attempts so far).
+    retrying: BTreeMap<u64, (f64, u32)>,
     /// Queries queued on a connection still handshaking.
     log: LatencyLog,
     /// Queries sent.
     pub sent: u64,
     /// Fresh connections opened (reuse misses).
     pub connects: u64,
+    /// Queries resent after their connection died.
+    pub retries: u64,
 }
 
 impl SimReplayClient {
@@ -88,9 +105,13 @@ impl SimReplayClient {
             frame_bufs: BTreeMap::new(),
             pending_udp: BTreeMap::new(),
             pending_tcp: BTreeMap::new(),
+            reconnect_backoff: Some(netsim::SimDuration::from_millis(100)),
+            max_reconnects: 3,
+            retrying: BTreeMap::new(),
             log,
             sent: 0,
             connects: 0,
+            retries: 0,
         }
     }
 
@@ -116,14 +137,22 @@ impl SimReplayClient {
     }
 
     fn send_entry(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        self.dispatch(ctx, idx, None);
+    }
+
+    /// Send trace entry `idx`. `first_sent_s` is set on resends so the
+    /// logged latency spans from the *original* send — a recovered
+    /// query pays for the outage it lived through.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, idx: usize, first_sent_s: Option<f64>) {
         let entry = &self.trace[idx];
         let transport = self.transport_override.unwrap_or(entry.transport);
         let src = entry.src;
         let payload = entry.message.encode();
         let id = entry.message.id;
+        let now_s = ctx.now().as_secs_f64();
         let pending = Pending {
             seq: idx as u64,
-            sent_s: ctx.now().as_secs_f64(),
+            sent_s: first_sent_s.unwrap_or(now_s),
             transport,
             source: src.ip(),
         };
@@ -160,6 +189,12 @@ impl SimReplayClient {
     }
 
     fn complete(&mut self, pending: Pending, now_s: f64, bytes: usize) {
+        // An answer — possibly to an earlier attempt — cancels any
+        // retry chain and stray duplicate pendings for this query.
+        let seq = pending.seq;
+        self.retrying.remove(&seq);
+        self.pending_tcp.retain(|_, p| p.seq != seq);
+        self.pending_udp.retain(|_, p| p.seq != seq);
         self.log.lock().unwrap().push(LatencyRecord {
             seq: pending.seq,
             sent_s: pending.sent_s,
@@ -213,18 +248,58 @@ impl Host for SimReplayClient {
                 }
             }
             TcpEvent::Closed { conn } => {
-                // Server idle-closed us: next query from this source
-                // opens a fresh connection (and pays the handshake).
+                // Idle close, server crash, or refused dial: the next
+                // query from this source opens a fresh connection (and
+                // pays the handshake).
                 if let Some(src) = self.conn_sources.remove(&conn) {
                     self.conns.remove(&src);
                 }
                 self.frame_bufs.remove(&conn);
+                // Queries that died with the connection are resent with
+                // exponential backoff rather than silently lost.
+                let orphans: Vec<(ConnId, u16)> = self
+                    .pending_tcp
+                    .keys()
+                    .filter(|(c, _)| *c == conn)
+                    .copied()
+                    .collect();
+                for key in orphans {
+                    let Some(p) = self.pending_tcp.remove(&key) else {
+                        continue;
+                    };
+                    let Some(base) = self.reconnect_backoff else {
+                        continue; // recovery disabled: the query is lost
+                    };
+                    let chain = self.retrying.entry(p.seq).or_insert((p.sent_s, 0));
+                    if chain.1 >= self.max_reconnects {
+                        // Budget exhausted: give up on this query.
+                        self.retrying.remove(&p.seq);
+                        continue;
+                    }
+                    chain.1 += 1;
+                    let delay = base.times(1u64 << (chain.1 - 1).min(16));
+                    ctx.set_timer(delay, RETRY_TOKEN_BIT | p.seq);
+                }
             }
             TcpEvent::Connected { .. } | TcpEvent::Incoming { .. } => {}
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token & RETRY_TOKEN_BIT != 0 {
+            let seq = token & !RETRY_TOKEN_BIT;
+            // The chain may have been cancelled by a late answer on an
+            // earlier attempt — only resend while it is still live.
+            let Some(&(sent_s, _)) = self.retrying.get(&seq) else {
+                return;
+            };
+            let idx = seq as usize;
+            if idx < self.trace.len() {
+                self.retries += 1;
+                self.dispatch(ctx, idx, Some(sent_s));
+            }
+            return;
+        }
         let idx = token as usize;
         if idx < self.trace.len() {
             self.send_entry(ctx, idx);
@@ -392,5 +467,66 @@ mod tests {
         let (log, stats, _) = run(trace, Some(Transport::Tcp), 5, 20, 10.0);
         assert_eq!(log.len(), 8);
         assert_eq!(stats.tcp_accepts, 4, "one connection per source");
+    }
+
+    /// Crash the server while a query is in flight on an established
+    /// connection, restart it shortly after: with reconnect-with-backoff
+    /// the orphaned query is resent on a fresh connection and answered,
+    /// and its logged latency spans the whole outage it lived through.
+    fn run_crash(backoff: Option<SimDuration>) -> Vec<LatencyRecord> {
+        // One source, TCP: q0 at t=0 establishes the connection; q1 at
+        // t=0.5 s is in flight when the server dies at t=0.52 s.
+        let trace = mk_trace(2, 500_000, 1);
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(40),
+                bandwidth_bps: None,
+                loss: 0.0,
+            }),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(30)))),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let mut client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        client.transport_override = Some(Transport::Tcp);
+        client.reconnect_backoff = backoff;
+        let srcs = client.source_addrs();
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(0.52));
+        sim.crash_now(server_addr.ip());
+        sim.run_until(SimTime::from_secs_f64(0.70));
+        sim.restart_now(server_addr.ip());
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let mut out = log.lock().unwrap().clone();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    #[test]
+    fn reconnect_with_backoff_recovers_query_lost_to_a_crash() {
+        let log = run_crash(Some(SimDuration::from_millis(100)));
+        assert_eq!(log.len(), 2, "both queries answered despite the crash: {log:?}");
+        assert!((log[0].latency() - 0.080).abs() < 0.002, "q0 unaffected");
+        // q1 was sent at 0.5 s, orphaned by the crash, redialed through
+        // the outage and answered after the restart — its latency
+        // includes the backoff and the second handshake.
+        assert!(
+            log[1].latency() > 0.25,
+            "recovered latency spans the outage, got {}",
+            log[1].latency()
+        );
+        assert!(log[1].latency() < 2.0, "recovery is prompt, got {}", log[1].latency());
+    }
+
+    #[test]
+    fn without_reconnect_the_orphaned_query_is_lost() {
+        let log = run_crash(None);
+        assert_eq!(log.len(), 1, "only the pre-crash query completes: {log:?}");
+        assert_eq!(log[0].seq, 0);
     }
 }

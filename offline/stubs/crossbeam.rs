@@ -23,6 +23,11 @@ pub mod channel {
     pub struct SendError<T>(pub T);
     #[derive(Debug)]
     pub struct RecvError;
+    #[derive(Debug)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
 
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap.max(1));
@@ -38,6 +43,12 @@ pub mod channel {
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.lock().expect("receiver lock").recv().map_err(|_| RecvError)
+        }
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().expect("receiver lock").try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { rx: self }

@@ -7,9 +7,10 @@
 #
 # Degrades gracefully offline: if cargo cannot reach a registry (no
 # lockfile, no vendored deps), the whole sim-path chain is built with
-# bare rustc against the stubs in offline/ — ldp-lint, the netsim and
-# replay test suites, and the hotpath bench all still run; only fmt,
-# clippy and the tokio-dependent crates are skipped.
+# bare rustc against the stubs in offline/ — ldp-lint, the netsim,
+# replay and chaos test suites, the hotpath bench and the fig_outage
+# chaos smoke run all still happen; only fmt, clippy and the
+# tokio-dependent crates are skipped.
 set -u
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -31,8 +32,8 @@ if cargo_works; then
     note "cargo clippy (denies unwrap/expect/panic in hot-path crates)"
     cargo clippy --workspace --all-targets -- -D warnings || fail=1
 
-    note "ldp-lint check"
-    cargo run -q -p ldp-lint -- check || fail=1
+    note "ldp-lint check (unused allowlist entries are fatal)"
+    cargo run -q -p ldp-lint -- check --deny-unused-allows || fail=1
 
     note "cargo test"
     cargo test --workspace -q || fail=1
@@ -40,11 +41,14 @@ if cargo_works; then
     note "hotpath microbench smoke run"
     rm -f BENCH_hotpath.json
     cargo run --release -q -p ldp-bench --bin hotpath -- BENCH_hotpath.json || fail=1
+
+    note "fig_outage chaos smoke run (determinism + resilience gates)"
+    cargo run --release -q -p ldp-bench --bin fig_outage -- --smoke || fail=1
 else
     note "cargo cannot resolve dependencies here; running the offline rustc chain"
     bin=${TMPDIR:-/tmp}/ldp-lint-gate
     rustc --edition 2021 -O -o "$bin" crates/ldp-lint/src/main.rs || exit 2
-    "$bin" check || fail=1
+    "$bin" check --deny-unused-allows || fail=1
 
     od=${TMPDIR:-/tmp}/ldp-offline
     mkdir -p "$od"
@@ -67,6 +71,8 @@ else
     WORKLOADS="--extern workloads=$od/libworkloads.rlib"
     ZC="--extern zone_construct=$od/libzone_construct.rlib"
     CORE="--extern ldp_core=$od/libldp_core.rlib"
+    CHAOS="--extern ldp_chaos=$od/libldp_chaos.rlib"
+    BENCH="--extern ldp_bench=$od/libldp_bench.rlib"
     LDP="--extern ldplayer=$od/libldplayer.rlib"
 
     note "offline: dependency stubs (rand, bytes, crossbeam)"
@@ -84,7 +90,7 @@ else
     rc --crate-type lib --crate-name ldp_replay $XBEAM $WIRE $TRACE $NETSIM \
         offline/replay_offline.rs || fail=1
 
-    note "offline: workspace rlibs (metrics, workloads, resolver, proxy, zone-construct, core)"
+    note "offline: workspace rlibs (metrics, workloads, resolver, proxy, zone-construct, core, chaos)"
     rc --crate-type lib --crate-name ldp_metrics crates/metrics/src/lib.rs || fail=1
     rc --crate-type lib --crate-name workloads $WIRE $TRACE $RAND \
         crates/workloads/src/lib.rs || fail=1
@@ -97,6 +103,8 @@ else
     rc --crate-type lib --crate-name ldp_core \
         $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS \
         offline/core_offline.rs || fail=1
+    rc --crate-type lib --crate-name ldp_chaos $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
+        crates/chaos/src/lib.rs || fail=1
 
     note "offline: dns-wire unit tests"
     rc --test --crate-name dns_wire_t $BYTES crates/dns-wire/src/lib.rs &&
@@ -129,9 +137,20 @@ else
         offline/core_offline.rs &&
         "$od/core_t" -q || fail=1
 
+    note "offline: chaos fault-injection suites (unit, determinism-under-faults, outage)"
+    # (prop_plan.rs is cargo-only: proptest is unavailable offline; the
+    # deterministic round-trip unit tests in plan.rs run here instead.)
+    rc --test --crate-name chaos_t $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
+        crates/chaos/src/lib.rs &&
+        "$od/chaos_t" -q || fail=1
+    rc --test --crate-name chaos_det_t $CHAOS $NETSIM crates/chaos/tests/determinism_faults.rs &&
+        "$od/chaos_det_t" -q || fail=1
+    rc --test --crate-name chaos_outage_t $CHAOS $NETSIM crates/chaos/tests/outage.rs &&
+        "$od/chaos_outage_t" -q || fail=1
+
     note "offline: facade + sim-path integration suite (full_pipeline)"
     rc --crate-type lib --crate-name ldplayer \
-        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE \
+        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS \
         offline/ldplayer_offline.rs || fail=1
     rc --test --crate-name full_pipeline_t $LDP tests/full_pipeline.rs &&
         "$od/full_pipeline_t" -q || fail=1
@@ -143,6 +162,12 @@ else
         crates/bench/src/bin/hotpath.rs || fail=1
     rm -f BENCH_hotpath.json
     "$od/hotpath" BENCH_hotpath.json || fail=1
+
+    note "offline: fig_outage chaos smoke run (determinism + resilience gates)"
+    rc --crate-type lib --crate-name ldp_bench $METRICS crates/bench/src/lib.rs || fail=1
+    rc --crate-name fig_outage $BENCH $CHAOS $NETSIM $METRICS \
+        crates/bench/src/bin/fig_outage.rs &&
+        "$od/fig_outage" --smoke || fail=1
 
     note "SKIPPED: fmt, clippy, tokio-dependent crates (registry unreachable)"
 fi

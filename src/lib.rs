@@ -28,6 +28,9 @@
 //! - [`metrics`] — quantiles, CDFs, rate series.
 //! - [`core`] — orchestration: experiment configs, hierarchy-emulation
 //!   assembly, replay sessions, what-if APIs.
+//! - [`chaos`] — deterministic fault injection: declarative fault plans
+//!   (loss bursts, delay spikes, link cuts, server crash/restart)
+//!   scheduled in virtual time, plus the root-letter outage study.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 
 pub use dns_resolver as resolver;
 pub use dns_server as server;
+pub use ldp_chaos as chaos;
 pub use dns_wire as wire;
 pub use dns_zone as zone;
 pub use ldp_core as core;
