@@ -1,0 +1,227 @@
+//! `fig_trace`: per-stage latency breakdown of a B-Root replay, from
+//! the ldp-telemetry event stream (ISSUE 4 tentpole demonstration).
+//!
+//! A scaled B-Root-17a trace is replayed by [`SimReplayClient`] against
+//! a [`SimDnsServer`] root zone inside the deterministic simulator,
+//! with telemetry enabled. The drained event log yields:
+//!
+//! * the per-query lifecycle breakdown (enqueue → send → response →
+//!   match) with five-number summaries and CDFs per stage,
+//! * event counts by kind (including server parse/lookup/encode spans
+//!   and the simulator's batched dispatch counters and fault marks),
+//! * a folded-stacks flamegraph dump of the server stages, and
+//! * a timeline excerpt.
+//!
+//! The run doubles as the ISSUE's determinism gate: two telemetry-on
+//! runs must drain byte-identical event logs, the latency log must be
+//! byte-identical with telemetry on vs off, and the BTree queue backend
+//! must reproduce both. Exits nonzero if any gate fails. The full run
+//! also writes `results/fig_trace.txt`.
+//!
+//! `cargo run --release -p ldp-bench --bin fig_trace [-- --seed 11 --smoke]`
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+
+use dns_server::{ServerEngine, SimDnsServer};
+use dns_wire::{Name, RData, Record, Soa};
+use dns_zone::{Catalog, Zone};
+use ldp_bench::{arg_f64, arg_flag, cdf_rows};
+use ldp_replay::{LatencyLog, SimReplayClient};
+use ldp_telemetry as tel;
+use ldp_trace::TraceEntry;
+use netsim::{PathConfig, QueueKind, SimConfig, SimDuration, SimTime, Simulator, Topology};
+use workloads::broot::BRootSpec;
+
+fn n(s: &str) -> Name {
+    s.parse().expect("static name is valid")
+}
+
+/// A minimal root zone: SOA plus a few TLD delegations, enough for the
+/// server to answer every B-Root query (referral or NXDOMAIN) without
+/// pretending to hold real root data.
+fn root_engine() -> Arc<ServerEngine> {
+    let mut z = Zone::new(Name::root());
+    z.insert(Record::new(
+        Name::root(),
+        86400,
+        RData::Soa(Soa {
+            mname: n("a.root-servers.net"),
+            rname: n("nstld.verisign-grs.com"),
+            serial: 2018_01_01,
+            refresh: 1800,
+            retry: 900,
+            expire: 604_800,
+            minimum: 86400,
+        }),
+    ))
+    .expect("SOA inserts into fresh zone");
+    for (tld, ns) in [("com", "a.gtld-servers.net"), ("net", "a.gtld-servers.net"), ("org", "a0.org.afilias-nst.info")] {
+        z.insert(Record::new(n(tld), 172_800, RData::Ns(n(ns))))
+            .expect("NS inserts into fresh zone");
+    }
+    let mut cat = Catalog::new();
+    cat.insert(z);
+    Arc::new(ServerEngine::with_catalog(cat))
+}
+
+/// One replay of `trace` through the simulator. Returns the latency
+/// log rendered as deterministic text (the transcript the gates
+/// compare) and, when telemetry is enabled, the drained events.
+fn run_once(
+    trace: &[TraceEntry],
+    server_addr: SocketAddr,
+    horizon_s: f64,
+    queue: QueueKind,
+    telemetry: bool,
+) -> (String, Vec<tel::RawEvent>) {
+    tel::set_enabled(false);
+    let _ = tel::drain_all(); // discard any leftovers from a prior run
+    tel::set_enabled(telemetry);
+
+    let mut sim = Simulator::new(
+        Topology::uniform(PathConfig {
+            rtt: SimDuration::from_millis(40),
+            bandwidth_bps: None,
+            loss: 0.0,
+        }),
+        SimConfig { queue, ..SimConfig::default() },
+    );
+    sim.add_host(
+        &[server_addr.ip()],
+        Box::new(SimDnsServer::new(root_engine(), server_addr, Some(SimDuration::from_secs(20)))),
+    );
+    let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+    let client = SimReplayClient::new(trace.to_vec(), server_addr, log.clone());
+    let srcs = client.source_addrs();
+    let client_id = sim.add_host(&srcs, Box::new(client));
+    SimReplayClient::schedule(&mut sim, client_id, trace, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs_f64(horizon_s));
+
+    let mut records = log.lock().expect("latency log lock").clone();
+    records.sort_by_key(|r| r.seq);
+    let mut transcript = String::new();
+    for r in &records {
+        let _ = writeln!(
+            transcript,
+            "q{} sent={:.6} replied={:.6} bytes={}",
+            r.seq, r.sent_s, r.replied_s, r.response_bytes
+        );
+    }
+    let events = if telemetry { tel::drain_all() } else { Vec::new() };
+    tel::set_enabled(false);
+    (transcript, events)
+}
+
+fn main() {
+    let seed = arg_f64("--seed", 11.0) as u64;
+    let smoke = arg_flag("--smoke");
+    // Scale keeps the full event stream inside one ring buffer
+    // (~3 k queries × ~14 events ≈ 41 k of 64 Ki slots).
+    let scale = arg_f64("--scale", if smoke { 8000.0 } else { 800.0 });
+    let secs = arg_f64("--secs", if smoke { 20.0 } else { 60.0 });
+    let mut failed = false;
+
+    let spec = BRootSpec { duration_secs: secs, ..BRootSpec::b_root_17a().scaled(scale) };
+    let server_addr = spec.server;
+    let trace = spec.generate(seed);
+    let horizon = secs + 10.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fig_trace: B-Root-17a/{scale:.0} replay, {} queries over {secs:.0}s, seed {seed}{}",
+        trace.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Timestamps recorded through spans follow the simulator's
+    // published virtual time, so reruns drain identical logs.
+    tel::clock::use_virtual_clock();
+
+    // Determinism gates (ISSUE 4 acceptance criteria).
+    let (lat_on_a, events) = run_once(&trace, server_addr, horizon, QueueKind::Heap, true);
+    let (lat_on_b, events_b) = run_once(&trace, server_addr, horizon, QueueKind::Heap, true);
+    let (lat_off, _) = run_once(&trace, server_addr, horizon, QueueKind::Heap, false);
+    let (lat_btree, events_btree) = run_once(&trace, server_addr, horizon, QueueKind::BTree, true);
+    tel::clock::use_zero_clock();
+
+    let log_a = tel::render_timeline(&events);
+    let rerun_ok = log_a == tel::render_timeline(&events_b);
+    let onoff_ok = lat_on_a == lat_off && lat_on_a == lat_on_b;
+    let backend_ok = lat_on_a == lat_btree && log_a == tel::render_timeline(&events_btree);
+    let _ = writeln!(
+        out,
+        "determinism: event logs rerun {} ({} events), latency on/off {}, heap vs btree {}",
+        if rerun_ok { "byte-identical" } else { "MISMATCH" },
+        events.len(),
+        if onoff_ok { "byte-identical" } else { "MISMATCH" },
+        if backend_ok { "byte-identical" } else { "MISMATCH" },
+    );
+    failed |= !rerun_ok || !onoff_ok || !backend_ok;
+    if events.is_empty() {
+        let _ = writeln!(out, "gate: FAIL — telemetry-enabled run drained no events");
+        failed = true;
+    }
+
+    // Per-query lifecycle breakdown.
+    let chain = [
+        tel::register_kind("q.enqueue"),
+        tel::register_kind("q.send"),
+        tel::register_kind("q.response"),
+        tel::register_kind("q.match"),
+    ];
+    let breakdown = tel::stage_breakdown(&events, &chain);
+    let _ = writeln!(out, "\nper-stage latency (s), first-send lifecycles:");
+    for stage in &breakdown.stages {
+        let label = stage.label();
+        match stage.summary() {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  {label:<24} n={:<6} min={:.6} p50={:.6} p95={:.6} max={:.6} unfinished={}",
+                    s.count, s.min, s.median, s.p95, s.max, stage.unfinished
+                );
+                for row in cdf_rows(&label, &stage.samples_secs, "s") {
+                    let _ = writeln!(out, "    {row}");
+                }
+            }
+            None => {
+                let _ = writeln!(out, "  {label:<24} (no samples, unfinished={})", stage.unfinished);
+            }
+        }
+    }
+
+    // Σb is the payload total per kind — for the simulator's batched
+    // dispatch counters (sim.deliver, sim.host_timer) it is the real
+    // dispatch count; for marks it sums bytes/id payloads.
+    let _ = writeln!(out, "\nevent counts by kind (n events, Σb payload):");
+    for (name, count, b_sum) in tel::count_by_kind(&events) {
+        let _ = writeln!(out, "  {name:<24} n={count:<8} Σb={b_sum}");
+    }
+
+    let _ = writeln!(out, "\nfolded stacks (flamegraph input, self-time ns):");
+    for line in tel::folded_stacks(&events).lines().take(16) {
+        let _ = writeln!(out, "  {line}");
+    }
+
+    let _ = writeln!(out, "\ntimeline excerpt (first 24 events):");
+    for line in log_a.lines().take(24) {
+        let _ = writeln!(out, "  {line}");
+    }
+
+    print!("{out}");
+    if !smoke {
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/fig_trace.txt", &out))
+        {
+            eprintln!("fig_trace: cannot write results/fig_trace.txt: {e}");
+            failed = true;
+        } else {
+            println!("\nwrote results/fig_trace.txt");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

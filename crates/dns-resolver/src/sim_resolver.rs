@@ -13,11 +13,39 @@ use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
 
 use dns_wire::{Message, Name, RData, Rcode, RecordType};
+use ldp_telemetry as tel;
 use netsim::{Ctx, Host, PacketBytes, SimDuration, TcpEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cache::{Cache, CachedAnswer};
+
+/// Interned per-attempt lifecycle marks for the resolver. The `a` key
+/// is the task id, so a whole resolution chain (stub → upstream
+/// attempts → failovers → answer/servfail) is kept or dropped together
+/// under sampling, and stamped with the simulator's `ctx.now()`.
+struct RsvKinds {
+    stub: tel::KindId,
+    cache_hit: tel::KindId,
+    upstream: tel::KindId,
+    timeout: tel::KindId,
+    failover: tel::KindId,
+    servfail: tel::KindId,
+    answer: tel::KindId,
+}
+
+fn rsv_kinds() -> &'static RsvKinds {
+    static K: std::sync::OnceLock<RsvKinds> = std::sync::OnceLock::new();
+    K.get_or_init(|| RsvKinds {
+        stub: tel::register_kind("rsv.stub"),
+        cache_hit: tel::register_kind("rsv.cache_hit"),
+        upstream: tel::register_kind("rsv.upstream"),
+        timeout: tel::register_kind("rsv.timeout"),
+        failover: tel::register_kind("rsv.failover"),
+        servfail: tel::register_kind("rsv.servfail"),
+        answer: tel::register_kind("rsv.answer"),
+    })
+}
 
 /// Per-resolution state machine.
 #[derive(Debug)]
@@ -153,6 +181,11 @@ impl SimResolver {
 
     fn handle_stub_query(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, query: Message) {
         self.stats.stub_queries += 1;
+        if tel::enabled() {
+            // `next_task` is the id this query gets if it misses the
+            // cache, tying the stub mark to the rest of its chain.
+            tel::mark_at(ctx.now().as_nanos(), rsv_kinds().stub, self.next_task, 0);
+        }
         let Some(q) = query.question().cloned() else {
             let mut resp = query.response_to();
             resp.rcode = Rcode::FormErr;
@@ -163,6 +196,9 @@ impl SimResolver {
         if let Some(hit) = self.cache.get(&q.name, q.qtype, ctx.now().as_secs_f64()) {
             self.stats.cache_hits += 1;
             self.stats.stub_answers += 1;
+            if tel::enabled() {
+                tel::mark_at(ctx.now().as_nanos(), rsv_kinds().cache_hit, self.next_task, 0);
+            }
             let mut resp = query.response_to();
             resp.flags.recursion_available = true;
             match hit {
@@ -214,8 +250,12 @@ impl SimResolver {
         }
         task.outstanding = Some(id);
         let attempt_timeout = task.cur_timeout;
+        let server_slot = (task.server_idx % task.servers.len().max(1)) as u64;
         self.upstream_map.insert(id, task_id);
         self.stats.upstream_queries += 1;
+        if tel::enabled() {
+            tel::mark_at(ctx.now().as_nanos(), rsv_kinds().upstream, task_id, server_slot);
+        }
         ctx.send_udp(self.addr, SocketAddr::new(server, 53), q.encode());
         // Timer token encodes (task, attempt) so a stale timer from an
         // attempt that already completed is ignored.
@@ -235,6 +275,10 @@ impl SimResolver {
             None => return,
         };
         if retry {
+            if tel::enabled() {
+                let retries = self.tasks.get(&task_id).map(|t| t.retries as u64).unwrap_or(0);
+                tel::mark_at(ctx.now().as_nanos(), rsv_kinds().failover, task_id, retries);
+            }
             let prev = self.tasks[&task_id].cur_timeout;
             let next = self.next_timeout(prev);
             if let Some(task) = self.tasks.get_mut(&task_id) {
@@ -253,6 +297,9 @@ impl SimResolver {
             }
             self.stats.failures += 1;
             self.stats.stub_answers += 1;
+            if tel::enabled() {
+                tel::mark_at(ctx.now().as_nanos(), rsv_kinds().servfail, task_id, task.retries as u64);
+            }
             let mut resp = task.stub_query.response_to();
             resp.flags.recursion_available = true;
             resp.rcode = Rcode::ServFail;
@@ -270,6 +317,9 @@ impl SimResolver {
                 self.cache.put_negative(&task.orig_qname, task.qtype, rcode, 30, now);
             }
             self.stats.stub_answers += 1;
+            if tel::enabled() {
+                tel::mark_at(ctx.now().as_nanos(), rsv_kinds().answer, task_id, u64::from(rcode.to_u16()));
+            }
             let mut resp = task.stub_query.response_to();
             resp.flags.recursion_available = true;
             resp.rcode = rcode;
@@ -398,6 +448,10 @@ impl Host for SimResolver {
                 // That exact attempt timed out.
                 task.outstanding = None;
                 self.upstream_map.remove(&attempt_id);
+                if tel::enabled() {
+                    let t = ctx.now().as_nanos();
+                    tel::mark_at(t, rsv_kinds().timeout, task_id, u64::from(attempt_id));
+                }
             }
             _ => return, // answered, superseded or gone
         }

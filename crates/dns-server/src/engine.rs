@@ -11,6 +11,27 @@ use std::net::IpAddr;
 use dns_wire::edns::{CLASSIC_UDP_LIMIT, DEFAULT_UDP_PAYLOAD};
 use dns_wire::{Message, Opcode, Rcode};
 use dns_zone::{lookup, Catalog, ClientMatch, View, ViewSet};
+use ldp_telemetry as tel;
+
+/// Interned span kinds for the engine's processing stages
+/// (parse → lookup → encode), shared by every transport front-end.
+/// Registered once; span recording costs one relaxed load when
+/// telemetry is disabled. Timestamps come from the process-wide
+/// telemetry clock: zero by default, virtual time under the simulator.
+struct Stages {
+    parse: tel::KindId,
+    lookup: tel::KindId,
+    encode: tel::KindId,
+}
+
+fn stages() -> &'static Stages {
+    static S: std::sync::OnceLock<Stages> = std::sync::OnceLock::new();
+    S.get_or_init(|| Stages {
+        parse: tel::register_kind("srv.parse"),
+        lookup: tel::register_kind("srv.lookup"),
+        encode: tel::register_kind("srv.encode"),
+    })
+}
 
 /// The authoritative answering engine.
 #[derive(Debug, Clone)]
@@ -46,6 +67,7 @@ impl ServerEngine {
     /// response message (servers never stay silent in our model; real
     /// servers may drop, which the transport layer can emulate).
     pub fn answer(&self, src: IpAddr, query: &Message) -> Message {
+        let _lookup_span = tel::span(stages().lookup, u64::from(query.id));
         let mut base = query.response_to();
 
         if query.opcode != Opcode::Query {
@@ -83,19 +105,26 @@ impl ServerEngine {
             .map(|e| (e.udp_payload as usize).max(CLASSIC_UDP_LIMIT))
             .unwrap_or(CLASSIC_UDP_LIMIT)
             .min(self.max_udp_payload as usize);
+        let _encode_span = tel::span(stages().encode, u64::from(query.id));
         resp.encode_udp(limit)
     }
 
     /// Answer and serialize for a stream transport (no size limit).
     pub fn answer_stream(&self, src: IpAddr, query: &Message) -> Vec<u8> {
-        self.answer(src, query).encode()
+        let resp = self.answer(src, query);
+        let _encode_span = tel::span(stages().encode, u64::from(query.id));
+        resp.encode()
     }
 
     /// Handle raw UDP bytes: parse, answer, serialize. Unparseable
     /// queries yield `None` (drop — real servers cannot reply without a
     /// readable header).
     pub fn handle_udp_bytes(&self, src: IpAddr, data: &[u8]) -> Option<Vec<u8>> {
-        match Message::decode(data) {
+        let parsed = {
+            let _parse_span = tel::span(stages().parse, 0);
+            Message::decode(data)
+        };
+        match parsed {
             Ok(query) => Some(self.answer_udp(src, &query).0),
             Err(_) => {
                 // If at least the header parsed, send FORMERR.
@@ -116,7 +145,10 @@ impl ServerEngine {
     /// Handle one raw stream-framed message body (without the 2-byte
     /// prefix), returning the response body.
     pub fn handle_stream_bytes(&self, src: IpAddr, data: &[u8]) -> Option<Vec<u8>> {
-        let query = Message::decode(data).ok()?;
+        let query = {
+            let _parse_span = tel::span(stages().parse, 0);
+            Message::decode(data).ok()?
+        };
         Some(self.answer_stream(src, &query))
     }
 }

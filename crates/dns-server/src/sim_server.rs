@@ -8,10 +8,31 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 
 use dns_wire::framing::{frame, FrameBuffer};
+use ldp_telemetry as tel;
 use netsim::{ConnId, Ctx, Host, PacketBytes, SimDuration, TcpEvent};
 
 use crate::engine::ServerEngine;
 use crate::rrl::{response_key, RateLimiter, RrlAction};
+
+/// Interned lifecycle marks for the simulated server. These are
+/// stamped with the simulator's own `ctx.now()`, so they are exact
+/// virtual timestamps regardless of the process-wide telemetry clock.
+struct SrvKinds {
+    udp_query: tel::KindId,
+    tcp_query: tel::KindId,
+    rrl_drop: tel::KindId,
+    rrl_slip: tel::KindId,
+}
+
+fn srv_kinds() -> &'static SrvKinds {
+    static K: std::sync::OnceLock<SrvKinds> = std::sync::OnceLock::new();
+    K.get_or_init(|| SrvKinds {
+        udp_query: tel::register_kind("srv.query.udp"),
+        tcp_query: tel::register_kind("srv.query.tcp"),
+        rrl_drop: tel::register_kind("srv.rrl.drop"),
+        rrl_slip: tel::register_kind("srv.rrl.slip"),
+    })
+}
 
 /// A simulated DNS server host.
 pub struct SimDnsServer {
@@ -64,6 +85,10 @@ impl Host for SimDnsServer {
             return;
         };
         self.queries_handled += 1;
+        if tel::enabled() {
+            let t = ctx.now().as_nanos();
+            tel::mark_at(t, srv_kinds().udp_query, self.queries_handled, reply.len() as u64);
+        }
         if let Some(rrl) = &mut self.rrl {
             // BIND's RRL grouping: positive answers by qname; negative
             // answers (NXDOMAIN/NODATA) by the *zone* (SOA owner), so a
@@ -89,8 +114,17 @@ impl Host for SimDnsServer {
             };
             match verdict {
                 RrlAction::Send => ctx.send_udp(to, from, reply),
-                RrlAction::Drop => {}
+                RrlAction::Drop => {
+                    if tel::enabled() {
+                        let t = ctx.now().as_nanos();
+                        tel::mark_at(t, srv_kinds().rrl_drop, self.queries_handled, 0);
+                    }
+                }
                 RrlAction::Slip => {
+                    if tel::enabled() {
+                        let t = ctx.now().as_nanos();
+                        tel::mark_at(t, srv_kinds().rrl_slip, self.queries_handled, 0);
+                    }
                     // Minimal truncated response: the client may retry
                     // over TCP (which RRL does not limit).
                     if let Ok(query) = dns_wire::Message::decode(&data) {
@@ -125,6 +159,10 @@ impl Host for SimDnsServer {
                 }
                 for reply in replies {
                     self.queries_handled += 1;
+                    if tel::enabled() {
+                        let t = ctx.now().as_nanos();
+                        tel::mark_at(t, srv_kinds().tcp_query, self.queries_handled, reply.len() as u64);
+                    }
                     ctx.tcp_send(conn, frame(&reply));
                 }
             }

@@ -1,0 +1,7 @@
+// Fixture: trips P2 — unwrap outside the P1 hot path but inside a
+// hot-path crate (dns-server, non-engine file).
+
+pub fn limit(opt: Option<u32>) -> u32 {
+    let v = opt.unwrap();
+    v.min(512)
+}

@@ -1,0 +1,14 @@
+// Fixture: the known D2 cross-file gap, pinned so it cannot regress
+// silently. The hash collection is declared in ANOTHER file (imagine
+// `table.rs` holding `pub struct Table { pub m: HashMap<u64, u32> }`);
+// this file only iterates it. Declaration tracking is per-file, and no
+// `HashMap`/`HashSet` token appears here, so D2 reports NOTHING — not
+// even the type warning. driver.rs has a regression test asserting
+// this file stays diagnostic-free; if D2 ever learns cross-file
+// resolution, that test (and this comment) should be updated together.
+
+use crate::table::Table;
+
+pub fn drain_in_hash_order(t: &Table) -> Vec<u32> {
+    t.m.values().copied().collect()
+}

@@ -1,0 +1,7 @@
+// Fixture: trips T1 — raw clock read inside the telemetry crate.
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let now = Instant::now();
+    now.elapsed().as_nanos() as u64
+}

@@ -171,7 +171,23 @@ mod tests {
         assert_eq!(hit("D2", "netsim/src/d2_hash_iter.rs").line, 10);
         assert_eq!(hit("D3", "workloads/src/d3_thread_rng.rs").line, 4);
         assert_eq!(hit("P1", "dns-wire/src/p1_unwrap.rs").line, 5);
+        assert_eq!(hit("P2", "dns-server/src/p2_unwrap.rs").line, 5);
         assert_eq!(hit("A1", "dns-server/src/a1_unbounded.rs").line, 4);
+        assert_eq!(hit("T1", "telemetry/src/t1_wall_clock.rs").line, 5);
+    }
+
+    /// Pins the known D2 cross-file gap: iterating a hash collection
+    /// declared in another file produces no diagnostic at all (neither
+    /// error nor warning). If D2 grows cross-file resolution, update
+    /// the fixture and this test together.
+    #[test]
+    fn d2_cross_file_gap_fixture_stays_silent() {
+        let report = fixture_report();
+        let mentions = |v: &[Diagnostic]| {
+            v.iter().any(|d| d.path.ends_with("netsim/src/d2_cross_file_gap.rs"))
+        };
+        assert!(!mentions(&report.errors), "{:#?}", report.errors);
+        assert!(!mentions(&report.warnings), "{:#?}", report.warnings);
     }
 
     #[test]
@@ -191,12 +207,14 @@ mod tests {
              D2 netsim/src/d2_hash_iter.rs\n\
              D3 workloads/src/d3_thread_rng.rs\n\
              P1 dns-wire/src/p1_unwrap.rs\n\
-             A1 dns-server/src/a1_unbounded.rs\n",
+             P2 dns-server/src/p2_unwrap.rs\n\
+             A1 dns-server/src/a1_unbounded.rs\n\
+             T1 telemetry/src/t1_wall_clock.rs\n",
         )
         .unwrap();
         let report = check(&fixture_root(), al).expect("fixture walk");
         assert!(report.errors.is_empty(), "{:#?}", report.errors);
-        assert!(report.suppressed >= 5);
+        assert!(report.suppressed >= 7);
         assert_eq!(report.exit_code(), 0);
     }
 

@@ -7,7 +7,9 @@
 //! * **D2** no order-dependent hash-map iteration in simulator paths
 //! * **D3** no ambient randomness — all RNG flows from a seed
 //! * **P1** no panics in packet-decode / server hot paths
+//! * **P2** no unwrap/expect elsewhere in the hot-path crates
 //! * **A1** no unbounded channels in server/replay/proxy crates
+//! * **T1** no raw clock reads in crates/telemetry — use ClockSource
 //!
 //! Usage:
 //!
@@ -153,7 +155,12 @@ D3  error    no thread_rng / rand::random / from_entropy anywhere —
 P1  error    no unwrap/expect/panic!/unreachable!/todo!/unimplemented!
              in hot paths (crates/dns-wire/src, crates/proxy/src,
              crates/dns-server/src/engine.rs)
+P2  error    no unwrap/expect in the remaining files of the hot-path
+             crates (dns-wire, dns-server, proxy, telemetry) — the
+             offline stand-in for clippy's unwrap_used/expect_used
 A1  error    no unbounded channels in dns-server/replay/proxy crates
+T1  error    no Instant::now/SystemTime::now inside crates/telemetry —
+             timestamps go through the ClockSource abstraction
 
 Test code (#[cfg(test)], #[test]), tests/, benches/, examples/ and
 fixtures/ are exempt. Intentional exceptions go in ldp-lint.allow as

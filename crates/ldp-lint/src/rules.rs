@@ -1,4 +1,4 @@
-//! The five LDplayer correctness rules.
+//! The seven LDplayer correctness rules.
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -6,7 +6,9 @@
 //! | D2   | no order-dependent iteration over `HashMap`/`HashSet` in simulator-path code |
 //! | D3   | no ambient randomness (`thread_rng`, `rand::random`, `from_entropy`) — all RNG is seeded |
 //! | P1   | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in packet-decode and server hot paths |
+//! | P2   | no `unwrap`/`expect` in the remaining files of the hot-path crates (dns-wire, dns-server, proxy, telemetry) |
 //! | A1   | no unbounded channels in the server/replay/proxy crates |
+//! | T1   | no raw clock reads inside `crates/telemetry` — all time flows through `ClockSource` |
 //!
 //! Detection is token-based (see [`crate::lexer`]): comments, strings
 //! and `#[cfg(test)]` code never trigger a rule. Scoping is path-based
@@ -29,7 +31,7 @@ pub enum Severity {
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id: `D1`, `D2`, `D3`, `P1`, `A1`.
+    /// Rule id: `D1`, `D2`, `D3`, `P1`, `P2`, `A1`, `T1`.
     pub rule: &'static str,
     /// Severity.
     pub severity: Severity,
@@ -56,8 +58,16 @@ pub struct FileScope {
     /// Panic-safety hot path (P1 applies): `crates/dns-wire/src/**`,
     /// `crates/proxy/src/**`, `crates/dns-server/src/engine.rs`.
     pub hot_path: bool,
+    /// Lighter panic discipline (P2: no `unwrap`/`expect`) for the rest
+    /// of the hot-path crates — dns-wire, dns-server, proxy, telemetry —
+    /// where P1 does not already apply.
+    pub panic_lite: bool,
     /// Channel-discipline crate (A1 applies): dns-server, replay, proxy.
     pub channel_scope: bool,
+    /// Telemetry crate source (T1 applies instead of D1): the only
+    /// sanctioned raw-clock read is `ClockSource`'s wall impl, which is
+    /// allowlisted explicitly.
+    pub telemetry_path: bool,
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -85,8 +95,14 @@ pub fn classify(path: &str) -> FileScope {
     let channel_scope = p.contains("crates/dns-server/")
         || p.contains("crates/replay/")
         || p.contains("crates/proxy/");
+    let telemetry_path = p.contains("crates/telemetry/src/");
+    let panic_lite = !hot_path
+        && (p.contains("crates/dns-wire/src/")
+            || p.contains("crates/dns-server/src/")
+            || p.contains("crates/proxy/src/")
+            || telemetry_path);
 
-    FileScope { exempt, real_clock_ok, sim_path, hot_path, channel_scope }
+    FileScope { exempt, real_clock_ok, sim_path, hot_path, panic_lite, channel_scope, telemetry_path }
 }
 
 /// Run every applicable rule over one file's source.
@@ -106,7 +122,11 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
         .collect();
 
     let mut diags = Vec::new();
-    if !scope.real_clock_ok {
+    if scope.telemetry_path {
+        // T1 subsumes D1 inside the telemetry crate: the stricter
+        // message points at ClockSource rather than replay/netsim time.
+        rule_t1(path, &prod, &mut diags);
+    } else if !scope.real_clock_ok {
         rule_d1(path, &prod, &mut diags);
     }
     if scope.sim_path {
@@ -115,6 +135,9 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
     rule_d3(path, &prod, &mut diags);
     if scope.hot_path {
         rule_p1(path, &prod, &mut diags);
+    }
+    if scope.panic_lite {
+        rule_p2(path, &prod, &mut diags);
     }
     if scope.channel_scope {
         rule_a1(path, &prod, &mut diags);
@@ -157,6 +180,32 @@ fn rule_d1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
                 format!(
                     "{clock}::now() outside a real-clock module — route time through \
                      the clock abstraction (replay::clock / netsim virtual time)"
+                ),
+            );
+        }
+    }
+}
+
+/// T1 — raw clock reads inside the telemetry crate. Telemetry must be
+/// usable from virtual-time code, so every timestamp goes through the
+/// `ClockSource` abstraction; the one wall-clock implementation behind
+/// that trait is allowlisted by file in `ldp-lint.allow`.
+fn rule_t1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    for w in toks.windows(3) {
+        let clock = w[0].text.as_str();
+        if (clock == "Instant" || clock == "SystemTime")
+            && w[1].text == "::"
+            && w[2].text == "now"
+        {
+            push(
+                diags,
+                "T1",
+                Severity::Error,
+                path,
+                w[0].line,
+                format!(
+                    "{clock}::now() inside crates/telemetry — timestamps must flow \
+                     through ClockSource so virtual-time runs stay deterministic"
                 ),
             );
         }
@@ -412,6 +461,37 @@ fn rule_p1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// P2 — `unwrap`/`expect` in the remaining files of the hot-path crates.
+///
+/// A grep-tier offline stand-in for the clippy `unwrap_used`/
+/// `expect_used` denies that only run when cargo can resolve the
+/// registry: dns-wire, dns-server, proxy and telemetry must stay
+/// panic-free in production code even where the stricter P1 scope
+/// (decode/server hot paths, which also bans `panic!`-family macros)
+/// does not apply.
+fn rule_p2(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "."
+            && i + 2 < toks.len()
+            && toks[i + 2].text == "("
+            && (toks[i + 1].text == "unwrap" || toks[i + 1].text == "expect")
+        {
+            push(
+                diags,
+                "P2",
+                Severity::Error,
+                path,
+                toks[i + 1].line,
+                format!(
+                    "`.{}()` in a hot-path crate — handle the None/Err arm explicitly \
+                     (clippy denies this under cargo; this is the offline gate)",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
 /// A1 — unbounded channels in server/replay/proxy crates.
 fn rule_a1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
     for t in toks {
@@ -604,12 +684,83 @@ mod tests {
     #[test]
     fn p1_scope_is_hot_paths_only() {
         let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }";
-        assert!(!errors("crates/dns-wire/src/name.rs", src).is_empty());
-        assert!(!errors("crates/proxy/src/rewrite.rs", src).is_empty());
-        assert!(!errors("crates/dns-server/src/engine.rs", src).is_empty());
-        // Non-hot-path code may still unwrap (clippy governs it instead).
+        assert!(errors("crates/dns-wire/src/name.rs", src).iter().any(|d| d.rule == "P1"));
+        assert!(errors("crates/proxy/src/rewrite.rs", src).iter().any(|d| d.rule == "P1"));
+        assert!(errors("crates/dns-server/src/engine.rs", src).iter().any(|d| d.rule == "P1"));
+        // Outside the hot-path crates, unwrap is clippy's problem.
         assert!(errors("crates/metrics/src/histogram.rs", src).is_empty());
-        assert!(errors("crates/dns-server/src/rrl.rs", src).is_empty());
+        // Non-engine dns-server files get the lighter P2, not P1.
+        let rrl = errors("crates/dns-server/src/rrl.rs", src);
+        assert_eq!(rrl.len(), 1, "{rrl:?}");
+        assert_eq!(rrl[0].rule, "P2");
+    }
+
+    // ---- P2 ----
+
+    #[test]
+    fn p2_flags_unwrap_expect_in_hot_path_crates() {
+        let src = r#"
+            fn f(v: Option<u8>) -> u8 {
+                let a = v.unwrap();
+                let b = v.expect("set");
+                a + b
+            }
+        "#;
+        // (dns-wire/src and proxy/src are wholly P1 scope; P2 picks up
+        // the files of the other hot-path crates that P1 leaves out.)
+        for path in [
+            "crates/dns-server/src/rrl.rs",
+            "crates/telemetry/src/recorder.rs",
+        ] {
+            let ds = errors(path, src);
+            assert_eq!(ds.len(), 2, "{path}: {ds:?}");
+            assert!(ds.iter().all(|d| d.rule == "P2"), "{path}: {ds:?}");
+        }
+    }
+
+    #[test]
+    fn p2_allows_macros_and_never_doubles_with_p1() {
+        // P2 does not ban the panic!-family macros (P1 territory) …
+        let macros = r#"fn f(x: u8) { if x > 9 { panic!("boom") } }"#;
+        assert!(errors("crates/dns-server/src/rrl.rs", macros).is_empty());
+        // … and a P1 file never also reports P2 for the same unwrap.
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }";
+        let ds = errors("crates/dns-wire/src/name.rs", src);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].rule, "P1");
+    }
+
+    #[test]
+    fn p2_ignores_test_code_and_lookalike_methods() {
+        let src = r#"
+            fn f(v: Option<u8>) -> u8 { v.unwrap_or_else(|| 0) }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        assert!(errors("crates/telemetry/src/recorder.rs", src).is_empty());
+    }
+
+    // ---- T1 ----
+
+    #[test]
+    fn t1_flags_raw_clock_reads_in_telemetry() {
+        let src = "fn f() { let t = Instant::now(); let s = std::time::SystemTime::now(); }";
+        let ds = errors("crates/telemetry/src/clock.rs", src);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule == "T1"), "{ds:?}");
+        // T1 replaces D1 inside the crate — no double report.
+        assert!(!ds.iter().any(|d| d.rule == "D1"));
+    }
+
+    #[test]
+    fn t1_scope_is_telemetry_src_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        // Elsewhere the same read is D1 (or allowed in real-clock files).
+        assert!(errors("crates/netsim/src/sim.rs", src).iter().all(|d| d.rule == "D1"));
+        assert!(analyze_source("crates/telemetry/tests/smoke.rs", src).is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod host;
 pub mod queue;
 pub mod resources;
 pub mod sim;
+pub mod slab;
 pub mod time;
 pub mod topology;
 
@@ -29,6 +30,7 @@ pub use host::{Host, PacketBytes, TcpEvent};
 pub use queue::{EventQueue, QueueKind};
 pub use resources::{CpuModel, MemoryModel};
 pub use sim::{ConnId, Ctx, HostId, HostStats, SimConfig, Simulator};
+pub use slab::Slab;
 pub use time::{SimDuration, SimTime};
 pub use topology::{PathConfig, Topology};
 

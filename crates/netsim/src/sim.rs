@@ -14,14 +14,48 @@
 use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
 
+use ldp_telemetry as tel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::fault::{FaultInjector, WireKind};
 use crate::host::{Host, PacketBytes, TcpEvent};
 use crate::queue::{EventQueue, QueueKind};
+use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
+
+/// Interned telemetry kinds for the simulator, registered on first
+/// use (a `OnceLock`, so registration never runs on a per-event
+/// basis). Recording is a pure observation: it never changes event
+/// order, so same-seed transcripts stay byte-identical with telemetry
+/// enabled or disabled.
+struct SimKinds {
+    deliver: tel::KindId,
+    host_timer: tel::KindId,
+    conn_timer: tel::KindId,
+    tcp_established: tel::KindId,
+    tcp_killed: tel::KindId,
+    tcp_refused: tel::KindId,
+    fault_drop_udp: tel::KindId,
+    fault_drop_seg: tel::KindId,
+}
+
+impl SimKinds {
+    fn get() -> &'static SimKinds {
+        static KINDS: std::sync::OnceLock<SimKinds> = std::sync::OnceLock::new();
+        KINDS.get_or_init(|| SimKinds {
+            deliver: tel::register_kind("sim.deliver"),
+            host_timer: tel::register_kind("sim.host_timer"),
+            conn_timer: tel::register_kind("sim.conn_timer"),
+            tcp_established: tel::register_kind("sim.tcp.established"),
+            tcp_killed: tel::register_kind("sim.tcp.killed"),
+            tcp_refused: tel::register_kind("sim.tcp.refused"),
+            fault_drop_udp: tel::register_kind("sim.fault.drop_udp"),
+            fault_drop_seg: tel::register_kind("sim.fault.drop_segment"),
+        })
+    }
+}
 
 /// Identifies a registered host.
 pub type HostId = usize;
@@ -269,7 +303,7 @@ pub struct Ctx<'a> {
     now: SimTime,
     host: HostId,
     commands: &'a mut Vec<Command>,
-    next_conn: &'a mut u64,
+    conns: &'a mut Slab<Conn>,
 }
 
 impl<'a> Ctx<'a> {
@@ -297,8 +331,9 @@ impl<'a> Ctx<'a> {
     /// Open a TCP (or emulated-TLS) connection; returns its id
     /// immediately. `Connected` is delivered after the handshake.
     pub fn tcp_connect(&mut self, from: SocketAddr, to: SocketAddr, tls: bool) -> ConnId {
-        let id = ConnId(*self.next_conn);
-        *self.next_conn += 1;
+        // Reserve a slab slot now so the id is stable immediately; the
+        // connection itself is built when the command is applied.
+        let id = ConnId(self.conns.reserve());
         self.commands.push(Command::TcpConnect {
             conn: id,
             from,
@@ -370,8 +405,7 @@ pub struct Simulator {
     addr_map: BTreeMap<IpAddr, HostId>,
     topology: Topology,
     config: SimConfig,
-    conns: BTreeMap<ConnId, Conn>,
-    next_conn: u64,
+    conns: Slab<Conn>,
     stats: Vec<HostStats>,
     rng: StdRng,
     commands: Vec<Command>,
@@ -383,7 +417,25 @@ pub struct Simulator {
     /// Per-host crash generation; bumped on crash so timers armed
     /// before the crash are stale after a restart.
     epochs: Vec<u64>,
+    /// Interned telemetry kinds, resolved once at construction so the
+    /// dispatch hot path never touches the registry's `OnceLock`.
+    kinds: &'static SimKinds,
+    /// Dispatches since the last batched counter event, per
+    /// high-frequency kind: `[deliver, host_timer, conn_timer]` (see
+    /// `DISPATCH_BATCH`); only advanced while telemetry is enabled.
+    dispatch_pending: [u64; 3],
 }
+
+/// Dispatches per recorded counter event for the high-frequency kinds
+/// (`sim.deliver`, `sim.host_timer`, `sim.conn_timer`). Per-dispatch
+/// marks for these would dominate the recording cost — together they
+/// are nearly every event the simulator processes — so they are
+/// batched: one counter event with `b = DISPATCH_BATCH` per batch
+/// (`count_by_kind` sums `b`, so drained totals stay meaningful). The
+/// rare, informative marks (TCP established/killed/refused, fault
+/// drops) remain per-event. A partial tail batch is not flushed —
+/// drained totals undercount by at most `DISPATCH_BATCH - 1` per kind.
+const DISPATCH_BATCH: u64 = 64;
 
 impl Simulator {
     /// New simulator over `topology` with protocol `config`.
@@ -395,14 +447,15 @@ impl Simulator {
             addr_map: BTreeMap::new(),
             topology,
             config,
-            conns: BTreeMap::new(),
-            next_conn: 0,
+            conns: Slab::new(),
             stats: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
             commands: Vec::new(),
             injector: None,
             down: Vec::new(),
             epochs: Vec::new(),
+            kinds: SimKinds::get(),
+            dispatch_pending: [0; 3],
         }
     }
 
@@ -522,7 +575,36 @@ impl Simulator {
         self.queue.push(at, event);
     }
 
+    /// Advance the pending count for one high-frequency dispatch kind
+    /// (`which`: 0 = deliver, 1 = host timer, 2 = conn timer) and emit
+    /// one counter event per full `DISPATCH_BATCH`.
+    #[inline]
+    fn batched_dispatch_counter(&mut self, t_ns: u64, which: usize) {
+        self.dispatch_pending[which] += 1;
+        if self.dispatch_pending[which] == DISPATCH_BATCH {
+            self.dispatch_pending[which] = 0;
+            let k = self.kinds;
+            let kind = [k.deliver, k.host_timer, k.conn_timer][which];
+            tel::counter_at(t_ns, kind, 0, DISPATCH_BATCH);
+        }
+    }
+
     fn dispatch(&mut self, event: Event) {
+        if tel::enabled() {
+            // Publish virtual "now" so clocked records made from inside
+            // host callbacks (e.g. the server engine's spans) carry
+            // virtual timestamps; then mark the dispatch itself.
+            let t = self.now.as_nanos();
+            tel::clock::publish_virtual_now(t);
+            match &event {
+                // Batched counters: see `DISPATCH_BATCH`.
+                Event::Deliver(_) => self.batched_dispatch_counter(t, 0),
+                Event::HostTimer { .. } => self.batched_dispatch_counter(t, 1),
+                Event::ConnTimer { .. } => self.batched_dispatch_counter(t, 2),
+                // Kill/refused get richer marks at their handling sites.
+                Event::KillConn { .. } | Event::ConnRefused { .. } => {}
+            }
+        }
         match event {
             Event::Deliver(pkt) => self.deliver(pkt),
             Event::HostTimer { host, token, epoch } => {
@@ -538,6 +620,10 @@ impl Simulator {
             Event::ConnRefused { conn, host, epoch } => {
                 if self.down[host] || self.epochs[host] != epoch {
                     return;
+                }
+                if tel::enabled() {
+                    let t = self.now.as_nanos();
+                    tel::mark_at(t, self.kinds.tcp_refused, conn.0, host as u64);
                 }
                 self.with_host(host, |h, ctx| {
                     h.on_tcp_event(ctx, TcpEvent::Closed { conn })
@@ -558,7 +644,7 @@ impl Simulator {
                 now: self.now,
                 host,
                 commands: &mut commands,
-                next_conn: &mut self.next_conn,
+                conns: &mut self.conns,
             };
             f(boxed.as_mut(), &mut ctx);
         }
@@ -583,6 +669,10 @@ impl Simulator {
                     None => crate::fault::PacketFate::DELIVER,
                 };
                 if fate.drop {
+                    if tel::enabled() {
+                        let t = self.now.as_nanos();
+                        tel::mark_at(t, self.kinds.fault_drop_udp, 0, data.len() as u64);
+                    }
                     return; // injected loss / link down
                 }
                 if let Some(&h) = self.addr_map.get(&from.ip()) {
@@ -629,12 +719,15 @@ impl Simulator {
                         let path = self.topology.path(from.ip(), to.ip());
                         let at = self.now + path.one_way(40) + path.one_way(40);
                         let epoch = self.epochs[from_host];
+                        // Release the slot reserved in `Ctx::tcp_connect`
+                        // — this connection will never exist.
+                        self.conns.remove(conn.0);
                         self.push_event(at, Event::ConnRefused { conn, host: from_host, epoch });
                         return;
                     }
                 };
-                self.conns.insert(
-                    conn,
+                self.conns.fill(
+                    conn.0,
                     Conn {
                         client: from,
                         server: to,
@@ -662,7 +755,7 @@ impl Simulator {
                 self.tcp_close_internal(conn, closer);
             }
             Command::SetIdleTimeout { conn, timeout } => {
-                if let Some(c) = self.conns.get_mut(&conn) {
+                if let Some(c) = self.conns.get_mut(conn.0) {
                     c.idle_timeout = timeout;
                     if let Some(t) = timeout {
                         let at = self.now + t;
@@ -696,6 +789,10 @@ impl Simulator {
             None => crate::fault::PacketFate::DELIVER,
         };
         if fate.drop {
+            if tel::enabled() {
+                let t = self.now.as_nanos();
+                tel::mark_at(t, self.kinds.fault_drop_seg, conn.0, size as u64);
+            }
             // This TCP model has no retransmission, so a dropped segment
             // is fatal to the connection (the stack would hit its retry
             // limit). The kill is deferred to its own event: callers may
@@ -705,7 +802,7 @@ impl Simulator {
             return;
         }
         let mut at = self.now + path.one_way(size) + fate.extra_delay;
-        if let Some(c) = self.conns.get_mut(&conn) {
+        if let Some(c) = self.conns.get_mut(conn.0) {
             let dir = c.dir_from(from);
             if at < c.fifo_free[dir] {
                 at = c.fifo_free[dir];
@@ -742,7 +839,7 @@ impl Simulator {
     }
 
     fn deliver_segment(&mut self, conn_id: ConnId, src: SocketAddr, dst: SocketAddr, kind: SegKind) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conns.get_mut(conn_id.0) else {
             return; // connection already gone (e.g. late segment)
         };
         conn.last_activity = self.now;
@@ -754,7 +851,7 @@ impl Simulator {
             SegKind::SynAck => {
                 // Client side: complete TCP handshake.
                 self.send_segment(conn_id, dst, src, SegKind::AckOfSyn);
-                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
                 if conn.tls {
                     conn.state = ConnState::TlsHandshake;
                     let (c, s) = (conn.client, conn.server);
@@ -765,7 +862,7 @@ impl Simulator {
             }
             SegKind::AckOfSyn => {
                 // Server: plain TCP is now established server-side.
-                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
                 if !conn.tls {
                     self.establish(conn_id, false);
                 }
@@ -785,7 +882,7 @@ impl Simulator {
                 self.establish(conn_id, true);
             }
             SegKind::Data { bytes } => {
-                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
                 let dir = conn.dir_from(src);
                 let host = conn.host_at(dst);
                 let tls = conn.tls;
@@ -812,7 +909,7 @@ impl Simulator {
                 });
             }
             SegKind::Ack => {
-                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
                 // ACK for data sent *by the receiver of this segment's
                 // direction*: data flowing src→dst was acked by dst...
                 // here, `src` acks data that `dst`... — direction of the
@@ -825,7 +922,7 @@ impl Simulator {
                 // Passive close: reply FIN-ACK, deliver Closed. The
                 // passive closer does not enter TIME_WAIT.
                 self.send_segment(conn_id, dst, src, SegKind::FinAck);
-                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
                 conn.state = ConnState::Closed;
                 let side = usize::from(dst == conn.server);
                 if !conn.side_closed[side] {
@@ -839,7 +936,7 @@ impl Simulator {
             }
             SegKind::FinAck => {
                 // Active closer: enter TIME_WAIT for 2·MSL.
-                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
                 let side = usize::from(dst == conn.server);
                 if !conn.side_closed[side] {
                     conn.side_closed[side] = true;
@@ -863,7 +960,7 @@ impl Simulator {
     /// Mark the connection established on one side and deliver the
     /// corresponding event; also arm the idle timer on the server side.
     fn establish(&mut self, conn_id: ConnId, client_side: bool) {
-        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
         // A close can race the tail of the handshake (the app closed
         // while the final ACK was in flight): never resurrect it.
         if matches!(conn.state, ConnState::Closing | ConnState::Closed) {
@@ -880,10 +977,14 @@ impl Simulator {
             (conn.server_host, conn.client, conn.server, conn.tls)
         };
         self.stats[host].established += 1;
+        if tel::enabled() {
+            let t = self.now.as_nanos();
+            tel::mark_at(t, self.kinds.tcp_established, conn_id.0, u64::from(client_side));
+        }
         if !client_side {
             self.stats[host].tcp_accepts += u64::from(!tls);
             self.stats[host].tls_accepts += u64::from(tls);
-            if let Some(t) = self.conns[&conn_id].idle_timeout {
+            if let Some(t) = self.conns.get(conn_id.0).and_then(|c| c.idle_timeout) {
                 let at = self.now + t;
                 self.push_event(at, Event::ConnTimer { conn: conn_id, kind: ConnTimer::IdleCheck });
             }
@@ -902,7 +1003,7 @@ impl Simulator {
         // A close requested while the handshake was in flight happens
         // now, after the queued writes above went out.
         let deferred = {
-            let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+            let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
             if conn.pending_close == Some(host) {
                 conn.pending_close.take()
             } else {
@@ -915,7 +1016,7 @@ impl Simulator {
     }
 
     fn tcp_send_internal(&mut self, conn_id: ConnId, data: PacketBytes, sender: HostId) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conns.get_mut(conn_id.0) else {
             return;
         };
         if conn.state == ConnState::Closed
@@ -945,7 +1046,7 @@ impl Simulator {
 
     /// Send one data message, consuming any owed ACK (piggyback).
     fn transmit_data(&mut self, conn_id: ConnId, dir: usize, data: PacketBytes) {
-        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
         let (src, dst) = if dir == 0 {
             (conn.client, conn.server)
         } else {
@@ -985,7 +1086,7 @@ impl Simulator {
     /// large TCP message" effect the paper observed). A single pending
     /// write is forwarded as-is — zero-copy.
     fn flush_pending(&mut self, conn_id: ConnId, dir: usize) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conns.get_mut(conn_id.0) else {
             return;
         };
         if !matches!(conn.state, ConnState::Established) {
@@ -1007,7 +1108,7 @@ impl Simulator {
     }
 
     fn tcp_close_internal(&mut self, conn_id: ConnId, closer: HostId) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conns.get_mut(conn_id.0) else {
             return;
         };
         if matches!(conn.state, ConnState::Closing | ConnState::Closed)
@@ -1032,7 +1133,7 @@ impl Simulator {
         // the FIN behind the flushed data on the wire.
         let dir = conn.dir_from(from);
         self.flush_pending(conn_id, dir);
-        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
         conn.state = ConnState::Closing;
         conn.closer = Some(closer);
         self.send_segment(conn_id, from, to, SegKind::Fin);
@@ -1041,7 +1142,7 @@ impl Simulator {
     fn conn_timer(&mut self, conn_id: ConnId, kind: ConnTimer) {
         match kind {
             ConnTimer::IdleCheck => {
-                let Some(conn) = self.conns.get(&conn_id) else {
+                let Some(conn) = self.conns.get(conn_id.0) else {
                     return;
                 };
                 let Some(timeout) = conn.idle_timeout else {
@@ -1070,13 +1171,13 @@ impl Simulator {
                 }
             }
             ConnTimer::TimeWaitDone => {
-                if let Some(conn) = self.conns.remove(&conn_id) {
+                if let Some(conn) = self.conns.remove(conn_id.0) {
                     let host = conn.closer.unwrap_or(conn.server_host);
                     self.stats[host].time_wait = self.stats[host].time_wait.saturating_sub(1);
                 }
             }
             ConnTimer::DelayedAck { dir } => {
-                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                let Some(conn) = self.conns.get_mut(conn_id.0) else {
                     return;
                 };
                 if !conn.dirs[dir].ack_owed {
@@ -1100,9 +1201,12 @@ impl Simulator {
     /// already seen it (skipping crashed hosts — they get nothing).
     /// No TIME_WAIT: this models a reset/crash, not a graceful close.
     fn kill_conn(&mut self, conn_id: ConnId) {
-        let Some(conn) = self.conns.remove(&conn_id) else {
+        let Some(conn) = self.conns.remove(conn_id.0) else {
             return; // already gone (duplicate kill, late event)
         };
+        if tel::enabled() {
+            tel::mark_at(self.now.as_nanos(), self.kinds.tcp_killed, conn_id.0, 0);
+        }
         // If the active closer already entered TIME_WAIT, its pending
         // TimeWaitDone event will find the conn gone and never decrement
         // the counter — do it here.
@@ -1156,13 +1260,14 @@ impl Simulator {
         if let Some(h) = self.hosts[id].as_deref_mut() {
             h.on_crash();
         }
-        // Kill every connection the host participates in. BTreeMap
-        // iteration order keeps this deterministic (rule D2).
+        // Kill every connection the host participates in. Slab slot
+        // order is a deterministic function of the allocation/free
+        // history, so this stays reproducible (rule D2).
         let doomed: Vec<ConnId> = self
             .conns
             .iter()
             .filter(|(_, c)| c.client_host == id || c.server_host == id)
-            .map(|(&cid, _)| cid)
+            .map(|(cid, _)| ConnId(cid))
             .collect();
         for cid in doomed {
             self.kill_conn(cid);

@@ -17,11 +17,40 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dns_wire::framing::frame_into;
 use dns_wire::Transport;
+use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
 
 use crate::clock::{ReplayClock, WallClock};
 use crate::sticky::StickyRouter;
 use crate::timing::TimingTracker;
+
+/// Interned telemetry kinds for the real-socket engine. `replay.sent`
+/// carries the signed send-time error (µs, two's complement in `b`) —
+/// the paper's Figure 6 quantity, accounted at the source instead of
+/// reconstructed from the report afterwards.
+struct ReplayKinds {
+    sent: tel::KindId,
+    error: tel::KindId,
+}
+
+fn replay_kinds() -> &'static ReplayKinds {
+    static K: std::sync::OnceLock<ReplayKinds> = std::sync::OnceLock::new();
+    K.get_or_init(|| ReplayKinds {
+        sent: tel::register_kind("replay.sent"),
+        error: tel::register_kind("replay.send_error"),
+    })
+}
+
+/// Adapts a [`ReplayClock`] into the telemetry [`tel::ClockSource`],
+/// so clocked records elsewhere in the process share the replay
+/// timebase (wall or virtual) during a run.
+struct ReplayClockSource(Arc<dyn ReplayClock>);
+
+impl tel::ClockSource for ReplayClockSource {
+    fn now_ns(&self) -> u64 {
+        self.0.now_us().saturating_mul(1_000)
+    }
+}
 
 /// Replay configuration.
 #[derive(Debug, Clone)]
@@ -155,6 +184,12 @@ pub fn replay_with_clock(
     assert!(!trace.is_empty(), "cannot replay an empty trace");
     let origin_us = config.warmup.as_micros() as u64;
     let tracker = TimingTracker::start(trace[0].time_us, origin_us).with_speed(config.speed);
+    if tel::enabled() {
+        // Route clocked records through the replay timebase for the
+        // duration of the run (restored to zero-clock by whoever set
+        // the process clock; installing is idempotent per run).
+        tel::clock::install_clock(Arc::new(ReplayClockSource(clock.clone())));
+    }
 
     let errors = Arc::new(AtomicU64::new(0));
     let (record_tx, record_rx) = bounded::<SentRecord>(65536);
@@ -439,6 +474,14 @@ fn querier_loop(
                 }
             };
             let sent_us = clock.now_us().saturating_sub(origin_us);
+            if tel::enabled() {
+                let k = replay_kinds();
+                // Signed µs error vs the trace deadline, at the source.
+                let deadline_us = tracker.deadline_us(job.trace_us).saturating_sub(origin_us);
+                let err_us = sent_us as i64 - deadline_us as i64;
+                let kind = if ok { k.sent } else { k.error };
+                tel::mark_at(sent_us.saturating_mul(1_000), kind, job.seq, err_us as u64);
+            }
             if ok {
                 let _ = record_tx.send(SentRecord {
                     seq: job.seq,

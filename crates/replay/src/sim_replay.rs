@@ -9,8 +9,32 @@ use std::sync::{Arc, Mutex};
 
 use dns_wire::framing::{frame, FrameBuffer};
 use dns_wire::{Message, Transport};
+use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
 use netsim::{ConnId, Ctx, Host, HostId, PacketBytes, SimTime, Simulator, TcpEvent};
+
+/// Interned per-query lifecycle marks (enqueue → send → retx →
+/// response → match), keyed by the trace sequence number so sampling
+/// keeps or drops a whole lifecycle together. All marks are stamped
+/// with the simulator's `ctx.now()` — exact virtual time.
+struct QKinds {
+    enqueue: tel::KindId,
+    send: tel::KindId,
+    retx: tel::KindId,
+    response: tel::KindId,
+    matched: tel::KindId,
+}
+
+fn q_kinds() -> &'static QKinds {
+    static K: std::sync::OnceLock<QKinds> = std::sync::OnceLock::new();
+    K.get_or_init(|| QKinds {
+        enqueue: tel::register_kind("q.enqueue"),
+        send: tel::register_kind("q.send"),
+        retx: tel::register_kind("q.retx"),
+        response: tel::register_kind("q.response"),
+        matched: tel::register_kind("q.match"),
+    })
+}
 
 /// One completed query/response pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,6 +181,11 @@ impl SimReplayClient {
             source: src.ip(),
         };
         self.sent += 1;
+        if tel::enabled() {
+            let k = q_kinds();
+            let kind = if first_sent_s.is_some() { k.retx } else { k.send };
+            tel::mark_at(ctx.now().as_nanos(), kind, idx as u64, payload.len() as u64);
+        }
         match transport {
             Transport::Udp => {
                 self.pending_udp.insert((src.ip(), id), pending);
@@ -195,6 +224,9 @@ impl SimReplayClient {
         self.retrying.remove(&seq);
         self.pending_tcp.retain(|_, p| p.seq != seq);
         self.pending_udp.retain(|_, p| p.seq != seq);
+        if tel::enabled() {
+            tel::mark_at((now_s * 1e9) as u64, q_kinds().matched, seq, bytes as u64);
+        }
         self.log.lock().unwrap().push(LatencyRecord {
             seq: pending.seq,
             sent_s: pending.sent_s,
@@ -212,6 +244,9 @@ impl Host for SimReplayClient {
             return;
         };
         if let Some(p) = self.pending_udp.remove(&(to.ip(), msg.id)) {
+            if tel::enabled() {
+                tel::mark_at(ctx.now().as_nanos(), q_kinds().response, p.seq, data.len() as u64);
+            }
             self.complete(p, ctx.now().as_secs_f64(), data.len());
         }
     }
@@ -234,6 +269,10 @@ impl Host for SimReplayClient {
                 let now = ctx.now().as_secs_f64();
                 let any_done = !done.is_empty();
                 for (p, bytes) in done {
+                    if tel::enabled() {
+                        let t = ctx.now().as_nanos();
+                        tel::mark_at(t, q_kinds().response, p.seq, bytes as u64);
+                    }
                     self.complete(p, now, bytes);
                 }
                 // No-reuse ablation: close as soon as the (single)
@@ -302,6 +341,9 @@ impl Host for SimReplayClient {
         }
         let idx = token as usize;
         if idx < self.trace.len() {
+            if tel::enabled() {
+                tel::mark_at(ctx.now().as_nanos(), q_kinds().enqueue, idx as u64, 0);
+            }
             self.send_entry(ctx, idx);
         }
     }

@@ -1,0 +1,177 @@
+//! Time sources for event timestamps.
+//!
+//! Virtual-time code should not read any clock at all — it stamps
+//! events explicitly via [`crate::record_at`]. Everything else goes
+//! through the process-wide clock configured here, which defaults to
+//! [`use_zero_clock`] (every timestamp is 0 ns) so that code running
+//! under the simulator stays deterministic even when it records
+//! through the clocked API.
+//!
+//! `WallClockSource` below is the **only** sanctioned
+//! `std::time::Instant` read in this crate — ldp-lint rule T1 forbids
+//! raw wall-clock reads anywhere else under `crates/telemetry/` and
+//! this file is allowlisted in `ldp-lint.allow`.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A monotonically non-decreasing nanosecond timestamp source.
+///
+/// Implementations must be cheap (called on the hot path when the
+/// clocked recording API is used) and must never panic.
+pub trait ClockSource: Send + Sync {
+    /// Current time in nanoseconds since an arbitrary origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real monotonic time, relative to construction.
+///
+/// The single sanctioned `Instant` site in this crate (T1).
+pub struct WallClockSource {
+    origin: Instant,
+}
+
+impl WallClockSource {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClockSource { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClockSource {
+    fn default() -> Self {
+        WallClockSource::new()
+    }
+}
+
+impl ClockSource for WallClockSource {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds covers ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// The last simulator time published via [`publish_virtual_now`].
+pub struct VirtualClockSource;
+
+impl ClockSource for VirtualClockSource {
+    fn now_ns(&self) -> u64 {
+        virtual_now()
+    }
+}
+
+/// A constant time; useful in tests.
+pub struct FixedClockSource(pub u64);
+
+impl ClockSource for FixedClockSource {
+    fn now_ns(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The simulator's published "now", in nanoseconds of virtual time.
+static VIRTUAL_NOW: AtomicU64 = AtomicU64::new(0);
+
+/// Publish the simulator's current virtual time. `netsim` calls this
+/// once per dispatched event (only while telemetry is enabled), so
+/// clocked records made from inside host callbacks — e.g. the server
+/// engine's parse/lookup/encode spans — carry virtual timestamps.
+#[inline]
+pub fn publish_virtual_now(t_ns: u64) {
+    VIRTUAL_NOW.store(t_ns, Ordering::Relaxed);
+}
+
+/// The last published virtual time, in nanoseconds.
+#[inline]
+pub fn virtual_now() -> u64 {
+    VIRTUAL_NOW.load(Ordering::Relaxed)
+}
+
+const MODE_ZERO: u8 = 0;
+const MODE_VIRTUAL: u8 = 1;
+const MODE_WALL: u8 = 2;
+const MODE_CUSTOM: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_ZERO);
+static WALL: OnceLock<WallClockSource> = OnceLock::new();
+static CUSTOM: RwLock<Option<Arc<dyn ClockSource>>> = RwLock::new(None);
+
+/// Every clocked record is stamped 0 ns (the default; deterministic
+/// with no publisher at all).
+pub fn use_zero_clock() {
+    MODE.store(MODE_ZERO, Ordering::Relaxed);
+}
+
+/// Clocked records read the simulator time published by
+/// [`publish_virtual_now`].
+pub fn use_virtual_clock() {
+    MODE.store(MODE_VIRTUAL, Ordering::Relaxed);
+}
+
+/// Clocked records read real monotonic time (origin = first use).
+pub fn use_wall_clock() {
+    let _ = WALL.set(WallClockSource::new());
+    MODE.store(MODE_WALL, Ordering::Relaxed);
+}
+
+/// Clocked records read `source` — e.g. the replay engine's
+/// `ReplayClock` adapted into a [`ClockSource`].
+pub fn install_clock(source: Arc<dyn ClockSource>) {
+    if let Ok(mut slot) = CUSTOM.write() {
+        *slot = Some(source);
+    }
+    MODE.store(MODE_CUSTOM, Ordering::Relaxed);
+}
+
+/// Current time of the process-wide clock, in nanoseconds.
+#[inline]
+pub fn now_ns() -> u64 {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_VIRTUAL => virtual_now(),
+        MODE_WALL => WALL.get_or_init(WallClockSource::new).now_ns(),
+        MODE_CUSTOM => match CUSTOM.read() {
+            Ok(slot) => slot.as_ref().map(|c| c.now_ns()).unwrap_or(0),
+            Err(_) => 0,
+        },
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_is_the_default_and_reads_zero() {
+        use_zero_clock();
+        assert_eq!(now_ns(), 0);
+    }
+
+    #[test]
+    fn virtual_clock_tracks_published_time() {
+        publish_virtual_now(42_000);
+        assert_eq!(VirtualClockSource.now_ns(), 42_000);
+        use_virtual_clock();
+        assert_eq!(now_ns(), 42_000);
+        publish_virtual_now(43_000);
+        assert_eq!(now_ns(), 43_000);
+        use_zero_clock();
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_nonzero_origin_relative() {
+        let w = WallClockSource::new();
+        let a = w.now_ns();
+        let b = w.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn custom_clock_is_read_through_the_trait() {
+        install_clock(Arc::new(FixedClockSource(7_700)));
+        assert_eq!(now_ns(), 7_700);
+        use_zero_clock();
+        assert_eq!(now_ns(), 0);
+    }
+}

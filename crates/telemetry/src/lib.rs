@@ -1,0 +1,65 @@
+//! # ldp-telemetry
+//!
+//! Always-on, virtual-time-aware tracing for LDplayer's hot paths:
+//! per-query lifecycle marks (enqueue → send → retx → response →
+//! match), span enter/exit pairs around server stages, and counters —
+//! recorded into fixed-size per-thread ring buffers of compact binary
+//! events, then drained offline into text timelines, per-stage latency
+//! breakdowns (via [`ldp_metrics`]) and folded-stacks flamegraph dumps.
+//!
+//! Design constraints (DESIGN.md §8):
+//!
+//! * **Zero allocation on the hot path.** A record is one relaxed
+//!   atomic load (the packed enabled/sampling word), a thread-local
+//!   borrow, and a 32-byte slot write into a preallocated ring. Event
+//!   kinds are interned [`KindId`]s registered up front
+//!   ([`register_kind`]); names are resolved only at drain time.
+//! * **Determinism.** Virtual-time code stamps events explicitly with
+//!   [`record_at`] (the simulator's own `SimTime`), so two same-seed
+//!   runs drain byte-identical logs and recording can never perturb
+//!   event order. Transport-agnostic code uses [`record_now`], which
+//!   reads the process-wide [`clock`] — `Zero` (the default, always
+//!   0 ns), `Virtual` (the last published simulator time) or `Wall`
+//!   (the single sanctioned monotonic clock; see ldp-lint rule T1).
+//! * **Disabled cost is a branch.** The `telemetry-off` cargo feature
+//!   folds every record call to an immediate return at compile time;
+//!   at runtime, disabled recording (the default) costs one relaxed
+//!   load and a predictable branch. The sampling knob
+//!   ([`set_sampling_shift`]) thins recording by the event's `a` key
+//!   (the query/lifecycle sequence number), so whole lifecycles are
+//!   kept or dropped together and sampling itself is deterministic.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ldp_telemetry as tel;
+//!
+//! let send = tel::register_kind("q.send");
+//! let done = tel::register_kind("q.match");
+//! tel::set_enabled(true);
+//! // A virtual-time path stamps events itself (t in nanoseconds):
+//! tel::mark_at(1_000, send, 7, 0);
+//! tel::mark_at(4_500_000, done, 7, 0);
+//! tel::set_enabled(false);
+//! let events = tel::drain_local();
+//! let text = tel::render_timeline(&events);
+//! assert!(text.contains("q.send") && text.contains("q.match"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+mod event;
+mod export;
+mod recorder;
+
+pub use clock::{ClockSource, FixedClockSource, VirtualClockSource, WallClockSource};
+pub use event::{kind_name, register_kind, registered_kinds, KindId, Op, RawEvent};
+pub use export::{
+    count_by_kind, folded_stacks, render_timeline, stage_breakdown, StageBreakdown, StageStat,
+};
+pub use recorder::{
+    counter_at, drain_all, drain_flushed, drain_local, enabled, flush_thread, mark, mark_at,
+    record_at, record_now, sampling_shift, set_enabled, set_sampling_shift, span, span_enter,
+    span_enter_at, span_exit, span_exit_at, SpanGuard, ThreadLog,
+};

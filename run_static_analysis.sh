@@ -8,9 +8,9 @@
 # Degrades gracefully offline: if cargo cannot reach a registry (no
 # lockfile, no vendored deps), the whole sim-path chain is built with
 # bare rustc against the stubs in offline/ — ldp-lint, the netsim,
-# replay and chaos test suites, the hotpath bench and the fig_outage
-# chaos smoke run all still happen; only fmt, clippy and the
-# tokio-dependent crates are skipped.
+# replay, telemetry and chaos test suites, the hotpath bench and the
+# fig_outage / fig_trace smoke runs all still happen; only fmt, clippy
+# and the tokio-dependent crates are skipped.
 set -u
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -44,6 +44,9 @@ if cargo_works; then
 
     note "fig_outage chaos smoke run (determinism + resilience gates)"
     cargo run --release -q -p ldp-bench --bin fig_outage -- --smoke || fail=1
+
+    note "fig_trace telemetry smoke run (stage breakdown + determinism gates)"
+    cargo run --release -q -p ldp-bench --bin fig_trace -- --smoke || fail=1
 else
     note "cargo cannot resolve dependencies here; running the offline rustc chain"
     bin=${TMPDIR:-/tmp}/ldp-lint-gate
@@ -68,6 +71,7 @@ else
     RESOLVER="--extern dns_resolver=$od/libdns_resolver.rlib"
     PROXY="--extern ldp_proxy=$od/libldp_proxy.rlib"
     METRICS="--extern ldp_metrics=$od/libldp_metrics.rlib"
+    TELEM="--extern ldp_telemetry=$od/libldp_telemetry.rlib"
     WORKLOADS="--extern workloads=$od/libworkloads.rlib"
     ZC="--extern zone_construct=$od/libzone_construct.rlib"
     CORE="--extern ldp_core=$od/libldp_core.rlib"
@@ -80,21 +84,22 @@ else
     rc --crate-type lib --crate-name bytes offline/stubs/bytes.rs || exit 2
     rc --crate-type lib --crate-name crossbeam offline/stubs/crossbeam.rs || exit 2
 
-    note "offline: workspace rlibs (dns-wire, trace, netsim, dns-zone, dns-server, replay)"
+    note "offline: workspace rlibs (dns-wire, trace, metrics, telemetry, netsim, dns-zone, dns-server, replay)"
     rc --crate-type lib --crate-name dns_wire $BYTES crates/dns-wire/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_trace $WIRE $RAND crates/trace/src/lib.rs || fail=1
-    rc --crate-type lib --crate-name netsim $RAND crates/netsim/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name ldp_metrics crates/metrics/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name ldp_telemetry $METRICS crates/telemetry/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name netsim $RAND $TELEM crates/netsim/src/lib.rs || fail=1
     rc --crate-type lib --crate-name dns_zone $WIRE $RAND crates/dns-zone/src/lib.rs || fail=1
-    rc --crate-type lib --crate-name dns_server $WIRE $ZONE $NETSIM \
+    rc --crate-type lib --crate-name dns_server $WIRE $ZONE $NETSIM $TELEM \
         offline/dns_server_offline.rs || fail=1
-    rc --crate-type lib --crate-name ldp_replay $XBEAM $WIRE $TRACE $NETSIM \
+    rc --crate-type lib --crate-name ldp_replay $XBEAM $WIRE $TRACE $NETSIM $TELEM \
         offline/replay_offline.rs || fail=1
 
-    note "offline: workspace rlibs (metrics, workloads, resolver, proxy, zone-construct, core, chaos)"
-    rc --crate-type lib --crate-name ldp_metrics crates/metrics/src/lib.rs || fail=1
+    note "offline: workspace rlibs (workloads, resolver, proxy, zone-construct, core, chaos)"
     rc --crate-type lib --crate-name workloads $WIRE $TRACE $RAND \
         crates/workloads/src/lib.rs || fail=1
-    rc --crate-type lib --crate-name dns_resolver $WIRE $ZONE $NETSIM $RAND \
+    rc --crate-type lib --crate-name dns_resolver $WIRE $ZONE $NETSIM $RAND $TELEM \
         crates/dns-resolver/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_proxy $WIRE $NETSIM \
         offline/proxy_offline.rs || fail=1
@@ -110,8 +115,12 @@ else
     rc --test --crate-name dns_wire_t $BYTES crates/dns-wire/src/lib.rs &&
         "$od/dns_wire_t" -q || fail=1
 
-    note "offline: netsim unit tests (event queue, sim, tcp model)"
-    rc --test --crate-name netsim_t $RAND crates/netsim/src/lib.rs &&
+    note "offline: telemetry unit tests (recorder, clock, export)"
+    rc --test --crate-name telemetry_t $METRICS crates/telemetry/src/lib.rs &&
+        "$od/telemetry_t" -q || fail=1
+
+    note "offline: netsim unit tests (event queue, sim, slab, tcp model)"
+    rc --test --crate-name netsim_t $RAND $TELEM crates/netsim/src/lib.rs &&
         "$od/netsim_t" -q || fail=1
 
     note "offline: netsim determinism + tcp-model regression suites"
@@ -121,12 +130,12 @@ else
         "$od/tcp_model_t" -q || fail=1
 
     note "offline: replay engine/clock/sticky/timing/sim_replay suites"
-    rc --test --crate-name replay_t $XBEAM $WIRE $TRACE $NETSIM $ZONE $SERVER \
+    rc --test --crate-name replay_t $XBEAM $WIRE $TRACE $NETSIM $ZONE $SERVER $TELEM \
         offline/replay_offline.rs &&
         "$od/replay_t" -q || fail=1
 
     note "offline: resolver, proxy, emulation suites"
-    rc --test --crate-name resolver_t $WIRE $ZONE $NETSIM $RAND $SERVER \
+    rc --test --crate-name resolver_t $WIRE $ZONE $NETSIM $RAND $SERVER $TELEM \
         crates/dns-resolver/src/lib.rs &&
         "$od/resolver_t" -q || fail=1
     rc --test --crate-name proxy_t $WIRE $NETSIM $ZONE $SERVER $RESOLVER \
@@ -147,18 +156,21 @@ else
         "$od/chaos_det_t" -q || fail=1
     rc --test --crate-name chaos_outage_t $CHAOS $NETSIM crates/chaos/tests/outage.rs &&
         "$od/chaos_outage_t" -q || fail=1
+    rc --test --crate-name chaos_telem_t $CHAOS $NETSIM $TELEM \
+        crates/chaos/tests/telemetry_determinism.rs &&
+        "$od/chaos_telem_t" -q || fail=1
 
     note "offline: facade + sim-path integration suite (full_pipeline)"
     rc --crate-type lib --crate-name ldplayer \
-        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS \
+        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS $TELEM \
         offline/ldplayer_offline.rs || fail=1
     rc --test --crate-name full_pipeline_t $LDP tests/full_pipeline.rs &&
         "$od/full_pipeline_t" -q || fail=1
     # Type-check (not run) the sim-path example against the facade.
     rc --crate-name hierarchy_emulation_ex $LDP examples/hierarchy_emulation.rs || fail=1
 
-    note "offline: hotpath microbench"
-    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY \
+    note "offline: hotpath microbench (includes telemetry overhead gate)"
+    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM \
         crates/bench/src/bin/hotpath.rs || fail=1
     rm -f BENCH_hotpath.json
     "$od/hotpath" BENCH_hotpath.json || fail=1
@@ -168,6 +180,12 @@ else
     rc --crate-name fig_outage $BENCH $CHAOS $NETSIM $METRICS \
         crates/bench/src/bin/fig_outage.rs &&
         "$od/fig_outage" --smoke || fail=1
+
+    note "offline: fig_trace telemetry smoke run (stage breakdown + determinism gates)"
+    rc --crate-name fig_trace \
+        $BENCH $NETSIM $SERVER $REPLAY $ZONE $WIRE $WORKLOADS $TRACE $METRICS $TELEM \
+        crates/bench/src/bin/fig_trace.rs &&
+        "$od/fig_trace" --smoke || fail=1
 
     note "SKIPPED: fmt, clippy, tokio-dependent crates (registry unreachable)"
 fi

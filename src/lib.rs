@@ -31,6 +31,10 @@
 //! - [`chaos`] — deterministic fault injection: declarative fault plans
 //!   (loss bursts, delay spikes, link cuts, server crash/restart)
 //!   scheduled in virtual time, plus the root-letter outage study.
+//! - [`telemetry`] — always-on, virtual-time-aware tracing: per-thread
+//!   ring buffers of compact events, per-query lifecycle marks
+//!   (enqueue→send→retx→response→match), stage-latency breakdowns and
+//!   folded-stack flamegraph dumps.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@ pub use ldp_core as core;
 pub use ldp_metrics as metrics;
 pub use ldp_proxy as proxy;
 pub use ldp_replay as replay;
+pub use ldp_telemetry as telemetry;
 pub use ldp_trace as trace;
 pub use netsim;
 pub use workloads;
