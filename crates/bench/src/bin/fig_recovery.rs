@@ -1,0 +1,158 @@
+//! `fig_recovery`: the crash-recovery study — ldp-guard's two recovery
+//! paths made runnable and self-gating.
+//!
+//! 1. **Checkpoint/resume.** A checkpointed replay is killed mid-run
+//!    (the simulator is abandoned, as `kill -9` would) and rebuilt in
+//!    a fresh simulator from the last committed checkpoint. Gates: the
+//!    resumed transcript body AND the drained per-query telemetry
+//!    (killed-run prefix up to the quiescent cut + resumed remainder,
+//!    compared via the binary dump — no string rendering) must be
+//!    byte-identical to an uninterrupted same-seed run, on both
+//!    event-queue backends.
+//! 2. **Querier crash.** A `QuerierCrash` fault power-cycles the
+//!    querier host mid-replay; `on_restart` re-dispatches the dead
+//!    span. Gate: ≥ 99 % of the trace still answered, and at least one
+//!    query demonstrably re-dispatched after the restart (so the fault
+//!    is live, not a no-op).
+//!
+//! Exits nonzero if any gate fails.
+//!
+//! `cargo run --release -p ldp-bench --bin fig_recovery [-- --seed 11 --smoke]`
+
+use ldp_bench::{arg_f64, arg_flag};
+use ldp_chaos::recovery::{
+    run_killed, run_querier_crash, run_resumed, run_uninterrupted, spliced_q_events,
+    RecoveryConfig,
+};
+use ldp_guard::Checkpoint;
+use ldp_telemetry as tel;
+use netsim::QueueKind;
+
+/// Answered-fraction floor for the querier-crash run (ISSUE 5
+/// acceptance criterion).
+const OK_FLOOR: f64 = 0.99;
+
+fn cfg_for(seed: u64, queue: QueueKind, smoke: bool) -> RecoveryConfig {
+    if smoke {
+        RecoveryConfig::smoke(seed, queue)
+    } else {
+        RecoveryConfig::standard(seed, queue)
+    }
+}
+
+/// Transcript minus its two header lines (which name the mode and the
+/// queue backend).
+fn body(transcript: &str) -> String {
+    transcript.lines().skip(2).collect::<Vec<_>>().join("\n")
+}
+
+fn main() {
+    let seed = arg_f64("--seed", 11.0) as u64;
+    let smoke = arg_flag("--smoke");
+    let mut failed = false;
+
+    let shape = cfg_for(seed, QueueKind::Heap, smoke);
+    println!(
+        "recovery study: {} queries at {} ms spacing over a {} ms-RTT path,",
+        shape.queries,
+        shape.query_gap.as_nanos() / 1_000_000,
+        shape.rtt.as_nanos() / 1_000_000
+    );
+    println!(
+        "checkpoint every {} completions, kill at {:.2}s, querier down {} ms from {:.1}s, seed {seed}{}\n",
+        shape.checkpoint_every,
+        shape.kill_at.as_secs_f64(),
+        shape.down_for.as_nanos() / 1_000_000,
+        shape.crash_at.as_secs_f64(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Determinism gate: same seed → byte-identical transcripts, on one
+    // backend and across both.
+    let heap_a = run_uninterrupted(&shape);
+    let heap_b = run_uninterrupted(&shape);
+    let btree_base = run_uninterrupted(&cfg_for(seed, QueueKind::BTree, smoke));
+    let rerun_ok = heap_a.transcript == heap_b.transcript;
+    let backend_ok = body(&heap_a.transcript) == body(&btree_base.transcript);
+    println!(
+        "determinism: same-seed rerun {} ({} transcript bytes), heap vs btree {}",
+        if rerun_ok { "byte-identical" } else { "MISMATCH" },
+        heap_a.transcript.len(),
+        if backend_ok { "byte-identical" } else { "MISMATCH" },
+    );
+    failed |= !rerun_ok || !backend_ok;
+
+    // Checkpoint/resume gate, per backend.
+    for queue in [QueueKind::Heap, QueueKind::BTree] {
+        let cfg = cfg_for(seed, queue, smoke);
+        let base = run_uninterrupted(&cfg);
+        let killed = run_killed(&cfg);
+        let Some(cp) = killed.checkpoint.clone() else {
+            println!("gate: {queue:?} resume — FAIL (no checkpoint committed before the kill)");
+            failed = true;
+            continue;
+        };
+        // The checkpoint also survives its text serialization.
+        let cp = match cp.to_text().map_err(|e| e.to_string()).and_then(|t| {
+            Checkpoint::from_text(&t).map_err(|e| e.to_string())
+        }) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("gate: {queue:?} resume — FAIL (checkpoint round-trip: {e})");
+                failed = true;
+                continue;
+            }
+        };
+        let resumed = run_resumed(&cfg, &cp);
+        let transcript_ok = body(&resumed.transcript) == body(&base.transcript);
+        let spliced = spliced_q_events(&killed, &resumed);
+        let tel_diff = tel::diff_logs(&spliced, &base.q_events);
+        let dump_ok = tel::dump_binary(&spliced) == tel::dump_binary(&base.q_events);
+        println!(
+            "gate: {:?} resume from cursor {} ({} checkpointed records) — transcript {}, telemetry {} ({} events)",
+            queue,
+            cp.cursor,
+            cp.records.len(),
+            if transcript_ok { "byte-identical" } else { "MISMATCH" },
+            if tel_diff.is_none() && dump_ok { "byte-identical" } else { "MISMATCH" },
+            base.q_events.len(),
+        );
+        if let Some(ref d) = tel_diff {
+            println!("  telemetry divergence: {d}");
+        }
+        failed |= !transcript_ok || tel_diff.is_some() || !dump_ok;
+    }
+
+    // Querier-crash gate.
+    let crash_cfg = cfg_for(seed, QueueKind::Heap, smoke);
+    let crashed = run_querier_crash(&crash_cfg);
+    let frac = crashed.answered_fraction(&crash_cfg);
+    let frac_ok = frac >= OK_FLOOR;
+    // The fault must be live: some query whose deadline fell in the
+    // down window was re-dispatched after the restart, i.e. sent well
+    // past its trace schedule.
+    let gap_s = crash_cfg.query_gap.as_nanos() as f64 / 1e9;
+    let redispatched = crashed
+        .records
+        .iter()
+        .filter(|r| r.sent_s > r.seq as f64 * gap_s + 0.001)
+        .count();
+    let live_ok = redispatched > 0;
+    println!(
+        "gate: querier crash — answered {:.2}% (floor {:.0}%) {}, {} re-dispatched after restart {}",
+        frac * 100.0,
+        OK_FLOOR * 100.0,
+        if frac_ok { "ok" } else { "FAIL" },
+        redispatched,
+        if live_ok { "ok" } else { "FAIL (crash was a no-op)" },
+    );
+    failed |= !frac_ok || !live_ok;
+
+    println!("\ntakeaway: quiescent-cut checkpoints make a killed replay resumable with a");
+    println!("byte-identical virtual-time transcript, and on_restart re-dispatch bounds a");
+    println!("querier power-cycle to the queries whose deadlines fell inside the outage.");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

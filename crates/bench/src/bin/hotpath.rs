@@ -121,7 +121,7 @@ fn queue_raw(kind: QueueKind, ops: u64) -> u64 {
     ops * 2
 }
 
-fn replay_qps(queries: u64) -> (u64, f64, u64) {
+fn replay_qps(queries: u64, guard: ldp_guard::GuardConfig) -> (u64, f64, u64) {
     let sink = UdpSocket::bind("127.0.0.1:0").expect("bind sink");
     let addr = sink.local_addr().expect("sink addr");
     let trace: Vec<TraceEntry> = (0..queries)
@@ -140,6 +140,7 @@ fn replay_qps(queries: u64) -> (u64, f64, u64) {
         target_udp: addr,
         target_tcp: addr,
         fast_mode: true,
+        guard,
         ..Default::default()
     };
     let t0 = Instant::now();
@@ -236,10 +237,45 @@ fn main() {
     // --- Replay: fast-mode UDP throughput to a loopback sink. ---
     let queries = 40_000u64;
     println!("replay: {queries} fast-mode queries…");
-    let (sent, replay_s, errors) = replay_qps(queries);
+    let (sent, replay_s, errors) = replay_qps(queries, ldp_guard::GuardConfig::default());
     let qps = sent as f64 / replay_s;
     println!("  {sent} sent in {replay_s:.3} s = {qps:.0} q/s ({errors} errors)");
     assert_eq!(sent, queries, "every query sent");
+
+    // --- Guard: overload-protection overhead on fast-mode replay q/s
+    // (ISSUE 5 acceptance criterion: ≤ 3%). The default GuardConfig
+    // arms supervision (so the distributor retains a redispatch window
+    // of job clones) and admission bookkeeping; disabled() turns all
+    // of it off. Same interleaved-pairs / minimum-per-side protocol as
+    // the telemetry gate above, for the same noise-immunity reasons.
+    println!("guard: default vs disabled fast-mode replay (6 interleaved runs per side)…");
+    let mut guard_off_min_s = f64::MAX;
+    let mut guard_on_min_s = f64::MAX;
+    for round in 0..6 {
+        for on_now in [round % 2 == 0, round % 2 != 0] {
+            let cfg = if on_now {
+                ldp_guard::GuardConfig::default()
+            } else {
+                ldp_guard::GuardConfig::disabled()
+            };
+            let (sent, secs, errs) = replay_qps(queries, cfg);
+            assert_eq!(sent, queries, "guard must not change the sent count");
+            assert_eq!(errs, 0, "guard must not introduce send errors");
+            if on_now {
+                guard_on_min_s = guard_on_min_s.min(secs);
+            } else {
+                guard_off_min_s = guard_off_min_s.min(secs);
+            }
+        }
+    }
+    let guard_qps = queries as f64 / guard_on_min_s;
+    let guard_overhead_pct =
+        ((guard_on_min_s - guard_off_min_s) / guard_off_min_s * 100.0).max(0.0);
+    let guard_ok = guard_overhead_pct <= 3.0;
+    println!(
+        "  guarded {guard_qps:>12.0} q/s — overhead {guard_overhead_pct:.2}% (budget 3%) — {}",
+        if guard_ok { "ok" } else { "FAIL" }
+    );
 
     // --- Wire: encode/decode round-trip throughput. ---
     let iters = 200_000u64;
@@ -249,7 +285,7 @@ fn main() {
 
     // Hand-rolled JSON: this binary must build with bare rustc offline.
     let json = format!(
-        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }}\n}}\n",
         heap_eps / btree_eps,
         heap_raw / btree_raw,
         enc_mps * msg_size as f64 / 1e6,
@@ -261,6 +297,10 @@ fn main() {
         eprintln!(
             "hotpath: telemetry overhead {telemetry_overhead_pct:.2}% exceeds the 5% budget"
         );
+        std::process::exit(1);
+    }
+    if !guard_ok {
+        eprintln!("hotpath: guard overhead {guard_overhead_pct:.2}% exceeds the 3% budget");
         std::process::exit(1);
     }
 }

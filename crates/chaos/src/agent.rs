@@ -68,6 +68,12 @@ pub fn install(sim: &mut Simulator, plan: &FaultPlan, agent_addr: IpAddr) -> Hos
         match pf.fault {
             FaultEvent::ServerCrash { addr } => schedule.push((pf.at, Action::Crash(addr))),
             FaultEvent::ServerRestart { addr } => schedule.push((pf.at, Action::Restart(addr))),
+            // A querier power-cycle is one plan line but two timers:
+            // the kill and the scheduled comeback.
+            FaultEvent::QuerierCrash { addr, down_for } => {
+                schedule.push((pf.at, Action::Crash(addr)));
+                schedule.push((pf.at + down_for, Action::Restart(addr)));
+            }
             _ => {}
         }
     }

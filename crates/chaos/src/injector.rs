@@ -100,7 +100,9 @@ impl PlanInjector {
                 }
                 // Crash/restart are host-level, not packet-level: the
                 // ChaosAgent delivers them via Ctx::crash_host.
-                FaultEvent::ServerCrash { .. } | FaultEvent::ServerRestart { .. } => {}
+                FaultEvent::ServerCrash { .. }
+                | FaultEvent::ServerRestart { .. }
+                | FaultEvent::QuerierCrash { .. } => {}
             }
             self.next += 1;
         }

@@ -19,7 +19,10 @@
 //! - [`agent`]: [`ChaosAgent`] and [`agent::install`], delivering the
 //!   host-level crash/restart events on schedule,
 //! - [`outage`]: the root-letter outage study (the `fig_outage`
-//!   scenario) built on all of the above.
+//!   scenario) built on all of the above,
+//! - [`recovery`]: the crash-recovery study (the `fig_recovery`
+//!   scenario): kill-and-resume from a checkpoint, and querier
+//!   power-cycles via [`plan::FaultEvent::QuerierCrash`].
 
 #![warn(missing_docs)]
 
@@ -27,7 +30,9 @@ pub mod agent;
 pub mod injector;
 pub mod outage;
 pub mod plan;
+pub mod recovery;
 
 pub use agent::{install, ChaosAgent};
 pub use injector::PlanInjector;
 pub use plan::{FaultEvent, FaultPlan, PlanParseError, PlannedFault};
+pub use recovery::{RecoveryConfig, RecoveryOutcome};

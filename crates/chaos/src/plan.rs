@@ -85,6 +85,18 @@ pub enum FaultEvent {
         /// Any address of the host.
         addr: IpAddr,
     },
+    /// The *querier* host owning `addr` is power-cycled: killed at the
+    /// scheduled time and restarted `down_for` later. Semantically a
+    /// crash+restart pair, but named separately because the recovery
+    /// study gates on the client-side consequences (re-dispatch of the
+    /// dead querier's unacknowledged trace span) rather than on server
+    /// availability.
+    QuerierCrash {
+        /// Any address owned by the querier host.
+        addr: IpAddr,
+        /// How long the querier stays down before restarting.
+        down_for: SimDuration,
+    },
     /// Until `until`, packets *delivered to* `addr` take an extra
     /// `factor` × 1 ms processing delay — a host pegged on CPU answers
     /// slowly without losing traffic.
@@ -165,6 +177,9 @@ impl FaultPlan {
                 }
                 FaultEvent::ServerCrash { addr } => format!("at {t} server_crash {addr}"),
                 FaultEvent::ServerRestart { addr } => format!("at {t} server_restart {addr}"),
+                FaultEvent::QuerierCrash { addr, down_for } => {
+                    format!("at {t} querier_crash {addr} down {}", down_for.as_nanos())
+                }
                 FaultEvent::CpuThrottle { addr, factor, until } => format!(
                     "at {t} cpu_throttle {addr} {factor:?} until {}",
                     until.as_nanos()
@@ -262,6 +277,10 @@ impl FaultPlan {
                 }
                 "server_crash" => FaultEvent::ServerCrash { addr: ip(arg(3)?)? },
                 "server_restart" => FaultEvent::ServerRestart { addr: ip(arg(3)?)? },
+                "querier_crash" => {
+                    kw(4, "down")?;
+                    FaultEvent::QuerierCrash { addr: ip(arg(3)?)?, down_for: dur(arg(5)?)? }
+                }
                 "cpu_throttle" => {
                     kw(5, "until")?;
                     FaultEvent::CpuThrottle {
@@ -340,6 +359,13 @@ mod tests {
                     addr: "10.42.0.4".parse().unwrap(),
                     factor: 3.5,
                     until: SimTime::from_secs_f64(12.0),
+                },
+            )
+            .at(
+                SimTime::from_secs_f64(11.0),
+                FaultEvent::QuerierCrash {
+                    addr: "10.1.0.1".parse().unwrap(),
+                    down_for: SimDuration::from_millis(170),
                 },
             )
     }

@@ -1,0 +1,425 @@
+//! The recovery study: kill a checkpointed replay mid-run and resume
+//! it, or power-cycle the querier mid-replay, and verify the run
+//! survives — the `fig_recovery` scenario.
+//!
+//! Three runs share one trace, one zone, and one seeded simulator
+//! shape:
+//!
+//! 1. **Uninterrupted** — the baseline: a checkpointed replay left
+//!    alone to completion.
+//! 2. **Killed and resumed** — the replay is abandoned at `kill_at`
+//!    (the moral equivalent of `kill -9`), then rebuilt in a *fresh*
+//!    simulator from the last committed checkpoint. The resumed
+//!    transcript — checkpointed prefix plus replayed remainder — must
+//!    be byte-identical to the baseline's, and so must the drained
+//!    per-query telemetry.
+//! 3. **Querier crash** — a [`FaultEvent::QuerierCrash`] power-cycles
+//!    the querier host mid-replay; `Host::on_restart` re-dispatches
+//!    the dead span and the run still answers (almost) everything.
+//!
+//! Both the `fig_recovery` scenario binary and the chaos tests drive
+//! this module, so the experiment that produces the figure is exactly
+//! the code the suite pins down.
+
+use std::net::{IpAddr, SocketAddr};
+use std::sync::{Arc, Mutex};
+
+use dns_server::engine::ServerEngine;
+use dns_server::sim_server::SimDnsServer;
+use dns_wire::rdata::Soa;
+use dns_wire::record::Record;
+use dns_wire::{Name, RData, RecordType};
+use dns_zone::catalog::Catalog;
+use dns_zone::zone::Zone;
+use ldp_guard::Checkpoint;
+use ldp_replay::sim_replay::{LatencyLog, LatencyRecord, SimReplayClient};
+use ldp_telemetry as tel;
+use ldp_trace::TraceEntry;
+use netsim::{PathConfig, QueueKind, SimConfig, SimDuration, SimTime, Simulator, Topology};
+
+use crate::agent;
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// Parameters of one recovery run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Trace length (one unique name per query).
+    pub queries: usize,
+    /// Spacing between consecutive queries. Must exceed the RTT so the
+    /// replay reaches quiescent cuts and checkpoints actually commit.
+    pub query_gap: SimDuration,
+    /// Uniform path RTT.
+    pub rtt: SimDuration,
+    /// Checkpoint after every this many completions (at the next
+    /// quiescent cut).
+    pub checkpoint_every: u64,
+    /// Where the killed run is abandoned (virtual time).
+    pub kill_at: SimTime,
+    /// When the querier power-cycles in the crash study.
+    pub crash_at: SimTime,
+    /// How long the querier stays down.
+    pub down_for: SimDuration,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Event-queue backend under test.
+    pub queue: QueueKind,
+}
+
+impl RecoveryConfig {
+    /// The standard study shape: 400 queries at 50 ms spacing over a
+    /// 40 ms-RTT path, checkpoint every 20 completions, killed at
+    /// 8.31 s (mid-trace, between cuts), querier down for 400 ms from
+    /// t = 5 s.
+    pub fn standard(seed: u64, queue: QueueKind) -> Self {
+        RecoveryConfig {
+            queries: 400,
+            query_gap: SimDuration::from_millis(50),
+            rtt: SimDuration::from_millis(40),
+            checkpoint_every: 20,
+            kill_at: SimTime::from_secs_f64(8.31),
+            crash_at: SimTime::from_secs_f64(5.0),
+            down_for: SimDuration::from_millis(400),
+            seed,
+            queue,
+        }
+    }
+
+    /// A smaller, faster variant for smoke tests and CI gates.
+    pub fn smoke(seed: u64, queue: QueueKind) -> Self {
+        RecoveryConfig {
+            queries: 160,
+            kill_at: SimTime::from_secs_f64(3.11),
+            crash_at: SimTime::from_secs_f64(2.0),
+            down_for: SimDuration::from_millis(300),
+            ..RecoveryConfig::standard(seed, queue)
+        }
+    }
+
+    /// A horizon safely past the last deadline plus recovery slack.
+    fn horizon(&self) -> SimTime {
+        SimTime::from_nanos(
+            self.query_gap.as_nanos() * self.queries as u64
+                + self.down_for.as_nanos()
+                + SimDuration::from_secs(20).as_nanos(),
+        )
+    }
+}
+
+/// The result of one recovery run.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Completed query records, in completion (log push) order.
+    pub records: Vec<LatencyRecord>,
+    /// Deterministic text transcript of the whole run.
+    pub transcript: String,
+    /// This thread's drained telemetry, filtered to per-query `q.*`
+    /// lifecycle events.
+    pub q_events: Vec<tel::RawEvent>,
+    /// The last checkpoint the run committed, if any.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+impl RecoveryOutcome {
+    /// Fraction of the trace that ended with an answer.
+    pub fn answered_fraction(&self, cfg: &RecoveryConfig) -> f64 {
+        if cfg.queries == 0 {
+            return 1.0;
+        }
+        let mut seqs: Vec<u64> = self.records.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        seqs.len() as f64 / cfg.queries as f64
+    }
+}
+
+const SERVER_ADDR: &str = "10.9.0.1:53";
+const AGENT_ADDR: &str = "10.255.0.1";
+/// First source octet base: sources are `10.1.0.{1..=4}`.
+const SOURCES: u64 = 4;
+
+/// The querier's crash-target address (its first trace source).
+pub fn querier_addr() -> IpAddr {
+    "10.1.0.1".parse().expect("valid ip")
+}
+
+fn mk_trace(cfg: &RecoveryConfig) -> Vec<TraceEntry> {
+    let gap_us = cfg.query_gap.as_nanos() / 1_000;
+    (0..cfg.queries as u64)
+        .map(|i| {
+            TraceEntry::query(
+                i * gap_us,
+                format!("10.1.0.{}:5000", 1 + i % SOURCES).parse().expect("valid addr"),
+                SERVER_ADDR.parse().expect("valid addr"),
+                (i % 65_536) as u16,
+                format!("q{i}.example").parse().expect("valid name"),
+                RecordType::A,
+            )
+        })
+        .collect()
+}
+
+/// The zone the server answers from: an apex SOA plus a wildcard A so
+/// every `q{i}.example` query has a real answer.
+fn zone() -> Zone {
+    let apex: Name = "example".parse().expect("valid name");
+    let mut z = Zone::new(apex.clone());
+    z.insert(Record::new(
+        apex,
+        3600,
+        RData::Soa(Soa {
+            mname: "ns1.example.".parse().expect("valid name"),
+            rname: "hostmaster.example.".parse().expect("valid name"),
+            serial: 1,
+            refresh: 1800,
+            retry: 900,
+            expire: 604_800,
+            minimum: 3600,
+        }),
+    ))
+    .expect("apex SOA inserts");
+    z.insert(Record::new(
+        "*.example".parse().expect("valid name"),
+        3600,
+        RData::A("192.0.2.53".parse().expect("valid ip")),
+    ))
+    .expect("wildcard inserts");
+    z
+}
+
+fn build_sim(cfg: &RecoveryConfig) -> Simulator {
+    let topo = Topology::uniform(PathConfig::with_rtt(cfg.rtt));
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig { seed: cfg.seed, queue: cfg.queue, ..SimConfig::default() },
+    );
+    let mut catalog = Catalog::new();
+    catalog.insert(zone());
+    let engine = Arc::new(ServerEngine::with_catalog(catalog));
+    let server_addr: SocketAddr = SERVER_ADDR.parse().expect("valid addr");
+    sim.add_host(
+        &[server_addr.ip()],
+        Box::new(SimDnsServer::new(engine, server_addr, None)),
+    );
+    sim
+}
+
+/// Serialize a record exactly as the checkpoint `rec` lines do —
+/// `{:?}` f64s round-trip exactly, so transcripts compare byte-wise.
+fn record_line(r: &LatencyRecord) -> String {
+    format!(
+        "{} {:?} {:?} {:?} {} {}",
+        r.seq, r.sent_s, r.replied_s, r.transport, r.source, r.response_bytes
+    )
+}
+
+/// Drain this thread's telemetry ring, keeping only `q.*` lifecycle
+/// events. Guard-side marks (`replay.shed` / `replay.resumed` /
+/// `replay.restarted`) are deliberately excluded: they describe the
+/// *recovery machinery*, not the replayed workload, and must never
+/// break transcript equality.
+fn drain_q_events() -> Vec<tel::RawEvent> {
+    tel::drain_local()
+        .into_iter()
+        .filter(|ev| tel::kind_name(ev.kind).starts_with("q."))
+        .collect()
+}
+
+fn outcome(
+    cfg: &RecoveryConfig,
+    label: &str,
+    log: &LatencyLog,
+    q_events: Vec<tel::RawEvent>,
+    checkpoint: Option<Checkpoint>,
+) -> RecoveryOutcome {
+    let records = log.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut t = String::new();
+    t.push_str("fig_recovery v1\n");
+    t.push_str(&format!(
+        "mode={} seed={} queue={:?} queries={} gap={}ns rtt={}ns\n",
+        label,
+        cfg.seed,
+        cfg.queue,
+        cfg.queries,
+        cfg.query_gap.as_nanos(),
+        cfg.rtt.as_nanos()
+    ));
+    for r in &records {
+        t.push_str(&record_line(r));
+        t.push('\n');
+    }
+    RecoveryOutcome { records, transcript: t, q_events, checkpoint }
+}
+
+/// The baseline: a checkpointed replay left alone to completion.
+pub fn run_uninterrupted(cfg: &RecoveryConfig) -> RecoveryOutcome {
+    tel::set_enabled(true);
+    let _ = tel::drain_local(); // clear residue from earlier runs
+    let trace = mk_trace(cfg);
+    let mut sim = build_sim(cfg);
+    let log: LatencyLog = Arc::new(Mutex::new(Vec::new()));
+    let cp_out = Arc::new(Mutex::new(None));
+    let mut client =
+        SimReplayClient::new(trace.clone(), SERVER_ADDR.parse().expect("valid addr"), log.clone());
+    client.checkpoint_every = cfg.checkpoint_every;
+    client.checkpoint_out = Some(cp_out.clone());
+    let srcs = client.source_addrs();
+    let client_id = sim.add_host(&srcs, Box::new(client));
+    SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+    sim.run_until(cfg.horizon());
+    let cp = cp_out.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    outcome(cfg, "uninterrupted", &log, drain_q_events(), cp)
+}
+
+/// The killed run: identical to the baseline until `kill_at`, where
+/// the simulator is simply abandoned. Returns the partial outcome —
+/// its `checkpoint` is what a resume starts from, and its `q_events`
+/// up to the checkpoint's cut are the surviving telemetry prefix.
+pub fn run_killed(cfg: &RecoveryConfig) -> RecoveryOutcome {
+    tel::set_enabled(true);
+    let _ = tel::drain_local();
+    let trace = mk_trace(cfg);
+    let mut sim = build_sim(cfg);
+    let log: LatencyLog = Arc::new(Mutex::new(Vec::new()));
+    let cp_out = Arc::new(Mutex::new(None));
+    let mut client =
+        SimReplayClient::new(trace.clone(), SERVER_ADDR.parse().expect("valid addr"), log.clone());
+    client.checkpoint_every = cfg.checkpoint_every;
+    client.checkpoint_out = Some(cp_out.clone());
+    let srcs = client.source_addrs();
+    let client_id = sim.add_host(&srcs, Box::new(client));
+    SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+    sim.run_until(cfg.kill_at);
+    let cp = cp_out.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    outcome(cfg, "killed", &log, drain_q_events(), cp)
+}
+
+/// The resumed run: a fresh simulator rebuilt from `cp`. The returned
+/// `records`/`transcript` cover the *whole* trace (checkpointed prefix
+/// plus replayed remainder); `q_events` cover only the post-resume
+/// part — concatenate with the killed run's pre-cut prefix to compare
+/// against the baseline.
+pub fn run_resumed(cfg: &RecoveryConfig, cp: &Checkpoint) -> RecoveryOutcome {
+    tel::set_enabled(true);
+    let _ = tel::drain_local();
+    let trace = mk_trace(cfg);
+    let mut sim = build_sim(cfg);
+    let log: LatencyLog = Arc::new(Mutex::new(Vec::new()));
+    let client = match SimReplayClient::resume(
+        trace.clone(),
+        SERVER_ADDR.parse().expect("valid addr"),
+        log.clone(),
+        cp,
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            // A corrupt checkpoint yields an empty outcome whose gates
+            // all fail loudly rather than a panic mid-study.
+            let mut out = outcome(cfg, "resumed", &log, Vec::new(), None);
+            out.transcript.push_str(&format!("resume-error {e}\n"));
+            return out;
+        }
+    };
+    let srcs = client.source_addrs();
+    let client_id = sim.add_host(&srcs, Box::new(client));
+    SimReplayClient::schedule_resume(&mut sim, client_id, &trace, SimTime::ZERO, cp);
+    sim.run_until(cfg.horizon());
+    outcome(cfg, "resumed", &log, drain_q_events(), Some(cp.clone()))
+}
+
+/// The querier-crash run: a [`FaultEvent::QuerierCrash`] power-cycles
+/// the querier host at `crash_at` for `down_for`; `on_restart`
+/// re-dispatches the overdue span and re-arms the rest.
+pub fn run_querier_crash(cfg: &RecoveryConfig) -> RecoveryOutcome {
+    tel::set_enabled(true);
+    let _ = tel::drain_local();
+    let trace = mk_trace(cfg);
+    let mut sim = build_sim(cfg);
+    let log: LatencyLog = Arc::new(Mutex::new(Vec::new()));
+    let client =
+        SimReplayClient::new(trace.clone(), SERVER_ADDR.parse().expect("valid addr"), log.clone());
+    let srcs = client.source_addrs();
+    let client_id = sim.add_host(&srcs, Box::new(client));
+    SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+    let plan = FaultPlan::new(cfg.seed).at(
+        cfg.crash_at,
+        FaultEvent::QuerierCrash { addr: querier_addr(), down_for: cfg.down_for },
+    );
+    agent::install(&mut sim, &plan, AGENT_ADDR.parse().expect("valid ip"));
+    sim.run_until(cfg.horizon());
+    outcome(cfg, "querier_crash", &log, drain_q_events(), None)
+}
+
+/// Telemetry of an interrupted lineage: the killed run's events at or
+/// before the checkpoint cut, then the resumed run's. At a quiescent
+/// cut every `q.*` event at or before `taken_ns` belongs to a
+/// checkpointed (completed) query, so this concatenation reconstructs
+/// exactly what an uninterrupted run would have drained.
+pub fn spliced_q_events(
+    killed: &RecoveryOutcome,
+    resumed: &RecoveryOutcome,
+) -> Vec<tel::RawEvent> {
+    let cut_ns = killed.checkpoint.as_ref().map_or(0, |c| c.taken_ns);
+    let mut events: Vec<tel::RawEvent> = killed
+        .q_events
+        .iter()
+        .filter(|ev| ev.t_ns <= cut_ns)
+        .copied()
+        .collect();
+    events.extend(resumed.q_events.iter().copied());
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninterrupted_smoke_answers_everything_and_checkpoints() {
+        let cfg = RecoveryConfig::smoke(11, QueueKind::Heap);
+        let out = run_uninterrupted(&cfg);
+        assert_eq!(out.records.len(), cfg.queries);
+        assert!((out.answered_fraction(&cfg) - 1.0).abs() < 1e-12);
+        let cp = out.checkpoint.expect("checkpoints committed");
+        assert!(cp.cursor >= cfg.checkpoint_every, "cursor {}", cp.cursor);
+    }
+
+    #[test]
+    fn kill_resume_matches_uninterrupted_transcript_and_telemetry() {
+        for queue in [QueueKind::Heap, QueueKind::BTree] {
+            let cfg = RecoveryConfig::smoke(23, queue);
+            let base = run_uninterrupted(&cfg);
+            let killed = run_killed(&cfg);
+            let cp = killed.checkpoint.clone().expect("a checkpoint before the kill");
+            assert!(
+                cp.cursor > 0 && (cp.cursor as usize) < cfg.queries,
+                "kill lands mid-run, cursor {}",
+                cp.cursor
+            );
+            let resumed = run_resumed(&cfg, &cp);
+            assert_eq!(
+                resumed.transcript.lines().skip(2).collect::<Vec<_>>(),
+                base.transcript.lines().skip(2).collect::<Vec<_>>(),
+                "transcript bodies diverged on {queue:?}"
+            );
+            let spliced = spliced_q_events(&killed, &resumed);
+            assert_eq!(
+                tel::diff_logs(&spliced, &base.q_events),
+                None,
+                "telemetry diverged on {queue:?}"
+            );
+            // And the binary dumps are byte-identical.
+            assert_eq!(tel::dump_binary(&spliced), tel::dump_binary(&base.q_events));
+        }
+    }
+
+    #[test]
+    fn querier_crash_still_answers_nearly_everything() {
+        let cfg = RecoveryConfig::smoke(31, QueueKind::Heap);
+        let out = run_querier_crash(&cfg);
+        assert!(
+            out.answered_fraction(&cfg) >= 0.99,
+            "answered {:.4} of the trace",
+            out.answered_fraction(&cfg)
+        );
+    }
+}

@@ -121,7 +121,7 @@ impl ServerEngine {
     /// readable header).
     pub fn handle_udp_bytes(&self, src: IpAddr, data: &[u8]) -> Option<Vec<u8>> {
         let parsed = {
-            let _parse_span = tel::span(stages().parse, 0);
+            let _parse_span = tel::span(stages().parse, raw_query_id(data));
             Message::decode(data)
         };
         match parsed {
@@ -146,10 +146,22 @@ impl ServerEngine {
     /// prefix), returning the response body.
     pub fn handle_stream_bytes(&self, src: IpAddr, data: &[u8]) -> Option<Vec<u8>> {
         let query = {
-            let _parse_span = tel::span(stages().parse, 0);
+            let _parse_span = tel::span(stages().parse, raw_query_id(data));
             Message::decode(data).ok()?
         };
         Some(self.answer_stream(src, &query))
+    }
+}
+
+/// The DNS message id straight from the wire header (0 if the packet
+/// is too short to carry one). Read before decoding so the parse span
+/// shares the lifecycle key the lookup/encode spans use — that is what
+/// lets `ldp_telemetry::stage_breakdown` pair the three stages per
+/// query.
+fn raw_query_id(data: &[u8]) -> u64 {
+    match data {
+        [hi, lo, ..] if data.len() >= 12 => u64::from(u16::from_be_bytes([*hi, *lo])),
+        _ => 0,
     }
 }
 

@@ -19,6 +19,6 @@ pub mod sim_server;
 pub mod tokio_server;
 
 pub use engine::ServerEngine;
-pub use rrl::{RateLimiter, RrlAction, RrlConfig, RrlStats};
+pub use rrl::{RateLimiter, RrlAction, RrlBank, RrlConfig, RrlStats};
 pub use sim_server::SimDnsServer;
 pub use tokio_server::{spawn, RunningServer, ServerConfig, ServerCounters};

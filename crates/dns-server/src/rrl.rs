@@ -41,6 +41,30 @@ impl Default for RrlConfig {
     }
 }
 
+impl RrlConfig {
+    /// Build the concrete limiter configuration from guard's policy
+    /// knobs ([`ldp_guard::OverloadConfig`]), so the sim and tokio
+    /// servers share one configuration surface. Returns `None` when
+    /// the policy disables rate limiting (`responses_per_second` 0).
+    ///
+    /// Guard expresses burst as a bucket depth in *responses*; RRL
+    /// stores it as a window in seconds, so the depth is rounded up to
+    /// the next whole multiple of the rate.
+    pub fn from_overload(overload: &ldp_guard::OverloadConfig) -> Option<RrlConfig> {
+        if !overload.enabled() {
+            return None;
+        }
+        let rps = (overload.responses_per_second.ceil() as u32).max(1);
+        let window_secs = ((overload.burst / rps as f64).ceil() as u32).max(1);
+        Some(RrlConfig {
+            responses_per_second: rps,
+            window_secs,
+            slip: overload.slip,
+            ..RrlConfig::default()
+        })
+    }
+}
+
 /// The rate-limiter's verdict for one response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RrlAction {
@@ -160,6 +184,114 @@ impl RateLimiter {
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
     }
+
+    /// The configuration this limiter was built with.
+    pub fn config(&self) -> &RrlConfig {
+        &self.config
+    }
+}
+
+/// One [`RateLimiter`] per server view plus a catch-all slot, so a
+/// flood aimed at one view (one level of the emulated hierarchy)
+/// cannot consume another view's response budget — BIND keeps RRL
+/// state per view for the same reason. Index with
+/// [`dns_zone::ViewSet::select_index`]; clients matching no view
+/// (whose REFUSED responses are prime reflection bait) route to the
+/// catch-all slot.
+#[derive(Debug)]
+pub struct RrlBank {
+    limiters: Vec<RateLimiter>,
+}
+
+impl RrlBank {
+    /// A bank of `views + 1` limiters (the last is the catch-all),
+    /// each built from `config`.
+    pub fn new(config: RrlConfig, views: usize) -> Self {
+        RrlBank {
+            limiters: (0..views.saturating_add(1)).map(|_| RateLimiter::new(config)).collect(),
+        }
+    }
+
+    /// Map a view-selection result to a limiter slot: in-range view
+    /// indices map to themselves, `None` and out-of-range to the
+    /// catch-all.
+    pub fn slot(&self, view: Option<usize>) -> usize {
+        let catch_all = self.limiters.len() - 1;
+        match view {
+            Some(i) if i < catch_all => i,
+            _ => catch_all,
+        }
+    }
+
+    /// Account one encoded UDP `reply` about to be sent to `client`
+    /// from the view at `view` (None = no view matched) at time `now`.
+    ///
+    /// Grouping follows BIND: positive answers bucket by qname;
+    /// negative answers (NXDOMAIN/NODATA/errors) by the *zone* (SOA
+    /// owner) so a random-subdomain flood shares one bucket per client
+    /// network. Replies that do not decode pass unlimited (fail open:
+    /// the engine produced them, so they are not amplification bait).
+    pub fn check_udp_reply(
+        &mut self,
+        view: Option<usize>,
+        client: IpAddr,
+        reply: &[u8],
+        now: f64,
+    ) -> RrlAction {
+        let slot = self.slot(view);
+        let Some(limiter) = self.limiters.get_mut(slot) else {
+            return RrlAction::Send;
+        };
+        match dns_wire::Message::decode(reply) {
+            Ok(msg) => {
+                let negative = msg.rcode != dns_wire::Rcode::NoError || msg.answers.is_empty();
+                let group_name = if negative {
+                    msg.authorities
+                        .iter()
+                        .find(|r| r.rtype() == dns_wire::RecordType::SOA)
+                        .map(|r| r.name.clone())
+                        .or_else(|| msg.question().map(|q| q.name.clone()))
+                } else {
+                    msg.question().map(|q| q.name.clone())
+                };
+                let key = group_name.map(|n| response_key(&n, msg.rcode)).unwrap_or(0);
+                limiter.check(client, key, now)
+            }
+            Err(_) => RrlAction::Send,
+        }
+    }
+
+    /// Forget every limiter's buckets (process-restart semantics);
+    /// lifetime counters are kept.
+    pub fn reset(&mut self) {
+        for l in &mut self.limiters {
+            l.reset();
+        }
+    }
+
+    /// Drop buckets idle since before `cutoff`, bank-wide.
+    pub fn evict_idle(&mut self, cutoff: f64) {
+        for l in &mut self.limiters {
+            l.evict_idle(cutoff);
+        }
+    }
+
+    /// Counters summed across every view's limiter.
+    pub fn stats(&self) -> RrlStats {
+        let mut total = RrlStats::default();
+        for l in &self.limiters {
+            total.sent += l.stats.sent;
+            total.dropped += l.stats.dropped;
+            total.slipped += l.stats.slipped;
+        }
+        total
+    }
+
+    /// Per-slot limiters in view order (catch-all last), for
+    /// inspection.
+    pub fn limiters(&self) -> &[RateLimiter] {
+        &self.limiters
+    }
 }
 
 /// A stable response key for RRL grouping: identical (qname, rcode)
@@ -270,6 +402,90 @@ mod tests {
         assert_eq!(rrl.bucket_count(), 100);
         rrl.evict_idle(1.0);
         assert_eq!(rrl.bucket_count(), 0);
+    }
+
+    #[test]
+    fn from_overload_rounds_burst_up_and_respects_disable() {
+        let off = ldp_guard::OverloadConfig::default();
+        assert!(RrlConfig::from_overload(&off).is_none(), "rps 0 = disabled");
+
+        let on = ldp_guard::OverloadConfig {
+            responses_per_second: 10.0,
+            burst: 15.0,
+            slip: 3,
+        };
+        let cfg = RrlConfig::from_overload(&on).unwrap();
+        assert_eq!(cfg.responses_per_second, 10);
+        // Depth 15 at 10 rps rounds up to a 2 s window (depth 20).
+        assert_eq!(cfg.window_secs, 2);
+        assert_eq!(cfg.slip, 3);
+
+        let fractional = ldp_guard::OverloadConfig {
+            responses_per_second: 0.4,
+            burst: 1.0,
+            slip: 0,
+        };
+        let cfg = RrlConfig::from_overload(&fractional).unwrap();
+        assert_eq!(cfg.responses_per_second, 1, "fractional rates round up to 1");
+        assert_eq!(cfg.window_secs, 1);
+    }
+
+    fn encoded_reply(qname: &str, rcode: dns_wire::Rcode) -> Vec<u8> {
+        let mut q = dns_wire::Message::query(7, qname.parse().unwrap(), dns_wire::RecordType::A);
+        let mut resp = q.response_to();
+        resp.rcode = rcode;
+        if rcode == dns_wire::Rcode::NoError {
+            resp.answers.push(dns_wire::Record::new(
+                q.questions.remove(0).name,
+                60,
+                dns_wire::RData::A("1.2.3.4".parse().unwrap()),
+            ));
+        }
+        resp.encode()
+    }
+
+    #[test]
+    fn bank_keeps_per_view_budgets_independent() {
+        let cfg = RrlConfig { responses_per_second: 1, window_secs: 2, slip: 0, ..Default::default() };
+        let mut bank = RrlBank::new(cfg, 2);
+        let reply = encoded_reply("www.example", dns_wire::Rcode::NoError);
+        // Exhaust view 0's bucket for this (client /24, answer) pair.
+        for _ in 0..2 {
+            assert_eq!(bank.check_udp_reply(Some(0), ip("10.0.0.1"), &reply, 0.0), RrlAction::Send);
+        }
+        assert_eq!(bank.check_udp_reply(Some(0), ip("10.0.0.1"), &reply, 0.0), RrlAction::Drop);
+        // Same client network + same answer through view 1: its own
+        // bucket, so it still sends — the per-view property.
+        assert_eq!(bank.check_udp_reply(Some(1), ip("10.0.0.2"), &reply, 0.0), RrlAction::Send);
+        assert_eq!(bank.stats().sent, 3);
+        assert_eq!(bank.stats().dropped, 1);
+    }
+
+    #[test]
+    fn bank_routes_unmatched_clients_to_catch_all() {
+        let cfg = RrlConfig { responses_per_second: 1, window_secs: 1, slip: 0, ..Default::default() };
+        let mut bank = RrlBank::new(cfg, 1);
+        assert_eq!(bank.slot(Some(0)), 0);
+        assert_eq!(bank.slot(None), 1, "no view = catch-all");
+        assert_eq!(bank.slot(Some(9)), 1, "out of range = catch-all");
+        let refused = encoded_reply("evil.invalid", dns_wire::Rcode::Refused);
+        assert_eq!(bank.check_udp_reply(None, ip("203.0.113.9"), &refused, 0.0), RrlAction::Send);
+        assert_eq!(bank.check_udp_reply(None, ip("203.0.113.9"), &refused, 0.0), RrlAction::Drop);
+        // The flood on the catch-all never touched view 0's budget.
+        assert_eq!(bank.limiters()[0].stats, RrlStats::default());
+    }
+
+    #[test]
+    fn bank_reset_clears_buckets_and_undecodable_replies_pass() {
+        let cfg = RrlConfig { responses_per_second: 1, window_secs: 1, slip: 0, ..Default::default() };
+        let mut bank = RrlBank::new(cfg, 1);
+        let reply = encoded_reply("www.example", dns_wire::Rcode::NoError);
+        bank.check_udp_reply(Some(0), ip("10.0.0.1"), &reply, 0.0);
+        assert!(bank.limiters()[0].bucket_count() > 0);
+        bank.reset();
+        assert_eq!(bank.limiters()[0].bucket_count(), 0);
+        // Garbage bytes fail open.
+        assert_eq!(bank.check_udp_reply(Some(0), ip("10.0.0.1"), &[1, 2, 3], 0.0), RrlAction::Send);
     }
 
     #[test]

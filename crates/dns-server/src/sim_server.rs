@@ -12,7 +12,7 @@ use ldp_telemetry as tel;
 use netsim::{ConnId, Ctx, Host, PacketBytes, SimDuration, TcpEvent};
 
 use crate::engine::ServerEngine;
-use crate::rrl::{response_key, RateLimiter, RrlAction};
+use crate::rrl::{RateLimiter, RrlAction, RrlBank, RrlConfig};
 
 /// Interned lifecycle marks for the simulated server. These are
 /// stamped with the simulator's own `ctx.now()`, so they are exact
@@ -43,8 +43,11 @@ pub struct SimDnsServer {
     idle_timeout: Option<SimDuration>,
     /// Per-connection reassembly buffers and peer addresses.
     conns: BTreeMap<ConnId, (FrameBuffer, SocketAddr)>,
-    /// Optional response rate limiter (UDP responses only, as deployed).
-    pub rrl: Option<RateLimiter>,
+    /// Optional response rate limiting (UDP responses only, as
+    /// deployed): one limiter per view plus a catch-all, so overload
+    /// on one level of the emulated hierarchy never spends another
+    /// level's budget.
+    pub rrl: Option<RrlBank>,
     /// Total queries answered (all transports).
     pub queries_handled: u64,
 }
@@ -62,9 +65,23 @@ impl SimDnsServer {
         }
     }
 
-    /// Enable response rate limiting on UDP answers.
+    /// Enable response rate limiting on UDP answers: every view (and
+    /// the catch-all for unmatched clients) gets its own limiter built
+    /// from `limiter`'s configuration.
     pub fn with_rrl(mut self, limiter: RateLimiter) -> Self {
-        self.rrl = Some(limiter);
+        let views = self.engine.views().len();
+        self.rrl = Some(RrlBank::new(*limiter.config(), views));
+        self
+    }
+
+    /// Enable response rate limiting from guard's policy knobs — the
+    /// shared configuration surface with the tokio server. A disabled
+    /// policy (`responses_per_second` 0) leaves RRL off.
+    pub fn with_overload(mut self, overload: &ldp_guard::OverloadConfig) -> Self {
+        if let Some(cfg) = RrlConfig::from_overload(overload) {
+            let views = self.engine.views().len();
+            self.rrl = Some(RrlBank::new(cfg, views));
+        }
         self
     }
 
@@ -90,40 +107,24 @@ impl Host for SimDnsServer {
             tel::mark_at(t, srv_kinds().udp_query, self.queries_handled, reply.len() as u64);
         }
         if let Some(rrl) = &mut self.rrl {
-            // BIND's RRL grouping: positive answers by qname; negative
-            // answers (NXDOMAIN/NODATA) by the *zone* (SOA owner), so a
-            // random-subdomain flood shares one bucket per client net.
-            let verdict = match dns_wire::Message::decode(&reply) {
-                Ok(msg) => {
-                    let negative = msg.rcode != dns_wire::Rcode::NoError || msg.answers.is_empty();
-                    let group_name = if negative {
-                        msg.authorities
-                            .iter()
-                            .find(|r| r.rtype() == dns_wire::RecordType::SOA)
-                            .map(|r| r.name.clone())
-                            .or_else(|| msg.question().map(|q| q.name.clone()))
-                    } else {
-                        msg.question().map(|q| q.name.clone())
-                    };
-                    let key = group_name
-                        .map(|n| response_key(&n, msg.rcode))
-                        .unwrap_or(0);
-                    rrl.check(from.ip(), key, ctx.now().as_secs_f64())
-                }
-                Err(_) => RrlAction::Send,
-            };
+            // The view that answered is the one whose budget this
+            // response spends (grouping itself — BIND's qname/SOA
+            // bucketing — lives in `RrlBank::check_udp_reply`).
+            let view = self.engine.views().select_index(from.ip());
+            let slot = rrl.slot(view) as u64;
+            let verdict = rrl.check_udp_reply(view, from.ip(), &reply, ctx.now().as_secs_f64());
             match verdict {
                 RrlAction::Send => ctx.send_udp(to, from, reply),
                 RrlAction::Drop => {
                     if tel::enabled() {
                         let t = ctx.now().as_nanos();
-                        tel::mark_at(t, srv_kinds().rrl_drop, self.queries_handled, 0);
+                        tel::mark_at(t, srv_kinds().rrl_drop, self.queries_handled, slot);
                     }
                 }
                 RrlAction::Slip => {
                     if tel::enabled() {
                         let t = ctx.now().as_nanos();
-                        tel::mark_at(t, srv_kinds().rrl_slip, self.queries_handled, 0);
+                        tel::mark_at(t, srv_kinds().rrl_slip, self.queries_handled, slot);
                     }
                     // Minimal truncated response: the client may retry
                     // over TCP (which RRL does not limit).
@@ -325,13 +326,89 @@ mod tests {
             .with_rrl(RateLimiter::new(crate::rrl::RrlConfig::default()));
         s.conns
             .insert(ConnId(7), (FrameBuffer::new(), "10.0.0.2:5000".parse().unwrap()));
+        let reply = Message::query(1, n("www.example"), RecordType::A).response_to().encode();
         if let Some(rrl) = &mut s.rrl {
-            rrl.check("10.0.0.2".parse().unwrap(), 1, 0.0);
-            assert_eq!(rrl.bucket_count(), 1);
+            rrl.check_udp_reply(Some(0), "10.0.0.2".parse().unwrap(), &reply, 0.0);
+            assert_eq!(rrl.limiters()[0].bucket_count(), 1);
         }
         netsim::Host::on_crash(&mut s);
         assert_eq!(s.open_connections(), 0, "conns do not survive a power-off");
-        assert_eq!(s.rrl.as_ref().unwrap().bucket_count(), 0, "RRL state is in-memory");
+        let bank = s.rrl.as_ref().unwrap();
+        assert!(
+            bank.limiters().iter().all(|l| l.bucket_count() == 0),
+            "RRL state is in-memory"
+        );
+    }
+
+    /// Guard's `OverloadConfig` builds a per-view bank: a flood aimed
+    /// at one view's budget leaves another view's clients untouched,
+    /// and `with_overload` with a disabled policy leaves RRL off.
+    #[test]
+    fn overload_config_builds_per_view_bank() {
+        use dns_zone::{ClientMatch, View, ViewSet};
+
+        let mk_cat = || {
+            let mut z = Zone::new(n("example"));
+            z.insert(Record::new(
+                n("example"),
+                60,
+                RData::Soa(Soa {
+                    mname: n("ns1.example"),
+                    rname: n("admin.example"),
+                    serial: 1,
+                    refresh: 1,
+                    retry: 1,
+                    expire: 1,
+                    minimum: 60,
+                }),
+            ))
+            .unwrap();
+            z.insert(Record::new(n("www.example"), 60, RData::A("1.2.3.4".parse().unwrap())))
+                .unwrap();
+            let mut c = Catalog::new();
+            c.insert(z);
+            c
+        };
+        let mut views = ViewSet::new();
+        views.push(View::new(
+            "a",
+            vec![ClientMatch::Exact("10.0.0.1".parse().unwrap())],
+            mk_cat(),
+        ));
+        views.push(View::new("rest", vec![ClientMatch::Any], mk_cat()));
+        let engine = Arc::new(ServerEngine::with_views(views));
+
+        let off = SimDnsServer::new(engine.clone(), "10.0.0.9:53".parse().unwrap(), None)
+            .with_overload(&ldp_guard::OverloadConfig::default());
+        assert!(off.rrl.is_none(), "disabled policy leaves RRL off");
+
+        let policy = ldp_guard::OverloadConfig {
+            responses_per_second: 1.0,
+            burst: 1.0,
+            slip: 0,
+        };
+        let mut on = SimDnsServer::new(engine.clone(), "10.0.0.9:53".parse().unwrap(), None)
+            .with_overload(&policy);
+        let bank = on.rrl.as_mut().unwrap();
+        assert_eq!(bank.limiters().len(), 3, "two views + catch-all");
+
+        // Same /24, same answer: view "a" exhausts its bucket while
+        // the client routed to view "rest" keeps its own budget.
+        let reply = {
+            let q = Message::query(1, n("www.example"), RecordType::A);
+            let mut r = q.response_to();
+            r.answers
+                .push(Record::new(n("www.example"), 60, RData::A("1.2.3.4".parse().unwrap())));
+            r.encode()
+        };
+        let via = |bank: &mut crate::rrl::RrlBank, addr: &str| {
+            let a: std::net::IpAddr = addr.parse().unwrap();
+            let view = engine.views().select_index(a);
+            bank.check_udp_reply(view, a, &reply, 0.0)
+        };
+        assert_eq!(via(bank, "10.0.0.1"), RrlAction::Send);
+        assert_eq!(via(bank, "10.0.0.1"), RrlAction::Drop, "view a's budget spent");
+        assert_eq!(via(bank, "10.0.0.2"), RrlAction::Send, "view rest unaffected");
     }
 
     #[test]

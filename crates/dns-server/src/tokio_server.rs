@@ -19,6 +19,7 @@ use tokio::sync::watch;
 use dns_wire::framing::{frame, FrameBuffer};
 
 use crate::engine::ServerEngine;
+use crate::rrl::{RrlAction, RrlBank, RrlConfig};
 
 /// Configuration for the socket server.
 #[derive(Debug, Clone)]
@@ -32,6 +33,11 @@ pub struct ServerConfig {
     pub udp_workers: usize,
     /// Idle timeout after which the server closes a TCP connection.
     pub tcp_idle_timeout: Duration,
+    /// Server-side overload response: per-view response rate limiting
+    /// on UDP answers, built from guard's policy knobs (the same
+    /// configuration surface [`crate::SimDnsServer::with_overload`]
+    /// uses). The default policy is disabled.
+    pub overload: ldp_guard::OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +47,7 @@ impl Default for ServerConfig {
             tcp_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             udp_workers: 4,
             tcp_idle_timeout: Duration::from_secs(20),
+            overload: ldp_guard::OverloadConfig::default(),
         }
     }
 }
@@ -56,6 +63,10 @@ pub struct ServerCounters {
     pub tcp_accepts: AtomicU64,
     /// TCP connections closed by idle timeout.
     pub idle_closes: AtomicU64,
+    /// UDP responses dropped by RRL.
+    pub rrl_dropped: AtomicU64,
+    /// UDP responses sent truncated (TC=1) by RRL slip.
+    pub rrl_slipped: AtomicU64,
 }
 
 /// Handle to a running server; dropping it does *not* stop the server —
@@ -87,10 +98,18 @@ pub async fn spawn(engine: Arc<ServerEngine>, config: ServerConfig) -> std::io::
     let counters = Arc::new(ServerCounters::default());
     let (stop_tx, stop_rx) = watch::channel(false);
 
+    // One shared per-view limiter bank across the UDP workers; the
+    // wall clock feeds the buckets the same seconds the simulator's
+    // virtual clock feeds `SimDnsServer`'s.
+    let rrl: Option<Arc<parking_lot::Mutex<RrlBank>>> = RrlConfig::from_overload(&config.overload)
+        .map(|cfg| Arc::new(parking_lot::Mutex::new(RrlBank::new(cfg, engine.views().len()))));
+    let epoch = std::time::Instant::now();
+
     for _ in 0..config.udp_workers.max(1) {
         let udp = udp.clone();
         let engine = engine.clone();
         let counters = counters.clone();
+        let rrl = rrl.clone();
         let mut stop = stop_rx.clone();
         tokio::spawn(async move {
             let mut buf = vec![0u8; 65535];
@@ -101,7 +120,37 @@ pub async fn spawn(engine: Arc<ServerEngine>, config: ServerConfig) -> std::io::
                         let Ok((len, peer)) = res else { break };
                         if let Some(reply) = engine.handle_udp_bytes(peer.ip(), &buf[..len]) {
                             counters.udp_queries.fetch_add(1, Ordering::Relaxed);
-                            let _ = udp.send_to(&reply, peer).await;
+                            let verdict = match &rrl {
+                                Some(bank) => {
+                                    let view = engine.views().select_index(peer.ip());
+                                    bank.lock().check_udp_reply(
+                                        view,
+                                        peer.ip(),
+                                        &reply,
+                                        epoch.elapsed().as_secs_f64(),
+                                    )
+                                }
+                                None => RrlAction::Send,
+                            };
+                            match verdict {
+                                RrlAction::Send => {
+                                    let _ = udp.send_to(&reply, peer).await;
+                                }
+                                RrlAction::Drop => {
+                                    counters.rrl_dropped.fetch_add(1, Ordering::Relaxed);
+                                }
+                                RrlAction::Slip => {
+                                    counters.rrl_slipped.fetch_add(1, Ordering::Relaxed);
+                                    // Minimal truncated reply: the
+                                    // client may retry over TCP, which
+                                    // RRL does not limit.
+                                    if let Ok(query) = dns_wire::Message::decode(&buf[..len]) {
+                                        let mut tc = query.response_to();
+                                        tc.flags.truncated = true;
+                                        let _ = udp.send_to(&tc.encode(), peer).await;
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -299,6 +348,43 @@ mod tests {
             assert_eq!(resp.answers.len(), 1, "wildcard answered query {i}");
             assert_eq!(resp.answers[0].name, n(&format!("unique{i}.example")));
         }
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn udp_rrl_limits_flood_with_tc_slip() {
+        let config = ServerConfig {
+            overload: ldp_guard::OverloadConfig {
+                responses_per_second: 1.0,
+                burst: 2.0,
+                slip: 2,
+            },
+            ..Default::default()
+        };
+        let server = spawn(engine(), config).await.unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        // Flood the same qname from one client: the budget is 2
+        // responses, so the rest must be dropped or slipped.
+        for i in 0..30u16 {
+            let q = Message::query(i, n("www.example"), RecordType::A);
+            sock.send_to(&q.encode(), server.udp_addr).await.unwrap();
+        }
+        let deadline = tokio::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let handled = server.counters.udp_queries.load(Ordering::Relaxed);
+            if handled >= 30 || tokio::time::Instant::now() >= deadline {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(20)).await;
+        }
+        let dropped = server.counters.rrl_dropped.load(Ordering::Relaxed);
+        let slipped = server.counters.rrl_slipped.load(Ordering::Relaxed);
+        assert_eq!(server.counters.udp_queries.load(Ordering::Relaxed), 30);
+        assert!(
+            dropped + slipped >= 25,
+            "flood limited: {dropped} dropped, {slipped} slipped"
+        );
+        assert!(slipped >= 1, "some replies slip through truncated");
         server.shutdown();
     }
 

@@ -99,6 +99,14 @@ impl ViewSet {
         self.views.iter().find(|v| v.matches(addr))
     }
 
+    /// Select the *index* of the view for a query from `addr` (same
+    /// first-match-wins semantics as [`ViewSet::select`]). Per-view
+    /// resources held outside the set — e.g. the server's response
+    /// rate limiters — are keyed by this index.
+    pub fn select_index(&self, addr: IpAddr) -> Option<usize> {
+        self.views.iter().position(|v| v.matches(addr))
+    }
+
     /// Number of views.
     pub fn len(&self) -> usize {
         self.views.len()
@@ -201,6 +209,24 @@ mod tests {
         assert_eq!(set.select(ip("198.41.0.4")).unwrap().name, "root");
         assert_eq!(set.select(ip("192.5.6.30")).unwrap().name, "com");
         assert_eq!(set.select(ip("8.8.8.8")).unwrap().name, "default");
+    }
+
+    #[test]
+    fn select_index_agrees_with_select() {
+        let mut set = ViewSet::new();
+        set.push(View::new("root", vec![ClientMatch::Exact(ip("198.41.0.4"))], cat(".")));
+        set.push(View::new("com", vec![ClientMatch::Exact(ip("192.5.6.30"))], cat("com")));
+        set.push(View::new("default", vec![ClientMatch::Any], cat("example.com")));
+
+        assert_eq!(set.select_index(ip("198.41.0.4")), Some(0));
+        assert_eq!(set.select_index(ip("192.5.6.30")), Some(1));
+        assert_eq!(set.select_index(ip("8.8.8.8")), Some(2), "Any matcher wins last");
+        for addr in ["198.41.0.4", "192.5.6.30", "8.8.8.8"] {
+            let a = addr.parse().unwrap();
+            let by_ref = set.select(a).map(|v| v.name.clone());
+            let by_idx = set.select_index(a).map(|i| set.iter().nth(i).unwrap().name.clone());
+            assert_eq!(by_ref, by_idx);
+        }
     }
 
     #[test]

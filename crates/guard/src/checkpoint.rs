@@ -1,0 +1,244 @@
+//! The versioned replay checkpoint: progress a killed run can resume
+//! from.
+//!
+//! A checkpoint is taken at a *quiescent cut* — a virtual-time instant
+//! with no queries in flight — so it fully determines the remaining
+//! run: the trace cursor says which queries are still owed, the
+//! completed records are carried verbatim, and the counters seed the
+//! resumed client's state. Resuming then re-arms only the uncompleted
+//! queries at their original virtual deadlines, and (on a loss-free
+//! deterministic path) the concatenated transcript is byte-identical
+//! to an uninterrupted same-seed run — the property `fig_recovery`
+//! gates on.
+//!
+//! Like `ldp-chaos`'s fault plans, checkpoints are data, not code: a
+//! line-based text format with an exact round-trip, safe to store next
+//! to results and diff in CI.
+//!
+//! ```text
+//! ldpguard checkpoint v1
+//! epoch 2
+//! taken_ns 1500000000
+//! cursor 42
+//! counter sent 42
+//! rec q7 sent=1200 done=1240 ok
+//! ```
+
+use std::fmt;
+
+/// One resumable snapshot of replay progress.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    /// Checkpoint ordinal within the run (1 = first cut).
+    pub epoch: u32,
+    /// Virtual time of the cut, nanoseconds since simulation start.
+    /// Every uncompleted query's deadline is strictly later.
+    pub taken_ns: u64,
+    /// Next trace sequence number to dispatch: seqs `< cursor` are
+    /// accounted for (completed or recorded as shed).
+    pub cursor: u64,
+    /// Named monotonic counters (sent, connects, retries, shed, ...)
+    /// in serialization order. Names must be whitespace-free.
+    pub counters: Vec<(String, u64)>,
+    /// Completed per-query transcript lines, carried verbatim (they
+    /// must not contain newlines). On resume these seed the output so
+    /// the final transcript equals an uninterrupted run's.
+    pub records: Vec<String>,
+}
+
+impl Checkpoint {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize to the line-based text format (see module docs).
+    ///
+    /// Returns `Err` (rather than emitting a corrupt document) if a
+    /// counter name contains whitespace or a record contains a
+    /// newline.
+    pub fn to_text(&self) -> Result<String, CheckpointParseError> {
+        let err = |msg: &str| CheckpointParseError { line: 0, msg: msg.to_string() };
+        let mut out = String::from("ldpguard checkpoint v1\n");
+        out.push_str(&format!("epoch {}\n", self.epoch));
+        out.push_str(&format!("taken_ns {}\n", self.taken_ns));
+        out.push_str(&format!("cursor {}\n", self.cursor));
+        for (name, v) in &self.counters {
+            if name.is_empty() || name.chars().any(char::is_whitespace) {
+                return Err(err("counter name must be non-empty and whitespace-free"));
+            }
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for rec in &self.records {
+            if rec.contains('\n') || rec.contains('\r') {
+                return Err(err("record lines must not contain newlines"));
+            }
+            out.push_str(&format!("rec {rec}\n"));
+        }
+        Ok(out)
+    }
+
+    /// Parse the text format back. Blank lines and `#` comments are
+    /// ignored (record payloads are taken verbatim after `rec `, so a
+    /// record can itself start with `#` only via the keyword line).
+    pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointParseError> {
+        let err = |line: usize, msg: &str| CheckpointParseError { line, msg: msg.to_string() };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .filter(|(_, l)| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            });
+
+        let (ln, header) = lines.next().ok_or_else(|| err(0, "empty checkpoint"))?;
+        if header.trim() != "ldpguard checkpoint v1" {
+            return Err(err(ln, "expected header `ldpguard checkpoint v1`"));
+        }
+        let mut field = |name: &str| -> Result<u64, CheckpointParseError> {
+            let (ln, line) = lines
+                .next()
+                .ok_or_else(|| err(0, &format!("missing `{name}`")))?;
+            line.trim()
+                .strip_prefix(name)
+                .and_then(|rest| rest.trim().parse::<u64>().ok())
+                .ok_or_else(|| err(ln, &format!("expected `{name} <u64>`")))
+        };
+        let epoch = field("epoch")?;
+        let epoch = u32::try_from(epoch).map_err(|_| err(0, "epoch exceeds u32"))?;
+        let taken_ns = field("taken_ns")?;
+        let cursor = field("cursor")?;
+
+        let mut cp = Checkpoint {
+            epoch,
+            taken_ns,
+            cursor,
+            counters: Vec::new(),
+            records: Vec::new(),
+        };
+        for (ln, line) in lines {
+            if let Some(rest) = line.strip_prefix("rec ") {
+                cp.records.push(rest.to_string());
+            } else if let Some(rest) = line.trim().strip_prefix("counter ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().ok_or_else(|| err(ln, "counter needs a name"))?;
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err(ln, "expected `counter <name> <u64>`"))?;
+                if it.next().is_some() {
+                    return Err(err(ln, "trailing tokens after counter value"));
+                }
+                cp.counters.push((name.to_string(), v));
+            } else {
+                return Err(err(ln, "expected `counter ...` or `rec ...`"));
+            }
+        }
+        Ok(cp)
+    }
+}
+
+/// A parse (or serialize-validation) failure with its 1-based line
+/// number (0 = whole document).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointParseError {
+    /// 1-based line of the offending input (0 = whole document).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for CheckpointParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CheckpointParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epoch: 2,
+            taken_ns: 1_500_000_000,
+            cursor: 42,
+            counters: vec![
+                ("sent".to_string(), 42),
+                ("connects".to_string(), 3),
+                ("retries".to_string(), 1),
+            ],
+            records: vec![
+                "q0 sent=1000 done=1040 ok".to_string(),
+                "q1 sent=1100 done=- shed".to_string(),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips_exactly() {
+        let cp = sample();
+        let text = cp.to_text().expect("serializes");
+        let back = Checkpoint::from_text(&text).expect("parses");
+        assert_eq!(cp, back);
+        assert_eq!(text, back.to_text().expect("re-serializes"));
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let cp = sample();
+        assert_eq!(cp.counter("connects"), Some(3));
+        assert_eq!(cp.counter("missing"), None);
+    }
+
+    #[test]
+    fn records_survive_verbatim_including_spaces() {
+        let cp = Checkpoint {
+            records: vec!["  leading and   internal spaces # not a comment".to_string()],
+            ..Checkpoint::default()
+        };
+        let back = Checkpoint::from_text(&cp.to_text().expect("ok")).expect("parses");
+        assert_eq!(back.records, cp.records);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "ldpguard checkpoint v1\n# note\nepoch 1\n\ntaken_ns 5\ncursor 0\n";
+        let cp = Checkpoint::from_text(text).expect("parses");
+        assert_eq!(cp.epoch, 1);
+        assert_eq!(cp.taken_ns, 5);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert!(Checkpoint::from_text("").is_err());
+        assert!(Checkpoint::from_text("ldpguard checkpoint v2\n").is_err());
+        let e = Checkpoint::from_text(
+            "ldpguard checkpoint v1\nepoch 1\ntaken_ns 5\ncursor 0\nbogus line\n",
+        )
+        .expect_err("unknown keyword");
+        assert_eq!(e.line, 5);
+        let e = Checkpoint::from_text("ldpguard checkpoint v1\nepoch x\n").expect_err("bad epoch");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn serialization_rejects_malformed_fields() {
+        let cp = Checkpoint {
+            counters: vec![("two words".to_string(), 1)],
+            ..Checkpoint::default()
+        };
+        assert!(cp.to_text().is_err());
+        let cp = Checkpoint {
+            records: vec!["line\nbreak".to_string()],
+            ..Checkpoint::default()
+        };
+        assert!(cp.to_text().is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! One struct for every overload-and-recovery knob.
+
+use crate::admission::AdmissionConfig;
+use crate::supervisor::SupervisorConfig;
+
+/// Server-side overload response: token-bucket response rate limiting
+/// with a TC-fallback slip, consulted per view. These knobs build the
+/// `dns-server` rate limiter (`rrl::RrlConfig`) for each view of an
+/// engine; guard keeps only the policy numbers so the sim and tokio
+/// servers share one configuration surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Sustained responses/second allowed per (client-prefix,
+    /// response) bucket. `0.0` disables server-side rate limiting.
+    pub responses_per_second: f64,
+    /// Bucket burst depth, in responses.
+    pub burst: f64,
+    /// Every `slip`-th over-limit response is sent truncated (TC=1)
+    /// instead of dropped, steering real clients to TCP. `0` never
+    /// slips (pure drop).
+    pub slip: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            responses_per_second: 0.0,
+            burst: 15.0,
+            slip: 2,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Whether rate limiting is active at all.
+    pub fn enabled(&self) -> bool {
+        self.responses_per_second > 0.0
+    }
+}
+
+/// TCP reconnect policy for a querier's send path: a jittered,
+/// capped [`crate::RetryBudget`] replaces the old unbounded doubling
+/// loop. A successful connect refills the budget; exhaustion makes
+/// the path report `Dead` instead of spinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectConfig {
+    /// Backoff sleeps allowed before giving up (connect attempts are
+    /// `max_attempts + 1`: one eager dial, then one per sleep).
+    pub max_attempts: u32,
+    /// Base backoff (µs).
+    pub base_us: u64,
+    /// Backoff cap (µs).
+    pub cap_us: u64,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        ReconnectConfig { max_attempts: 3, base_us: 200, cap_us: 5_000 }
+    }
+}
+
+/// Every guard knob in one place: checkpoint cadence, querier
+/// supervision, dispatch admission control, send-path reconnect
+/// budgets, and the server-side overload response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Take a checkpoint after every `checkpoint_every` completed
+    /// queries (at the next quiescent cut). `0` disables
+    /// checkpointing.
+    pub checkpoint_every: u64,
+    /// Querier-slot supervision (heartbeats, restart budgets).
+    pub supervisor: SupervisorConfig,
+    /// Dispatch-side admission control (in-flight window, shedding).
+    pub admission: AdmissionConfig,
+    /// Querier TCP reconnect budget.
+    pub reconnect: ReconnectConfig,
+    /// Server-side overload response (per-view RRL).
+    pub overload: OverloadConfig,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            checkpoint_every: 0,
+            supervisor: SupervisorConfig::default(),
+            admission: AdmissionConfig::default(),
+            reconnect: ReconnectConfig::default(),
+            overload: OverloadConfig::default(),
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A configuration with every protection off — the pre-guard
+    /// behavior, used as the hotpath-bench baseline. (The reconnect
+    /// budget keeps its default bounds: "off" would mean the old
+    /// uncapped loop, which is the bug the budget fixes.)
+    pub fn disabled() -> Self {
+        GuardConfig {
+            checkpoint_every: 0,
+            supervisor: SupervisorConfig {
+                max_restarts: 0,
+                ..SupervisorConfig::default()
+            },
+            admission: AdmissionConfig {
+                max_in_flight: 0,
+                max_lateness_us: 0,
+            },
+            reconnect: ReconnectConfig::default(),
+            overload: OverloadConfig {
+                responses_per_second: 0.0,
+                ..OverloadConfig::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_leaves_checkpointing_and_rrl_off() {
+        let g = GuardConfig::default();
+        assert_eq!(g.checkpoint_every, 0);
+        assert!(!g.overload.enabled());
+        assert!(g.admission.max_in_flight > 0, "admission has a sane bound");
+    }
+
+    #[test]
+    fn disabled_turns_everything_off() {
+        let g = GuardConfig::disabled();
+        assert_eq!(g.checkpoint_every, 0);
+        assert_eq!(g.supervisor.max_restarts, 0);
+        assert_eq!(g.admission.max_in_flight, 0);
+        assert!(!g.overload.enabled());
+    }
+
+    #[test]
+    fn overload_enabled_tracks_rate() {
+        let mut o = OverloadConfig::default();
+        assert!(!o.enabled());
+        o.responses_per_second = 10.0;
+        assert!(o.enabled());
+    }
+}

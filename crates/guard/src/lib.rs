@@ -1,0 +1,47 @@
+//! `ldp-guard`: the overload-and-recovery layer for the replay stack.
+//!
+//! LDplayer's replays run for hours (paper §3 replays a full day of
+//! B-Root traffic); a querier crash or an overloaded server mid-run
+//! used to lose the whole experiment. This crate makes degraded-mode
+//! behavior an explicit, testable state machine instead of an
+//! accident:
+//!
+//! - [`budget`]: [`RetryBudget`] — bounded retry attempts with
+//!   capped decorrelated-jitter backoff, shared by every reconnect /
+//!   restart loop in the workspace (lint rule R1 enforces that no
+//!   retry loop runs without one).
+//! - [`checkpoint`]: [`Checkpoint`] — a compact, versioned,
+//!   line-based snapshot of replay progress (trace cursor, completed
+//!   records, counters, virtual-time epoch) with an exact text
+//!   round-trip, so a killed run resumes from the last quiescent cut
+//!   and replays a byte-identical virtual-time transcript.
+//! - [`admission`]: [`AdmissionController`] — a bounded in-flight
+//!   window with deadline-aware shedding that records dropped seqs
+//!   instead of stalling the replay clock.
+//! - [`supervisor`]: [`Supervisor`] — heartbeat-monitored querier
+//!   slots with bounded restart budgets and re-dispatch of a dead
+//!   querier's unacknowledged trace span.
+//! - [`config`]: [`GuardConfig`] — every knob in one place.
+//! - [`rng`]: [`SplitMix64`] — the crate's own tiny seeded PRNG, so
+//!   guard stays dependency-free and deterministic (lint rule D3).
+//!
+//! Everything here is pure logic over explicit `now` parameters — no
+//! clocks, no threads, no I/O — so the whole crate unit-tests offline
+//! and behaves identically under the simulator's virtual time and the
+//! tokio engine's wall time.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod budget;
+pub mod checkpoint;
+pub mod config;
+pub mod rng;
+pub mod supervisor;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionController};
+pub use budget::RetryBudget;
+pub use checkpoint::{Checkpoint, CheckpointParseError};
+pub use config::{GuardConfig, OverloadConfig, ReconnectConfig};
+pub use rng::SplitMix64;
+pub use supervisor::{Supervisor, SupervisorAction, SupervisorConfig};

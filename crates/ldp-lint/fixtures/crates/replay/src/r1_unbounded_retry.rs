@@ -1,0 +1,13 @@
+// Fixture: trips R1 — retry loop with no budget/cap reference.
+
+pub fn dial_forever() -> u8 {
+    loop {
+        if let Some(s) = reconnect() {
+            return s;
+        }
+    }
+}
+
+fn reconnect() -> Option<u8> {
+    None
+}

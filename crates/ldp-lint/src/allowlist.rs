@@ -68,10 +68,10 @@ impl Allowlist {
                      (expected `RULE path-suffix [-- reason]`)"
                 ));
             }
-            if !matches!(rule.as_str(), "D1" | "D2" | "D3" | "P1" | "P2" | "A1" | "T1") {
+            if !matches!(rule.as_str(), "D1" | "D2" | "D3" | "P1" | "P2" | "A1" | "T1" | "R1") {
                 return Err(format!(
                     "{name}:{line_no}: unknown rule {rule:?} \
-                     (expected one of D1, D2, D3, P1, P2, A1, T1)"
+                     (expected one of D1, D2, D3, P1, P2, A1, T1, R1)"
                 ));
             }
             entries.push(AllowEntry { rule, path_suffix, reason, line: line_no });

@@ -174,6 +174,7 @@ mod tests {
         assert_eq!(hit("P2", "dns-server/src/p2_unwrap.rs").line, 5);
         assert_eq!(hit("A1", "dns-server/src/a1_unbounded.rs").line, 4);
         assert_eq!(hit("T1", "telemetry/src/t1_wall_clock.rs").line, 5);
+        assert_eq!(hit("R1", "replay/src/r1_unbounded_retry.rs").line, 4);
     }
 
     /// Pins the known D2 cross-file gap: iterating a hash collection
@@ -209,12 +210,13 @@ mod tests {
              P1 dns-wire/src/p1_unwrap.rs\n\
              P2 dns-server/src/p2_unwrap.rs\n\
              A1 dns-server/src/a1_unbounded.rs\n\
-             T1 telemetry/src/t1_wall_clock.rs\n",
+             T1 telemetry/src/t1_wall_clock.rs\n\
+             R1 replay/src/r1_unbounded_retry.rs\n",
         )
         .unwrap();
         let report = check(&fixture_root(), al).expect("fixture walk");
         assert!(report.errors.is_empty(), "{:#?}", report.errors);
-        assert!(report.suppressed >= 7);
+        assert!(report.suppressed >= 8);
         assert_eq!(report.exit_code(), 0);
     }
 

@@ -10,6 +10,7 @@
 //! * **P2** no unwrap/expect elsewhere in the hot-path crates
 //! * **A1** no unbounded channels in server/replay/proxy crates
 //! * **T1** no raw clock reads in crates/telemetry — use ClockSource
+//! * **R1** no unbounded retry loops in server/replay/proxy crates
 //!
 //! Usage:
 //!
@@ -161,6 +162,9 @@ P2  error    no unwrap/expect in the remaining files of the hot-path
 A1  error    no unbounded channels in dns-server/replay/proxy crates
 T1  error    no Instant::now/SystemTime::now inside crates/telemetry —
              timestamps go through the ClockSource abstraction
+R1  error    a loop calling a retry/reconnect/backoff helper in the
+             dns-server/replay/proxy crates must reference a budget/
+             attempt/deadline/limit/cap identifier
 
 Test code (#[cfg(test)], #[test]), tests/, benches/, examples/ and
 fixtures/ are exempt. Intentional exceptions go in ldp-lint.allow as

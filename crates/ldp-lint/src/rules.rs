@@ -1,4 +1,4 @@
-//! The seven LDplayer correctness rules.
+//! The eight LDplayer correctness rules.
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -9,6 +9,7 @@
 //! | P2   | no `unwrap`/`expect` in the remaining files of the hot-path crates (dns-wire, dns-server, proxy, telemetry) |
 //! | A1   | no unbounded channels in the server/replay/proxy crates |
 //! | T1   | no raw clock reads inside `crates/telemetry` — all time flows through `ClockSource` |
+//! | R1   | a loop that calls a retry/reconnect/backoff helper must reference a budget/cap identifier (server/replay/proxy crates) |
 //!
 //! Detection is token-based (see [`crate::lexer`]): comments, strings
 //! and `#[cfg(test)]` code never trigger a rule. Scoping is path-based
@@ -62,7 +63,8 @@ pub struct FileScope {
     /// of the hot-path crates — dns-wire, dns-server, proxy, telemetry —
     /// where P1 does not already apply.
     pub panic_lite: bool,
-    /// Channel-discipline crate (A1 applies): dns-server, replay, proxy.
+    /// Channel/retry-discipline crate (A1 and R1 apply): dns-server,
+    /// replay, proxy — the crates that dial, redial and resend.
     pub channel_scope: bool,
     /// Telemetry crate source (T1 applies instead of D1): the only
     /// sanctioned raw-clock read is `ClockSource`'s wall impl, which is
@@ -141,6 +143,7 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
     }
     if scope.channel_scope {
         rule_a1(path, &prod, &mut diags);
+        rule_r1(path, &prod, &mut diags);
     }
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     diags
@@ -512,6 +515,116 @@ fn rule_a1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Identifier substrings that mark a call as a retry-shaped helper.
+const R1_RETRY_MARKERS: &[&str] = &["retry", "retrans", "reconnect", "backoff", "redial"];
+
+/// Identifier substrings that prove the enclosing loop is bounded.
+const R1_BOUND_MARKERS: &[&str] =
+    &["budget", "attempt", "deadline", "limit", "cap", "remaining", "tries", "max_"];
+
+/// R1 — unbounded retry loops in the dial/redial crates.
+///
+/// A `loop`/`while`/`for` whose body *calls* a retry-shaped helper
+/// (identifier containing `retry`/`retrans`/`reconnect`/`backoff`/
+/// `redial`, immediately applied) must mention a bounding identifier —
+/// `budget`, `attempt*`, `deadline`, `*limit*`, `*cap*`, `remaining`,
+/// `tries`, `max_*` — somewhere in its head or body. A retry loop with
+/// no visible bound spins forever against a dead peer, which is exactly
+/// the failure mode `ldp_guard::RetryBudget` exists to prevent. One
+/// diagnostic per loop, anchored at the loop keyword; innermost loop
+/// wins when retries nest.
+fn rule_r1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+    // (keyword index, body-open index, body-close index, keyword line)
+    let mut loops: Vec<(usize, usize, usize, u32)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(t.text.as_str(), "loop" | "while" | "for") {
+            continue;
+        }
+        // Find the body `{`: first brace at ()/[] depth 0 after the
+        // keyword (struct literals are not legal in loop conditions).
+        let mut depth = 0i32;
+        let mut open = None;
+        for (j, tj) in toks.iter().enumerate().skip(i + 1) {
+            match tj.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break, // not a loop after all
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        // Match braces to the body close.
+        let mut braces = 0i32;
+        let mut close = None;
+        for (j, tj) in toks.iter().enumerate().skip(open) {
+            match tj.text.as_str() {
+                "{" => braces += 1,
+                "}" => {
+                    braces -= 1;
+                    if braces == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        loops.push((i, open, close, t.line));
+    }
+
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        // A call site: `ident (` where the identifier is retry-shaped.
+        if !t.is_ident() || i + 1 >= toks.len() || toks[i + 1].text != "(" {
+            continue;
+        }
+        let lower = t.text.to_lowercase();
+        if !R1_RETRY_MARKERS.iter().any(|m| lower.contains(m)) {
+            continue;
+        }
+        // Innermost enclosing loop: the latest-starting span containing i.
+        let Some(&(start, _, end, line)) = loops
+            .iter()
+            .filter(|&&(s, _, e, _)| s < i && i < e)
+            .max_by_key(|&&(s, _, _, _)| s)
+        else {
+            continue; // retry call outside any loop — the caller's problem
+        };
+        if flagged.contains(&start) {
+            continue;
+        }
+        // The loop (head + body) must reference a bound.
+        let bounded = toks[start..=end].iter().any(|b| {
+            b.is_ident() && {
+                let l = b.text.to_lowercase();
+                R1_BOUND_MARKERS.iter().any(|m| l.contains(m))
+            }
+        });
+        if bounded {
+            continue;
+        }
+        flagged.insert(start);
+        push(
+            diags,
+            "R1",
+            Severity::Error,
+            path,
+            line,
+            format!(
+                "loop calls retry helper `{}` with no budget/cap in sight — bound it \
+                 with a RetryBudget/attempt counter/deadline so a dead peer cannot \
+                 spin it forever",
+                t.text
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,6 +909,97 @@ mod tests {
         assert!(errors("crates/replay/src/engine.rs", bounded).is_empty());
         let unbounded = "fn f() { let (tx, rx) = crossbeam::channel::unbounded::<u8>(); }";
         assert!(errors("crates/workloads/src/broot.rs", unbounded).is_empty());
+    }
+
+    // ---- R1 ----
+
+    #[test]
+    fn r1_flags_unbounded_retry_loop() {
+        let src = r#"
+            fn f(target: Addr) -> Conn {
+                loop {
+                    if let Some(c) = reconnect(target) {
+                        return c;
+                    }
+                    backoff_sleep();
+                }
+            }
+        "#;
+        let ds = errors("crates/replay/src/engine.rs", src);
+        assert_eq!(ds.len(), 1, "one diagnostic per loop, not per call: {ds:?}");
+        assert_eq!(ds[0].rule, "R1");
+        assert_eq!(ds[0].line, 3, "anchored at the loop keyword");
+    }
+
+    #[test]
+    fn r1_allows_budgeted_retry_loops() {
+        // A budget parameter, an attempt counter, or a deadline in the
+        // while-head all count as bounds.
+        for src in [
+            r#"fn f(budget: &mut RetryBudget) {
+                loop {
+                    if try_reconnect().is_some() { return; }
+                    if budget.next_delay_us().is_none() { return; }
+                }
+            }"#,
+            r#"fn f() {
+                let mut attempts = 0;
+                while attempts < 5 {
+                    retry_send();
+                    attempts += 1;
+                }
+            }"#,
+            r#"fn f(deadline_us: u64) {
+                while now() < deadline_us { redial(); }
+            }"#,
+        ] {
+            let ds = errors("crates/replay/src/engine.rs", src);
+            assert!(ds.is_empty(), "{ds:?}");
+        }
+    }
+
+    #[test]
+    fn r1_attributes_to_the_innermost_loop() {
+        // The outer loop mentions `max_rounds`; the inner retry loop has
+        // no bound of its own and is the one flagged.
+        let src = r#"
+            fn f(max_rounds: u32) {
+                for _ in 0..max_rounds {
+                    loop {
+                        if reconnect().is_some() { break; }
+                    }
+                }
+            }
+        "#;
+        let ds = errors("crates/replay/src/engine.rs", src);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].line, 4);
+    }
+
+    #[test]
+    fn r1_scope_and_non_call_mentions() {
+        // Outside dns-server/replay/proxy the rule does not run …
+        let src = "fn f() { loop { reconnect(); } }";
+        assert!(errors("crates/workloads/src/broot.rs", src).is_empty());
+        // … a field named `retrying` is not a call site …
+        let field = r#"
+            fn f(s: &mut S) {
+                loop {
+                    if s.retrying { return; }
+                    poll(s);
+                }
+            }
+        "#;
+        assert!(errors("crates/replay/src/sim_replay.rs", field).is_empty());
+        // … and test code never trips it.
+        let test_code = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { loop { reconnect(); } }
+            }
+        "#;
+        assert!(errors("crates/replay/src/engine.rs", test_code).is_empty());
     }
 
     // ---- scoping ----

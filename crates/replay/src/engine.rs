@@ -8,15 +8,16 @@
 //! the channel topology, sticky source routing, timing algebra and
 //! per-source socket ownership are the same.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{IpAddr, SocketAddr, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dns_wire::framing::frame_into;
 use dns_wire::Transport;
+use ldp_guard::{Checkpoint, GuardConfig, RetryBudget, Supervisor};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
 
@@ -27,10 +28,14 @@ use crate::timing::TimingTracker;
 /// Interned telemetry kinds for the real-socket engine. `replay.sent`
 /// carries the signed send-time error (µs, two's complement in `b`) —
 /// the paper's Figure 6 quantity, accounted at the source instead of
-/// reconstructed from the report afterwards.
+/// reconstructed from the report afterwards. `replay.shed` marks a
+/// query dropped by deadline-aware load shedding; `replay.restarted`
+/// marks a querier slot declared dead and its span re-dispatched.
 struct ReplayKinds {
     sent: tel::KindId,
     error: tel::KindId,
+    shed: tel::KindId,
+    restarted: tel::KindId,
 }
 
 fn replay_kinds() -> &'static ReplayKinds {
@@ -38,6 +43,8 @@ fn replay_kinds() -> &'static ReplayKinds {
     K.get_or_init(|| ReplayKinds {
         sent: tel::register_kind("replay.sent"),
         error: tel::register_kind("replay.send_error"),
+        shed: tel::register_kind("replay.shed"),
+        restarted: tel::register_kind("replay.restarted"),
     })
 }
 
@@ -71,6 +78,17 @@ pub struct ReplayConfig {
     pub channel_capacity: usize,
     /// Warm-up offset before the first query is due.
     pub warmup: Duration,
+    /// Overload-and-recovery knobs (shedding, reconnect budgets,
+    /// supervision, checkpoint cadence).
+    pub guard: GuardConfig,
+    /// Where the collector publishes checkpoints when
+    /// `guard.checkpoint_every > 0`: the latest one replaces its
+    /// predecessor under the mutex (a resume only ever wants the
+    /// newest cut).
+    pub checkpoint_out: Option<Arc<Mutex<Option<Checkpoint>>>>,
+    /// Resume a killed run: skip every trace seq below the
+    /// checkpoint's cursor and continue its epoch/counter lineage.
+    pub resume_from: Option<Checkpoint>,
 }
 
 impl Default for ReplayConfig {
@@ -84,6 +102,9 @@ impl Default for ReplayConfig {
             fast_mode: false,
             channel_capacity: 4096,
             warmup: Duration::from_millis(50),
+            guard: GuardConfig::default(),
+            checkpoint_out: None,
+            resume_from: None,
         }
     }
 }
@@ -109,6 +130,15 @@ struct QuerierConfig {
     target_udp: SocketAddr,
     target_tcp: SocketAddr,
     fast_mode: bool,
+    /// Timed mode sheds (skips) a query whose deadline is already this
+    /// many µs in the past, recording the seq instead of stalling
+    /// behind it. `0` disables shedding. Fast mode has no deadlines
+    /// and never sheds.
+    shed_lateness_us: u64,
+    /// TCP reconnect budget (attempts, base/cap backoff µs).
+    reconnect: ldp_guard::ReconnectConfig,
+    /// Seed for this querier's reconnect jitter stream.
+    seed: u64,
 }
 
 impl From<&ReplayConfig> for QuerierConfig {
@@ -117,6 +147,9 @@ impl From<&ReplayConfig> for QuerierConfig {
             target_udp: c.target_udp,
             target_tcp: c.target_tcp,
             fast_mode: c.fast_mode,
+            shed_lateness_us: c.guard.admission.max_lateness_us,
+            reconnect: c.guard.reconnect,
+            seed: c.guard.supervisor.seed,
         }
     }
 }
@@ -150,6 +183,15 @@ pub struct ReplayReport {
     pub distinct_sources: usize,
     /// Wall-clock duration of the replay.
     pub elapsed: Duration,
+    /// Trace seqs dropped by deadline-aware shedding, ascending.
+    pub shed: Vec<u64>,
+    /// Jobs re-dispatched to surviving queriers after a slot died.
+    pub redispatched: u64,
+    /// Querier slots declared dead (restart budget exhausted).
+    pub dead_queriers: Vec<usize>,
+    /// First trace seq of this run (> 0 when resumed from a
+    /// checkpoint; everything below it was sent by the killed run).
+    pub resumed_from: u64,
 }
 
 impl ReplayReport {
@@ -192,11 +234,20 @@ pub fn replay_with_clock(
     }
 
     let errors = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let redispatched = Arc::new(AtomicU64::new(0));
     let (record_tx, record_rx) = bounded::<SentRecord>(65536);
 
     // Build querier threads.
     let n_d = config.distributors.max(1);
     let n_q = config.queriers_per_distributor.max(1);
+    // One supervised slot per querier; distributors report observed
+    // deaths (a closed channel) into it, skipping the heartbeat wait.
+    let supervisor = Arc::new(Mutex::new(Supervisor::new(
+        config.guard.supervisor,
+        n_d * n_q,
+        clock.now_us(),
+    )));
     let mut querier_txs: Vec<Vec<Sender<QueryJob>>> = Vec::with_capacity(n_d);
     let mut handles = Vec::new();
     for d in 0..n_d {
@@ -205,11 +256,12 @@ pub fn replay_with_clock(
             let (tx, rx) = bounded::<QueryJob>(config.channel_capacity);
             let cfg = QuerierConfig::from(config);
             let errors = errors.clone();
+            let shed = shed.clone();
             let record_tx = record_tx.clone();
             let clock = clock.clone();
             let idx = d * n_q + q;
             handles.push(std::thread::spawn(move || {
-                querier_loop(idx, rx, cfg, tracker, clock, origin_us, errors, record_tx)
+                querier_loop(idx, rx, cfg, tracker, clock, origin_us, errors, shed, record_tx)
             }));
             txs.push(tx);
         }
@@ -218,19 +270,25 @@ pub fn replay_with_clock(
     drop(record_tx);
 
     // Distributor threads: receive from the controller, sticky-route to
-    // their queriers.
+    // their queriers, failing over to surviving siblings when one dies.
+    // The retained-window redispatch only runs when a restart budget
+    // exists — without one there is nobody to hand the span to twice.
+    let window = if config.guard.supervisor.max_restarts > 0 {
+        config.channel_capacity
+    } else {
+        0
+    };
     let mut dist_txs: Vec<Sender<QueryJob>> = Vec::with_capacity(n_d);
-    for txs in &querier_txs {
+    for (d, txs) in querier_txs.iter().enumerate() {
         let (tx, rx): (Sender<QueryJob>, Receiver<QueryJob>) = bounded(config.channel_capacity);
         let txs = txs.clone();
+        let supervisor = supervisor.clone();
+        let clock = clock.clone();
+        let redispatched = redispatched.clone();
+        let errors = errors.clone();
+        let slot_base = d * n_q;
         handles.push(std::thread::spawn(move || {
-            let mut router = StickyRouter::new(txs.len());
-            for job in rx.iter() {
-                let child = router.route(job.source);
-                if txs[child].send(job).is_err() {
-                    break;
-                }
-            }
+            distribute(rx, &txs, window, slot_base, &supervisor, &clock, &redispatched, &errors);
             // Closing txs (drop) ends the queriers.
         }));
         dist_txs.push(tx);
@@ -242,18 +300,69 @@ pub fn replay_with_clock(
     // Collect send records while queriers run. The collector MUST be
     // draining before the controller starts pushing: with it absent, a
     // trace larger than the combined channel capacity would fill
-    // record_tx and deadlock the whole tree.
-    let collector = std::thread::spawn(move || {
-        let mut sent = Vec::new();
-        for rec in record_rx.iter() {
-            sent.push(rec);
-        }
-        sent
-    });
+    // record_tx and deadlock the whole tree. It doubles as the
+    // checkpointer: it is the only thread that sees completions, so
+    // the contiguous-prefix cursor lives here.
+    let start_seq = config.resume_from.as_ref().map_or(0, |c| c.cursor);
+    let cp_every = config.guard.checkpoint_every;
+    let cp_out = config.checkpoint_out.clone();
+    let cp_epoch = config.resume_from.as_ref().map_or(0, |c| c.epoch);
+    let collector = {
+        let clock = clock.clone();
+        let errors = errors.clone();
+        std::thread::spawn(move || {
+            let mut sent = Vec::new();
+            let mut next_contig = start_seq;
+            let mut out_of_order = std::collections::BTreeSet::new();
+            let mut since_cp = 0u64;
+            let mut epoch = cp_epoch;
+            for rec in record_rx.iter() {
+                if cp_every > 0 {
+                    if rec.seq == next_contig {
+                        next_contig += 1;
+                        while out_of_order.remove(&next_contig) {
+                            next_contig += 1;
+                        }
+                    } else if rec.seq > next_contig {
+                        out_of_order.insert(rec.seq);
+                    }
+                    since_cp += 1;
+                    if since_cp >= cp_every {
+                        since_cp = 0;
+                        epoch += 1;
+                        if let Some(out) = &cp_out {
+                            let cp = Checkpoint {
+                                epoch,
+                                taken_ns: clock.now_us().saturating_mul(1_000),
+                                cursor: next_contig,
+                                counters: vec![
+                                    ("sent".into(), sent.len() as u64 + 1),
+                                    ("errors".into(), errors.load(Ordering::Relaxed)),
+                                ],
+                                records: Vec::new(),
+                            };
+                            if let Ok(mut slot) = out.lock() {
+                                *slot = Some(cp);
+                            }
+                        }
+                    }
+                }
+                sent.push(rec);
+            }
+            sent
+        })
+    };
 
     // Controller: Reader (pre-encode) + Postman (sticky distribution).
+    // On resume, sources are replayed through the router from seq 0 so
+    // sticky assignments match the original run, but only jobs at or
+    // past the checkpoint cursor are dispatched.
     let mut controller_router = StickyRouter::new(n_d);
     for (seq, entry) in trace.iter().enumerate() {
+        let d = controller_router.route(entry.src.ip());
+        if (seq as u64) < start_seq {
+            continue;
+        }
         let payload: Arc<[u8]> = entry.message.encode().into();
         let job = QueryJob {
             seq: seq as u64,
@@ -262,7 +371,6 @@ pub fn replay_with_clock(
             transport: entry.transport,
             payload,
         };
-        let d = controller_router.route(job.source);
         if dist_txs[d].send(job).is_err() {
             break;
         }
@@ -275,12 +383,106 @@ pub fn replay_with_clock(
     }
     let sent = collector.join().expect("collector joins");
     let total_sent = sent.len() as u64;
+    let mut shed = std::mem::take(&mut *shed.lock().expect("shed lock"));
+    shed.sort_unstable();
+    let dead_queriers = {
+        let sup = supervisor.lock().expect("supervisor lock");
+        (0..sup.len()).filter(|&i| sup.is_dead(i)).collect()
+    };
     ReplayReport {
         sent,
         total_sent,
         errors: errors.load(Ordering::Relaxed),
         distinct_sources,
         elapsed: Duration::from_micros(clock.now_us()),
+        shed,
+        redispatched: redispatched.load(Ordering::Relaxed),
+        dead_queriers,
+        resumed_from: start_seq,
+    }
+}
+
+/// One distributor's routing loop: sticky-route jobs from the
+/// controller to the querier channels in `txs`. A send to a closed
+/// channel (the querier thread died) marks that child dead, reports it
+/// to the supervisor, and re-dispatches the failed job plus the
+/// child's retained window — its last `window` jobs, an upper bound on
+/// what it had received but not yet sent — to surviving siblings.
+/// Delivery is at-least-once across a failover: a job the dead querier
+/// already sent may be retained and sent again by its sibling, which
+/// replay tolerates (duplicate queries happen in real traces too).
+#[allow(clippy::too_many_arguments)]
+fn distribute(
+    rx: Receiver<QueryJob>,
+    txs: &[Sender<QueryJob>],
+    window: usize,
+    slot_base: usize,
+    supervisor: &Mutex<Supervisor>,
+    clock: &Arc<dyn ReplayClock>,
+    redispatched: &AtomicU64,
+    errors: &AtomicU64,
+) {
+    let mut router = StickyRouter::new(txs.len());
+    let mut alive = vec![true; txs.len()];
+    // Per-child retained window, oldest first.
+    let mut recent: Vec<VecDeque<QueryJob>> = (0..txs.len()).map(|_| VecDeque::new()).collect();
+    // Jobs awaiting (re-)delivery ahead of anything new from the
+    // controller; the bool marks a redispatch.
+    let mut queue: VecDeque<(QueryJob, bool)> = VecDeque::new();
+    for job in rx.iter() {
+        queue.push_back((job, false));
+        while let Some((job, is_redispatch)) = queue.pop_front() {
+            let mut child = router.route(job.source);
+            if !alive[child] {
+                match alive.iter().position(|a| *a) {
+                    Some(c) => child = c,
+                    None => {
+                        // Every querier of this distributor is gone.
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+            let retained = if window > 0 { Some(job.clone()) } else { None };
+            match txs[child].send(job) {
+                Ok(()) => {
+                    if is_redispatch {
+                        redispatched.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(r) = retained {
+                        let w = &mut recent[child];
+                        w.push_back(r);
+                        if w.len() > window {
+                            w.pop_front();
+                        }
+                    }
+                }
+                Err(dead) => {
+                    alive[child] = false;
+                    let slot = slot_base + child;
+                    if let Ok(mut sup) = supervisor.lock() {
+                        sup.note_dead(slot, clock.now_us());
+                    }
+                    let orphans = std::mem::take(&mut recent[child]);
+                    let n_orphans = orphans.len();
+                    if tel::enabled() {
+                        let k = replay_kinds();
+                        tel::mark_at(
+                            clock.now_us().saturating_mul(1_000),
+                            k.restarted,
+                            slot as u64,
+                            n_orphans as u64 + 1,
+                        );
+                    }
+                    // Re-queue the retained window (oldest first) then
+                    // the failed job, ahead of new controller jobs.
+                    for (i, o) in orphans.into_iter().enumerate() {
+                        queue.insert(i, (o, true));
+                    }
+                    queue.insert(n_orphans, (dead.0, true));
+                }
+            }
+        }
     }
 }
 
@@ -304,29 +506,29 @@ enum SendOutcome {
 const STALL_YIELDS: u32 = 32;
 const STALL_LIMIT: u32 = 512;
 
-/// Reconnect budget after a connection dies: attempts with doubling
-/// sleeps between them (200 µs, 400 µs, ...). Like the stall budget,
-/// counted in iterations — no wall-clock reads.
-const RECONNECT_ATTEMPTS: u32 = 3;
-const RECONNECT_BACKOFF_BASE_US: u64 = 200;
-
-/// Dial `target` with a bounded exponential backoff. A dead TCP path
+/// Dial `target` under the querier's [`RetryBudget`]. A dead TCP path
 /// (server restarting, listen queue overflowing under load) often heals
 /// within a millisecond; giving up on the first refused connect drops
-/// every queued query for that source.
-fn reconnect_with_backoff(target: SocketAddr) -> Option<TcpStream> {
-    for attempt in 0..RECONNECT_ATTEMPTS {
-        if attempt > 0 {
-            std::thread::sleep(Duration::from_micros(
-                RECONNECT_BACKOFF_BASE_US << (attempt - 1),
-            ));
-        }
+/// every queued query for that source. But the budget is shared across
+/// the querier's whole run, so a target that is *permanently* down
+/// costs at most `max_attempts` backoff sleeps total — after that each
+/// call makes one eager probe and returns `None` immediately instead
+/// of re-spinning the backoff for every queued job. A successful
+/// connect refills the budget (the path healed).
+fn reconnect_with_backoff(target: SocketAddr, budget: &mut RetryBudget) -> Option<TcpStream> {
+    loop {
+        // Loop bound: `budget` (lint R1) — `next_delay_us` returns
+        // `None` after `max_attempts` draws.
         if let Ok(s) = TcpStream::connect(target) {
             s.set_nodelay(true).ok();
+            budget.reset();
             return Some(s);
         }
+        match budget.next_delay_us() {
+            Some(delay_us) => std::thread::sleep(Duration::from_micros(delay_us)),
+            None => return None,
+        }
     }
-    None
 }
 
 /// Write one length-framed message to a (possibly non-blocking) stream.
@@ -373,12 +575,21 @@ fn querier_loop(
     clock: Arc<dyn ReplayClock>,
     origin_us: u64,
     errors: Arc<AtomicU64>,
+    shed: Arc<Mutex<Vec<u64>>>,
     record_tx: Sender<SentRecord>,
 ) {
     // Per-source sockets: same original source → same socket, so the
     // server sees a stable set of (addr, port) pairs per source.
     let mut udp_socks: HashMap<IpAddr, UdpSocket> = HashMap::new();
     let mut tcp_conns: HashMap<IpAddr, TcpStream> = HashMap::new();
+    // One reconnect budget for the querier's whole run, jittered
+    // per-slot so a thundering herd of reconnects decorrelates.
+    let mut reconnect_budget = RetryBudget::new(
+        cfg.reconnect.max_attempts,
+        cfg.reconnect.base_us,
+        cfg.reconnect.cap_us,
+        cfg.seed.wrapping_add(idx as u64),
+    );
     let mut scrap = vec![0u8; 65536];
     // Reused across jobs: one framing buffer per querier, not one
     // allocation per query.
@@ -407,10 +618,32 @@ fn querier_loop(
         }
         for job in batch.drain(..) {
             if !cfg.fast_mode {
+                let deadline_us = tracker.deadline_us(job.trace_us);
+                // Deadline-aware shedding: a query already hopelessly
+                // late would only push every later query later still;
+                // record the seq and move on instead of stalling the
+                // schedule behind it.
+                if cfg.shed_lateness_us > 0
+                    && clock.now_us() > deadline_us.saturating_add(cfg.shed_lateness_us)
+                {
+                    if tel::enabled() {
+                        let k = replay_kinds();
+                        tel::mark_at(
+                            clock.now_us().saturating_mul(1_000),
+                            k.shed,
+                            job.seq,
+                            clock.now_us().saturating_sub(deadline_us),
+                        );
+                    }
+                    if let Ok(mut s) = shed.lock() {
+                        s.push(job.seq);
+                    }
+                    continue;
+                }
                 // Behind schedule (a past deadline) returns immediately —
                 // the paper's "send immediately" rule falls out of the
                 // clock's sleep contract.
-                clock.sleep_until_us(tracker.deadline_us(job.trace_us));
+                clock.sleep_until_us(deadline_us);
             }
             let ok = match job.transport {
                 Transport::Udp => {
@@ -428,7 +661,8 @@ fn querier_loop(
                 Transport::Tcp | Transport::Tls => {
                     let stream = match tcp_conns.get_mut(&job.source) {
                         Some(s) => Some(s),
-                        None => match reconnect_with_backoff(cfg.target_tcp) {
+                        None => match reconnect_with_backoff(cfg.target_tcp, &mut reconnect_budget)
+                        {
                             Some(s) => {
                                 s.set_nonblocking(true).ok();
                                 tcp_conns.insert(job.source, s);
@@ -456,7 +690,10 @@ fn querier_loop(
                                     // server, or the server restarted):
                                     // reconnect with backoff and resend.
                                     tcp_conns.remove(&job.source);
-                                    match reconnect_with_backoff(cfg.target_tcp) {
+                                    match reconnect_with_backoff(
+                                        cfg.target_tcp,
+                                        &mut reconnect_budget,
+                                    ) {
                                         Some(mut ns) => {
                                             let ok = send_framed(&mut ns, &frame_buf)
                                                 == SendOutcome::Sent;
@@ -743,6 +980,12 @@ mod tests {
             target_udp: addr,
             target_tcp: addr,
             fast_mode: false,
+            // Deadline shedding measures *real* scheduling lateness;
+            // under a shared virtual clock a querier can look seconds
+            // "late" purely from thread interleaving (another sleeper
+            // already dragged the clock forward), so sim-style runs
+            // disable it.
+            guard: ldp_guard::GuardConfig::disabled(),
             ..Default::default()
         };
         let wall = std::time::Instant::now();
@@ -887,6 +1130,102 @@ mod tests {
         assert_eq!(
             send_framed(&mut HalfThenBlock(false), b"\x00\x02ab"),
             SendOutcome::Dead
+        );
+    }
+
+    #[test]
+    fn reconnect_budget_exhaustion_is_bounded_not_a_spin_loop() {
+        // A port that refuses connections: bind, learn the port, drop
+        // the listener.
+        let refused = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut budget = RetryBudget::new(2, 10, 50, 7);
+        let t0 = std::time::Instant::now();
+        assert!(reconnect_with_backoff(refused, &mut budget).is_none());
+        assert!(budget.exhausted(), "budget drained by the dead target");
+        assert_eq!(budget.used(), 2, "exactly max_attempts backoff draws");
+        // Subsequent calls are one eager probe each — no backoff spin.
+        for _ in 0..20 {
+            assert!(reconnect_with_backoff(refused, &mut budget).is_none());
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "exhausted budget must not keep sleeping: {:?}",
+            t0.elapsed()
+        );
+        // A healed path refills the budget.
+        let live = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        assert!(reconnect_with_backoff(live.local_addr().unwrap(), &mut budget).is_some());
+        assert!(!budget.exhausted(), "successful connect resets the budget");
+    }
+
+    #[test]
+    fn hopelessly_late_queries_are_shed_not_stalled_behind() {
+        use crate::clock::VirtualClock;
+        let (_sink, addr) = sink_socket();
+        let trace = mk_trace(100, 1_000); // deadlines end ~149 ms in
+        let config = ReplayConfig {
+            target_udp: addr,
+            target_tcp: addr,
+            fast_mode: false,
+            ..Default::default()
+        };
+        // Start the run with the clock already 10 s past every
+        // deadline + the 250 ms default lateness allowance: every
+        // query must be shed, none sent, and the run must not stall.
+        let clock = Arc::new(VirtualClock::new());
+        clock.advance_to(10_000_000);
+        let report = replay_with_clock(&trace, &config, clock);
+        assert_eq!(report.total_sent, 0, "nothing sendable");
+        assert_eq!(report.errors, 0, "shed is not an error");
+        assert_eq!(report.shed, (0..100).collect::<Vec<_>>(), "every seq recorded");
+    }
+
+    #[test]
+    fn distributor_fails_over_to_surviving_querier() {
+        // Two querier channels; child 0's receiver is dropped (the
+        // querier "crashed"). Every job must still arrive, via child 1,
+        // and the death must reach the supervisor.
+        let (tx0, rx0) = bounded::<QueryJob>(64);
+        let (tx1, rx1) = bounded::<QueryJob>(64);
+        drop(rx0);
+        let (ctl_tx, ctl_rx) = bounded::<QueryJob>(64);
+        let payload: Arc<[u8]> = vec![0u8; 4].into();
+        for seq in 0..20u64 {
+            ctl_tx
+                .send(QueryJob {
+                    seq,
+                    trace_us: 0,
+                    source: format!("10.9.0.{}", 1 + seq % 10).parse().unwrap(),
+                    transport: Transport::Udp,
+                    payload: payload.clone(),
+                })
+                .unwrap();
+        }
+        drop(ctl_tx);
+        let supervisor = Mutex::new(Supervisor::new(Default::default(), 2, 0));
+        let clock: Arc<dyn ReplayClock> = Arc::new(crate::clock::VirtualClock::new());
+        let redispatched = AtomicU64::new(0);
+        let errors = AtomicU64::new(0);
+        let txs = [tx0, tx1];
+        distribute(ctl_rx, &txs, 64, 0, &supervisor, &clock, &redispatched, &errors);
+        drop(txs);
+        let mut got: Vec<u64> = rx1.iter().map(|j| j.seq).collect();
+        got.sort_unstable();
+        got.dedup(); // failover is at-least-once
+        assert_eq!(got, (0..20).collect::<Vec<_>>(), "child 1 saw every job");
+        assert_eq!(errors.load(Ordering::Relaxed), 0, "no jobs lost");
+        assert!(redispatched.load(Ordering::Relaxed) >= 1, "failed jobs re-dispatched");
+        // Slot 0 was reported dead: a poll far in the future yields its
+        // (budgeted) restart.
+        let actions = supervisor.lock().unwrap().poll(10_000_000);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, ldp_guard::SupervisorAction::Restart { slot: 0, .. })),
+            "supervisor learned of the death: {actions:?}"
         );
     }
 }

@@ -3,12 +3,13 @@
 //! logs per-query latency — the client side of the §5.2 experiments
 //! (memory, CPU, and the latency-vs-RTT Figures 15a/15b).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::{IpAddr, SocketAddr};
 use std::sync::{Arc, Mutex};
 
 use dns_wire::framing::{frame, FrameBuffer};
 use dns_wire::{Message, Transport};
+use ldp_guard::{Admission, AdmissionController, Checkpoint};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
 use netsim::{ConnId, Ctx, Host, HostId, PacketBytes, SimTime, Simulator, TcpEvent};
@@ -33,6 +34,24 @@ fn q_kinds() -> &'static QKinds {
         retx: tel::register_kind("q.retx"),
         response: tel::register_kind("q.response"),
         matched: tel::register_kind("q.match"),
+    })
+}
+
+/// Guard lifecycle marks. Deliberately outside the `q.*` namespace:
+/// checkpoint-resume equality compares only per-query `q.*` events, so
+/// shed/resume/restart accounting never breaks transcript equality.
+struct GKinds {
+    shed: tel::KindId,
+    resumed: tel::KindId,
+    restarted: tel::KindId,
+}
+
+fn g_kinds() -> &'static GKinds {
+    static K: std::sync::OnceLock<GKinds> = std::sync::OnceLock::new();
+    K.get_or_init(|| GKinds {
+        shed: tel::register_kind("replay.shed"),
+        resumed: tel::register_kind("replay.resumed"),
+        restarted: tel::register_kind("replay.restarted"),
     })
 }
 
@@ -67,6 +86,43 @@ pub type LatencyLog = Arc<Mutex<Vec<LatencyRecord>>>;
 /// low token space `[0, trace.len())`; retry tokens set the top bit so
 /// the two can never collide.
 const RETRY_TOKEN_BIT: u64 = 1 << 63;
+
+/// Timer-token namespace for admission re-offers (a `Busy` verdict
+/// parks the query and re-offers it after a short poll gap).
+const ADMIT_TOKEN_BIT: u64 = 1 << 62;
+
+/// Poll gap between admission re-offers of a parked query (µs, virtual).
+const ADMIT_POLL_US: u64 = 1_000;
+
+/// Serialize a [`LatencyRecord`] as one checkpoint `rec` line. `{:?}`
+/// prints the shortest f64 representation that round-trips exactly, so
+/// a resumed log is byte-identical to the uninterrupted one.
+fn record_to_line(r: &LatencyRecord) -> String {
+    format!(
+        "{} {:?} {:?} {:?} {} {}",
+        r.seq, r.sent_s, r.replied_s, r.transport, r.source, r.response_bytes
+    )
+}
+
+/// Parse a checkpoint `rec` line written by [`record_to_line`].
+fn record_from_line(line: &str) -> Option<LatencyRecord> {
+    let mut it = line.split_ascii_whitespace();
+    let seq = it.next()?.parse().ok()?;
+    let sent_s = it.next()?.parse().ok()?;
+    let replied_s = it.next()?.parse().ok()?;
+    let transport = match it.next()? {
+        "Udp" => Transport::Udp,
+        "Tcp" => Transport::Tcp,
+        "Tls" => Transport::Tls,
+        _ => return None,
+    };
+    let source = it.next()?.parse().ok()?;
+    let response_bytes = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(LatencyRecord { seq, sent_s, replied_s, transport, source, response_bytes })
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Pending {
@@ -113,6 +169,30 @@ pub struct SimReplayClient {
     pub connects: u64,
     /// Queries resent after their connection died.
     pub retries: u64,
+    /// Seqs answered — this run plus any resumed-from checkpoint.
+    completed: BTreeSet<u64>,
+    /// Dispatch-side admission window (`None` = unguarded dispatch).
+    pub admission: Option<AdmissionController>,
+    /// Seqs parked by a `Busy` admission verdict, awaiting re-offer.
+    parked: BTreeSet<u64>,
+    /// Mirror of the shed seqs for callers that need them after the
+    /// client has been moved into the simulator.
+    pub shed_out: Option<Arc<Mutex<Vec<u64>>>>,
+    /// Take a checkpoint after every this many completions, at the
+    /// next quiescent cut (no query in flight, retrying, or parked).
+    /// `0` disables checkpointing.
+    pub checkpoint_every: u64,
+    /// Latest committed checkpoint; each cut replaces its predecessor
+    /// (a resume only ever wants the newest one).
+    pub checkpoint_out: Option<Arc<Mutex<Option<Checkpoint>>>>,
+    completed_since_cp: u64,
+    epoch: u32,
+    /// Virtual-time origin of the schedule — set this to the `start`
+    /// passed to [`SimReplayClient::schedule`]. Admission deadlines and
+    /// post-crash re-arms are computed from it.
+    pub origin: SimTime,
+    /// Times this host was power-cycled by the simulator.
+    pub restarts: u32,
 }
 
 impl SimReplayClient {
@@ -136,7 +216,48 @@ impl SimReplayClient {
             sent: 0,
             connects: 0,
             retries: 0,
+            completed: BTreeSet::new(),
+            admission: None,
+            parked: BTreeSet::new(),
+            shed_out: None,
+            checkpoint_every: 0,
+            checkpoint_out: None,
+            completed_since_cp: 0,
+            epoch: 0,
+            origin: SimTime::ZERO,
+            restarts: 0,
         }
+    }
+
+    /// Rebuild a client from `cp`, continuing a killed run: the log is
+    /// seeded with the checkpointed records (in their original push
+    /// order), completed seqs will not be re-sent, and the counters
+    /// continue their lineage. Pair with
+    /// [`SimReplayClient::schedule_resume`], which re-arms only the
+    /// uncompleted remainder at the original virtual-time deadlines —
+    /// the resumed transcript is byte-identical to an uninterrupted
+    /// same-seed run.
+    pub fn resume(
+        trace: Vec<TraceEntry>,
+        server: SocketAddr,
+        log: LatencyLog,
+        cp: &Checkpoint,
+    ) -> Result<Self, String> {
+        let mut client = SimReplayClient::new(trace, server, log);
+        let mut seeded = Vec::with_capacity(cp.records.len());
+        for (i, line) in cp.records.iter().enumerate() {
+            let r = record_from_line(line)
+                .ok_or_else(|| format!("checkpoint record {i} unparseable: {line:?}"))?;
+            client.completed.insert(r.seq);
+            seeded.push(r);
+        }
+        client.log.lock().unwrap().extend(seeded);
+        client.sent = cp.counter("sent").unwrap_or(0);
+        client.connects = cp.counter("connects").unwrap_or(0);
+        client.retries = cp.counter("retries").unwrap_or(0);
+        client.restarts = cp.counter("restarts").unwrap_or(0) as u32;
+        client.epoch = cp.epoch;
+        Ok(client)
     }
 
     /// The distinct source addresses in the trace (register these with
@@ -157,6 +278,85 @@ impl SimReplayClient {
         for (i, e) in trace.iter().enumerate() {
             let at = start + netsim::SimDuration::from_micros(e.time_us - t0);
             sim.schedule_timer(host, at, i as u64);
+        }
+    }
+
+    /// Re-arm the uncompleted remainder of `trace` after
+    /// [`SimReplayClient::resume`]. Timers keep their original absolute
+    /// virtual-time deadlines (the fresh simulator starts at t = 0, so
+    /// every one of them is in its future), which is what makes the
+    /// resumed transcript byte-identical to an uninterrupted run.
+    pub fn schedule_resume(
+        sim: &mut Simulator,
+        host: HostId,
+        trace: &[TraceEntry],
+        start: SimTime,
+        cp: &Checkpoint,
+    ) {
+        let done: BTreeSet<u64> = cp
+            .records
+            .iter()
+            .filter_map(|l| record_from_line(l).map(|r| r.seq))
+            .collect();
+        let Some(first) = trace.first() else {
+            return;
+        };
+        let t0 = first.time_us;
+        let mut rearmed = 0u64;
+        for (i, e) in trace.iter().enumerate() {
+            if done.contains(&(i as u64)) {
+                continue;
+            }
+            let at = start + netsim::SimDuration::from_micros(e.time_us - t0);
+            sim.schedule_timer(host, at, i as u64);
+            rearmed += 1;
+        }
+        if tel::enabled() {
+            tel::mark_at(cp.taken_ns, g_kinds().resumed, rearmed, done.len() as u64);
+        }
+    }
+
+    /// The trace deadline of entry `idx` in absolute virtual µs.
+    fn deadline_us(&self, idx: usize) -> u64 {
+        let t0 = self.trace.first().map_or(0, |e| e.time_us);
+        self.origin.as_nanos() / 1_000 + (self.trace[idx].time_us - t0)
+    }
+
+    /// Offer entry `idx` to the admission window and act on the
+    /// verdict: dispatch, park for a later re-offer, or shed.
+    fn try_admit(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let seq = idx as u64;
+        if self.completed.contains(&seq) {
+            return; // answered before a crash/resume boundary
+        }
+        let deadline_us = self.deadline_us(idx);
+        let now_us = ctx.now().as_nanos() / 1_000;
+        let Some(adm) = &mut self.admission else {
+            self.send_entry(ctx, idx);
+            return;
+        };
+        match adm.offer(seq, deadline_us, now_us) {
+            Admission::Admit => {
+                self.parked.remove(&seq);
+                self.send_entry(ctx, idx);
+            }
+            Admission::Busy => {
+                self.parked.insert(seq);
+                ctx.set_timer(
+                    netsim::SimDuration::from_micros(ADMIT_POLL_US),
+                    ADMIT_TOKEN_BIT | seq,
+                );
+            }
+            Admission::Shed => {
+                self.parked.remove(&seq);
+                if tel::enabled() {
+                    let late = now_us.saturating_sub(deadline_us);
+                    tel::mark_at(ctx.now().as_nanos(), g_kinds().shed, seq, late);
+                }
+                if let Some(out) = &self.shed_out {
+                    out.lock().unwrap().push(seq);
+                }
+            }
         }
     }
 
@@ -217,7 +417,7 @@ impl SimReplayClient {
         }
     }
 
-    fn complete(&mut self, pending: Pending, now_s: f64, bytes: usize) {
+    fn complete(&mut self, pending: Pending, now_s: f64, now_ns: u64, bytes: usize) {
         // An answer — possibly to an earlier attempt — cancels any
         // retry chain and stray duplicate pendings for this query.
         let seq = pending.seq;
@@ -235,6 +435,60 @@ impl SimReplayClient {
             source: pending.source,
             response_bytes: bytes,
         });
+        self.completed.insert(seq);
+        self.parked.remove(&seq);
+        if let Some(adm) = &mut self.admission {
+            adm.complete();
+        }
+        if self.checkpoint_every > 0 {
+            self.completed_since_cp += 1;
+            if self.completed_since_cp >= self.checkpoint_every && self.quiescent() {
+                self.completed_since_cp = 0;
+                self.take_checkpoint(now_ns);
+            }
+        }
+    }
+
+    /// A quiescent cut: nothing in flight, retrying, or parked, so
+    /// every telemetry event at or before "now" belongs to a completed
+    /// query and the checkpointed log is a clean prefix.
+    fn quiescent(&self) -> bool {
+        self.pending_udp.is_empty()
+            && self.pending_tcp.is_empty()
+            && self.retrying.is_empty()
+            && self.parked.is_empty()
+    }
+
+    /// Commit a checkpoint of the current progress into
+    /// `checkpoint_out`, replacing the previous one.
+    fn take_checkpoint(&mut self, taken_ns: u64) {
+        let Some(out) = self.checkpoint_out.clone() else {
+            return;
+        };
+        self.epoch += 1;
+        let records: Vec<String> = self.log.lock().unwrap().iter().map(record_to_line).collect();
+        let cursor = {
+            let mut c = 0u64;
+            while self.completed.contains(&c) {
+                c += 1;
+            }
+            c
+        };
+        let shed = self.admission.as_ref().map_or(0, |a| a.shed_count());
+        let cp = Checkpoint {
+            epoch: self.epoch,
+            taken_ns,
+            cursor,
+            counters: vec![
+                ("sent".into(), self.sent),
+                ("connects".into(), self.connects),
+                ("retries".into(), self.retries),
+                ("shed".into(), shed),
+                ("restarts".into(), self.restarts as u64),
+            ],
+            records,
+        };
+        *out.lock().unwrap() = Some(cp);
     }
 }
 
@@ -247,7 +501,7 @@ impl Host for SimReplayClient {
             if tel::enabled() {
                 tel::mark_at(ctx.now().as_nanos(), q_kinds().response, p.seq, data.len() as u64);
             }
-            self.complete(p, ctx.now().as_secs_f64(), data.len());
+            self.complete(p, ctx.now().as_secs_f64(), ctx.now().as_nanos(), data.len());
         }
     }
 
@@ -267,13 +521,13 @@ impl Host for SimReplayClient {
                     }
                 }
                 let now = ctx.now().as_secs_f64();
+                let now_ns = ctx.now().as_nanos();
                 let any_done = !done.is_empty();
                 for (p, bytes) in done {
                     if tel::enabled() {
-                        let t = ctx.now().as_nanos();
-                        tel::mark_at(t, q_kinds().response, p.seq, bytes as u64);
+                        tel::mark_at(now_ns, q_kinds().response, p.seq, bytes as u64);
                     }
-                    self.complete(p, now, bytes);
+                    self.complete(p, now, now_ns, bytes);
                 }
                 // No-reuse ablation: close as soon as the (single)
                 // outstanding query on this throwaway connection is
@@ -339,12 +593,73 @@ impl Host for SimReplayClient {
             }
             return;
         }
+        if token & ADMIT_TOKEN_BIT != 0 {
+            // Re-offer a parked query. The park may have been lifted by
+            // a crash (cleared state) or an answer in the meantime.
+            let seq = token & !ADMIT_TOKEN_BIT;
+            let idx = seq as usize;
+            if self.parked.remove(&seq) && idx < self.trace.len() {
+                self.try_admit(ctx, idx);
+            }
+            return;
+        }
         let idx = token as usize;
         if idx < self.trace.len() {
             if tel::enabled() {
                 tel::mark_at(ctx.now().as_nanos(), q_kinds().enqueue, idx as u64, 0);
             }
-            self.send_entry(ctx, idx);
+            self.try_admit(ctx, idx);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Power-off: sockets, connections, frame buffers, in-flight
+        // queries, retry chains and parked offers all die with the
+        // process. The trace, the completed set and the shared log are
+        // the durable state a restart rebuilds from.
+        self.conns.clear();
+        self.conn_sources.clear();
+        self.frame_bufs.clear();
+        self.pending_udp.clear();
+        self.pending_tcp.clear();
+        self.retrying.clear();
+        self.parked.clear();
+        if let Some(adm) = &mut self.admission {
+            adm.reset_in_flight();
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // The crash dropped every pending timer (netsim bumps the
+        // timer epoch), so the unanswered remainder of the trace must
+        // be re-armed: future deadlines get fresh timers at their
+        // original absolute times, already-due ones are re-dispatched
+        // now — the dead querier's unacknowledged span.
+        self.restarts += 1;
+        let now_ns = ctx.now().as_nanos();
+        let t0 = self.trace.first().map_or(0, |e| e.time_us);
+        let origin_ns = self.origin.as_nanos();
+        let mut due = Vec::new();
+        let mut future = Vec::new();
+        for (i, e) in self.trace.iter().enumerate() {
+            if self.completed.contains(&(i as u64)) {
+                continue;
+            }
+            let at_ns = origin_ns + (e.time_us - t0).saturating_mul(1_000);
+            if at_ns <= now_ns {
+                due.push(i);
+            } else {
+                future.push((i, at_ns));
+            }
+        }
+        if tel::enabled() {
+            tel::mark_at(now_ns, g_kinds().restarted, due.len() as u64, future.len() as u64);
+        }
+        for i in due {
+            self.try_admit(ctx, i);
+        }
+        for (i, at_ns) in future {
+            ctx.set_timer(netsim::SimDuration::from_nanos(at_ns - now_ns), i as u64);
         }
     }
 }
@@ -570,5 +885,178 @@ mod tests {
         let log = run_crash(None);
         assert_eq!(log.len(), 1, "only the pre-crash query completes: {log:?}");
         assert_eq!(log[0].seq, 0);
+    }
+
+    /// One full checkpointed run: returns (transcript lines, last
+    /// committed checkpoint). When `kill_at_s` is set the simulator is
+    /// abandoned at that virtual time — the moral equivalent of
+    /// `kill -9` on the replay process.
+    fn checkpointed_run(
+        queue: netsim::QueueKind,
+        kill_at_s: Option<f64>,
+    ) -> (Vec<String>, Option<Checkpoint>) {
+        // Gap (50 ms) > RTT (40 ms): each query completes before the
+        // next is sent, so every completion is a quiescent cut and
+        // checkpoints actually commit.
+        let trace = mk_trace(40, 50_000, 4);
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(40),
+                bandwidth_bps: None,
+                loss: 0.0,
+            }),
+            SimConfig { queue, ..SimConfig::default() },
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(30)))),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let cp_out = Arc::new(Mutex::new(None));
+        let mut client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        client.checkpoint_every = 5;
+        client.checkpoint_out = Some(cp_out.clone());
+        let srcs = client.source_addrs();
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(kill_at_s.unwrap_or(30.0)));
+        let lines = log.lock().unwrap().iter().map(record_to_line).collect();
+        let cp = cp_out.lock().unwrap().clone();
+        (lines, cp)
+    }
+
+    /// The tentpole guarantee: kill a checkpointed run mid-replay,
+    /// resume from the last committed checkpoint in a fresh simulator,
+    /// and the full transcript (checkpointed prefix + resumed
+    /// remainder) is byte-identical to an uninterrupted same-seed run —
+    /// on both event-queue backends.
+    #[test]
+    fn kill_and_resume_replays_a_byte_identical_transcript() {
+        for queue in [netsim::QueueKind::Heap, netsim::QueueKind::BTree] {
+            let (uninterrupted, _) = checkpointed_run(queue, None);
+            assert_eq!(uninterrupted.len(), 40);
+
+            // Kill at 0.62 s: 12 queries are done, the checkpoint
+            // holds the first 10, and everything after the cut is lost
+            // with the process.
+            let (_, cp) = checkpointed_run(queue, Some(0.62));
+            let cp = cp.expect("a checkpoint committed before the kill");
+            assert!(cp.cursor >= 5 && cp.cursor < 40, "mid-run cut, got {}", cp.cursor);
+            // The checkpoint survives serialization.
+            let cp = Checkpoint::from_text(&cp.to_text().unwrap()).unwrap();
+
+            let trace = mk_trace(40, 50_000, 4);
+            let mut sim = Simulator::new(
+                Topology::uniform(PathConfig {
+                    rtt: SimDuration::from_millis(40),
+                    bandwidth_bps: None,
+                    loss: 0.0,
+                }),
+                SimConfig { queue, ..SimConfig::default() },
+            );
+            let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+            sim.add_host(
+                &[server_addr.ip()],
+                Box::new(SimDnsServer::new(
+                    engine(),
+                    server_addr,
+                    Some(SimDuration::from_secs(30)),
+                )),
+            );
+            let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+            let client =
+                SimReplayClient::resume(trace.clone(), server_addr, log.clone(), &cp).unwrap();
+            let srcs = client.source_addrs();
+            let client_id = sim.add_host(&srcs, Box::new(client));
+            SimReplayClient::schedule_resume(&mut sim, client_id, &trace, SimTime::ZERO, &cp);
+            sim.run_until(SimTime::from_secs_f64(30.0));
+
+            let resumed: Vec<String> = log.lock().unwrap().iter().map(record_to_line).collect();
+            assert_eq!(
+                resumed, uninterrupted,
+                "resumed transcript diverged on {queue:?} backend"
+            );
+        }
+    }
+
+    /// A one-slot admission window under a burst: the first query is
+    /// admitted, the rest park, and once they overstay the lateness
+    /// allowance they are shed — recorded, not silently dropped, and
+    /// the replay clock never stalls waiting for them.
+    #[test]
+    fn overloaded_window_sheds_late_queries_instead_of_stalling() {
+        let trace = mk_trace(10, 0, 2); // burst: all due at t = 0
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(40),
+                bandwidth_bps: None,
+                loss: 0.0,
+            }),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(30)))),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let shed_out = Arc::new(Mutex::new(Vec::new()));
+        let mut client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        client.admission = Some(AdmissionController::new(ldp_guard::AdmissionConfig {
+            max_in_flight: 1,
+            max_lateness_us: 5_000,
+        }));
+        client.shed_out = Some(shed_out.clone());
+        let srcs = client.source_addrs();
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(5.0));
+
+        let answered = log.lock().unwrap().len();
+        let mut shed = shed_out.lock().unwrap().clone();
+        shed.sort_unstable();
+        assert_eq!(answered, 1, "only the admitted query is answered");
+        assert_eq!(shed, (1..10).collect::<Vec<u64>>(), "the other nine are shed on record");
+    }
+
+    /// Power-cycle the *querier* mid-replay: the crash loses in-flight
+    /// state and pending timers, and `on_restart` re-dispatches the
+    /// overdue span and re-arms the future one — every query in the
+    /// trace is still answered.
+    #[test]
+    fn querier_crash_and_restart_answers_the_whole_trace() {
+        let trace = mk_trace(20, 50_000, 1);
+        let src_ip: IpAddr = "10.1.0.1".parse().unwrap();
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(40),
+                bandwidth_bps: None,
+                loss: 0.0,
+            }),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(30)))),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        let srcs = client.source_addrs();
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        // q4 (sent at 0.20 s) is in flight when the querier dies at
+        // 0.23 s; timers for q5..q7 are dropped by the crash.
+        sim.run_until(SimTime::from_secs_f64(0.23));
+        sim.crash_now(src_ip);
+        sim.run_until(SimTime::from_secs_f64(0.40));
+        sim.restart_now(src_ip);
+        sim.run_until(SimTime::from_secs_f64(30.0));
+
+        let mut seqs: Vec<u64> = log.lock().unwrap().iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs, (0..20).collect::<Vec<u64>>(), "every query answered despite the crash");
     }
 }

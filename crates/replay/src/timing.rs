@@ -131,4 +131,53 @@ mod tests {
         let d = virtual_deadline(2_500_000, 500_000, 100.0, 2.0);
         assert!((d - 101.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn pause_resume_keeps_original_deadlines_without_a_burst() {
+        // Checkpoint/resume contract: a run killed at Δt̄ = 300 ms and
+        // resumed at replay-clock 500 ms rebuilds its tracker from the
+        // checkpointed baseline (t̄₁, t₁) — NOT re-anchored at the
+        // resume time. Queries that fell due during the outage send
+        // immediately; everything later keeps its original absolute
+        // deadline, so there is no post-resume burst and no drift.
+        let paused = TimingTracker::start(0, 0);
+        let resumed = TimingTracker::start(0, 0); // baseline from checkpoint
+        let resume_now_us = 500_000;
+        assert!(resumed.delay_from(350_000, resume_now_us).is_none());
+        assert!(resumed.delay_from(450_000, resume_now_us).is_none());
+        for trace_us in [600_000u64, 700_000, 1_000_000, 5_000_000] {
+            assert_eq!(resumed.deadline_us(trace_us), paused.deadline_us(trace_us));
+            assert_eq!(
+                resumed.delay_from(trace_us, resume_now_us),
+                Some(trace_us - resume_now_us),
+                "post-resume deadline drifted for trace_us={trace_us}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_outage_window_queries_are_due_at_resume() {
+        // The "burst" after a resume is bounded by the outage itself:
+        // exactly the queries whose deadlines fell inside the down
+        // window are overdue, never the whole remaining trace.
+        let tr = TimingTracker::start(0, 0);
+        let resume_now_us = 500_000;
+        let due = (0..100u64)
+            .map(|i| i * 10_000)
+            .filter(|&t| tr.delay_from(t, resume_now_us).is_none())
+            .count();
+        assert_eq!(due, 50, "only deadlines strictly before the resume point are overdue");
+    }
+
+    #[test]
+    fn re_anchoring_at_resume_time_would_drift_every_deadline() {
+        // The wrong restore — anchoring the resumed tracker at the
+        // resume clock time — shifts every remaining deadline by the
+        // outage length. Pin the contrast so the restore path cannot
+        // quietly regress to it.
+        let correct = TimingTracker::start(0, 0);
+        let wrong = TimingTracker::start(300_000, 500_000);
+        assert_eq!(correct.deadline_us(600_000), 600_000);
+        assert_eq!(wrong.deadline_us(600_000), 800_000, "drifted by the 200 ms outage");
+    }
 }

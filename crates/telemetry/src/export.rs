@@ -9,7 +9,150 @@ use std::fmt::Write as _;
 
 use ldp_metrics::{Cdf, LogHistogram, Summary};
 
-use crate::event::{kind_name, KindId, Op, RawEvent};
+use crate::event::{kind_name, registered_kinds, KindId, Op, RawEvent};
+
+/// Magic prefix of the binary event-log dump format (version 1).
+const DUMP_MAGIC: &[u8; 8] = b"LDPTEL1\n";
+
+/// Serialize a drained event log into the compact binary dump format:
+/// an 8-byte magic, the kind-name table (so the dump is
+/// self-describing across processes), then one fixed-width 27-byte
+/// little-endian record per event. Two same-seed runs that drain
+/// identical logs produce byte-identical dumps — the checkpoint-resume
+/// equivalence tests compare these directly, with no string rendering
+/// in the loop.
+pub fn dump_binary(events: &[RawEvent]) -> Vec<u8> {
+    let kinds = registered_kinds();
+    let mut out = Vec::with_capacity(8 + 2 + kinds.len() * 16 + 8 + events.len() * 27);
+    out.extend_from_slice(DUMP_MAGIC);
+    out.extend_from_slice(&(kinds.len() as u16).to_le_bytes());
+    for name in kinds {
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    for ev in events {
+        out.extend_from_slice(&ev.t_ns.to_le_bytes());
+        out.extend_from_slice(&ev.a.to_le_bytes());
+        out.extend_from_slice(&ev.b.to_le_bytes());
+        out.extend_from_slice(&ev.kind.0.to_le_bytes());
+        out.push(ev.op as u8);
+    }
+    out
+}
+
+/// Parse a [`dump_binary`] buffer back into events. Kind ids are
+/// returned as stored; they resolve to names via [`kind_name`] only in
+/// a process whose registration order matches the producer's —
+/// cross-process readers should consult the embedded table via
+/// [`dump_kind_table`] instead.
+pub fn load_binary(bytes: &[u8]) -> Result<Vec<RawEvent>, String> {
+    let (events_at, _) = parse_dump_header(bytes)?;
+    let mut at = events_at;
+    let n = read_u64(bytes, &mut at)?;
+    let mut events = Vec::with_capacity(n.min(1 << 24) as usize);
+    for i in 0..n {
+        let t_ns = read_u64(bytes, &mut at).map_err(|e| format!("event {i}: {e}"))?;
+        let a = read_u64(bytes, &mut at).map_err(|e| format!("event {i}: {e}"))?;
+        let b = read_u64(bytes, &mut at).map_err(|e| format!("event {i}: {e}"))?;
+        let kind = KindId(read_u16(bytes, &mut at).map_err(|e| format!("event {i}: {e}"))?);
+        let op = match bytes.get(at) {
+            Some(0) => Op::SpanEnter,
+            Some(1) => Op::SpanExit,
+            Some(2) => Op::Counter,
+            Some(3) => Op::Mark,
+            Some(x) => return Err(format!("event {i}: bad op byte {x}")),
+            None => return Err(format!("event {i}: truncated")),
+        };
+        at += 1;
+        events.push(RawEvent { t_ns, a, b, kind, op });
+    }
+    if at != bytes.len() {
+        return Err(format!("{} trailing bytes after the last event", bytes.len() - at));
+    }
+    Ok(events)
+}
+
+/// The kind-name table embedded in a [`dump_binary`] buffer, in
+/// kind-id order.
+pub fn dump_kind_table(bytes: &[u8]) -> Result<Vec<String>, String> {
+    let (_, table) = parse_dump_header(bytes)?;
+    Ok(table)
+}
+
+/// Validate the magic and read the kind table; returns the offset of
+/// the event-count field and the table.
+fn parse_dump_header(bytes: &[u8]) -> Result<(usize, Vec<String>), String> {
+    if bytes.len() < 8 || &bytes[..8] != DUMP_MAGIC {
+        return Err("not an LDPTEL1 dump (bad magic)".to_string());
+    }
+    let mut at = 8usize;
+    let n_kinds = read_u16(bytes, &mut at)?;
+    let mut table = Vec::with_capacity(n_kinds as usize);
+    for i in 0..n_kinds {
+        let len = read_u16(bytes, &mut at)? as usize;
+        let end = at.checked_add(len).filter(|&e| e <= bytes.len());
+        let Some(end) = end else {
+            return Err(format!("kind {i}: name truncated"));
+        };
+        let name = std::str::from_utf8(&bytes[at..end])
+            .map_err(|_| format!("kind {i}: name is not UTF-8"))?;
+        table.push(name.to_string());
+        at = end;
+    }
+    Ok((at, table))
+}
+
+fn read_u16(bytes: &[u8], at: &mut usize) -> Result<u16, String> {
+    let end = *at + 2;
+    if end > bytes.len() {
+        return Err("truncated u16".to_string());
+    }
+    let v = u16::from_le_bytes([bytes[*at], bytes[*at + 1]]);
+    *at = end;
+    Ok(v)
+}
+
+fn read_u64(bytes: &[u8], at: &mut usize) -> Result<u64, String> {
+    let end = *at + 8;
+    if end > bytes.len() {
+        return Err("truncated u64".to_string());
+    }
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[*at..end]);
+    *at = end;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Compare two drained logs event-by-event. Returns `None` when they
+/// are identical, otherwise a one-line human description of the first
+/// divergence — the assertion message for checkpoint-resume
+/// equivalence tests.
+pub fn diff_logs(a: &[RawEvent], b: &[RawEvent]) -> Option<String> {
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x != y {
+            return Some(format!(
+                "event {i} differs: \
+                 left t={} kind={} op={} a={} b={} / \
+                 right t={} kind={} op={} a={} b={}",
+                x.t_ns,
+                kind_name(x.kind),
+                x.op.label().trim_end(),
+                x.a,
+                x.b,
+                y.t_ns,
+                kind_name(y.kind),
+                y.op.label().trim_end(),
+                y.a,
+                y.b
+            ));
+        }
+    }
+    if a.len() != b.len() {
+        return Some(format!("length mismatch: {} vs {} events", a.len(), b.len()));
+    }
+    None
+}
 
 /// Render events as a human-readable timeline, one line per event:
 /// `[      0.001234s] mark  q.send  a=42 b=512`.
@@ -242,6 +385,56 @@ mod tests {
             vec!["test.exp.outer 70", "test.exp.outer;test.exp.inner 30"],
             "{folded}"
         );
+    }
+
+    #[test]
+    fn binary_dump_round_trips_exactly() {
+        let k1 = register_kind("test.exp.bin1");
+        let k2 = register_kind("test.exp.bin2");
+        let events = vec![
+            ev(0, k1, Op::Mark, 1, 2),
+            ev(1_000, k2, Op::SpanEnter, 3, 0),
+            ev(2_000, k2, Op::SpanExit, 3, 0),
+            ev(u64::MAX, k1, Op::Counter, u64::MAX, u64::MAX),
+        ];
+        let dump = dump_binary(&events);
+        assert_eq!(load_binary(&dump).unwrap(), events);
+        // Self-describing: the kind table resolves ids without the
+        // producer's process-local registry.
+        let table = dump_kind_table(&dump).unwrap();
+        assert_eq!(table[k1.0 as usize], "test.exp.bin1");
+        assert_eq!(table[k2.0 as usize], "test.exp.bin2");
+        // Equal logs dump to byte-identical buffers.
+        assert_eq!(dump, dump_binary(&events));
+    }
+
+    #[test]
+    fn binary_load_rejects_corruption() {
+        let k = register_kind("test.exp.bin3");
+        let dump = dump_binary(&[ev(7, k, Op::Mark, 0, 0)]);
+        assert!(load_binary(b"nonsense").is_err(), "bad magic");
+        assert!(load_binary(&dump[..dump.len() - 1]).is_err(), "truncated event");
+        let mut extended = dump.clone();
+        extended.push(0);
+        assert!(load_binary(&extended).is_err(), "trailing bytes");
+        let mut bad_op = dump.clone();
+        let last = bad_op.len() - 1;
+        bad_op[last] = 9;
+        assert!(load_binary(&bad_op).is_err(), "bad op byte");
+    }
+
+    #[test]
+    fn diff_logs_reports_first_divergence() {
+        let k = register_kind("test.exp.diff");
+        let a = vec![ev(0, k, Op::Mark, 1, 0), ev(5, k, Op::Mark, 2, 0)];
+        assert_eq!(diff_logs(&a, &a), None);
+        let mut b = a.clone();
+        b[1].b = 99;
+        let msg = diff_logs(&a, &b).expect("divergence detected");
+        assert!(msg.contains("event 1"), "{msg}");
+        assert!(msg.contains("test.exp.diff"), "{msg}");
+        let msg = diff_logs(&a, &a[..1]).expect("length mismatch detected");
+        assert!(msg.contains("2 vs 1"), "{msg}");
     }
 
     #[test]

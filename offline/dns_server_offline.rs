@@ -10,5 +10,5 @@ pub mod rrl;
 pub mod sim_server;
 
 pub use engine::ServerEngine;
-pub use rrl::{RateLimiter, RrlAction, RrlConfig};
+pub use rrl::{RateLimiter, RrlAction, RrlBank, RrlConfig};
 pub use sim_server::SimDnsServer;

@@ -76,6 +76,7 @@ else
     ZC="--extern zone_construct=$od/libzone_construct.rlib"
     CORE="--extern ldp_core=$od/libldp_core.rlib"
     CHAOS="--extern ldp_chaos=$od/libldp_chaos.rlib"
+    GUARD="--extern ldp_guard=$od/libldp_guard.rlib"
     BENCH="--extern ldp_bench=$od/libldp_bench.rlib"
     LDP="--extern ldplayer=$od/libldplayer.rlib"
 
@@ -84,16 +85,17 @@ else
     rc --crate-type lib --crate-name bytes offline/stubs/bytes.rs || exit 2
     rc --crate-type lib --crate-name crossbeam offline/stubs/crossbeam.rs || exit 2
 
-    note "offline: workspace rlibs (dns-wire, trace, metrics, telemetry, netsim, dns-zone, dns-server, replay)"
+    note "offline: workspace rlibs (dns-wire, trace, metrics, telemetry, netsim, dns-zone, guard, dns-server, replay)"
     rc --crate-type lib --crate-name dns_wire $BYTES crates/dns-wire/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_trace $WIRE $RAND crates/trace/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_metrics crates/metrics/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_telemetry $METRICS crates/telemetry/src/lib.rs || fail=1
     rc --crate-type lib --crate-name netsim $RAND $TELEM crates/netsim/src/lib.rs || fail=1
     rc --crate-type lib --crate-name dns_zone $WIRE $RAND crates/dns-zone/src/lib.rs || fail=1
-    rc --crate-type lib --crate-name dns_server $WIRE $ZONE $NETSIM $TELEM \
+    rc --crate-type lib --crate-name ldp_guard crates/guard/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name dns_server $WIRE $ZONE $NETSIM $TELEM $GUARD \
         offline/dns_server_offline.rs || fail=1
-    rc --crate-type lib --crate-name ldp_replay $XBEAM $WIRE $TRACE $NETSIM $TELEM \
+    rc --crate-type lib --crate-name ldp_replay $XBEAM $WIRE $TRACE $NETSIM $TELEM $GUARD \
         offline/replay_offline.rs || fail=1
 
     note "offline: workspace rlibs (workloads, resolver, proxy, zone-construct, core, chaos)"
@@ -107,13 +109,19 @@ else
         crates/zone-construct/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_core \
         $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS \
+        $TELEM $GUARD \
         offline/core_offline.rs || fail=1
     rc --crate-type lib --crate-name ldp_chaos $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
+        $TRACE $REPLAY $TELEM $GUARD \
         crates/chaos/src/lib.rs || fail=1
 
     note "offline: dns-wire unit tests"
     rc --test --crate-name dns_wire_t $BYTES crates/dns-wire/src/lib.rs &&
         "$od/dns_wire_t" -q || fail=1
+
+    note "offline: guard unit tests (budget, checkpoint, admission, supervisor)"
+    rc --test --crate-name guard_t crates/guard/src/lib.rs &&
+        "$od/guard_t" -q || fail=1
 
     note "offline: telemetry unit tests (recorder, clock, export)"
     rc --test --crate-name telemetry_t $METRICS crates/telemetry/src/lib.rs &&
@@ -130,9 +138,11 @@ else
         "$od/tcp_model_t" -q || fail=1
 
     note "offline: replay engine/clock/sticky/timing/sim_replay suites"
-    rc --test --crate-name replay_t $XBEAM $WIRE $TRACE $NETSIM $ZONE $SERVER $TELEM \
+    # Serial: the timed-replay tests assert wall-clock send fidelity and
+    # flake when CPU-heavy neighbors (fast-mode floods) run in parallel.
+    rc --test --crate-name replay_t $XBEAM $WIRE $TRACE $NETSIM $ZONE $SERVER $TELEM $GUARD \
         offline/replay_offline.rs &&
-        "$od/replay_t" -q || fail=1
+        "$od/replay_t" -q --test-threads=1 || fail=1
 
     note "offline: resolver, proxy, emulation suites"
     rc --test --crate-name resolver_t $WIRE $ZONE $NETSIM $RAND $SERVER $TELEM \
@@ -143,6 +153,7 @@ else
         "$od/proxy_t" -q || fail=1
     rc --test --crate-name core_t \
         $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS \
+        $TELEM $GUARD \
         offline/core_offline.rs &&
         "$od/core_t" -q || fail=1
 
@@ -150,6 +161,7 @@ else
     # (prop_plan.rs is cargo-only: proptest is unavailable offline; the
     # deterministic round-trip unit tests in plan.rs run here instead.)
     rc --test --crate-name chaos_t $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
+        $TRACE $REPLAY $TELEM $GUARD \
         crates/chaos/src/lib.rs &&
         "$od/chaos_t" -q || fail=1
     rc --test --crate-name chaos_det_t $CHAOS $NETSIM crates/chaos/tests/determinism_faults.rs &&
@@ -162,15 +174,15 @@ else
 
     note "offline: facade + sim-path integration suite (full_pipeline)"
     rc --crate-type lib --crate-name ldplayer \
-        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS $TELEM \
+        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS $TELEM $GUARD \
         offline/ldplayer_offline.rs || fail=1
     rc --test --crate-name full_pipeline_t $LDP tests/full_pipeline.rs &&
         "$od/full_pipeline_t" -q || fail=1
     # Type-check (not run) the sim-path example against the facade.
     rc --crate-name hierarchy_emulation_ex $LDP examples/hierarchy_emulation.rs || fail=1
 
-    note "offline: hotpath microbench (includes telemetry overhead gate)"
-    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM \
+    note "offline: hotpath microbench (includes telemetry + guard overhead gates)"
+    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM $GUARD \
         crates/bench/src/bin/hotpath.rs || fail=1
     rm -f BENCH_hotpath.json
     "$od/hotpath" BENCH_hotpath.json || fail=1
@@ -186,6 +198,11 @@ else
         $BENCH $NETSIM $SERVER $REPLAY $ZONE $WIRE $WORKLOADS $TRACE $METRICS $TELEM \
         crates/bench/src/bin/fig_trace.rs &&
         "$od/fig_trace" --smoke || fail=1
+
+    note "offline: fig_recovery smoke run (crash recovery + checkpoint-resume gates)"
+    rc --crate-name fig_recovery $BENCH $CHAOS $NETSIM $METRICS $GUARD $REPLAY $TELEM \
+        crates/bench/src/bin/fig_recovery.rs &&
+        "$od/fig_recovery" --smoke || fail=1
 
     note "SKIPPED: fmt, clippy, tokio-dependent crates (registry unreachable)"
 fi
