@@ -1,0 +1,9 @@
+// Fixture: trips P2's macro arm — panic!-family macros in a hot-path
+// crate (non-hot-path file, so P1 does not apply; the online gate
+// denies clippy::panic crate-wide and P2 mirrors it offline).
+
+pub fn reject(code: u8) {
+    if code > 15 {
+        panic!("bad rcode");
+    }
+}

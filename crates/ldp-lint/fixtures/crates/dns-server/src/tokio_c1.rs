@@ -1,0 +1,7 @@
+// Fixture: trips C1 twice — std::thread::sleep and synchronous
+// std::fs I/O inside an async fn both block the executor thread.
+
+pub async fn handle_slowly() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let _zone = std::fs::read("zone.db");
+}

@@ -1,0 +1,8 @@
+// Fixture: clean async code — the tokio equivalents of everything
+// tokio_c1.rs does wrong. Must produce zero C1 diagnostics.
+
+pub async fn handle_properly() {
+    tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+    let _zone = tokio::fs::read("zone.db").await;
+    let _sock = tokio::net::UdpSocket::bind("127.0.0.1:0").await;
+}

@@ -1,0 +1,13 @@
+// Fixture: trips C2 — a std Mutex guard bound by `let` is still live
+// when the task awaits, so any other task touching the same lock on
+// this executor thread can deadlock it.
+
+pub struct State {
+    pub count: std::sync::Mutex<u64>,
+}
+
+pub async fn bump(state: &State, notify: &tokio::sync::Notify) {
+    let g = state.count.lock();
+    notify.notified().await;
+    drop(g);
+}

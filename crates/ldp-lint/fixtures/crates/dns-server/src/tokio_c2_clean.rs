@@ -1,0 +1,17 @@
+// Fixture: clean guard handling around awaits — scoped drop before the
+// await, and a tokio (async-aware) mutex held across one. Must produce
+// zero C2 diagnostics.
+
+pub async fn ok_paths(
+    state: &crate::tokio_c2::State,
+    door: &tokio::sync::Mutex<u64>,
+    notify: &tokio::sync::Notify,
+) {
+    {
+        let g = state.count.lock();
+        let _ = g;
+    }
+    notify.notified().await;
+    let held = door.lock().await;
+    let _ = held;
+}

@@ -1,0 +1,6 @@
+// Fixture: trips P2's indexing layer (warning-tier) — direct slice
+// indexing in a P1 hot-path file can panic on truncated packets.
+
+pub fn first_byte(b: &[u8]) -> u8 {
+    b[0]
+}

@@ -1,11 +1,11 @@
-// Fixture: the known D2 cross-file gap, pinned so it cannot regress
-// silently. The hash collection is declared in ANOTHER file (imagine
-// `table.rs` holding `pub struct Table { pub m: HashMap<u64, u32> }`);
-// this file only iterates it. Declaration tracking is per-file, and no
-// `HashMap`/`HashSet` token appears here, so D2 reports NOTHING — not
-// even the type warning. driver.rs has a regression test asserting
-// this file stays diagnostic-free; if D2 ever learns cross-file
-// resolution, that test (and this comment) should be updated together.
+// Fixture: the once-pinned D2 cross-file gap, now CLOSED by the v2
+// workspace symbol index. The hash collection is declared in ANOTHER
+// file (`table.rs` holds `pub struct Table { pub m: EventMap }`, with
+// `EventMap` a type alias for `HashMap<u64, u32>`); this file only
+// iterates it. Phase-1 indexing resolves `t.m` through the `Table`
+// field and the alias, so the `.values()` call below IS flagged as a
+// D2 error even though no `HashMap`/`HashSet` token appears in this
+// file. driver.rs asserts the detection (rule D2, line 13).
 
 use crate::table::Table;
 

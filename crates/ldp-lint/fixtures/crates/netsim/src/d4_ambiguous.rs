@@ -1,0 +1,9 @@
+// Fixture: trips D4 through an AMBIGUOUS bare call. `helper_now` has
+// two same-named definitions (replay/src/tokio_a.rs is clean,
+// replay/src/tokio_b.rs reads the wall clock). Conservative resolution
+// adds edges to both, so the taint still surfaces — ambiguity widens
+// the search, it never suppresses a finding.
+
+pub fn sim_choose() -> u64 {
+    helper_now()
+}

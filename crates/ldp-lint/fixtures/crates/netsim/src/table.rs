@@ -1,0 +1,20 @@
+// Fixture: the declaring side of the D2 cross-file detection pair.
+// `d2_cross_file_gap.rs` iterates `Table::m` without any hash token of
+// its own; the v2 symbol index resolves the field through the
+// `EventMap` alias declared here. This file itself only *declares* the
+// hash (keyed access is fine), so it draws the D2 type warning but no
+// error.
+
+use std::collections::HashMap;
+
+pub type EventMap = HashMap<u64, u32>;
+
+pub struct Table {
+    pub m: EventMap,
+}
+
+impl Table {
+    pub fn lookup(&self, k: u64) -> Option<u32> {
+        self.m.get(&k).copied()
+    }
+}

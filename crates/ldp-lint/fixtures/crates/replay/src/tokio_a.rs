@@ -1,0 +1,8 @@
+// Fixture: one of two same-named helpers (see tokio_b.rs). This one is
+// clean; D4's conservative call resolution must still follow the
+// ambiguous call in d4_ambiguous.rs to BOTH candidates and report the
+// tainted one.
+
+pub fn helper_now() -> u64 {
+    42
+}

@@ -1,0 +1,8 @@
+// Fixture: the tainted twin of tokio_a.rs — same fn name, reads the
+// wall clock (allowed here: tokio_* files are real-clock modules).
+// Ambiguity between the two candidates must widen D4's search, never
+// suppress it.
+
+pub fn helper_now() -> u64 {
+    std::time::Instant::now().elapsed().as_micros() as u64
+}

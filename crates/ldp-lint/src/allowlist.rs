@@ -19,7 +19,7 @@ use crate::rules::Diagnostic;
 /// One parsed allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id this entry suppresses (`D1`…`A1`).
+    /// Rule id this entry suppresses (any id in `crate::rules::CATALOG`).
     pub rule: String,
     /// Path suffix the entry applies to.
     pub path_suffix: String,
@@ -68,10 +68,12 @@ impl Allowlist {
                      (expected `RULE path-suffix [-- reason]`)"
                 ));
             }
-            if !matches!(rule.as_str(), "D1" | "D2" | "D3" | "P1" | "P2" | "A1" | "T1" | "R1") {
+            if crate::rules::rule_info(&rule).is_none() {
+                let known: Vec<&str> = crate::rules::CATALOG.iter().map(|r| r.id).collect();
                 return Err(format!(
                     "{name}:{line_no}: unknown rule {rule:?} \
-                     (expected one of D1, D2, D3, P1, P2, A1, T1, R1)"
+                     (expected one of {})",
+                    known.join(", ")
                 ));
             }
             entries.push(AllowEntry { rule, path_suffix, reason, line: line_no });
@@ -152,6 +154,8 @@ D2 sim.rs
         assert!(Allowlist::parse("D1").is_err());
         assert!(Allowlist::parse("D9 some/path.rs").is_err());
         assert!(Allowlist::parse("D1 a.rs extra-token").is_err());
+        // The v2 rules are valid entries (ids come from the catalog).
+        assert!(Allowlist::parse("D4 a.rs\nC1 b.rs\nC2 c.rs").is_ok());
     }
 
     #[test]

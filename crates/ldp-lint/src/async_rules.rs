@@ -1,0 +1,537 @@
+//! Async-hazard rules C1 and C2.
+//!
+//! * **C1** — blocking calls inside an async region (`async fn` bodies
+//!   and `async {}`/`async move {}` blocks): `std::thread::sleep`,
+//!   synchronous `std::fs` I/O, the blocking `std::net` socket types,
+//!   and `.wait()`. Each one parks the executor thread, which under
+//!   fleet-scale replay means every task multiplexed onto that worker
+//!   stalls with it.
+//! * **C2** — holding a synchronous `Mutex`/`RwLock` guard across an
+//!   `.await` point. The task can be suspended while holding the lock
+//!   and resumed on another worker, deadlocking any thread (async or
+//!   not) that contends for it. `tokio::sync::Mutex` (`.lock().await`)
+//!   is the async-aware alternative and is recognized and allowed.
+//!
+//! Both rules are lexical: C1 resolves names through the `use` imports
+//! in the symbol index (so `tokio::net::TcpStream` never false-positives
+//! and a renamed `std::net::TcpStream` still trips), and C2 tracks
+//! guard bindings by scope shape (`let` → enclosing block, `if let`/
+//! `while let` → that body, temporaries → end of statement, `drop(g)`
+//! releases early).
+
+use crate::index::{bare, match_brace, FileData, WorkspaceIndex};
+use crate::lexer::Token;
+use crate::rules::{Diagnostic, Severity};
+
+/// `std::net` types whose I/O blocks the calling thread. (`SocketAddr`
+/// and friends are plain data and never flagged.)
+const BLOCKING_NET_TYPES: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
+
+/// Token-index spans (inclusive) of async regions in one file: every
+/// `async fn` body plus every `async [move] { … }` block.
+pub fn async_spans(file_id: usize, fd: &FileData, index: &WorkspaceIndex) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = index.files[file_id]
+        .fns
+        .iter()
+        .filter_map(|&id| {
+            let f = &index.fns[id];
+            if f.is_async { f.body } else { None }
+        })
+        .collect();
+    let toks = &fd.tokens;
+    for i in 0..toks.len() {
+        if toks[i].text != "async" {
+            continue;
+        }
+        let open = match toks.get(i + 1).map(|t| t.text.as_str()) {
+            Some("{") => Some(i + 1),
+            Some("move") if toks.get(i + 2).map(|t| t.text.as_str()) == Some("{") => Some(i + 2),
+            _ => None, // `async fn` — covered via the index above
+        };
+        if let Some(open) = open {
+            if let Some(close) = match_brace(toks, open) {
+                spans.push((open, close));
+            }
+        }
+    }
+    spans.sort_unstable();
+    spans.dedup();
+    spans
+}
+
+/// Does the import path of `name` in `file` start with `prefix`?
+fn import_starts(index: &WorkspaceIndex, file: usize, name: &str, prefix: &[&str]) -> bool {
+    index
+        .import_path(file, name)
+        .map(|p| p.len() >= prefix.len() && p.iter().zip(prefix).all(|(a, b)| a == b))
+        .unwrap_or(false)
+}
+
+/// C1 — blocking calls in async regions.
+pub fn rule_c1(
+    file_id: usize,
+    fd: &FileData,
+    index: &WorkspaceIndex,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &fd.tokens;
+    let mut flag = |line: u32, what: &str, fix: &str| {
+        diags.push(Diagnostic {
+            rule: "C1",
+            severity: Severity::Error,
+            path: fd.path.clone(),
+            line,
+            message: format!(
+                "{what} inside an async region blocks the executor thread — {fix}"
+            ),
+        });
+    };
+    for (s, e) in async_spans(file_id, fd, index) {
+        let mut i = s;
+        while i <= e.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            let txt = bare(&t.text);
+            let nx = |k: usize| toks.get(i + k).map(|t| t.text.as_str());
+            let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+            match txt {
+                // `[std::]thread::sleep(…)`
+                "thread" if prev != Some(".") && nx(1) == Some("::") && nx(2) == Some("sleep") => {
+                    flag(t.line, "`std::thread::sleep`", "use tokio::time::sleep");
+                    i += 3;
+                }
+                // `sleep(…)` imported from std::thread
+                "sleep"
+                    if prev != Some("::")
+                        && prev != Some(".")
+                        && nx(1) == Some("(")
+                        && import_starts(index, file_id, txt, &["std", "thread", "sleep"]) =>
+                {
+                    flag(t.line, "`std::thread::sleep`", "use tokio::time::sleep");
+                }
+                // `std::fs::…` inline
+                "std" if nx(1) == Some("::") && nx(2) == Some("fs") => {
+                    flag(
+                        t.line,
+                        "synchronous `std::fs` I/O",
+                        "use tokio::fs or spawn_blocking",
+                    );
+                    i += 3;
+                }
+                // `std::net::TcpStream::…` inline
+                "std"
+                    if nx(1) == Some("::")
+                        && nx(2) == Some("net")
+                        && nx(3) == Some("::")
+                        && nx(4).map(|t| BLOCKING_NET_TYPES.contains(&t)).unwrap_or(false) =>
+                {
+                    flag(
+                        t.line,
+                        "blocking `std::net` socket I/O",
+                        "use the tokio::net equivalents",
+                    );
+                    i += 5;
+                }
+                // `.wait()` — channel/condvar/child wait
+                "." if nx(1) == Some("wait") && nx(2) == Some("(") => {
+                    flag(
+                        toks[i + 1].line,
+                        "`.wait()`",
+                        "await an async signal (Notify/oneshot) or spawn_blocking",
+                    );
+                    i += 2;
+                }
+                // An identifier imported from std::fs or a blocking
+                // std::net type, applied (`File::open`, `read_to_string(`,
+                // renamed imports included).
+                _ if t.is_ident()
+                    && prev != Some("::")
+                    && prev != Some(".")
+                    && matches!(nx(1), Some("::") | Some("(")) =>
+                {
+                    if import_starts(index, file_id, txt, &["std", "fs"]) {
+                        flag(
+                            t.line,
+                            "synchronous `std::fs` I/O",
+                            "use tokio::fs or spawn_blocking",
+                        );
+                    } else if BLOCKING_NET_TYPES.iter().any(|ty| {
+                        import_starts(index, file_id, txt, &["std", "net", ty])
+                    }) {
+                        flag(
+                            t.line,
+                            "blocking `std::net` socket I/O",
+                            "use the tokio::net equivalents",
+                        );
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// C2 — a synchronous lock guard held across `.await`.
+pub fn rule_c2(fd: &FileData, diags: &mut Vec<Diagnostic>) {
+    let toks = &fd.tokens;
+    for i in 0..toks.len() {
+        // Zero-arg `.lock()` / `.read()` / `.write()` — the zero-arg
+        // shape excludes io::Read/Write (`.read(buf)`).
+        if toks[i].text != "."
+            || !matches!(
+                toks.get(i + 1).map(|t| t.text.as_str()),
+                Some("lock") | Some("read") | Some("write")
+            )
+            || toks.get(i + 2).map(|t| t.text.as_str()) != Some("(")
+            || toks.get(i + 3).map(|t| t.text.as_str()) != Some(")")
+        {
+            continue;
+        }
+        let method = toks[i + 1].text.clone();
+        let line = toks[i + 1].line;
+        // Walk the tail of the call chain: `?`, `.unwrap()`, `.expect(…)`
+        // stay on the guard; `.await` right here means a tokio lock.
+        let mut after = i + 4;
+        loop {
+            match toks.get(after).map(|t| t.text.as_str()) {
+                Some("?") => after += 1,
+                Some(".") => match toks.get(after + 1).map(|t| t.text.as_str()) {
+                    Some("await") => {
+                        after = usize::MAX; // tokio::sync — legal across await
+                        break;
+                    }
+                    Some("unwrap") | Some("expect")
+                        if toks.get(after + 2).map(|t| t.text.as_str()) == Some("(") =>
+                    {
+                        match match_paren(toks, after + 2) {
+                            Some(close) => after = close + 1,
+                            None => break,
+                        }
+                    }
+                    _ => break,
+                },
+                _ => break,
+            }
+        }
+        if after == usize::MAX {
+            continue;
+        }
+        // Statement start: previous `;`/`{`/`}` + 1.
+        let stmt_start = (0..i)
+            .rev()
+            .find(|&p| matches!(toks[p].text.as_str(), ";" | "{" | "}"))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let stmt = &toks[stmt_start..i];
+        let is_let = stmt.iter().any(|t| t.text == "let");
+        let head = stmt.first().map(|t| t.text.as_str());
+        // Guard live range + the names `drop(name)` can release.
+        let (scope, names): (Option<(usize, usize)>, Vec<String>) =
+            if is_let && matches!(head, Some("if") | Some("while")) {
+                // `if let Ok(g) = m.lock() { body }` — the guard lives in
+                // the body block.
+                let body_open = (after..toks.len()).find(|&p| toks[p].text == "{");
+                let scope = body_open
+                    .and_then(|o| match_brace(toks, o).map(|c| (o, c)));
+                (scope, pattern_names(stmt))
+            } else if is_let && toks.get(after).map(|t| t.text.as_str()) == Some(";") {
+                // `let g = m.lock()…;` — the binding IS the guard; it
+                // lives to the end of the enclosing block.
+                let names = pattern_names(stmt);
+                if names.is_empty() {
+                    // `let _ = m.lock();` — dropped immediately.
+                    (None, names)
+                } else {
+                    (Some((after + 1, block_close(toks, after + 1))), names)
+                }
+            } else {
+                // Temporary guard inside a larger expression (`match
+                // m.lock().x() { … }`, `m.lock().push(v)`): Rust keeps
+                // the temporary alive to the end of the *statement*.
+                (Some((after, stmt_end(toks, after))), Vec::new())
+            };
+        let Some((ss, se)) = scope else { continue };
+        // Any `.await` inside the live range (before a releasing drop)?
+        let mut p = ss;
+        let mut hit: Option<u32> = None;
+        while p < se.min(toks.len()) {
+            if toks[p].text == "drop"
+                && toks.get(p + 1).map(|t| t.text.as_str()) == Some("(")
+                && toks
+                    .get(p + 2)
+                    .map(|t| names.iter().any(|n| *n == t.text))
+                    .unwrap_or(false)
+            {
+                break;
+            }
+            if toks[p].text == "."
+                && toks.get(p + 1).map(|t| t.text.as_str()) == Some("await")
+            {
+                hit = Some(toks[p + 1].line);
+                break;
+            }
+            p += 1;
+        }
+        if let Some(await_line) = hit {
+            diags.push(Diagnostic {
+                rule: "C2",
+                severity: Severity::Error,
+                path: fd.path.clone(),
+                line,
+                message: format!(
+                    "sync `.{method}()` guard held across `.await` (line {await_line}) — \
+                     drop the guard before awaiting, or use tokio::sync::{}",
+                    if method == "lock" { "Mutex" } else { "RwLock" }
+                ),
+            });
+        }
+    }
+}
+
+/// Bound names in a `let` pattern (tokens up to the `=`): identifiers
+/// that are bindings, not paths/constructors/`_`/`mut`/keywords.
+fn pattern_names(stmt: &[Token]) -> Vec<String> {
+    let Some(let_pos) = stmt.iter().position(|t| t.text == "let") else {
+        return Vec::new();
+    };
+    let eq = stmt
+        .iter()
+        .position(|t| t.text == "=")
+        .unwrap_or(stmt.len());
+    let mut out = Vec::new();
+    for k in let_pos + 1..eq {
+        let t = &stmt[k];
+        if !t.is_ident() || t.text == "_" || t.text == "mut" || t.text == "ref" {
+            continue;
+        }
+        // `Ok(g)` / `path::Variant(g)` — skip the constructor idents.
+        if matches!(
+            stmt.get(k + 1).map(|t| t.text.as_str()),
+            Some("(") | Some("::") | Some("{")
+        ) {
+            continue;
+        }
+        // Skip type-annotation tokens after `:`.
+        if k > let_pos + 1 && stmt[k - 1].text == ":" {
+            continue;
+        }
+        out.push(bare(&t.text).to_string());
+    }
+    out
+}
+
+/// First index past the enclosing block: scan forward from `from`
+/// until brace depth drops below zero.
+fn block_close(toks: &[Token], from: usize) -> usize {
+    let mut depth = 0i32;
+    for (p, t) in toks.iter().enumerate().skip(from) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return p;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// End of the current statement: the `;` at relative depth 0 (or the
+/// enclosing block close, whichever comes first).
+fn stmt_end(toks: &[Token], from: usize) -> usize {
+    let mut depth = 0i32;
+    for (p, t) in toks.iter().enumerate().skip(from) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return p;
+                }
+            }
+            ";" if depth == 0 => return p,
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+fn match_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index;
+    use crate::lexer::tokenize;
+    use crate::rules::classify;
+
+    fn file(path: &str, src: &str) -> FileData {
+        FileData {
+            path: path.to_string(),
+            scope: classify(path),
+            tokens: tokenize(src),
+        }
+    }
+
+    fn c1(src: &str) -> Vec<Diagnostic> {
+        let files = [file("crates/dns-server/src/tokio_x.rs", src)];
+        let idx = index::build(&files);
+        let mut diags = Vec::new();
+        rule_c1(0, &files[0], &idx, &mut diags);
+        diags
+    }
+
+    fn c2(src: &str) -> Vec<Diagnostic> {
+        let files = [file("crates/dns-server/src/tokio_x.rs", src)];
+        let mut diags = Vec::new();
+        rule_c2(&files[0], &mut diags);
+        diags
+    }
+
+    #[test]
+    fn c1_flags_blocking_calls_in_async_fns() {
+        let ds = c1(r#"
+            use std::fs::File;
+            pub async fn serve(p: &str) {
+                std::thread::sleep(d);
+                let data = std::fs::read(p);
+                let f = File::open(p);
+                child.wait();
+            }
+        "#);
+        assert_eq!(ds.len(), 4, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule == "C1"));
+        assert_eq!(ds[0].line, 4);
+    }
+
+    #[test]
+    fn c1_covers_async_blocks_and_net_types() {
+        let ds = c1(r#"
+            use std::net::TcpStream;
+            pub fn spawn_it(rt: &Runtime) {
+                rt.spawn(async move {
+                    let c = TcpStream::connect(addr);
+                    std::net::UdpSocket::bind(addr);
+                });
+            }
+        "#);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+    }
+
+    #[test]
+    fn c1_stays_silent_outside_async_and_for_tokio() {
+        // Sync fn: blocking is legal.
+        assert!(c1("pub fn f() { std::thread::sleep(d); }").is_empty());
+        // tokio::net + tokio::time in async: fine.
+        let ds = c1(r#"
+            use tokio::net::{TcpStream, UdpSocket};
+            pub async fn serve(addr: A) {
+                let c = TcpStream::connect(addr).await;
+                let u = UdpSocket::bind(addr).await;
+                tokio::time::sleep(d).await;
+            }
+        "#);
+        assert!(ds.is_empty(), "{ds:?}");
+        // SocketAddr is plain data, and raw identifiers never read as
+        // the async keyword.
+        let ds = c1(r#"
+            use std::net::SocketAddr;
+            pub fn r#async(a: SocketAddr) { std::thread::sleep(d); }
+        "#);
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn c2_flags_guard_held_across_await() {
+        let ds = c2(r#"
+            pub async fn f(state: &S) {
+                let g = state.inner.lock().unwrap();
+                push(&g);
+                tick().await;
+            }
+        "#);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].rule, "C2");
+        assert_eq!(ds[0].line, 3);
+        // RwLock write guards too, in if-let bodies.
+        let ds = c2(r#"
+            pub async fn g(state: &S) {
+                if let Ok(w) = state.inner.write() {
+                    publish(&w).await;
+                }
+            }
+        "#);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+    }
+
+    #[test]
+    fn c2_allows_dropped_scoped_and_tokio_guards() {
+        // Guard dropped before the await.
+        let ds = c2(r#"
+            pub async fn f(state: &S) {
+                let g = state.inner.lock().unwrap();
+                let v = g.value;
+                drop(g);
+                tick().await;
+            }
+        "#);
+        assert!(ds.is_empty(), "{ds:?}");
+        // Guard confined to an inner block.
+        let ds = c2(r#"
+            pub async fn f(state: &S) {
+                { let g = state.inner.lock().unwrap(); push(&g); }
+                tick().await;
+            }
+        "#);
+        assert!(ds.is_empty(), "{ds:?}");
+        // tokio::sync::Mutex: .lock().await is the point.
+        let ds = c2(r#"
+            pub async fn f(state: &S) {
+                let g = state.inner.lock().await;
+                tick().await;
+            }
+        "#);
+        assert!(ds.is_empty(), "{ds:?}");
+        // Temporary guard: dies at the end of its own statement, so an
+        // await in a LATER statement is fine.
+        let ds = c2(r#"
+            pub async fn f(state: &S) {
+                let verdict = match state.bank.lock().unwrap().check(x) {
+                    V::Ok => 1,
+                    _ => 0,
+                };
+                respond(verdict).await;
+            }
+        "#);
+        assert!(ds.is_empty(), "{ds:?}");
+        // …but an await inside the same statement as the temporary trips.
+        let ds = c2(r#"
+            pub async fn f(state: &S) {
+                let v = combine(state.bank.lock().unwrap().check(x), tick().await);
+            }
+        "#);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        // io::Read with a buffer argument is not a lock.
+        let ds = c2("pub async fn f(mut s: S) { s.read(&mut buf); tick().await; }");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+}

@@ -75,6 +75,18 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                     }
                 }
             }
+            b'r' if starts_raw_ident(b, i) => {
+                // Raw identifier: `r#type`, `r#async`, … One token whose
+                // text keeps the `r#` prefix, so `r#async` can never be
+                // mistaken for the `async` keyword by a rule.
+                let start = i;
+                i += 2; // r#
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                out.push(Token::new(line, &src[start..i]));
+            }
             b'r' | b'b' if starts_raw_string(b, i) => {
                 // r"...", r#"..."#, br"...", rb-like forms: skip prefix
                 // letters, count hashes, then scan to the closing quote
@@ -195,6 +207,17 @@ pub fn tokenize(src: &str) -> Vec<Token> {
         }
     }
     out
+}
+
+/// Is position `i` the start of a raw identifier (`r#ident`)?
+///
+/// Distinguished from a hash-delimited raw string (`r#"…"#`) by the
+/// byte after `r#`: an identifier start rather than `"` or another `#`.
+fn starts_raw_ident(b: &[u8], i: usize) -> bool {
+    i + 2 < b.len()
+        && b[i] == b'r'
+        && b[i + 1] == b'#'
+        && (b[i + 2].is_ascii_alphabetic() || b[i + 2] == b'_')
 }
 
 /// Is position `i` the start of a raw (possibly byte) string literal?
@@ -345,6 +368,47 @@ mod tests {
         let toks = texts(r####"let s = r#"thread_rng() "quoted" inside"#; let t = 2;"####);
         assert!(!toks.contains(&"thread_rng".to_string()));
         assert!(toks.contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_lex_as_keywords() {
+        // `r#async` / `r#type` are ordinary identifiers; lexing them as
+        // the bare keyword would false-positive the C1 async-region
+        // detector (and any future keyword-anchored rule).
+        let toks = texts("fn r#async(r#type: u32) { let r#fn = r#type; }");
+        assert!(!toks.contains(&"async".to_string()), "{toks:?}");
+        assert!(!toks.contains(&"type".to_string()), "{toks:?}");
+        assert!(toks.contains(&"r#async".to_string()));
+        assert!(toks.contains(&"r#type".to_string()));
+        assert!(toks.contains(&"r#fn".to_string()));
+        // A raw identifier is still an identifier.
+        assert!(tokenize("r#match").iter().all(|t| t.is_ident()));
+        // …and raw strings still lex as strings, not raw identifiers.
+        let raw = texts(r####"let s = r#"thread_rng()"#;"####);
+        assert!(!raw.contains(&"thread_rng".to_string()));
+        assert!(raw.contains(&"\"\"".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_with_string_delimiters() {
+        // String delimiters have no meaning inside a block comment: the
+        // nesting count alone decides where the comment ends. A lexer
+        // that enters "string mode" on the inner quote would swallow the
+        // closing `*/` and mis-lex everything after it.
+        let toks = texts(
+            "/* outer /* inner \" */ still \"comment' */ let after = Instant::now;",
+        );
+        assert!(toks.contains(&"after".to_string()), "{toks:?}");
+        assert!(toks.contains(&"Instant".to_string()), "{toks:?}");
+        assert!(!toks.contains(&"outer".to_string()));
+        assert!(!toks.contains(&"inner".to_string()));
+        // Unbalanced quote inside a line comment does not leak either.
+        let toks = texts("// a \" quote\nlet x = 1;");
+        assert_eq!(toks, vec!["let", "x", "=", "1", ";"]);
+        // Line numbers survive multi-line nested comments.
+        let toks = tokenize("/* \"\n/* ' */\n*/\nident");
+        assert_eq!(toks[0].text, "ident");
+        assert_eq!(toks[0].line, 4);
     }
 
     #[test]

@@ -4,26 +4,40 @@
 //! correctness claims rest on (see DESIGN.md "Correctness invariants"):
 //!
 //! * **D1** no wall-clock reads outside real-clock modules
-//! * **D2** no order-dependent hash-map iteration in simulator paths
+//! * **D2** no order-dependent hash-map iteration in simulator paths —
+//!   resolved across files through the workspace symbol index (type
+//!   aliases, struct fields, `use` renames)
 //! * **D3** no ambient randomness — all RNG flows from a seed
+//! * **D4** no sim-path fn may *transitively* reach a wall-clock read
+//!   (call-graph taint; direct reads are D1/T1)
 //! * **P1** no panics in packet-decode / server hot paths
-//! * **P2** no unwrap/expect elsewhere in the hot-path crates
+//! * **P2** no unwrap/expect or panic!-family macros elsewhere in the
+//!   hot-path crates; slice indexing in P1 files is warning-tier
 //! * **A1** no unbounded channels in server/replay/proxy crates
 //! * **T1** no raw clock reads in crates/telemetry — use ClockSource
 //! * **R1** no unbounded retry loops in server/replay/proxy crates
+//! * **C1** no blocking calls (thread::sleep, sync std::fs/std::net,
+//!   `.wait()`) inside async code
+//! * **C2** no sync Mutex/RwLock guard held across `.await`
 //!
 //! Usage:
 //!
 //! ```text
-//! ldp-lint check [--root DIR] [--allowlist FILE] [--deny-unused-allows]
+//! ldp-lint check [--root DIR] [--allowlist FILE] [--deny-unused-allows] [--format json]
 //! ldp-lint rules
+//! ldp-lint explain <RULE>
+//! ldp-lint report <FILE.json>
 //! ```
 //!
 //! `check` walks every `.rs` file under `--root` (default: the nearest
-//! ancestor containing `Cargo.toml`, i.e. the workspace root), applies
-//! the rules, filters through the allowlist (default: `ldp-lint.allow`
-//! next to that `Cargo.toml`, if present), prints `path:line` diagnostics
-//! and exits 1 on any non-allowlisted error.
+//! ancestor containing `Cargo.toml`, i.e. the workspace root), lexes the
+//! whole workspace into a symbol index + call graph, applies the rules,
+//! filters through the allowlist (default: `ldp-lint.allow` next to that
+//! `Cargo.toml`, if present), prints `path:line` diagnostics and exits 1
+//! on any non-allowlisted error. `--format json` swaps the human output
+//! for one machine-readable document. `report` re-reads such a document,
+//! validates it and prints per-rule counts (exit 2 on malformed input) —
+//! the CI gate uses it to prove the JSON side stays parseable.
 //!
 //! The crate is deliberately dependency-free (a hand-rolled lexer rather
 //! than `syn`) so the pass runs even on offline builders where the
@@ -34,14 +48,19 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 mod allowlist;
+mod async_rules;
+mod callgraph;
 mod driver;
+mod index;
+mod json;
 mod lexer;
 mod rules;
 
 use allowlist::Allowlist;
 
 fn usage() -> &'static str {
-    "usage: ldp-lint <check [--root DIR] [--allowlist FILE] [--deny-unused-allows] | rules>"
+    "usage: ldp-lint <check [--root DIR] [--allowlist FILE] [--deny-unused-allows] \
+     [--format json] | rules | explain <RULE> | report <FILE.json>>"
 }
 
 /// Nearest ancestor of the current directory containing a `Cargo.toml`
@@ -67,6 +86,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allow_path: Option<PathBuf> = None;
     let mut deny_unused = false;
+    let mut json_out = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -82,6 +102,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 Some(v) => allow_path = Some(PathBuf::from(v)),
                 None => {
                     eprintln!("ldp-lint: --allowlist needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json_out = true,
+                Some("text") => json_out = false,
+                _ => {
+                    eprintln!("ldp-lint: --format takes `json` or `text`\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
@@ -125,13 +153,20 @@ fn cmd_check(args: &[String]) -> ExitCode {
         // longer suppresses anything) fails the run instead of warning,
         // so CI keeps ldp-lint.allow minimal.
         Ok(report) => {
-            let mut code = driver::print_report(&report);
+            let mut code = if json_out {
+                print!("{}", driver::render_json(&report));
+                report.exit_code()
+            } else {
+                driver::print_report(&report)
+            };
             if deny_unused && !report.unused_allows.is_empty() {
-                println!(
-                    "ldp-lint: FAIL — {} unused allowlist entr{} (--deny-unused-allows)",
-                    report.unused_allows.len(),
-                    if report.unused_allows.len() == 1 { "y" } else { "ies" }
-                );
+                if !json_out {
+                    println!(
+                        "ldp-lint: FAIL — {} unused allowlist entr{} (--deny-unused-allows)",
+                        report.unused_allows.len(),
+                        if report.unused_allows.len() == 1 { "y" } else { "ies" }
+                    );
+                }
                 code = 1;
             }
             ExitCode::from(code as u8)
@@ -144,34 +179,94 @@ fn cmd_check(args: &[String]) -> ExitCode {
 }
 
 fn cmd_rules() -> ExitCode {
-    print!(
-        "\
-D1  error    no Instant::now/SystemTime::now outside real-clock modules
-             (tokio_* modules, capture.rs, crates/bench)
-D2  error    no order-dependent iteration over HashMap/HashSet in
-             simulator paths (crates/netsim/src, sim_*.rs) — use BTreeMap
-    warning  any HashMap/HashSet mention in those paths
-D3  error    no thread_rng / rand::random / from_entropy anywhere —
-             randomness must flow from a seeded RNG
-P1  error    no unwrap/expect/panic!/unreachable!/todo!/unimplemented!
-             in hot paths (crates/dns-wire/src, crates/proxy/src,
-             crates/dns-server/src/engine.rs)
-P2  error    no unwrap/expect in the remaining files of the hot-path
-             crates (dns-wire, dns-server, proxy, telemetry) — the
-             offline stand-in for clippy's unwrap_used/expect_used
-A1  error    no unbounded channels in dns-server/replay/proxy crates
-T1  error    no Instant::now/SystemTime::now inside crates/telemetry —
-             timestamps go through the ClockSource abstraction
-R1  error    a loop calling a retry/reconnect/backoff helper in the
-             dns-server/replay/proxy crates must reference a budget/
-             attempt/deadline/limit/cap identifier
-
-Test code (#[cfg(test)], #[test]), tests/, benches/, examples/ and
-fixtures/ are exempt. Intentional exceptions go in ldp-lint.allow as
-`RULE path-suffix -- reason`.
-"
+    for r in rules::CATALOG {
+        println!("{:<3} {:<8} {}", r.id, r.severity, r.summary);
+    }
+    println!();
+    println!(
+        "Test code (#[cfg(test)], #[test]), tests/, benches/, examples/ and\n\
+         fixtures/ are exempt. Intentional exceptions go in ldp-lint.allow as\n\
+         `RULE path-suffix -- reason`. `ldp-lint explain <RULE>` prints the\n\
+         rationale for one rule."
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!("ldp-lint: explain needs a rule id\n{}", usage());
+        return ExitCode::from(2);
+    };
+    let id = id.to_uppercase();
+    match rules::rule_info(&id) {
+        Some(r) => {
+            println!("{} ({})", r.id, r.severity);
+            println!("  {}", r.summary);
+            println!();
+            for line in r.rationale.lines() {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = rules::CATALOG.iter().map(|r| r.id).collect();
+            eprintln!("ldp-lint: unknown rule {id:?} (known: {})", known.join(", "));
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Validate a `--format json` report and print per-rule counts. Exit 2
+/// on unreadable/malformed input, 1 when the report itself records
+/// errors, 0 otherwise — so the CI gate can chain it after `check`.
+fn cmd_report(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("ldp-lint: report needs a JSON file\n{}", usage());
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ldp-lint: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let v = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("ldp-lint: malformed JSON in {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let num = |key: &str| v.get(key).and_then(|x| x.as_num());
+    let arr_len = |key: &str| v.get(key).and_then(|x| x.as_arr()).map(|a| a.len());
+    let (Some(files), Some(errors), Some(warnings)) =
+        (num("files"), arr_len("errors"), arr_len("warnings"))
+    else {
+        eprintln!("ldp-lint: {path} is valid JSON but not an ldp-lint report");
+        return ExitCode::from(2);
+    };
+    println!(
+        "ldp-lint report: {} files, {} error(s), {} warning(s), {} suppressed",
+        files,
+        errors,
+        warnings,
+        num("suppressed").unwrap_or(0.0)
+    );
+    if let Some(counts) = v.get("rule_counts").and_then(|x| x.as_obj()) {
+        for (rule, c) in counts {
+            let e = c.get("errors").and_then(|x| x.as_num()).unwrap_or(0.0);
+            let w = c.get("warnings").and_then(|x| x.as_num()).unwrap_or(0.0);
+            if e > 0.0 || w > 0.0 {
+                println!("  {rule:<3} {e} error(s), {w} warning(s)");
+            }
+        }
+    }
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -179,6 +274,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("rules") => cmd_rules(),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some(other) => {
             eprintln!("ldp-lint: unknown command {other:?}\n{}", usage());
             ExitCode::from(2)

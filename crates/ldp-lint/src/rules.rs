@@ -1,23 +1,32 @@
-//! The eight LDplayer correctness rules.
+//! The eleven LDplayer correctness rules.
 //!
 //! | rule | invariant |
 //! |------|-----------|
 //! | D1   | no wall-clock reads (`Instant::now`, `SystemTime::now`) outside real-clock modules |
-//! | D2   | no order-dependent iteration over `HashMap`/`HashSet` in simulator-path code |
+//! | D2   | no order-dependent iteration over `HashMap`/`HashSet` in simulator-path code — resolved through type aliases and struct fields **across files** |
 //! | D3   | no ambient randomness (`thread_rng`, `rand::random`, `from_entropy`) — all RNG is seeded |
+//! | D4   | no sim-path fn may *transitively* reach a wall-clock read through the call graph |
 //! | P1   | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in packet-decode and server hot paths |
-//! | P2   | no `unwrap`/`expect` in the remaining files of the hot-path crates (dns-wire, dns-server, proxy, telemetry) |
+//! | P2   | no `unwrap`/`expect`/`panic!`-family macros in the remaining files of the hot-path crates; slice indexing in the P1 file set is a warning |
 //! | A1   | no unbounded channels in the server/replay/proxy crates |
 //! | T1   | no raw clock reads inside `crates/telemetry` — all time flows through `ClockSource` |
 //! | R1   | a loop that calls a retry/reconnect/backoff helper must reference a budget/cap identifier (server/replay/proxy crates) |
+//! | C1   | no blocking calls (`thread::sleep`, sync `std::fs`/`std::net` I/O, `.wait()`) inside async regions |
+//! | C2   | no sync `Mutex`/`RwLock` guard held across an `.await` point |
 //!
 //! Detection is token-based (see [`crate::lexer`]): comments, strings
 //! and `#[cfg(test)]` code never trigger a rule. Scoping is path-based
 //! and mirrors the workspace layout, so the fixture tree under
-//! `crates/ldp-lint/fixtures/` can reproduce every scope.
+//! `crates/ldp-lint/fixtures/` can reproduce every scope. The analysis
+//! is two-phase: phase 1 tokenizes every file and builds the workspace
+//! symbol index ([`crate::index`]) and call graph ([`crate::callgraph`]);
+//! phase 2 runs the per-file rules plus the cross-file rules (D2's
+//! cross-file layer, D4, C1, C2) over it.
 
 use std::collections::BTreeSet;
 
+use crate::callgraph::{enclosing_fn, local_types};
+use crate::index::{FileData, WorkspaceIndex, HASH_TYPES};
 use crate::lexer::{test_code_mask, tokenize, Token};
 
 /// Diagnostic severity. Only errors fail the run.
@@ -32,7 +41,7 @@ pub enum Severity {
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id: `D1`, `D2`, `D3`, `P1`, `P2`, `A1`, `T1`.
+    /// Rule id (see [`CATALOG`]).
     pub rule: &'static str,
     /// Severity.
     pub severity: Severity,
@@ -42,6 +51,142 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable description of the violation.
     pub message: String,
+}
+
+/// One entry of the rule catalog: the single source of truth the
+/// `rules` listing, `explain <RULE>`, the allowlist's rule-id
+/// validation and the DESIGN.md §7 table all derive from.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id (`D1` … `C2`).
+    pub id: &'static str,
+    /// Worst severity the rule emits (`error` or `warning`).
+    pub severity: &'static str,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+    /// Why the invariant exists — what breaks when it is violated.
+    pub rationale: &'static str,
+}
+
+/// Every rule, in display order.
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        severity: "error",
+        summary: "no Instant::now/SystemTime::now outside real-clock modules \
+                  (tokio_* files, capture.rs, crates/bench)",
+        rationale: "Sim-path code that reads the wall clock produces transcripts that \
+                    differ run to run; all time flows through the replay/netsim clock \
+                    abstractions so virtual-time runs are bit-reproducible.",
+    },
+    RuleInfo {
+        id: "D2",
+        severity: "error",
+        summary: "no order-dependent iteration over HashMap/HashSet in simulator paths \
+                  (crates/netsim/src, crates/chaos/src, sim_*.rs) — resolved through \
+                  type aliases and struct fields across files; any hash-collection \
+                  mention there is a warning",
+        rationale: "Hash iteration order is randomized per process; if it reaches event \
+                    order, the same seed yields different transcripts. BTreeMap/BTreeSet \
+                    give deterministic order. The cross-file layer resolves aliases, use \
+                    renames and struct fields through the workspace symbol index, so \
+                    declaring the map in another file no longer hides the iteration.",
+    },
+    RuleInfo {
+        id: "D3",
+        severity: "error",
+        summary: "no thread_rng / rand::random / from_entropy anywhere — randomness \
+                  must flow from a seeded RNG",
+        rationale: "Ambient entropy makes workload generation and chaos injection \
+                    unrepeatable; every RNG is constructed from an explicit seed \
+                    (e.g. StdRng::seed_from_u64) so experiments can be replayed.",
+    },
+    RuleInfo {
+        id: "D4",
+        severity: "error",
+        summary: "no sim-path fn may transitively reach Instant::now/SystemTime::now \
+                  through the workspace call graph",
+        rationale: "D1 sees only direct reads; a helper one hop away (often in a \
+                    real-clock-exempt tokio_* file) still leaks wall time into the \
+                    simulation. The call graph is resolved by name through the symbol \
+                    index and is conservative on ambiguity: an ambiguous callee widens \
+                    the search, never suppresses a report. The diagnostic prints the \
+                    full call path to the offending read.",
+    },
+    RuleInfo {
+        id: "P1",
+        severity: "error",
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in hot \
+                  paths (crates/dns-wire/src, crates/proxy/src, dns-server/src/engine.rs)",
+        rationale: "A malformed packet must never panic the server: decode and dispatch \
+                    paths return typed errors so a fuzzer (or the internet) cannot take \
+                    the process down.",
+    },
+    RuleInfo {
+        id: "P2",
+        severity: "error",
+        summary: "no unwrap/expect or panic!-family macros in the remaining files of \
+                  the hot-path crates (dns-wire, dns-server, proxy, telemetry); slice \
+                  indexing `[…]` in the P1 file set is a warning",
+        rationale: "The offline stand-in for clippy's unwrap_used/expect_used/panic/\
+                    unreachable denies, which only run when cargo can reach the \
+                    registry. Indexing is a warning, not an error, mirroring the online \
+                    gate (clippy::indexing_slicing is not denied there): length-checked \
+                    index sites are pervasive in dns-wire and forcing get() everywhere \
+                    would churn correct code.",
+    },
+    RuleInfo {
+        id: "A1",
+        severity: "error",
+        summary: "no unbounded channels in dns-server/replay/proxy crates",
+        rationale: "The pre-load window (paper §2.6) depends on bounded stage-to-stage \
+                    queues for backpressure; an unbounded channel turns overload into \
+                    unbounded memory growth instead of a measurable stall.",
+    },
+    RuleInfo {
+        id: "T1",
+        severity: "error",
+        summary: "no Instant::now/SystemTime::now inside crates/telemetry — timestamps \
+                  go through the ClockSource abstraction",
+        rationale: "Telemetry must be a pure observer: under virtual time it records \
+                    simulator timestamps, and the only sanctioned wall-clock read is \
+                    the WallClockSource impl behind the trait (allowlisted by file).",
+    },
+    RuleInfo {
+        id: "R1",
+        severity: "error",
+        summary: "a loop calling a retry/reconnect/backoff helper in the \
+                  dns-server/replay/proxy crates must reference a budget/attempt/\
+                  deadline/limit/cap identifier",
+        rationale: "A retry loop with no visible bound spins forever against a dead \
+                    peer — exactly the failure mode ldp_guard::RetryBudget exists to \
+                    prevent.",
+    },
+    RuleInfo {
+        id: "C1",
+        severity: "error",
+        summary: "no blocking calls inside async regions: std::thread::sleep, \
+                  synchronous std::fs / std::net I/O, .wait()",
+        rationale: "A blocking call inside an async fn parks the executor thread; under \
+                    fleet-scale replay every task multiplexed onto that worker stalls \
+                    with it, skewing send timings. Names are resolved through the use \
+                    imports, so tokio::net/tokio::time equivalents never trip the rule.",
+    },
+    RuleInfo {
+        id: "C2",
+        severity: "error",
+        summary: "no sync Mutex/RwLock guard held across an .await point",
+        rationale: "A task suspended at .await while holding a std/parking_lot guard \
+                    can be resumed on another worker — or never — deadlocking every \
+                    thread that contends for the lock. tokio::sync::Mutex \
+                    (.lock().await) is async-aware and allowed; dropping the guard \
+                    before awaiting also satisfies the rule.",
+    },
+];
+
+/// Look up a catalog entry by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    CATALOG.iter().find(|r| r.id == id)
 }
 
 /// Path-derived scope of a file, controlling which rules apply.
@@ -107,45 +252,76 @@ pub fn classify(path: &str) -> FileScope {
     FileScope { exempt, real_clock_ok, sim_path, hot_path, panic_lite, channel_scope, telemetry_path }
 }
 
-/// Run every applicable rule over one file's source.
-pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
+/// Tokenize one file into its production-only (test-code-stripped)
+/// token stream; `None` for exempt paths, which never enter the
+/// workspace index.
+pub fn file_data(path: &str, src: &str) -> Option<FileData> {
     let scope = classify(path);
     if scope.exempt {
-        return Vec::new();
+        return None;
     }
     let tokens = tokenize(src);
     let mask = test_code_mask(&tokens);
-    // Production-code tokens only (indices preserved via filtering pairs).
-    let prod: Vec<&Token> = tokens
-        .iter()
-        .zip(&mask)
-        .filter(|(_, &m)| !m)
+    let tokens = tokens
+        .into_iter()
+        .zip(mask)
+        .filter(|(_, m)| !m)
         .map(|(t, _)| t)
         .collect();
+    Some(FileData { path: path.to_string(), scope, tokens })
+}
+
+/// Run every applicable rule over one file's source (single-file view:
+/// the workspace index is built over just this file, so the cross-file
+/// rules still run but can only see local symbols).
+#[cfg(test)]
+pub fn analyze_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    match file_data(path, src) {
+        Some(fd) => analyze_files(std::slice::from_ref(&fd)),
+        None => Vec::new(),
+    }
+}
+
+/// Phase 1 + phase 2 over a set of files: build the symbol index and
+/// call graph, then run per-file rules and cross-file rules (D2's
+/// cross-file layer, D4, C1, C2).
+pub fn analyze_files(files: &[FileData]) -> Vec<Diagnostic> {
+    let index = crate::index::build(files);
+    let graph = crate::callgraph::build(files, &index);
 
     let mut diags = Vec::new();
-    if scope.telemetry_path {
-        // T1 subsumes D1 inside the telemetry crate: the stricter
-        // message points at ClockSource rather than replay/netsim time.
-        rule_t1(path, &prod, &mut diags);
-    } else if !scope.real_clock_ok {
-        rule_d1(path, &prod, &mut diags);
+    for (fid, fd) in files.iter().enumerate() {
+        let scope = fd.scope;
+        let path = fd.path.as_str();
+        let toks = fd.tokens.as_slice();
+        if scope.telemetry_path {
+            // T1 subsumes D1 inside the telemetry crate: the stricter
+            // message points at ClockSource rather than replay/netsim time.
+            rule_t1(path, toks, &mut diags);
+        } else if !scope.real_clock_ok {
+            rule_d1(path, toks, &mut diags);
+        }
+        if scope.sim_path {
+            rule_d2(path, toks, &mut diags);
+            rule_d2_cross(fid, fd, &index, &mut diags);
+        }
+        rule_d3(path, toks, &mut diags);
+        if scope.hot_path {
+            rule_p1(path, toks, &mut diags);
+            rule_p2_indexing(path, toks, &mut diags);
+        }
+        if scope.panic_lite {
+            rule_p2(path, toks, &mut diags);
+        }
+        if scope.channel_scope {
+            rule_a1(path, toks, &mut diags);
+            rule_r1(path, toks, &mut diags);
+        }
+        crate::async_rules::rule_c1(fid, fd, &index, &mut diags);
+        crate::async_rules::rule_c2(fd, &mut diags);
     }
-    if scope.sim_path {
-        rule_d2(path, &prod, &mut diags);
-    }
-    rule_d3(path, &prod, &mut diags);
-    if scope.hot_path {
-        rule_p1(path, &prod, &mut diags);
-    }
-    if scope.panic_lite {
-        rule_p2(path, &prod, &mut diags);
-    }
-    if scope.channel_scope {
-        rule_a1(path, &prod, &mut diags);
-        rule_r1(path, &prod, &mut diags);
-    }
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    crate::callgraph::rule_d4(files, &index, &graph, &mut diags);
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     diags
 }
 
@@ -167,7 +343,7 @@ fn push(
 }
 
 /// D1 — wall-clock reads in virtual-time code.
-fn rule_d1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_d1(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     for w in toks.windows(3) {
         let clock = w[0].text.as_str();
         if (clock == "Instant" || clock == "SystemTime")
@@ -193,7 +369,7 @@ fn rule_d1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
 /// usable from virtual-time code, so every timestamp goes through the
 /// `ClockSource` abstraction; the one wall-clock implementation behind
 /// that trait is allowlisted by file in `ldp-lint.allow`.
-fn rule_t1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_t1(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     for w in toks.windows(3) {
         let clock = w[0].text.as_str();
         if (clock == "Instant" || clock == "SystemTime")
@@ -238,7 +414,7 @@ const ORDER_DEPENDENT_METHODS: &[&str] = &[
 /// 2. *Warning*: any other mention of `HashMap`/`HashSet` in a sim-path
 ///    file — the type itself invites order dependence; use `BTreeMap`/
 ///    `BTreeSet`.
-fn rule_d2(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_d2(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     let hash_names = collect_hash_decls(toks);
 
     for (i, t) in toks.iter().enumerate() {
@@ -267,14 +443,15 @@ fn rule_d2(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
         }
         // Layer 1b: `for pat in [&[mut]] recv {` / `for (…) in recv.…`.
         if t.text == "for" {
-            if let Some((recv, line)) = for_loop_receiver(toks, i) {
+            if let Some(idx) = for_loop_receiver(toks, i) {
+                let recv = &toks[idx].text;
                 if hash_names.contains(recv.as_str()) {
                     push(
                         diags,
                         "D2",
                         Severity::Error,
                         path,
-                        line,
+                        toks[idx].line,
                         format!(
                             "order-dependent `for` over hash collection `{recv}` in \
                              simulator-path code — use BTreeMap/BTreeSet"
@@ -304,7 +481,7 @@ fn rule_d2(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
 }
 
 /// Names declared in this file with a hash-collection type.
-fn collect_hash_decls(toks: &[&Token]) -> BTreeSet<String> {
+fn collect_hash_decls(toks: &[Token]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -337,7 +514,7 @@ fn collect_hash_decls(toks: &[&Token]) -> BTreeSet<String> {
 
 /// The identifier receiving a method call at dot-index `i`:
 /// `name . m (` → `name`; `self . name . m (` → `name`.
-fn receiver_ident(toks: &[&Token], dot: usize) -> Option<String> {
+fn receiver_ident(toks: &[Token], dot: usize) -> Option<String> {
     if dot == 0 {
         return None;
     }
@@ -349,9 +526,10 @@ fn receiver_ident(toks: &[&Token], dot: usize) -> Option<String> {
     None
 }
 
-/// For `for <pat> in <expr> {`, the trailing identifier of the iterated
-/// expression (before `{` or before `.iter()`-style tails).
-fn for_loop_receiver(toks: &[&Token], for_idx: usize) -> Option<(String, u32)> {
+/// For `for <pat> in <expr> {`, the token index of the trailing
+/// identifier of the iterated expression (before `{` or before
+/// `.iter()`-style tails).
+fn for_loop_receiver(toks: &[Token], for_idx: usize) -> Option<usize> {
     // Find `in` at paren/bracket depth 0 after `for`.
     let mut j = for_idx + 1;
     let mut depth = 0i32;
@@ -368,8 +546,8 @@ fn for_loop_receiver(toks: &[&Token], for_idx: usize) -> Option<(String, u32)> {
     if j >= toks.len() {
         return None;
     }
-    // Collect expr tokens until the loop body `{` at depth 0.
-    let mut expr: Vec<&Token> = Vec::new();
+    // Collect expr token indices until the loop body `{` at depth 0.
+    let mut expr: Vec<usize> = Vec::new();
     let mut k = j + 1;
     depth = 0;
     while k < toks.len() {
@@ -379,21 +557,178 @@ fn for_loop_receiver(toks: &[&Token], for_idx: usize) -> Option<(String, u32)> {
             "{" if depth == 0 => break,
             _ => {}
         }
-        expr.push(toks[k]);
+        expr.push(k);
         k += 1;
     }
     // `&map`, `&mut map`, `map`, `self.map` → last ident token, but
     // only when the expression is a plain (borrowed) place with no
     // call: calls like `map.keys()` are handled by the method matcher.
-    if expr.iter().any(|t| t.text == "(") {
+    if expr.iter().any(|&p| toks[p].text == "(") {
         return None;
     }
-    let last_ident = expr.iter().rev().find(|t| t.is_ident() && t.text != "mut")?;
-    Some((last_ident.text.clone(), last_ident.line))
+    expr.iter()
+        .rev()
+        .copied()
+        .find(|&p| toks[p].is_ident() && toks[p].text != "mut")
+}
+
+/// D2's cross-file layer: iteration receivers resolved through the
+/// workspace symbol index — struct fields declared in *other* files,
+/// type aliases, and `use` renames. Receivers the per-file layer
+/// already resolved (names in this file's own hash declarations) are
+/// skipped so a site is never reported twice.
+///
+/// Receiver shapes:
+/// * `owner.field.iter()` / `for … in &owner.field` — the field's
+///   declared type, looked up by owner type when the owner resolves
+///   (via `self`, a param, or a local), else conservatively by field
+///   name across every struct that declares it. A bare identifier is
+///   never resolved through the field fallback — locals cannot be
+///   another struct's field.
+/// * `name.iter()` with `name: SomeAlias` — the alias chased through
+///   `use` renames and workspace `type` aliases down to its head type.
+fn rule_d2_cross(
+    fid: usize,
+    fd: &FileData,
+    index: &WorkspaceIndex,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = fd.tokens.as_slice();
+    let path = fd.path.as_str();
+    let local_hash = collect_hash_decls(toks);
+
+    // Resolved head type of a bare identifier at token `pos`, from the
+    // enclosing fn's params and `let` bindings.
+    let ident_type = |pos: usize, name: &str| -> Option<String> {
+        let f = &index.fns[enclosing_fn(index, fid, pos)?];
+        let locals = local_types(toks, f.body?);
+        let ty = locals.get(name).cloned().or_else(|| {
+            f.params
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.name.clone())
+        })?;
+        Some(index.resolve_type(fid, &ty))
+    };
+    let head_is_hash = |head: &str| HASH_TYPES.contains(&index.resolve_type(fid, head).as_str());
+    // Is `owner.field` (owner type known or not) a hash collection?
+    let field_is_hash = |owner: Option<&str>, field: &str| -> bool {
+        match owner {
+            Some(o) => index
+                .fields
+                .get(&(o.to_string(), field.to_string()))
+                .map(|h| head_is_hash(&h.name))
+                .unwrap_or(false),
+            None => index
+                .field_owners
+                .get(field)
+                .map(|owners| {
+                    owners.iter().any(|o| {
+                        index
+                            .fields
+                            .get(&(o.clone(), field.to_string()))
+                            .map(|h| head_is_hash(&h.name))
+                            .unwrap_or(false)
+                    })
+                })
+                .unwrap_or(false),
+        }
+    };
+    // Cross-file resolution for the receiver ident at token `recv`.
+    let recv_is_hash = |recv: usize| -> bool {
+        let name = toks[recv].text.as_str();
+        if name == "self" || local_hash.contains(name) {
+            return false; // the per-file layer owns these
+        }
+        if recv >= 2 && toks[recv - 1].text == "." && toks[recv - 2].is_ident() {
+            // `owner . field` access.
+            let owner = toks[recv - 2].text.as_str();
+            let owner_ty = if owner == "self" {
+                enclosing_fn(index, fid, recv).and_then(|id| index.fns[id].self_ty.clone())
+            } else {
+                ident_type(recv - 2, owner)
+            };
+            field_is_hash(owner_ty.as_deref(), name)
+        } else {
+            ident_type(recv, name).map(|t| head_is_hash(&t)).unwrap_or(false)
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        // `recv.method(` with an order-dependent method.
+        if t.text == "."
+            && i >= 1
+            && i + 2 < toks.len()
+            && ORDER_DEPENDENT_METHODS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].text == "("
+            && toks[i - 1].is_ident()
+            && recv_is_hash(i - 1)
+        {
+            push(
+                diags,
+                "D2",
+                Severity::Error,
+                path,
+                toks[i + 1].line,
+                format!(
+                    "order-dependent `.{}()` over hash collection `{}` (resolved \
+                     through the workspace symbol index, possibly from another file) \
+                     in simulator-path code — use BTreeMap/BTreeSet",
+                    toks[i + 1].text,
+                    toks[i - 1].text
+                ),
+            );
+        }
+        // `for … in <place>`.
+        if t.text == "for" {
+            if let Some(idx) = for_loop_receiver(toks, i) {
+                if recv_is_hash(idx) {
+                    push(
+                        diags,
+                        "D2",
+                        Severity::Error,
+                        path,
+                        toks[idx].line,
+                        format!(
+                            "order-dependent `for` over hash collection `{}` (resolved \
+                             through the workspace symbol index, possibly from another \
+                             file) in simulator-path code — use BTreeMap/BTreeSet",
+                            toks[idx].text
+                        ),
+                    );
+                }
+            }
+        }
+        // Warning layer: a type name that *resolves* to a hash
+        // collection (alias or renamed import) — the literal
+        // `HashMap`/`HashSet` mention is the per-file layer's warning.
+        if t.is_ident()
+            && t.text != "HashMap"
+            && t.text != "HashSet"
+            && !HASH_TYPES.contains(&t.text.as_str())
+        {
+            let resolved = index.resolve_type(fid, &t.text);
+            if resolved != t.text && HASH_TYPES.contains(&resolved.as_str()) {
+                push(
+                    diags,
+                    "D2",
+                    Severity::Warning,
+                    path,
+                    t.line,
+                    format!(
+                        "`{}` resolves to `{resolved}` in simulator-path code — prefer \
+                         BTreeMap/BTreeSet so iteration order can never leak into \
+                         event order",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
 }
 
 /// D3 — ambient (unseeded) randomness anywhere in production code.
-fn rule_d3(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_d3(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     for (i, t) in toks.iter().enumerate() {
         let flagged = match t.text.as_str() {
             "thread_rng" => Some("rand::thread_rng()"),
@@ -426,7 +761,7 @@ fn rule_d3(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
 }
 
 /// P1 — panics in packet-decode / server hot paths.
-fn rule_p1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_p1(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     for (i, t) in toks.iter().enumerate() {
         // `.unwrap()` / `.expect(`
         if t.text == "."
@@ -472,7 +807,7 @@ fn rule_p1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
 /// panic-free in production code even where the stricter P1 scope
 /// (decode/server hot paths, which also bans `panic!`-family macros)
 /// does not apply.
-fn rule_p2(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_p2(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     for (i, t) in toks.iter().enumerate() {
         if t.text == "."
             && i + 2 < toks.len()
@@ -492,11 +827,69 @@ fn rule_p2(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
                 ),
             );
         }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!` — the
+        // online gate denies clippy::panic and clippy::unreachable
+        // crate-wide in these crates, not just in the P1 hot-path set.
+        if i + 1 < toks.len()
+            && toks[i + 1].text == "!"
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+        {
+            push(
+                diags,
+                "P2",
+                Severity::Error,
+                path,
+                t.line,
+                format!(
+                    "`{}!` in a hot-path crate — return a typed error (clippy denies \
+                     panic/unreachable crate-wide under cargo; this is the offline gate)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// P2's indexing layer — slice/array indexing in the P1 hot-path file
+/// set. Out-of-bounds indexing panics, which in a packet-decode or
+/// per-query server path means one malformed packet takes down the
+/// worker. Warning-tier: it mirrors the online gate, where
+/// `clippy::indexing_slicing` is *not* denied, so existing uses fail
+/// soft while new code is steered toward `.get()`.
+fn rule_p2_indexing(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "[" || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        // An index expression follows a value: `name[`, `call(..)[`,
+        // `arr[0][`. Array-literal/type positions follow operators,
+        // keywords, or punctuation and are skipped.
+        let indexes_value = prev.text == ")"
+            || prev.text == "]"
+            || (prev.is_ident() && !crate::index::is_keyword(&prev.text) && prev.text != "_");
+        if !indexes_value {
+            continue;
+        }
+        // Empty index `[]` (e.g. `&[]`) or immediate close is not indexing.
+        if i + 1 < toks.len() && toks[i + 1].text == "]" {
+            continue;
+        }
+        push(
+            diags,
+            "P2",
+            Severity::Warning,
+            path,
+            t.line,
+            "slice/array indexing can panic on out-of-bounds — prefer .get()/\
+             split_first()/chunks() in decode hot paths (warning-tier: the online \
+             gate does not deny clippy::indexing_slicing)",
+        );
     }
 }
 
 /// A1 — unbounded channels in server/replay/proxy crates.
-fn rule_a1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_a1(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     for t in toks {
         if t.text == "unbounded" || t.text == "unbounded_channel" {
             push(
@@ -533,7 +926,7 @@ const R1_BOUND_MARKERS: &[&str] =
 /// the failure mode `ldp_guard::RetryBudget` exists to prevent. One
 /// diagnostic per loop, anchored at the loop keyword; innermost loop
 /// wins when retries nest.
-fn rule_r1(path: &str, toks: &[&Token], diags: &mut Vec<Diagnostic>) {
+fn rule_r1(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     // (keyword index, body-open index, body-close index, keyword line)
     let mut loops: Vec<(usize, usize, usize, u32)> = Vec::new();
     for (i, t) in toks.iter().enumerate() {
@@ -832,15 +1225,41 @@ mod tests {
     }
 
     #[test]
-    fn p2_allows_macros_and_never_doubles_with_p1() {
-        // P2 does not ban the panic!-family macros (P1 territory) …
-        let macros = r#"fn f(x: u8) { if x > 9 { panic!("boom") } }"#;
-        assert!(errors("crates/dns-server/src/rrl.rs", macros).is_empty());
+    fn p2_flags_panic_family_macros_and_never_doubles_with_p1() {
+        // P2 now bans the panic!-family macros too (the online gate
+        // denies clippy::panic/clippy::unreachable crate-wide) …
+        let macros = r#"fn f(x: u8) { if x > 9 { panic!("boom") } else { todo!() } }"#;
+        let ds = errors("crates/dns-server/src/rrl.rs", macros);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule == "P2"), "{ds:?}");
         // … and a P1 file never also reports P2 for the same unwrap.
         let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }";
         let ds = errors("crates/dns-wire/src/name.rs", src);
         assert_eq!(ds.len(), 1, "{ds:?}");
         assert_eq!(ds[0].rule, "P1");
+    }
+
+    #[test]
+    fn p2_indexing_warns_in_hot_path_files_only() {
+        let src = r#"
+            fn f(b: &[u8]) -> u8 {
+                let arr = [0u8; 4];
+                b[0] + arr[1]
+            }
+        "#;
+        let warns = |p: &str| {
+            analyze_source(p, src)
+                .into_iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count()
+        };
+        // `b[0]` and `arr[1]` warn; the `&[u8]` slice type and the
+        // `[0u8; 4]` array literal do not.
+        assert_eq!(warns("crates/dns-wire/src/message.rs"), 2);
+        // Warning-tier, never error-tier.
+        assert!(errors("crates/dns-wire/src/message.rs", src).is_empty());
+        // panic-lite files are not in the indexing scope.
+        assert_eq!(warns("crates/dns-server/src/rrl.rs"), 0);
     }
 
     #[test]
@@ -1000,6 +1419,170 @@ mod tests {
             }
         "#;
         assert!(errors("crates/replay/src/engine.rs", test_code).is_empty());
+    }
+
+    // ---- D2 cross-file layer ----
+
+    fn multi(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let fds: Vec<_> = files.iter().filter_map(|(p, s)| file_data(p, s)).collect();
+        analyze_files(&fds)
+    }
+
+    fn multi_errors(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        multi(files).into_iter().filter(|d| d.severity == Severity::Error).collect()
+    }
+
+    #[test]
+    fn d2_cross_resolves_fields_and_aliases_across_files() {
+        let table = r#"
+            use std::collections::HashMap;
+            pub type EventMap = HashMap<u64, u32>;
+            pub struct Table { pub m: EventMap }
+        "#;
+        let user = r#"
+            use crate::table::Table;
+            pub fn drain_in_hash_order(t: &Table) -> Vec<u32> {
+                t.m.values().copied().collect()
+            }
+        "#;
+        let errs = multi_errors(&[
+            ("crates/netsim/src/table.rs", table),
+            ("crates/netsim/src/user.rs", user),
+        ]);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert_eq!(errs[0].rule, "D2");
+        assert!(errs[0].path.ends_with("user.rs"), "{errs:?}");
+        assert_eq!(errs[0].line, 4);
+    }
+
+    #[test]
+    fn d2_cross_resolves_alias_through_use_rename() {
+        let table = "use std::collections::HashMap;\npub type EventMap = HashMap<u64, u32>;\n";
+        let user = r#"
+            use crate::table::EventMap as EMap;
+            pub fn f() {
+                let x: EMap = EMap::new();
+                for v in x.values() {}
+            }
+        "#;
+        let errs = multi_errors(&[
+            ("crates/netsim/src/table.rs", table),
+            ("crates/netsim/src/user.rs", user),
+        ]);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert_eq!(errs[0].rule, "D2");
+        assert_eq!(errs[0].line, 5, "anchored at the for-loop receiver");
+        // The renamed alias also draws the resolves-to warning.
+        let warns = multi(&[
+            ("crates/netsim/src/table.rs", table),
+            ("crates/netsim/src/user.rs", user),
+        ]);
+        assert!(
+            warns.iter().any(|d| d.severity == Severity::Warning
+                && d.path.ends_with("user.rs")
+                && d.message.contains("resolves to")),
+            "{warns:?}"
+        );
+    }
+
+    #[test]
+    fn d2_cross_bare_idents_never_use_the_field_fallback() {
+        // A cross-file struct declares a hash field named `entries`;
+        // a *parameter* with the same bare name must not inherit it.
+        let table = r#"
+            use std::collections::HashMap;
+            pub struct Table { pub entries: HashMap<u64, u32> }
+        "#;
+        let user = r#"
+            pub fn sum(entries: &[u32]) -> u32 {
+                let mut s = 0;
+                for e in entries { s += *e; }
+                s
+            }
+        "#;
+        let errs = multi_errors(&[
+            ("crates/netsim/src/table.rs", table),
+            ("crates/netsim/src/user.rs", user),
+        ]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn d2_cross_unknown_owner_falls_back_to_any_declaring_struct() {
+        // `c` has no resolvable type, but *some* struct declares an
+        // `entries` field of hash type — field access stays conservative.
+        let table = r#"
+            use std::collections::HashMap;
+            pub struct Table { pub entries: HashMap<u64, u32> }
+        "#;
+        let user = r#"
+            pub fn h() {
+                let c = make_ctx();
+                for v in c.entries.values() {}
+            }
+        "#;
+        let errs = multi_errors(&[
+            ("crates/netsim/src/table.rs", table),
+            ("crates/netsim/src/user.rs", user),
+        ]);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert_eq!(errs[0].rule, "D2");
+        assert!(errs[0].path.ends_with("user.rs"));
+    }
+
+    #[test]
+    fn d2_cross_known_owner_without_the_field_stays_silent() {
+        // The owner's type *is* known and does not declare `entries`,
+        // so the any-owner fallback must not apply.
+        let table = r#"
+            use std::collections::HashMap;
+            pub struct Table { pub entries: HashMap<u64, u32> }
+            pub struct Ctx { pub entries: Vec<u32> }
+        "#;
+        let user = r#"
+            use crate::table::Ctx;
+            pub fn h(c: &Ctx) {
+                for v in c.entries.iter() {}
+            }
+        "#;
+        let errs = multi_errors(&[
+            ("crates/netsim/src/table.rs", table),
+            ("crates/netsim/src/user.rs", user),
+        ]);
+        assert!(errs.iter().all(|d| !d.path.ends_with("user.rs")), "{errs:?}");
+    }
+
+    #[test]
+    fn d2_cross_never_double_reports_same_file_declarations() {
+        // A hash declared and iterated in one file is v1 territory:
+        // exactly one error, not one per layer.
+        let src = r#"
+            use std::collections::HashMap;
+            pub struct S { pub m: HashMap<u64, u32> }
+            impl S {
+                pub fn f(&self) {
+                    for x in self.m.values() {}
+                }
+            }
+        "#;
+        let errs = multi_errors(&[("crates/netsim/src/solo.rs", src)]);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+    }
+
+    // ---- rule catalog ----
+
+    #[test]
+    fn catalog_covers_every_rule_exactly_once() {
+        let mut ids: Vec<_> = CATALOG.iter().map(|r| r.id).collect();
+        ids.sort();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup, "duplicate rule ids in CATALOG");
+        for id in ["D1", "D2", "D3", "D4", "P1", "P2", "A1", "T1", "R1", "C1", "C2"] {
+            assert!(rule_info(id).is_some(), "{id} missing from CATALOG");
+        }
+        assert_eq!(CATALOG.len(), 11);
+        assert!(rule_info("D9").is_none());
     }
 
     // ---- scoping ----

@@ -32,8 +32,21 @@ if cargo_works; then
     note "cargo clippy (denies unwrap/expect/panic in hot-path crates)"
     cargo clippy --workspace --all-targets -- -D warnings || fail=1
 
-    note "ldp-lint check (unused allowlist entries are fatal)"
-    cargo run -q -p ldp-lint -- check --deny-unused-allows || fail=1
+    note "ldp-lint v2 check (JSON mode; unused allowlist entries are fatal)"
+    cargo build -q -p ldp-lint || fail=1
+    lint_json=${TMPDIR:-/tmp}/ldp-lint-report.json
+    lint_t0=$(date +%s%N)
+    ./target/debug/ldp-lint check --deny-unused-allows --format json > "$lint_json" || fail=1
+    lint_t1=$(date +%s%N)
+    lint_ms=$(( (lint_t1 - lint_t0) / 1000000 ))
+    note "ldp-lint wall time: ${lint_ms}ms (budget 2000ms)"
+    if [ "$lint_ms" -gt 2000 ]; then
+        note "FAILED: ldp-lint exceeded its 2s wall-time budget"
+        fail=1
+    fi
+    # report re-parses the JSON (exit 2 on malformed output) and prints
+    # per-rule violation counts.
+    cargo run -q -p ldp-lint -- report "$lint_json" || fail=1
 
     note "cargo test"
     cargo test --workspace -q || fail=1
@@ -51,10 +64,26 @@ else
     note "cargo cannot resolve dependencies here; running the offline rustc chain"
     bin=${TMPDIR:-/tmp}/ldp-lint-gate
     rustc --edition 2021 -O -o "$bin" crates/ldp-lint/src/main.rs || exit 2
-    "$bin" check --deny-unused-allows || fail=1
+    lint_json=${TMPDIR:-/tmp}/ldp-lint-report.json
+    lint_t0=$(date +%s%N)
+    "$bin" check --deny-unused-allows --format json > "$lint_json" || fail=1
+    lint_t1=$(date +%s%N)
+    lint_ms=$(( (lint_t1 - lint_t0) / 1000000 ))
+    note "ldp-lint wall time: ${lint_ms}ms (budget 2000ms)"
+    if [ "$lint_ms" -gt 2000 ]; then
+        note "FAILED: ldp-lint exceeded its 2s wall-time budget"
+        fail=1
+    fi
+    # report re-parses the JSON (exit 2 on malformed output) and prints
+    # per-rule violation counts.
+    "$bin" report "$lint_json" || fail=1
 
     od=${TMPDIR:-/tmp}/ldp-offline
     mkdir -p "$od"
+
+    note "offline: ldp-lint unit tests (lexer, index, call graph, rules, driver, json)"
+    rustc --edition 2021 --test -o "$od/ldp_lint_t" crates/ldp-lint/src/main.rs &&
+        "$od/ldp_lint_t" -q || fail=1
     # -L lets rustc load transitive rlibs (a crate's own deps).
     rc() { rustc --edition 2021 -O --out-dir "$od" -L "dependency=$od" "$@"; }
     # Stub externs (offline/stubs/README): networked builds use the
