@@ -12,10 +12,12 @@
 //! ldp-replay + dns-wire + ldp-trace only (no tokio, no criterion).
 
 use std::hint::black_box;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::{IpAddr, SocketAddr, UdpSocket};
 use std::time::Instant;
 
-use dns_wire::{Message, RecordType};
+use dns_server::ServerEngine;
+use dns_wire::{Message, RData, Record, RecordType, Soa};
+use dns_zone::{Catalog, Zone};
 use ldp_replay::{replay, ReplayConfig};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
@@ -173,6 +175,77 @@ fn wire_throughput(iters: u64) -> (f64, f64, usize) {
     (iters as f64 / enc_s, iters as f64 / dec_s, size)
 }
 
+/// An authoritative engine over one zone of `names` A records — the
+/// serve-side counterpart of [`wire_throughput`]'s message.
+fn server_engine(names: usize) -> ServerEngine {
+    let origin: dns_wire::Name = "bench.example".parse().expect("origin");
+    let mut zone = Zone::new(origin.clone());
+    zone.insert(Record::new(
+        origin,
+        3600,
+        RData::Soa(Soa {
+            mname: "ns1.bench.example".parse().expect("mname"),
+            rname: "admin.bench.example".parse().expect("rname"),
+            serial: 1,
+            refresh: 1,
+            retry: 1,
+            expire: 1,
+            minimum: 60,
+        }),
+    ))
+    .expect("soa");
+    for i in 0..names {
+        zone.insert(Record::new(
+            format!("h{i}.bench.example").parse().expect("name"),
+            60,
+            RData::A(format!("10.1.{}.{}", i / 256, i % 256).parse().expect("a")),
+        ))
+        .expect("record");
+    }
+    let mut cat = Catalog::new();
+    cat.insert(zone);
+    ServerEngine::with_catalog(cat)
+}
+
+/// UDP answers/sec through `answer_udp`, template path vs. general
+/// path, on the identical query mix. Asserts the two paths agree
+/// byte-for-byte before timing them.
+fn server_throughput(iters: u64) -> (f64, f64) {
+    let names = 64usize;
+    let general = server_engine(names);
+    let templated = server_engine(names).with_templates();
+    let src: IpAddr = "10.2.0.1".parse().expect("src");
+    let queries: Vec<Message> = (0..names)
+        .map(|i| {
+            let mut q = Message::query(
+                i as u16,
+                format!("h{i}.bench.example").parse().expect("qname"),
+                RecordType::A,
+            );
+            q.flags.recursion_desired = true;
+            q
+        })
+        .collect();
+    for q in &queries {
+        assert_eq!(
+            templated.answer_udp(src, q),
+            general.answer_udp(src, q),
+            "template path must be byte-identical to the general path"
+        );
+    }
+    let time = |engine: &ServerEngine| {
+        let t0 = Instant::now();
+        for i in 0..iters {
+            let q = &queries[(i as usize) % names];
+            black_box(engine.answer_udp(src, black_box(q)));
+        }
+        iters as f64 / t0.elapsed().as_secs_f64()
+    };
+    let general_aps = time(&general);
+    let template_aps = time(&templated);
+    (template_aps, general_aps)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -283,13 +356,22 @@ fn main() {
     let (enc_mps, dec_mps, msg_size) = wire_throughput(iters);
     println!("  encode {enc_mps:>12.0} msg/s   decode {dec_mps:>12.0} msg/s   ({msg_size} B msg)");
 
+    // --- Server: templated vs general answer_udp throughput. ---
+    println!("server: {iters} answer_udp iterations × 2 paths…");
+    let (template_aps, general_aps) = server_throughput(iters);
+    println!(
+        "  template {template_aps:>12.0} ans/s   general {general_aps:>12.0} ans/s   (speedup {:.2}×)",
+        template_aps / general_aps
+    );
+
     // Hand-rolled JSON: this binary must build with bare rustc offline.
     let json = format!(
-        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }},\n  \"server\": {{\n    \"template_answers_per_sec\": {template_aps:.0},\n    \"general_answers_per_sec\": {general_aps:.0},\n    \"template_speedup\": {:.3}\n  }}\n}}\n",
         heap_eps / btree_eps,
         heap_raw / btree_raw,
         enc_mps * msg_size as f64 / 1e6,
         dec_mps * msg_size as f64 / 1e6,
+        template_aps / general_aps,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
     println!("wrote {out_path}");

@@ -110,6 +110,8 @@ pub struct SimResolver {
     pub stats: ResolverStats,
     /// Seeded RNG for backoff jitter (rule D3: no ambient randomness).
     rng: StdRng,
+    /// Reusable encode buffer + compression interner for all sends.
+    scratch: dns_wire::EncodeScratch,
 }
 
 impl SimResolver {
@@ -130,6 +132,7 @@ impl SimResolver {
             rotate_servers: false,
             stats: ResolverStats::default(),
             rng: StdRng::seed_from_u64(0x1d9_c0de),
+            scratch: dns_wire::EncodeScratch::new(),
         }
     }
 
@@ -189,7 +192,7 @@ impl SimResolver {
         let Some(q) = query.question().cloned() else {
             let mut resp = query.response_to();
             resp.rcode = Rcode::FormErr;
-            ctx.send_udp(self.addr, from, resp.encode());
+            ctx.send_udp(self.addr, from, resp.encode_into(&mut self.scratch));
             return;
         };
         // Cache hit answers immediately.
@@ -209,7 +212,7 @@ impl SimResolver {
                     resp.rcode = rcode;
                 }
             }
-            ctx.send_udp(self.addr, from, resp.encode());
+            ctx.send_udp(self.addr, from, resp.encode_into(&mut self.scratch));
             return;
         }
         let task_id = self.next_task;
@@ -256,7 +259,7 @@ impl SimResolver {
         if tel::enabled() {
             tel::mark_at(ctx.now().as_nanos(), rsv_kinds().upstream, task_id, server_slot);
         }
-        ctx.send_udp(self.addr, SocketAddr::new(server, 53), q.encode());
+        ctx.send_udp(self.addr, SocketAddr::new(server, 53), q.encode_into(&mut self.scratch));
         // Timer token encodes (task, attempt) so a stale timer from an
         // attempt that already completed is ignored.
         ctx.set_timer(attempt_timeout, (task_id << 16) | id as u64);
@@ -303,7 +306,7 @@ impl SimResolver {
             let mut resp = task.stub_query.response_to();
             resp.flags.recursion_available = true;
             resp.rcode = Rcode::ServFail;
-            ctx.send_udp(self.addr, task.stub, resp.encode());
+            ctx.send_udp(self.addr, task.stub, resp.encode_into(&mut self.scratch));
         }
     }
 
@@ -324,7 +327,7 @@ impl SimResolver {
             resp.flags.recursion_available = true;
             resp.rcode = rcode;
             resp.answers = task.answers;
-            ctx.send_udp(self.addr, task.stub, resp.encode());
+            ctx.send_udp(self.addr, task.stub, resp.encode_into(&mut self.scratch));
         }
     }
 

@@ -7,11 +7,14 @@
 //! recursive was really trying to reach). See paper §2.4.
 
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use dns_wire::edns::{CLASSIC_UDP_LIMIT, DEFAULT_UDP_PAYLOAD};
 use dns_wire::{Message, Opcode, Rcode};
-use dns_zone::{lookup, Catalog, ClientMatch, View, ViewSet};
+use dns_zone::{Catalog, ClientMatch, View, ViewSet};
 use ldp_telemetry as tel;
+
+use crate::template::{view_answer, TemplateTable};
 
 /// Interned span kinds for the engine's processing stages
 /// (parse → lookup → encode), shared by every transport front-end.
@@ -39,6 +42,9 @@ pub struct ServerEngine {
     views: ViewSet,
     /// Maximum UDP payload this server is willing to send with EDNS.
     pub max_udp_payload: u16,
+    /// Precompiled wire answers (see [`TemplateTable`]); `None` until
+    /// [`ServerEngine::with_templates`] opts in.
+    templates: Option<Arc<TemplateTable>>,
 }
 
 impl ServerEngine {
@@ -47,7 +53,23 @@ impl ServerEngine {
         ServerEngine {
             views,
             max_udp_payload: DEFAULT_UDP_PAYLOAD,
+            templates: None,
         }
+    }
+
+    /// Precompile response templates for every (view, qname, qtype) in
+    /// the loaded zones. `answer_udp` then serves template hits as a
+    /// memcpy plus header patching, falling back to the general path
+    /// for everything a template cannot express (unknown names, non-IN
+    /// classes, BADVERS, answers that need truncation, REFUSED views).
+    pub fn with_templates(mut self) -> Self {
+        self.templates = Some(Arc::new(TemplateTable::build(&self.views)));
+        self
+    }
+
+    /// The precompiled template table, if enabled.
+    pub fn templates(&self) -> Option<&TemplateTable> {
+        self.templates.as_deref()
     }
 
     /// Engine serving one catalog to every client (single-zone
@@ -74,10 +96,10 @@ impl ServerEngine {
             base.rcode = Rcode::NotImp;
             return base;
         }
-        let Some(question) = query.question() else {
+        if query.question().is_none() {
             base.rcode = Rcode::FormErr;
             return base;
-        };
+        }
         if let Some(edns) = &query.edns {
             if edns.version != 0 {
                 base.rcode = Rcode::BadVers;
@@ -88,23 +110,41 @@ impl ServerEngine {
             base.rcode = Rcode::Refused;
             return base;
         };
-        let Some(zone) = view.catalog.find(&question.name) else {
-            base.rcode = Rcode::Refused;
-            return base;
-        };
-        lookup(zone, question).into_message(query)
+        view_answer(view, query)
     }
 
-    /// Answer and serialize for UDP, applying the advertised payload
-    /// limit and TC-bit truncation (RFC 6891 / RFC 2181).
-    pub fn answer_udp(&self, src: IpAddr, query: &Message) -> (Vec<u8>, bool) {
-        let resp = self.answer(src, query);
-        let limit = query
+    /// The effective UDP payload limit for `query` (RFC 6891
+    /// negotiation clamped to this server's own maximum).
+    fn udp_limit(&self, query: &Message) -> usize {
+        query
             .edns
             .as_ref()
             .map(|e| (e.udp_payload as usize).max(CLASSIC_UDP_LIMIT))
             .unwrap_or(CLASSIC_UDP_LIMIT)
-            .min(self.max_udp_payload as usize);
+            .min(self.max_udp_payload as usize)
+    }
+
+    /// Answer and serialize for UDP, applying the advertised payload
+    /// limit and TC-bit truncation (RFC 6891 / RFC 2181).
+    ///
+    /// With [`ServerEngine::with_templates`] enabled, a template hit
+    /// skips response assembly and encoding entirely; the lookup and
+    /// encode telemetry spans still bracket the table probe and the
+    /// copy+patch so `stage_breakdown` keeps attributing the time.
+    pub fn answer_udp(&self, src: IpAddr, query: &Message) -> (Vec<u8>, bool) {
+        if let Some(templates) = &self.templates {
+            let hit = {
+                let _lookup_span = tel::span(stages().lookup, u64::from(query.id));
+                let view = self.views.select_index(src);
+                templates.find(view, query, self.udp_limit(query))
+            };
+            if let Some(bytes) = hit {
+                let _encode_span = tel::span(stages().encode, u64::from(query.id));
+                return (TemplateTable::patch(bytes, query), false);
+            }
+        }
+        let resp = self.answer(src, query);
+        let limit = self.udp_limit(query);
         let _encode_span = tel::span(stages().encode, u64::from(query.id));
         resp.encode_udp(limit)
     }
@@ -333,6 +373,96 @@ mod tests {
     fn handle_udp_bytes_drops_short_garbage() {
         let engine = hierarchy_engine();
         assert!(engine.handle_udp_bytes(ip("198.41.0.4"), &[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn template_answers_byte_identical_to_general_path() {
+        // The acceptance property: for every query shape a template can
+        // serve, the precompiled bytes must equal the general
+        // lookup+encode path exactly — including misses, which must
+        // fall back and therefore trivially agree.
+        let general = hierarchy_engine();
+        let templated = hierarchy_engine().with_templates();
+        assert!(templated.templates().is_some_and(|t| !t.is_empty()));
+        let sources = ["198.41.0.4", "192.5.6.30", "216.239.32.10", "8.8.8.8"];
+        let qnames = [
+            "www.google.com", "google.com", "com", "ns1.google.com",
+            "a.gtld-servers.net", "nonexistent.google.com", ".",
+        ];
+        let qtypes = [RecordType::A, RecordType::NS, RecordType::SOA, RecordType::TXT];
+        for src in sources {
+            for qn in qnames {
+                for qt in qtypes {
+                    for (edns, do_bit, rd) in
+                        [(false, false, true), (true, false, false), (true, true, true)]
+                    {
+                        let mut q = Message::query(0x4242, n(qn), qt);
+                        q.flags.recursion_desired = rd;
+                        if edns {
+                            q.edns = Some(dns_wire::Edns { dnssec_ok: do_bit, ..Default::default() });
+                        }
+                        assert_eq!(
+                            templated.answer_udp(ip(src), &q),
+                            general.answer_udp(ip(src), &q),
+                            "src={src} qn={qn} qt={qt:?} edns={edns} do={do_bit} rd={rd}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn template_fallback_conditions() {
+        let engine = hierarchy_engine().with_templates();
+        let t = engine.templates().unwrap();
+        let view = engine.views().select_index(ip("216.239.32.10"));
+        let q = Message::query(7, n("www.google.com"), RecordType::A);
+        assert!(t.find(view, &q, 4096).is_some(), "known name must hit");
+        // Unknown name: general path answers NXDOMAIN.
+        let missing = Message::query(7, n("zzz.google.com"), RecordType::A);
+        assert!(t.find(view, &missing, 4096).is_none());
+        // Limit below the template: truncation belongs to the general path.
+        assert!(t.find(view, &q, 20).is_none());
+        // Non-IN class, non-Query opcode, BADVERS, no view: all general.
+        let mut chaos = q.clone();
+        chaos.questions[0].qclass = dns_wire::RecordClass::CH;
+        assert!(t.find(view, &chaos, 4096).is_none());
+        let mut upd = q.clone();
+        upd.opcode = Opcode::Update;
+        assert!(t.find(view, &upd, 4096).is_none());
+        let mut badvers = q.clone();
+        badvers.edns = Some(dns_wire::Edns { version: 1, ..Default::default() });
+        assert!(t.find(view, &badvers, 4096).is_none());
+        assert!(t.find(None, &q, 4096).is_none());
+    }
+
+    #[test]
+    fn template_truncation_falls_back_to_general_path() {
+        // Oversized answers must leave the template path and come back
+        // truncated with TC, byte-identical to a template-less engine.
+        let mut recs = vec![Record::new(n("example"), 60, RData::Ns(n("ns1.example")))];
+        for i in 0..40 {
+            recs.push(Record::new(
+                n("big.example"),
+                60,
+                RData::Txt(vec![format!("padding padding padding {i}").into_bytes()]),
+            ));
+        }
+        let mk = |recs: Vec<Record>| {
+            let mut cat = Catalog::new();
+            cat.insert(zone("example", recs));
+            ServerEngine::with_catalog(cat)
+        };
+        let general = mk(recs.clone());
+        let templated = mk(recs).with_templates();
+        let q = Message::query(9, n("big.example"), RecordType::TXT);
+        let (bytes_t, tc_t) = templated.answer_udp(ip("1.1.1.1"), &q);
+        let (bytes_g, tc_g) = general.answer_udp(ip("1.1.1.1"), &q);
+        assert!(tc_t && tc_g);
+        assert!(bytes_t.len() <= 512);
+        assert_eq!(bytes_t, bytes_g);
+        assert!(Message::decode(&bytes_t).unwrap().flags.truncated);
     }
 
     #[test]

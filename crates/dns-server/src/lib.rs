@@ -16,9 +16,11 @@
 pub mod engine;
 pub mod rrl;
 pub mod sim_server;
+pub mod template;
 pub mod tokio_server;
 
 pub use engine::ServerEngine;
 pub use rrl::{RateLimiter, RrlAction, RrlBank, RrlConfig, RrlStats};
+pub use template::TemplateTable;
 pub use sim_server::SimDnsServer;
 pub use tokio_server::{spawn, RunningServer, ServerConfig, ServerCounters};

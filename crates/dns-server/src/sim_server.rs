@@ -202,7 +202,7 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn engine() -> Arc<ServerEngine> {
+    fn engine_inner() -> ServerEngine {
         let mut z = Zone::new(n("example"));
         z.insert(Record::new(
             n("example"),
@@ -222,7 +222,11 @@ mod tests {
             .unwrap();
         let mut cat = Catalog::new();
         cat.insert(z);
-        Arc::new(ServerEngine::with_catalog(cat))
+        ServerEngine::with_catalog(cat)
+    }
+
+    fn engine() -> Arc<ServerEngine> {
+        Arc::new(engine_inner())
     }
 
     type Replies = Arc<Mutex<Vec<Message>>>;
@@ -409,6 +413,90 @@ mod tests {
         assert_eq!(via(bank, "10.0.0.1"), RrlAction::Send);
         assert_eq!(via(bank, "10.0.0.1"), RrlAction::Drop, "view a's budget spent");
         assert_eq!(via(bank, "10.0.0.2"), RrlAction::Send, "view rest unaffected");
+    }
+
+    /// Raw-byte client: keeps replies unparsed so the equivalence test
+    /// below compares the exact wire output, not a decoded view of it.
+    struct RawClient {
+        me: SocketAddr,
+        server: SocketAddr,
+        replies: Arc<Mutex<Vec<Vec<u8>>>>,
+    }
+
+    impl Host for RawClient {
+        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, _f: SocketAddr, _t: SocketAddr, data: PacketBytes) {
+            self.replies.lock().unwrap().push(data.to_vec());
+        }
+        fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, _event: TcpEvent) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            // One query per template variant plus a guaranteed miss:
+            // plain, EDNS DO=1, NXDOMAIN (general path), zone apex SOA.
+            let mut q1 = Message::query(1, n("www.example"), RecordType::A);
+            q1.flags.recursion_desired = true;
+            let mut q2 = Message::query(2, n("www.example"), RecordType::A);
+            q2.edns = Some(dns_wire::Edns::with_do());
+            let q3 = Message::query(3, n("missing.example"), RecordType::A);
+            let q4 = Message::query(4, n("example"), RecordType::SOA);
+            for q in [&q1, &q2, &q3, &q4] {
+                ctx.send_udp(self.me, self.server, q.encode());
+            }
+        }
+    }
+
+    fn run_raw(queue: netsim::QueueKind, templates: bool) -> Vec<Vec<u8>> {
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(10))),
+            SimConfig { queue, ..SimConfig::default() },
+        );
+        let server_addr: SocketAddr = "10.0.0.1:53".parse().unwrap();
+        let engine = if templates {
+            Arc::new(engine_inner().with_templates())
+        } else {
+            engine()
+        };
+        let replies = Arc::new(Mutex::new(vec![]));
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine, server_addr, None)),
+        );
+        let client = sim.add_host(
+            &["10.0.0.2".parse().unwrap()],
+            Box::new(RawClient {
+                me: "10.0.0.2:5000".parse().unwrap(),
+                server: server_addr,
+                replies: replies.clone(),
+            }),
+        );
+        sim.schedule_timer(client, SimTime::ZERO, 0);
+        sim.run_until(SimTime::from_secs_f64(5.0));
+        let mut out = replies.lock().unwrap().clone();
+        // Replies share one path so arrival order is send order, but the
+        // comparison should not depend on that: sort by transaction id
+        // (the leading two bytes).
+        out.sort();
+        out
+    }
+
+    /// The ISSUE 7 acceptance property, end to end over the simulated
+    /// transport: templated answers are byte-identical to the general
+    /// path, under both event-queue backends.
+    #[test]
+    fn templated_answers_byte_identical_across_queue_backends() {
+        use netsim::QueueKind;
+
+        let baseline = run_raw(QueueKind::Heap, false);
+        assert_eq!(baseline.len(), 4, "all four queries answered");
+        for (queue, templates) in [
+            (QueueKind::Heap, true),
+            (QueueKind::BTree, false),
+            (QueueKind::BTree, true),
+        ] {
+            assert_eq!(
+                run_raw(queue, templates),
+                baseline,
+                "queue={queue:?} templates={templates}"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! (paper §4): queries arrive over loopback at up to ~100 k q/s, so the
 //! server is event-driven with no per-query allocation beyond the
 //! response buffer — the same architecture the paper's C++ prototype
-//! uses.
+//! uses. Build the engine with [`ServerEngine::with_templates`] to
+//! serve precompiled answers on the UDP path (see [`crate::template`]);
+//! the workers call `handle_udp_bytes`, which routes template hits and
+//! general-path answers identically over either transport.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -260,7 +263,10 @@ mod tests {
             .unwrap();
         let mut cat = Catalog::new();
         cat.insert(z);
-        Arc::new(ServerEngine::with_catalog(cat))
+        // Templates on: the loopback round-trips below exercise the
+        // precompiled fast path over real sockets (wildcard and
+        // missing-name queries still take the general path).
+        Arc::new(ServerEngine::with_catalog(cat).with_templates())
     }
 
     #[tokio::test]

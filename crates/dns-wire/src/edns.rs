@@ -78,6 +78,31 @@ impl Edns {
         }
     }
 
+    /// Encode this EDNS state as its OPT record directly into `w`, with
+    /// the extended-RCODE high bits supplied by the message being
+    /// encoded. Byte-identical to `self.to_record().encode(w)` (after
+    /// patching `ext_rcode_high`) but allocates nothing.
+    pub fn encode_opt(&self, w: &mut crate::wire::WireWriter, ext_rcode_high: u8) {
+        w.put_name(&Name::root());
+        w.put_u16(RecordType::OPT.to_u16());
+        w.put_u16(self.udp_payload);
+        let ttl = ((ext_rcode_high as u32) << 24)
+            | ((self.version as u32) << 16)
+            | (if self.dnssec_ok { 0x8000 } else { 0 })
+            | (self.z as u32 & 0x7fff);
+        w.put_u32(ttl);
+        let len_pos = w.len();
+        w.put_u16(0);
+        let start = w.len();
+        for (code, value) in &self.options {
+            w.put_u16(*code);
+            w.put_u16(value.len().min(u16::MAX as usize) as u16);
+            w.put_bytes(value);
+        }
+        let rdlength = w.len() - start;
+        w.patch_u16(len_pos, rdlength.min(u16::MAX as usize) as u16);
+    }
+
     /// Interpret an OPT record from the additional section.
     pub fn from_record(rec: &Record) -> Result<Edns, WireError> {
         if rec.rtype() != RecordType::OPT {
@@ -168,6 +193,31 @@ mod tests {
         };
         let rec = e.to_record();
         assert_eq!(Edns::from_record(&rec).unwrap().options, e.options);
+    }
+
+    #[test]
+    fn encode_opt_matches_record_path() {
+        use crate::wire::WireWriter;
+        let variants = [
+            Edns::default(),
+            Edns::with_do(),
+            Edns { udp_payload: 1232, z: 0x1a2, ..Default::default() },
+            Edns {
+                options: vec![(10, vec![1, 2, 3, 4, 5, 6, 7, 8]), (8, vec![0, 1, 24, 0])],
+                ..Default::default()
+            },
+        ];
+        for e in variants {
+            for high in [0u8, 1, 0xff] {
+                let mut via_record = e.clone();
+                via_record.ext_rcode_high = high;
+                let mut w1 = WireWriter::new();
+                via_record.to_record().encode(&mut w1);
+                let mut w2 = WireWriter::new();
+                e.encode_opt(&mut w2, high);
+                assert_eq!(w1.into_bytes(), w2.into_bytes());
+            }
+        }
     }
 
     #[test]

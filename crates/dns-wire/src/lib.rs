@@ -26,6 +26,7 @@ pub mod framing;
 pub mod message;
 pub mod name;
 pub mod rdata;
+pub mod scratch;
 pub mod text;
 pub mod record;
 pub mod types;
@@ -35,6 +36,7 @@ pub use edns::Edns;
 pub use message::{Flags, Message, Question};
 pub use name::{Name, NameError};
 pub use rdata::{RData, Rrsig, Soa};
+pub use scratch::EncodeScratch;
 pub use record::Record;
 pub use types::{Opcode, Rcode, RecordClass, RecordType, Transport};
 pub use wire::{WireError, WireReader, WireWriter};

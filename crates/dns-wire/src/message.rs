@@ -6,6 +6,7 @@ use std::fmt;
 use crate::edns::Edns;
 use crate::name::Name;
 use crate::record::Record;
+use crate::scratch::EncodeScratch;
 use crate::types::{Opcode, Rcode, RecordClass, RecordType};
 use crate::wire::{WireError, WireReader, WireWriter};
 
@@ -146,56 +147,81 @@ impl Message {
     }
 
     /// Serialize, compressing names, with no size limit (TCP semantics).
+    ///
+    /// Thin wrapper over [`Message::encode_into`] using a thread-local
+    /// [`EncodeScratch`], so the interned compression tables stay warm
+    /// across calls even for callers that never hold a scratch.
     pub fn encode(&self) -> Vec<u8> {
-        self.encode_internal(usize::MAX).0
+        self.encode_with_thread_scratch(usize::MAX).0
     }
 
     /// Serialize for UDP with `limit` bytes available: if the message
     /// does not fit, sections are dropped whole-record-at-a-time from the
-    /// back and the TC bit is set (RFC 2181 §9 behaviour).
+    /// back and the TC bit is set (RFC 2181 §9 behaviour). The returned
+    /// buffer is never longer than `limit`.
     ///
     /// Returns the bytes and whether truncation occurred.
     pub fn encode_udp(&self, limit: usize) -> (Vec<u8>, bool) {
-        self.encode_internal(limit)
+        self.encode_with_thread_scratch(limit)
     }
 
-    fn encode_internal(&self, limit: usize) -> (Vec<u8>, bool) {
-        // Fast path: encode everything, check size.
-        let full = self.encode_with_counts(
-            self.answers.len(),
-            self.authorities.len(),
-            self.additionals.len(),
-            false,
-        );
-        if full.len() <= limit {
-            return (full, false);
+    fn encode_with_thread_scratch(&self, limit: usize) -> (Vec<u8>, bool) {
+        use std::cell::RefCell;
+        thread_local! {
+            static SCRATCH: RefCell<EncodeScratch> = RefCell::new(EncodeScratch::new());
         }
-        // Drop records from the back: additionals, then authorities,
-        // then answers, until we fit. OPT is preserved (it carries the
-        // payload-size negotiation).
-        let mut an = self.answers.len();
-        let mut ns = self.authorities.len();
-        let mut ar = self.additionals.len();
-        loop {
-            if ar > 0 {
-                ar -= 1;
-            } else if ns > 0 {
-                ns -= 1;
-            } else if an > 0 {
-                an -= 1;
-            } else {
-                let buf = self.encode_with_counts(0, 0, 0, true);
-                return (buf, true);
-            }
-            let buf = self.encode_with_counts(an, ns, ar, true);
-            if buf.len() <= limit {
-                return (buf, true);
+        let reused = SCRATCH.try_with(|cell| {
+            cell.try_borrow_mut().ok().map(|mut s| {
+                let (bytes, tc) = self.encode_udp_into(limit, &mut s);
+                (bytes.to_vec(), tc)
+            })
+        });
+        match reused {
+            Ok(Some(out)) => out,
+            // Thread-local destroyed (thread teardown) or re-entrant
+            // borrow: encode with a fresh scratch rather than panic.
+            _ => {
+                let mut s = EncodeScratch::new();
+                let (bytes, tc) = self.encode_udp_into(limit, &mut s);
+                (bytes.to_vec(), tc)
             }
         }
     }
 
-    fn encode_with_counts(&self, an: usize, ns: usize, ar: usize, tc: bool) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    /// Serialize into reusable scratch state with no size limit,
+    /// returning the encoded bytes (valid until the next use of
+    /// `scratch`). Steady-state allocation-free.
+    pub fn encode_into<'a>(&self, scratch: &'a mut EncodeScratch) -> &'a [u8] {
+        self.encode_udp_into(usize::MAX, scratch).0
+    }
+
+    /// Serialize for UDP into reusable scratch state.
+    ///
+    /// The message is encoded exactly once while per-question and
+    /// per-record end offsets are recorded; truncation then slices the
+    /// buffer at a record boundary, moves the (pointer-free) OPT record
+    /// down, and patches the header counts — O(1) per dropped record
+    /// instead of a full re-encode per drop. Per RFC 2181 §9 the drop
+    /// order is additionals, authorities, answers, then OPT, then
+    /// questions; the result is never longer than `limit`.
+    pub fn encode_udp_into<'a>(
+        &self,
+        limit: usize,
+        scratch: &'a mut EncodeScratch,
+    ) -> (&'a [u8], bool) {
+        let EncodeScratch { w, rec_ends, q_ends } = scratch;
+        w.reset();
+        rec_ends.clear();
+        q_ends.clear();
+
+        // Saturate the emitted section sizes so the header counts always
+        // agree with the wire body (no silent u16 wrap).
+        let opt = usize::from(self.edns.is_some());
+        let qd = self.questions.len().min(u16::MAX as usize);
+        let an = self.answers.len().min(u16::MAX as usize);
+        let ns = self.authorities.len().min(u16::MAX as usize);
+        let ar = self.additionals.len().min(u16::MAX as usize - opt);
+
         w.put_u16(self.id);
         let mut f: u16 = 0;
         if self.flags.response {
@@ -205,7 +231,7 @@ impl Message {
         if self.flags.authoritative {
             f |= 0x0400;
         }
-        if self.flags.truncated || tc {
+        if self.flags.truncated {
             f |= 0x0200;
         }
         if self.flags.recursion_desired {
@@ -222,31 +248,103 @@ impl Message {
         }
         f |= self.rcode.low_bits() as u16;
         w.put_u16(f);
-        w.put_u16(self.questions.len() as u16);
+        w.put_u16(qd as u16);
         w.put_u16(an as u16);
         w.put_u16(ns as u16);
-        let opt_count = if self.edns.is_some() { 1 } else { 0 };
-        w.put_u16((ar + opt_count) as u16);
-        for q in &self.questions {
+        w.put_u16((ar + opt) as u16);
+        for q in self.questions.iter().take(qd) {
             w.put_name(&q.name);
             w.put_u16(q.qtype.to_u16());
             w.put_u16(q.qclass.to_u16());
+            q_ends.push(w.len() as u32);
         }
         for rec in self.answers.iter().take(an) {
-            rec.encode(&mut w);
+            rec.encode(w);
+            rec_ends.push(w.len() as u32);
         }
         for rec in self.authorities.iter().take(ns) {
-            rec.encode(&mut w);
+            rec.encode(w);
+            rec_ends.push(w.len() as u32);
         }
         for rec in self.additionals.iter().take(ar) {
-            rec.encode(&mut w);
+            rec.encode(w);
+            rec_ends.push(w.len() as u32);
         }
+        let opt_start = w.len();
         if let Some(edns) = &self.edns {
-            let mut e = edns.clone();
-            e.ext_rcode_high = self.rcode.high_bits();
-            e.to_record().encode(&mut w);
+            edns.encode_opt(w, self.rcode.high_bits());
         }
-        w.into_bytes()
+        let opt_len = w.len() - opt_start;
+
+        if w.len() <= limit {
+            return (w.bytes(), false);
+        }
+
+        // Truncation. End of the question section (== start of records):
+        let q_base = q_ends.last().map(|&e| e as usize).unwrap_or(12);
+        // 1) Keep questions and OPT; drop records from the back until
+        //    the kept prefix plus the OPT fits.
+        let mut keep = None;
+        for k in (0..=rec_ends.len()).rev() {
+            let boundary = if k == 0 {
+                q_base
+            } else {
+                rec_ends.get(k - 1).map(|&e| e as usize).unwrap_or(q_base)
+            };
+            if boundary + opt_len <= limit {
+                keep = Some((k, boundary));
+                break;
+            }
+        }
+        if let Some((k, boundary)) = keep {
+            let buf = w.buf_mut();
+            if opt_len > 0 && boundary < opt_start {
+                buf.copy_within(opt_start..opt_start + opt_len, boundary);
+            }
+            buf.truncate(boundary + opt_len);
+            let an_keep = k.min(an);
+            let ns_keep = k.saturating_sub(an).min(ns);
+            let ar_keep = k.saturating_sub(an + ns).min(ar);
+            w.patch_u16(6, an_keep as u16);
+            w.patch_u16(8, ns_keep as u16);
+            w.patch_u16(10, (ar_keep + opt) as u16);
+            Self::set_tc_bit(w);
+            return (w.bytes(), true);
+        }
+        // 2) Even zero records + OPT overflow: drop the OPT too (last,
+        //    per RFC 2181 §9 — but never return more than `limit`).
+        if q_base <= limit {
+            w.patch_u16(6, 0);
+            w.patch_u16(8, 0);
+            w.patch_u16(10, 0);
+            Self::set_tc_bit(w);
+            w.buf_mut().truncate(q_base);
+            return (w.bytes(), true);
+        }
+        // 3) Questions themselves overflow: drop them from the back.
+        let mut q_keep = (0usize, 12usize);
+        for (i, &qe) in q_ends.iter().enumerate().rev() {
+            if qe as usize <= limit {
+                q_keep = (i + 1, qe as usize);
+                break;
+            }
+        }
+        let (qk, q_boundary) = q_keep;
+        w.patch_u16(4, qk as u16);
+        w.patch_u16(6, 0);
+        w.patch_u16(8, 0);
+        w.patch_u16(10, 0);
+        Self::set_tc_bit(w);
+        // 4) `limit` below the 12-byte header: hand back what fits.
+        w.buf_mut().truncate(q_boundary.min(limit));
+        (w.bytes(), true)
+    }
+
+    /// Set the TC bit in an already-written header.
+    fn set_tc_bit(w: &mut WireWriter) {
+        if let Some(b) = w.buf_mut().get_mut(2) {
+            *b |= 0x02;
+        }
     }
 
     /// Decode a full message from `buf`.
@@ -551,5 +649,275 @@ mod tests {
         assert!(s.contains("status: NOERROR"));
         assert!(s.contains("www.example.com."));
         assert!(s.contains("flags: qr aa rd"));
+    }
+
+    // ---- truncation edge cases & old-algorithm equivalence ----
+
+    /// The pre-rewrite encoder, kept verbatim as a test oracle: encode
+    /// with explicit counts (cloning EDNS to patch the extended RCODE),
+    /// then drop-and-reencode until the message fits.
+    fn ref_encode_with_counts(m: &Message, an: usize, ns: usize, ar: usize, tc: bool) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u16(m.id);
+        let mut f: u16 = 0;
+        if m.flags.response {
+            f |= 0x8000;
+        }
+        f |= (m.opcode.to_u8() as u16) << 11;
+        if m.flags.authoritative {
+            f |= 0x0400;
+        }
+        if m.flags.truncated || tc {
+            f |= 0x0200;
+        }
+        if m.flags.recursion_desired {
+            f |= 0x0100;
+        }
+        if m.flags.recursion_available {
+            f |= 0x0080;
+        }
+        if m.flags.authentic_data {
+            f |= 0x0020;
+        }
+        if m.flags.checking_disabled {
+            f |= 0x0010;
+        }
+        f |= m.rcode.low_bits() as u16;
+        w.put_u16(f);
+        w.put_u16(m.questions.len() as u16);
+        w.put_u16(an as u16);
+        w.put_u16(ns as u16);
+        let opt_count = usize::from(m.edns.is_some());
+        w.put_u16((ar + opt_count) as u16);
+        for q in &m.questions {
+            w.put_name(&q.name);
+            w.put_u16(q.qtype.to_u16());
+            w.put_u16(q.qclass.to_u16());
+        }
+        for rec in m.answers.iter().take(an) {
+            rec.encode(&mut w);
+        }
+        for rec in m.authorities.iter().take(ns) {
+            rec.encode(&mut w);
+        }
+        for rec in m.additionals.iter().take(ar) {
+            rec.encode(&mut w);
+        }
+        if let Some(edns) = &m.edns {
+            let mut e = edns.clone();
+            e.ext_rcode_high = m.rcode.high_bits();
+            e.to_record().encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    fn ref_encode_udp(m: &Message, limit: usize) -> (Vec<u8>, bool) {
+        let full =
+            ref_encode_with_counts(m, m.answers.len(), m.authorities.len(), m.additionals.len(), false);
+        if full.len() <= limit {
+            return (full, false);
+        }
+        let (mut an, mut ns, mut ar) =
+            (m.answers.len(), m.authorities.len(), m.additionals.len());
+        loop {
+            if ar > 0 {
+                ar -= 1;
+            } else if ns > 0 {
+                ns -= 1;
+            } else if an > 0 {
+                an -= 1;
+            } else {
+                return (ref_encode_with_counts(m, 0, 0, 0, true), true);
+            }
+            let buf = ref_encode_with_counts(m, an, ns, ar, true);
+            if buf.len() <= limit {
+                return (buf, true);
+            }
+        }
+    }
+
+    /// Deterministic splitmix-style generator for seeded message soup.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    fn gen_message(rng: &mut Rng) -> Message {
+        let names = [
+            "com", "example.com", "www.example.com", "mail.example.com",
+            "ns1.example.com", "a.b.c.example.com", "cdn.example.net",
+            "very-long-label-padding-things-out.example.org",
+        ];
+        let nm = |rng: &mut Rng| -> Name { names[rng.below(names.len())].parse().unwrap() };
+        let rec = |rng: &mut Rng| -> Record {
+            match rng.below(4) {
+                0 => Record::new(nm(rng), 60, RData::A("192.0.2.7".parse().unwrap())),
+                1 => Record::new(nm(rng), 3600, RData::Ns(nm(rng))),
+                2 => Record::new(nm(rng), 30, RData::Txt(vec![b"padding-padding-padding".to_vec()])),
+                _ => Record::new(nm(rng), 300, RData::Cname(nm(rng))),
+            }
+        };
+        let mut m = Message::query(rng.next() as u16, nm(rng), RecordType::A).response_to();
+        m.flags.authoritative = rng.below(2) == 0;
+        for _ in 0..rng.below(5) {
+            m.answers.push(rec(rng));
+        }
+        for _ in 0..rng.below(4) {
+            m.authorities.push(rec(rng));
+        }
+        for _ in 0..rng.below(4) {
+            m.additionals.push(rec(rng));
+        }
+        if rng.below(2) == 0 {
+            m.edns = Some(Edns {
+                dnssec_ok: rng.below(2) == 0,
+                options: if rng.below(3) == 0 { vec![(10, vec![1, 2, 3, 4, 5, 6, 7, 8])] } else { Vec::new() },
+                ..Default::default()
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn encode_udp_never_exceeds_limit() {
+        // The overshoot regression: every limit, including those below
+        // header+question+OPT (and below the header itself), must be
+        // respected to the byte.
+        let mut rng = Rng(7);
+        for _ in 0..40 {
+            let m = gen_message(&mut rng);
+            let full = m.encode().len();
+            for limit in 0..=full + 2 {
+                let (buf, tc) = m.encode_udp(limit);
+                assert!(buf.len() <= limit, "limit {limit}: got {} bytes", buf.len());
+                assert_eq!(tc, full > limit, "limit {limit} full {full}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_byte_identical_to_old_algorithm() {
+        // Wherever the old drop-and-reencode loop produced a result that
+        // fit, the offset-slicing path must reproduce it byte-for-byte.
+        let mut rng = Rng(99);
+        for _ in 0..40 {
+            let m = gen_message(&mut rng);
+            let full = m.encode().len();
+            for limit in 12..=full + 2 {
+                let (old, old_tc) = ref_encode_udp(&m, limit);
+                let (new, new_tc) = m.encode_udp(limit);
+                if old.len() <= limit {
+                    assert_eq!(new_tc, old_tc, "limit {limit}");
+                    assert_eq!(new, old, "limit {limit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn limit_exactly_full_size_is_not_truncation() {
+        let resp = sample_response();
+        let full = resp.encode();
+        let (buf, tc) = resp.encode_udp(full.len());
+        assert!(!tc);
+        assert_eq!(buf, full);
+    }
+
+    #[test]
+    fn opt_survives_record_truncation() {
+        let mut resp = sample_response();
+        resp.edns = Some(Edns::default());
+        let full = resp.encode().len();
+        // Squeeze until only header+question+OPT can fit: OPT must be
+        // preserved (it carries payload-size negotiation) and must sit
+        // directly after the kept sections.
+        let q_end = 12 + resp.questions[0].name.wire_len() + 4;
+        let opt_len = 11; // root + type + class + ttl + rdlen, no options
+        let (buf, tc) = resp.encode_udp(q_end + opt_len);
+        assert!(tc && buf.len() == q_end + opt_len, "{} vs {}", buf.len(), q_end + opt_len);
+        let d = Message::decode(&buf).unwrap();
+        assert!(d.flags.truncated);
+        assert_eq!(d.record_count(), 0);
+        assert!(d.edns.is_some());
+        assert!(full > buf.len());
+    }
+
+    #[test]
+    fn opt_dropped_only_below_irreducible_floor() {
+        let mut resp = sample_response();
+        resp.edns = Some(Edns::default());
+        let q_end = 12 + resp.questions[0].name.wire_len() + 4;
+        // One byte short of header+question+OPT: the OPT goes, the
+        // question stays, and the length still honors the limit.
+        let (buf, tc) = resp.encode_udp(q_end + 11 - 1);
+        assert!(tc);
+        assert_eq!(buf.len(), q_end);
+        let d = Message::decode(&buf).unwrap();
+        assert!(d.flags.truncated);
+        assert!(d.edns.is_none());
+        assert_eq!(d.questions.len(), 1);
+        assert_eq!(d.record_count(), 0);
+    }
+
+    #[test]
+    fn questions_dropped_when_even_they_overflow() {
+        let resp = sample_response();
+        let (buf, tc) = resp.encode_udp(14); // header fits, question not
+        assert!(tc);
+        assert_eq!(buf.len(), 12);
+        let d = Message::decode(&buf).unwrap();
+        assert!(d.flags.truncated);
+        assert_eq!(d.questions.len(), 0);
+        assert_eq!(d.record_count(), 0);
+        // Below the header itself: raw prefix, still within limit.
+        let (buf, tc) = resp.encode_udp(5);
+        assert!(tc);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn tc_bit_set_on_every_truncated_variant() {
+        let mut rng = Rng(1234);
+        for _ in 0..20 {
+            let m = gen_message(&mut rng);
+            let full = m.encode().len();
+            for limit in 4..full {
+                let (buf, tc) = m.encode_udp(limit);
+                assert!(tc);
+                // Flags byte 2 bit 0x02 is TC; visible whenever the
+                // returned prefix reaches it.
+                assert!(buf.len() >= 3, "limit {limit}");
+                assert_eq!(buf[2] & 0x02, 0x02, "limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh_encodes() {
+        let mut rng = Rng(42);
+        let mut scratch = crate::EncodeScratch::new();
+        for _ in 0..60 {
+            let m = gen_message(&mut rng);
+            let reused = m.encode_into(&mut scratch).to_vec();
+            let mut fresh = crate::EncodeScratch::new();
+            assert_eq!(reused, m.encode_into(&mut fresh));
+            assert_eq!(reused, m.encode());
+            assert_eq!(Message::decode(&reused).unwrap(), m);
+            let limit = 40 + (rng.next() as usize % 200);
+            let (a, tc_a) = m.encode_udp_into(limit, &mut scratch);
+            let (a, tc_a) = (a.to_vec(), tc_a);
+            let (b, tc_b) = m.encode_udp(limit);
+            assert_eq!(a, b);
+            assert_eq!(tc_a, tc_b);
+        }
     }
 }

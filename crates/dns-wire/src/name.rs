@@ -103,7 +103,12 @@ impl Name {
     }
 
     /// Iterate labels from leftmost (host) to rightmost (TLD).
-    pub fn labels(&self) -> impl Iterator<Item = &[u8]> + '_ {
+    ///
+    /// The iterator is double-ended and exact-size so wire encoding can
+    /// walk suffixes right-to-left without materializing parent names.
+    pub fn labels(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = &[u8]> + ExactSizeIterator + '_ {
         self.labels.iter().map(|l| &**l)
     }
 

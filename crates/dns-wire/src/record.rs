@@ -47,8 +47,10 @@ impl Record {
         w.put_u16(0);
         let start = w.len();
         self.rdata.encode(w);
+        // Saturate rather than wrap: a >64KiB RDATA cannot round-trip
+        // anyway, but a wrapped length would silently mis-frame it.
         let rdlength = w.len() - start;
-        w.patch_u16(len_pos, rdlength as u16);
+        w.patch_u16(len_pos, rdlength.min(u16::MAX as usize) as u16);
     }
 
     /// Decode one record at the reader's cursor.

@@ -4,9 +4,8 @@
 //! (with RFC 1035 §4.1.4 compression). [`WireReader`] is a bounds-checked
 //! cursor that follows compression pointers with loop protection.
 
-use std::collections::HashMap;
-
 use crate::name::Name;
+use crate::scratch::{CompressMap, ROOT_SID};
 
 /// Errors produced while decoding wire data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,12 +42,17 @@ impl std::error::Error for WireError {}
 
 /// Serializer with optional name compression.
 ///
-/// Compression offsets are remembered per (suffix → offset); only offsets
-/// that fit in 14 bits are eligible as pointer targets, per the RFC.
+/// Compression offsets are remembered per (suffix → offset) through the
+/// interned tables in [`crate::scratch`]; only offsets that fit in 14
+/// bits are eligible as pointer targets, per the RFC. The writer is
+/// reusable: [`WireWriter::reset`] clears the output and invalidates the
+/// per-message offsets in O(1) while keeping the interners (and all
+/// their capacity) warm across messages.
+#[derive(Debug)]
 pub struct WireWriter {
     buf: Vec<u8>,
-    /// Map from name suffix (as its label-joined display form) to offset.
-    compress_map: HashMap<Name, u16>,
+    /// Interned suffix → offset state (epoch-invalidated per message).
+    compress_map: CompressMap,
     /// Whether to emit compression pointers at all.
     compress: bool,
 }
@@ -58,9 +62,27 @@ impl WireWriter {
     pub fn new() -> Self {
         WireWriter {
             buf: Vec::with_capacity(512),
-            compress_map: HashMap::new(),
+            compress_map: CompressMap::new(),
             compress: true,
         }
+    }
+
+    /// Clear the output buffer and start a fresh compression epoch,
+    /// keeping allocated capacity. Called between messages when the
+    /// writer is reused via [`crate::EncodeScratch`].
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.compress_map.reset();
+    }
+
+    /// The bytes written so far, without consuming the writer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Mutable access to the underlying buffer (truncation patching).
+    pub(crate) fn buf_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
     }
 
     /// New writer that never emits compression pointers (canonical form,
@@ -115,36 +137,49 @@ impl WireWriter {
 
     /// Append a domain name, emitting a compression pointer when a suffix
     /// of the name was already written at a pointer-representable offset.
+    ///
+    /// Allocation-free in steady state: labels are interned to integer
+    /// ids, suffixes to (label, parent-suffix) pairs, and the per-message
+    /// offset lookup is an epoch-checked array read — no `Name` clones,
+    /// no per-label `Vec`s, no hashing of whole names.
     pub fn put_name(&mut self, name: &Name) {
-        let mut current = name.clone();
-        loop {
-            if current.is_root() {
-                self.buf.push(0);
-                return;
-            }
-            if self.compress {
-                if let Some(&off) = self.compress_map.get(&current) {
-                    self.put_u16(0xc000 | off);
-                    return;
-                }
-            }
-            // Remember this suffix's offset for future compression.
-            if self.buf.len() <= 0x3fff {
-                self.compress_map.insert(current.clone(), self.buf.len() as u16);
-            }
-            let (Some(label), Some(parent)) = (
-                current.leftmost().map(<[u8]>::to_vec),
-                current.parent(),
-            ) else {
-                // Unreachable for a non-root name; emit the terminator
-                // rather than panic in the encode hot path (rule P1).
-                self.buf.push(0);
-                return;
-            };
-            self.buf.push(label.len() as u8);
-            self.buf.extend_from_slice(&label);
-            current = parent;
+        if name.is_root() {
+            self.buf.push(0);
+            return;
         }
+        if !self.compress {
+            self.put_name_uncompressed(name);
+            return;
+        }
+        // Intern every suffix right-to-left; stack[i] holds the suffix id
+        // for the name starting at label (count-1-i).
+        let mut stack = std::mem::take(&mut self.compress_map.sid_stack);
+        stack.clear();
+        let mut sid = ROOT_SID;
+        for label in name.labels().rev() {
+            let lid = self.compress_map.intern_label(label);
+            sid = self.compress_map.intern_suffix(lid, sid);
+            stack.push(sid);
+        }
+        // Emit left-to-right: pointer on the first suffix already written
+        // this message, otherwise record the offset and write the label.
+        let mut pointed = false;
+        for (&sid, label) in stack.iter().rev().zip(name.labels()) {
+            if let Some(off) = self.compress_map.get_offset(sid) {
+                self.buf.extend_from_slice(&(0xc000 | off).to_be_bytes());
+                pointed = true;
+                break;
+            }
+            if self.buf.len() <= 0x3fff {
+                self.compress_map.set_offset(sid, self.buf.len() as u16);
+            }
+            self.buf.push(label.len() as u8);
+            self.buf.extend_from_slice(label);
+        }
+        if !pointed {
+            self.buf.push(0);
+        }
+        self.compress_map.sid_stack = stack;
     }
 
     /// Append a name without creating or using compression pointers,

@@ -132,6 +132,91 @@ fn arb_message() -> impl Strategy<Value = Message> {
         )
 }
 
+/// Reference implementation of the pre-rewrite encoder: encode with
+/// explicit section counts, cloning the EDNS block to patch the extended
+/// RCODE. Kept verbatim so the offset-slicing truncation can be proven
+/// byte-identical to the old drop-and-reencode loop.
+fn ref_encode_with_counts(m: &Message, an: usize, ns: usize, ar: usize, tc: bool) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u16(m.id);
+    let mut f: u16 = 0;
+    if m.flags.response {
+        f |= 0x8000;
+    }
+    f |= (m.opcode.to_u8() as u16) << 11;
+    if m.flags.authoritative {
+        f |= 0x0400;
+    }
+    if m.flags.truncated || tc {
+        f |= 0x0200;
+    }
+    if m.flags.recursion_desired {
+        f |= 0x0100;
+    }
+    if m.flags.recursion_available {
+        f |= 0x0080;
+    }
+    if m.flags.authentic_data {
+        f |= 0x0020;
+    }
+    if m.flags.checking_disabled {
+        f |= 0x0010;
+    }
+    f |= m.rcode.low_bits() as u16;
+    w.put_u16(f);
+    w.put_u16(m.questions.len() as u16);
+    w.put_u16(an as u16);
+    w.put_u16(ns as u16);
+    let opt_count = usize::from(m.edns.is_some());
+    w.put_u16((ar + opt_count) as u16);
+    for q in &m.questions {
+        w.put_name(&q.name);
+        w.put_u16(q.qtype.to_u16());
+        w.put_u16(q.qclass.to_u16());
+    }
+    for rec in m.answers.iter().take(an) {
+        rec.encode(&mut w);
+    }
+    for rec in m.authorities.iter().take(ns) {
+        rec.encode(&mut w);
+    }
+    for rec in m.additionals.iter().take(ar) {
+        rec.encode(&mut w);
+    }
+    if let Some(edns) = &m.edns {
+        let mut e = edns.clone();
+        e.ext_rcode_high = m.rcode.high_bits();
+        e.to_record().encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// The old drop-and-reencode UDP truncation loop, verbatim.
+fn ref_encode_udp(m: &Message, limit: usize) -> (Vec<u8>, bool) {
+    let full = ref_encode_with_counts(m, m.answers.len(), m.authorities.len(), m.additionals.len(), false);
+    if full.len() <= limit {
+        return (full, false);
+    }
+    let mut an = m.answers.len();
+    let mut ns = m.authorities.len();
+    let mut ar = m.additionals.len();
+    loop {
+        if ar > 0 {
+            ar -= 1;
+        } else if ns > 0 {
+            ns -= 1;
+        } else if an > 0 {
+            an -= 1;
+        } else {
+            return (ref_encode_with_counts(m, 0, 0, 0, true), true);
+        }
+        let buf = ref_encode_with_counts(m, an, ns, ar, true);
+        if buf.len() <= limit {
+            return (buf, true);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -181,12 +266,41 @@ proptest! {
     fn message_udp_truncation_always_fits(msg in arb_message(), limit in 64usize..1500) {
         let (buf, tc) = msg.encode_udp(limit);
         let decoded = Message::decode(&buf).unwrap();
-        // Either the result fits, or every droppable record was dropped
-        // (header + question + OPT form an irreducible floor).
-        prop_assert!(buf.len() <= limit || decoded.record_count() == 0);
+        // The clamp is unconditional: no header+question+OPT floor, the
+        // result never exceeds the caller's limit (RFC 2181 §9).
+        prop_assert!(buf.len() <= limit);
         if tc {
             prop_assert!(decoded.flags.truncated);
         }
+    }
+
+    #[test]
+    fn truncation_byte_identical_to_reference(msg in arb_message(), limit in 12usize..1500) {
+        // Wherever the old drop-and-reencode loop produced a fitting
+        // result, the offset-slicing rewrite must reproduce it exactly;
+        // where the old loop overshot (its header+question+OPT fallback),
+        // the rewrite must clamp instead.
+        let (old, old_tc) = ref_encode_udp(&msg, limit);
+        let (new, new_tc) = msg.encode_udp(limit);
+        prop_assert!(new.len() <= limit);
+        if old.len() <= limit {
+            prop_assert_eq!(new_tc, old_tc);
+            prop_assert_eq!(new, old);
+        }
+    }
+
+    #[test]
+    fn scratch_encode_matches_wrapper(msg in arb_message(), limit in 12usize..1500) {
+        let mut scratch = dns_wire::EncodeScratch::new();
+        // Same scratch reused across both calls: interner state from the
+        // first encode must not perturb the second.
+        let a = msg.encode_into(&mut scratch).to_vec();
+        prop_assert_eq!(&a, &msg.encode());
+        let (b, tc) = msg.encode_udp_into(limit, &mut scratch);
+        let b = b.to_vec();
+        let (wrapper, wrapper_tc) = msg.encode_udp(limit);
+        prop_assert_eq!(b, wrapper);
+        prop_assert_eq!(tc, wrapper_tc);
     }
 
     #[test]

@@ -117,7 +117,8 @@ pub const CATALOG: &[RuleInfo] = &[
         id: "P1",
         severity: "error",
         summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in hot \
-                  paths (crates/dns-wire/src, crates/proxy/src, dns-server/src/engine.rs)",
+                  paths (crates/dns-wire/src, crates/proxy/src, dns-server/src/engine.rs, \
+                  dns-server/src/template.rs)",
         rationale: "A malformed packet must never panic the server: decode and dispatch \
                     paths return typed errors so a fuzzer (or the internet) cannot take \
                     the process down.",
@@ -202,7 +203,8 @@ pub struct FileScope {
     /// simulator's delivery path), `sim_*.rs` anywhere.
     pub sim_path: bool,
     /// Panic-safety hot path (P1 applies): `crates/dns-wire/src/**`,
-    /// `crates/proxy/src/**`, `crates/dns-server/src/engine.rs`.
+    /// `crates/proxy/src/**`, `crates/dns-server/src/engine.rs`,
+    /// `crates/dns-server/src/template.rs`.
     pub hot_path: bool,
     /// Lighter panic discipline (P2: no `unwrap`/`expect`) for the rest
     /// of the hot-path crates — dns-wire, dns-server, proxy, telemetry —
@@ -238,7 +240,9 @@ pub fn classify(path: &str) -> FileScope {
     let hot_path = p.contains("crates/dns-wire/src/")
         || p.contains("crates/proxy/src/")
         || p.ends_with("crates/dns-server/src/engine.rs")
-        || p == "crates/dns-server/src/engine.rs";
+        || p == "crates/dns-server/src/engine.rs"
+        || p.ends_with("crates/dns-server/src/template.rs")
+        || p == "crates/dns-server/src/template.rs";
     let channel_scope = p.contains("crates/dns-server/")
         || p.contains("crates/replay/")
         || p.contains("crates/proxy/");
@@ -1193,6 +1197,9 @@ mod tests {
         assert!(errors("crates/dns-wire/src/name.rs", src).iter().any(|d| d.rule == "P1"));
         assert!(errors("crates/proxy/src/rewrite.rs", src).iter().any(|d| d.rule == "P1"));
         assert!(errors("crates/dns-server/src/engine.rs", src).iter().any(|d| d.rule == "P1"));
+        // The template fast path serves precompiled bytes per query:
+        // it is P1 scope like the engine that calls into it.
+        assert!(errors("crates/dns-server/src/template.rs", src).iter().any(|d| d.rule == "P1"));
         // Outside the hot-path crates, unwrap is clippy's problem.
         assert!(errors("crates/metrics/src/histogram.rs", src).is_empty());
         // Non-engine dns-server files get the lighter P2, not P1.

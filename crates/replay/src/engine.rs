@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dns_wire::framing::frame_into;
-use dns_wire::Transport;
+use dns_wire::{EncodeScratch, Transport};
 use ldp_guard::{Checkpoint, GuardConfig, RetryBudget, Supervisor};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
@@ -358,12 +358,16 @@ pub fn replay_with_clock(
     // sticky assignments match the original run, but only jobs at or
     // past the checkpoint cursor are dispatched.
     let mut controller_router = StickyRouter::new(n_d);
+    // One scratch for the whole pre-encode pass: the output buffer and
+    // the name-compression interner are reused across every entry, so
+    // the only per-query allocation is the shared payload itself.
+    let mut scratch = EncodeScratch::new();
     for (seq, entry) in trace.iter().enumerate() {
         let d = controller_router.route(entry.src.ip());
         if (seq as u64) < start_seq {
             continue;
         }
-        let payload: Arc<[u8]> = entry.message.encode().into();
+        let payload: Arc<[u8]> = entry.message.encode_into(&mut scratch).into();
         let job = QueryJob {
             seq: seq as u64,
             trace_us: entry.time_us,

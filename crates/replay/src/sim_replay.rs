@@ -8,7 +8,7 @@ use std::net::{IpAddr, SocketAddr};
 use std::sync::{Arc, Mutex};
 
 use dns_wire::framing::{frame, FrameBuffer};
-use dns_wire::{Message, Transport};
+use dns_wire::{EncodeScratch, Message, Transport};
 use ldp_guard::{Admission, AdmissionController, Checkpoint};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
@@ -193,6 +193,8 @@ pub struct SimReplayClient {
     pub origin: SimTime,
     /// Times this host was power-cycled by the simulator.
     pub restarts: u32,
+    /// Reusable encode buffer + compression interner for dispatch.
+    scratch: EncodeScratch,
 }
 
 impl SimReplayClient {
@@ -226,6 +228,7 @@ impl SimReplayClient {
             epoch: 0,
             origin: SimTime::ZERO,
             restarts: 0,
+            scratch: EncodeScratch::new(),
         }
     }
 
@@ -371,8 +374,10 @@ impl SimReplayClient {
         let entry = &self.trace[idx];
         let transport = self.transport_override.unwrap_or(entry.transport);
         let src = entry.src;
-        let payload = entry.message.encode();
         let id = entry.message.id;
+        // Encoded into the reusable scratch, then one copy straight
+        // into the refcounted packet buffer the simulator shares.
+        let payload: PacketBytes = entry.message.encode_into(&mut self.scratch).into();
         let now_s = ctx.now().as_secs_f64();
         let pending = Pending {
             seq: idx as u64,

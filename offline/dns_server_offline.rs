@@ -8,7 +8,10 @@ pub mod engine;
 pub mod rrl;
 #[path = "../crates/dns-server/src/sim_server.rs"]
 pub mod sim_server;
+#[path = "../crates/dns-server/src/template.rs"]
+pub mod template;
 
 pub use engine::ServerEngine;
 pub use rrl::{RateLimiter, RrlAction, RrlBank, RrlConfig};
 pub use sim_server::SimDnsServer;
+pub use template::TemplateTable;

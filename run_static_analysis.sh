@@ -166,6 +166,11 @@ else
     rc --test --crate-name tcp_model_t $NETSIM crates/netsim/tests/tcp_model.rs &&
         "$od/tcp_model_t" -q || fail=1
 
+    note "offline: dns-server engine/template/rrl/sim_server suites"
+    rc --test --crate-name dns_server_t $WIRE $ZONE $NETSIM $TELEM $GUARD \
+        offline/dns_server_offline.rs &&
+        "$od/dns_server_t" -q || fail=1
+
     note "offline: replay engine/clock/sticky/timing/sim_replay suites"
     # Serial: the timed-replay tests assert wall-clock send fidelity and
     # flake when CPU-heavy neighbors (fast-mode floods) run in parallel.
@@ -211,7 +216,7 @@ else
     rc --crate-name hierarchy_emulation_ex $LDP examples/hierarchy_emulation.rs || fail=1
 
     note "offline: hotpath microbench (includes telemetry + guard overhead gates)"
-    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM $GUARD \
+    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM $GUARD $SERVER $ZONE \
         crates/bench/src/bin/hotpath.rs || fail=1
     rm -f BENCH_hotpath.json
     "$od/hotpath" BENCH_hotpath.json || fail=1
@@ -238,6 +243,28 @@ fi
 
 if [ -f BENCH_hotpath.json ]; then
     note "BENCH_hotpath.json written"
+    # Encode-path gates: the scratch-reuse encode rewrite must keep
+    # encode at least as fast as decode, and the server template bench
+    # must be present in the report.
+    bench_num() {
+        awk -F: -v key="\"$1\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print int($2); exit }' \
+            BENCH_hotpath.json
+    }
+    enc=$(bench_num encode_msgs_per_sec)
+    dec=$(bench_num decode_msgs_per_sec)
+    tpl=$(bench_num template_answers_per_sec)
+    if [ -z "$enc" ] || [ -z "$dec" ] || [ "$enc" -lt "$dec" ]; then
+        note "FAILED: wire.encode_msgs_per_sec (${enc:-missing}) < wire.decode_msgs_per_sec (${dec:-missing})"
+        fail=1
+    else
+        note "encode/decode gate: ${enc} >= ${dec} msgs/s"
+    fi
+    if [ -z "$tpl" ]; then
+        note "FAILED: server.template_answers_per_sec missing from BENCH_hotpath.json"
+        fail=1
+    else
+        note "server template bench: ${tpl} answers/s"
+    fi
 else
     note "FAILED: hotpath bench produced no BENCH_hotpath.json"
     fail=1
