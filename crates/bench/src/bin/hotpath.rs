@@ -19,6 +19,7 @@ use dns_server::ServerEngine;
 use dns_wire::{Message, RData, Record, RecordType, Soa};
 use dns_zone::{Catalog, Zone};
 use ldp_replay::{replay, ReplayConfig};
+use ldp_shard::{ShardPlan, ShardedSimulator};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
 use netsim::{
@@ -63,20 +64,55 @@ impl Host for Blaster {
     }
 }
 
+fn sim_topology() -> Topology {
+    Topology::uniform(PathConfig {
+        rtt: SimDuration::from_millis(2),
+        bandwidth_bps: None,
+        loss: 0.0,
+    })
+}
+
 /// One full simulator run on the given queue backend; returns events
 /// processed. 8 hosts × `ticks` re-armed 20 µs timers × 2-peer bursts
 /// over a 2 ms RTT keeps ~1.5k events resident for the whole run.
 fn sim_run(queue: QueueKind, ticks: u64) -> u64 {
-    let topo = Topology::uniform(PathConfig {
-        rtt: SimDuration::from_millis(2),
-        bandwidth_bps: None,
-        loss: 0.0,
-    });
     let config = SimConfig {
         queue,
         ..Default::default()
     };
-    let mut sim = Simulator::new(topo, config);
+    let mut sim = Simulator::new(sim_topology(), config);
+    let payload: PacketBytes = vec![0u8; 64].into();
+    let n_hosts = 8usize;
+    let socks: Vec<SocketAddr> = (0..n_hosts)
+        .map(|i| format!("10.9.0.{}:5300", i + 1).parse().expect("addr"))
+        .collect();
+    for i in 0..n_hosts {
+        let peers = vec![socks[(i + 1) % n_hosts], socks[(i + 3) % n_hosts]];
+        let id = sim.add_host(
+            &[socks[i].ip()],
+            Box::new(Blaster {
+                me: socks[i],
+                peers,
+                payload: payload.clone(),
+                ticks,
+            }),
+        );
+        sim.schedule_timer(id, SimTime::from_micros(i as u64), 0);
+    }
+    sim.run_until(SimTime::from_secs_f64(3600.0))
+}
+
+/// The identical workload on a [`ShardedSimulator`] with `shards`
+/// round-robin worker shards (1 ms conservative lookahead from the
+/// 2 ms RTT). Returns events processed, which must equal the
+/// single-shard count — the equivalence smoke the static-analysis
+/// gate relies on.
+fn sharded_sim_run(shards: u32, ticks: u64) -> u64 {
+    let config = SimConfig {
+        queue: QueueKind::Heap,
+        ..Default::default()
+    };
+    let mut sim = ShardedSimulator::new(sim_topology(), config, ShardPlan::round_robin(shards));
     let payload: PacketBytes = vec![0u8; 64].into();
     let n_hosts = 8usize;
     let socks: Vec<SocketAddr> = (0..n_hosts)
@@ -108,7 +144,7 @@ fn queue_raw(kind: QueueKind, ops: u64) -> u64 {
     let mut popped = 0u64;
     for i in 0..ops {
         let jitter = (i.wrapping_mul(2654435761)) % 1000;
-        q.push(SimTime::from_nanos(now + jitter), i);
+        q.push(SimTime::from_nanos(now + jitter), i % 64, i, i);
         if q.len() > 4096 {
             if let Some((at, item)) = q.pop() {
                 now = now.max(at.as_nanos());
@@ -307,6 +343,23 @@ fn main() {
     println!("  raw queue: heap {heap_raw:>12.0} ops/s, btree {btree_raw:>12.0} ops/s");
     assert_eq!(heap_ops, btree_ops);
 
+    // --- Sharded simulator: the identical workload on 1/2/8 worker
+    // shards. The event-count equality is the cheap equivalence smoke
+    // (full transcript equivalence lives in crates/shard/tests); the
+    // per-count rates land in the JSON so the shard-scaling study in
+    // EXPERIMENTS.md has pinned, reproducible inputs.
+    println!("sharded sim: 8 hosts × {ticks} ticks × shards 1/2/8 (best of 3)…");
+    let mut sharded_eps = [0f64; 3];
+    for (slot, shards) in [1u32, 2, 8].iter().enumerate() {
+        let (events, secs) = best_of(3, || sharded_sim_run(*shards, ticks));
+        assert_eq!(
+            events, heap_events,
+            "sharded({shards}) must process the single-shard event count"
+        );
+        sharded_eps[slot] = events as f64 / secs;
+        println!("  shards={shards} {:>12.0} events/s", sharded_eps[slot]);
+    }
+
     // --- Replay: fast-mode UDP throughput to a loopback sink. ---
     let queries = 40_000u64;
     println!("replay: {queries} fast-mode queries…");
@@ -366,9 +419,12 @@ fn main() {
 
     // Hand-rolled JSON: this binary must build with bare rustc offline.
     let json = format!(
-        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }},\n  \"server\": {{\n    \"template_answers_per_sec\": {template_aps:.0},\n    \"general_answers_per_sec\": {general_aps:.0},\n    \"template_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n    \"sharded_events_per_sec_1\": {:.0},\n    \"sharded_events_per_sec_2\": {:.0},\n    \"sharded_events_per_sec_8\": {:.0}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }},\n  \"server\": {{\n    \"template_answers_per_sec\": {template_aps:.0},\n    \"general_answers_per_sec\": {general_aps:.0},\n    \"template_speedup\": {:.3}\n  }}\n}}\n",
         heap_eps / btree_eps,
         heap_raw / btree_raw,
+        sharded_eps[0],
+        sharded_eps[1],
+        sharded_eps[2],
         enc_mps * msg_size as f64 / 1e6,
         dec_mps * msg_size as f64 / 1e6,
         template_aps / general_aps,

@@ -11,7 +11,8 @@
 
 use std::net::IpAddr;
 
-use netsim::{Ctx, Host, HostId, PacketBytes, Simulator, TcpEvent};
+use ldp_shard::{ControlId, ShardedSimulator};
+use netsim::{Ctx, Host, HostId, PacketBytes, SimTime, Simulator, TcpEvent};
 
 use crate::injector::PlanInjector;
 use crate::plan::{FaultEvent, FaultPlan};
@@ -54,15 +55,8 @@ impl Host for ChaosAgent {
     }
 }
 
-/// Wire a [`FaultPlan`] into `sim`: installs a [`PlanInjector`] for the
-/// packet-level faults and a [`ChaosAgent`] (registered at
-/// `agent_addr`) whose timers deliver the plan's crash/restart events.
-///
-/// Returns the agent's [`HostId`]. `agent_addr` must be an address not
-/// used by any workload host.
-pub fn install(sim: &mut Simulator, plan: &FaultPlan, agent_addr: IpAddr) -> HostId {
-    sim.set_fault_injector(Box::new(PlanInjector::new(plan)));
-
+/// The plan's host-level actions as a time-sorted timer schedule.
+fn schedule_of(plan: &FaultPlan) -> Vec<(SimTime, Action)> {
     let mut schedule = Vec::new();
     for pf in &plan.faults {
         match pf.fault {
@@ -78,11 +72,47 @@ pub fn install(sim: &mut Simulator, plan: &FaultPlan, agent_addr: IpAddr) -> Hos
         }
     }
     schedule.sort_by_key(|(at, _)| *at);
+    schedule
+}
 
+/// Wire a [`FaultPlan`] into `sim`: installs a [`PlanInjector`] for the
+/// packet-level faults and a [`ChaosAgent`] (registered at
+/// `agent_addr`) whose timers deliver the plan's crash/restart events.
+///
+/// The agent is a *control host* — its timer dispatches are excluded
+/// from the event count, exactly as the per-shard agent replicas of
+/// [`install_sharded`] are, so single-shard and sharded transcripts
+/// agree byte-for-byte.
+///
+/// Returns the agent's [`HostId`]. `agent_addr` must be an address not
+/// used by any workload host.
+pub fn install(sim: &mut Simulator, plan: &FaultPlan, agent_addr: IpAddr) -> HostId {
+    sim.set_fault_injector(Box::new(PlanInjector::new(plan)));
+
+    let schedule = schedule_of(plan);
     let actions: Vec<Action> = schedule.iter().map(|(_, a)| *a).collect();
-    let agent = sim.add_host(&[agent_addr], Box::new(ChaosAgent { actions }));
+    let agent = sim.add_control_host(&[agent_addr], Box::new(ChaosAgent { actions }));
     for (i, (at, _)) in schedule.iter().enumerate() {
         sim.schedule_timer(agent, *at, i as u64);
+    }
+    agent
+}
+
+/// [`install`] for a [`ShardedSimulator`]: every shard gets its own
+/// [`PlanInjector`] replica (safe because its draws are stateless — see
+/// [`crate::injector`]) and its own [`ChaosAgent`] replica armed with
+/// the same timers. A replica's crash command is a natural no-op on
+/// every shard but the target's owner, so exactly one shard acts.
+pub fn install_sharded(sim: &mut ShardedSimulator, plan: &FaultPlan, agent_addr: IpAddr) -> ControlId {
+    sim.set_fault_injectors(|_shard| Box::new(PlanInjector::new(plan)));
+
+    let schedule = schedule_of(plan);
+    let actions: Vec<Action> = schedule.iter().map(|(_, a)| *a).collect();
+    let agent = sim.add_control_host(&[agent_addr], |_shard| {
+        Box::new(ChaosAgent { actions: actions.clone() })
+    });
+    for (i, (at, _)) in schedule.iter().enumerate() {
+        sim.schedule_control_timer(agent, *at, i as u64);
     }
     agent
 }

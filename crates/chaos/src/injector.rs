@@ -3,17 +3,19 @@
 //!
 //! Determinism: the injector advances through the plan lazily as the
 //! simulator consults it — events with `at <= now` are applied in plan
-//! order, and RNG draws happen only for packets that match an active
-//! window. Because the simulator consults injectors in event order
-//! (identical across queue backends) and all randomness flows from the
-//! plan's seeded RNG, same seed → byte-identical transcripts.
+//! order, so its window state at any consult is a pure function of the
+//! consult time. Randomness is **stateless**: every draw is a hash of
+//! `(plan seed, now, src, dst, bytes, draw site)`, never a stream
+//! position. That makes the injector's decisions placement-invariant:
+//! the per-shard replicas a sharded run installs (`ldp-shard`) each see
+//! only their own shard's packets, yet compute exactly the fates the
+//! single injector of a single-shard run computes — same seed →
+//! byte-identical transcripts at any shard count.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::{IpAddr, SocketAddr};
 
 use netsim::{FaultInjector, PacketFate, SimDuration, SimTime, WireKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::plan::{FaultEvent, FaultPlan};
 
@@ -30,9 +32,35 @@ const THROTTLE_UNIT_NS: f64 = 1_000_000.0;
 /// Spacing between a duplicated datagram and its copy (500 µs).
 const DUPLICATE_GAP_NS: u64 = 500_000;
 
+/// SplitMix64 finalizer: the mixing core of the stateless draws.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix_ip(ip: IpAddr) -> u64 {
+    match ip {
+        IpAddr::V4(v4) => u64::from(u32::from(v4)),
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            let mut h = 0u64;
+            for chunk in o.chunks(8) {
+                let mut w = 0u64;
+                for &b in chunk {
+                    w = (w << 8) | u64::from(b);
+                }
+                h = mix(h ^ w);
+            }
+            h
+        }
+    }
+}
+
 /// A [`FaultInjector`] executing one [`FaultPlan`].
 pub struct PlanInjector {
-    rng: StdRng,
+    seed: u64,
     /// Time-sorted plan, applied lazily as `fate` is consulted.
     timeline: Vec<(SimTime, FaultEvent)>,
     next: usize,
@@ -62,7 +90,7 @@ impl PlanInjector {
             .collect();
         timeline.sort_by_key(|(at, _)| *at);
         PlanInjector {
-            rng: StdRng::seed_from_u64(plan.seed),
+            seed: plan.seed,
             timeline,
             next: 0,
             links_down: BTreeSet::new(),
@@ -108,10 +136,22 @@ impl PlanInjector {
         }
     }
 
-    fn frac(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+    /// One stateless uniform draw in `[0, 1)`: a hash of the packet
+    /// `key` and the draw `site`, independent of every other packet
+    /// ever consulted — so shard replicas that each see a subset of
+    /// the traffic still agree with the single-shard injector.
+    fn frac(&self, key: u64, site: u64) -> f64 {
+        (mix(key ^ mix(self.seed ^ site)) >> 11) as f64 / (1u64 << 53) as f64
     }
 }
+
+/// Distinct draw sites, so one packet's loss, jitter, reorder and
+/// duplicate draws are independent of each other.
+const SITE_LOSS: u64 = 1;
+const SITE_JITTER: u64 = 2;
+const SITE_REORDER: u64 = 3;
+const SITE_REORDER_WINDOW: u64 = 4;
+const SITE_DUPLICATE: u64 = 5;
 
 impl FaultInjector for PlanInjector {
     fn fate(
@@ -120,7 +160,7 @@ impl FaultInjector for PlanInjector {
         src: SocketAddr,
         dst: SocketAddr,
         kind: WireKind,
-        _bytes: usize,
+        bytes: usize,
     ) -> PacketFate {
         self.advance(now);
 
@@ -129,11 +169,17 @@ impl FaultInjector for PlanInjector {
             return PacketFate::DROP;
         }
 
+        // Packet identity for the stateless draws below.
+        let key = mix(now.as_nanos())
+            ^ mix(mix_ip(src.ip()) ^ (u64::from(src.port()) << 32))
+            ^ mix(mix_ip(dst.ip()).rotate_left(17) ^ u64::from(dst.port()))
+            ^ mix(bytes as u64);
+
         let mut fate = PacketFate::DELIVER;
         let mut extra_ns: u64 = 0;
 
         if let Some((rate, until)) = self.loss {
-            if now < until && self.frac() < rate {
+            if now < until && self.frac(key, SITE_LOSS) < rate {
                 match kind {
                     WireKind::Udp => return PacketFate::DROP,
                     WireKind::Tcp => extra_ns += TCP_LOSS_PENALTY_NS,
@@ -144,17 +190,17 @@ impl FaultInjector for PlanInjector {
             if now < until {
                 extra_ns += extra.as_nanos();
                 if jitter > SimDuration::ZERO {
-                    extra_ns += (jitter.as_nanos() as f64 * self.frac()) as u64;
+                    extra_ns += (jitter.as_nanos() as f64 * self.frac(key, SITE_JITTER)) as u64;
                 }
             }
         }
         if let Some((rate, window, until)) = self.reorder {
-            if now < until && self.frac() < rate {
-                extra_ns += (window.as_nanos() as f64 * self.frac()) as u64;
+            if now < until && self.frac(key, SITE_REORDER) < rate {
+                extra_ns += (window.as_nanos() as f64 * self.frac(key, SITE_REORDER_WINDOW)) as u64;
             }
         }
         if let Some((rate, until)) = self.duplicate {
-            if kind == WireKind::Udp && now < until && self.frac() < rate {
+            if kind == WireKind::Udp && now < until && self.frac(key, SITE_DUPLICATE) < rate {
                 fate.duplicate = Some(SimDuration::from_nanos(DUPLICATE_GAP_NS));
             }
         }

@@ -7,9 +7,11 @@
 //! declarative, virtual-time-scheduled [`FaultPlan`] of link cuts,
 //! loss bursts, delay spikes, duplication, CPU throttles, and server
 //! crash/restart events, executed inside the simulator with all
-//! randomness drawn from the plan's own seeded RNG. Same seed, same
+//! randomness drawn statelessly from the plan's seed. Same seed, same
 //! plan → byte-identical simulator transcripts across both event-queue
-//! backends, so every failure experiment is exactly reproducible.
+//! backends *and any shard count* (the plan replicates cleanly onto
+//! `ldp-shard` workers), so every failure experiment is exactly
+//! reproducible.
 //!
 //! The pieces:
 //! - [`plan`]: the declarative [`FaultPlan`] (+ a line-based text
@@ -32,7 +34,7 @@ pub mod outage;
 pub mod plan;
 pub mod recovery;
 
-pub use agent::{install, ChaosAgent};
+pub use agent::{install, install_sharded, ChaosAgent};
 pub use injector::PlanInjector;
 pub use plan::{FaultEvent, FaultPlan, PlanParseError, PlannedFault};
 pub use recovery::{RecoveryConfig, RecoveryOutcome};

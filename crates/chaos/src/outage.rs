@@ -9,10 +9,8 @@
 //! tests drive this module, so the experiment that produces the
 //! figures is exactly the code the test suite pins down.
 
-use std::cell::RefCell;
 use std::net::{IpAddr, SocketAddr};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use dns_server::engine::ServerEngine;
 use dns_server::sim_server::SimDnsServer;
@@ -21,9 +19,10 @@ use dns_wire::record::Record;
 use dns_wire::{Message, Name, RData, Rcode, RecordType};
 use dns_zone::catalog::Catalog;
 use dns_zone::zone::Zone;
+use ldp_shard::{ShardPlan, ShardedSimulator};
 use netsim::{
-    Ctx, Host, PacketBytes, PathConfig, QueueKind, SimConfig, SimDuration, SimTime, Simulator,
-    TcpEvent, Topology,
+    Ctx, Host, HostStats, PacketBytes, PathConfig, QueueKind, SimConfig, SimDuration, SimTime,
+    Simulator, TcpEvent, Topology,
 };
 
 use crate::agent;
@@ -274,7 +273,7 @@ fn qname(i: usize) -> Name {
 struct StubSwarm {
     addr: SocketAddr,
     resolver: SocketAddr,
-    records: Rc<RefCell<Vec<QueryRecord>>>,
+    records: Arc<Mutex<Vec<QueryRecord>>>,
     max_attempts: u32,
     retry_gap: SimDuration,
 }
@@ -292,7 +291,9 @@ impl Host for StubSwarm {
             return;
         };
         let i = msg.id as usize;
-        let mut records = self.records.borrow_mut();
+        let Ok(mut records) = self.records.lock() else {
+            return;
+        };
         let Some(rec) = records.get_mut(i) else {
             return;
         };
@@ -320,7 +321,9 @@ impl Host for StubSwarm {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let i = token as usize;
         let (send, rearm) = {
-            let mut records = self.records.borrow_mut();
+            let Ok(mut records) = self.records.lock() else {
+                return;
+            };
             let Some(rec) = records.get_mut(i) else {
                 return;
             };
@@ -369,23 +372,96 @@ fn root_zone(queries: usize) -> Zone {
     zone
 }
 
+/// Either simulator front-end, so [`run`] and [`run_sharded`] drive
+/// one workload-construction path — same hosts, same driver-API call
+/// order — and any transcript divergence is the engine's fault, not
+/// the harness's.
+enum AnySim {
+    Single(Simulator),
+    Sharded(ShardedSimulator),
+}
+
+impl AnySim {
+    fn add_host(&mut self, addrs: &[IpAddr], host: Box<dyn Host>) -> usize {
+        match self {
+            AnySim::Single(s) => s.add_host(addrs, host),
+            AnySim::Sharded(s) => s.add_host(addrs, host),
+        }
+    }
+
+    fn schedule_timer(&mut self, host: usize, at: SimTime, token: u64) {
+        match self {
+            AnySim::Single(s) => s.schedule_timer(host, at, token),
+            AnySim::Sharded(s) => s.schedule_timer(host, at, token),
+        }
+    }
+
+    fn install(&mut self, plan: &FaultPlan, agent_addr: IpAddr) {
+        match self {
+            AnySim::Single(s) => {
+                agent::install(s, plan, agent_addr);
+            }
+            AnySim::Sharded(s) => {
+                agent::install_sharded(s, plan, agent_addr);
+            }
+        }
+    }
+
+    fn run(&mut self) -> u64 {
+        match self {
+            AnySim::Single(s) => s.run(),
+            AnySim::Sharded(s) => s.run(),
+        }
+    }
+
+    fn stats(&self, host: usize) -> HostStats {
+        match self {
+            AnySim::Single(s) => s.stats(host),
+            AnySim::Sharded(s) => s.stats(host),
+        }
+    }
+}
+
 /// Run the outage study once and return its outcome.
 ///
 /// Everything inside is virtual-time and plan-seeded, so two calls with
 /// an equal `cfg` produce byte-identical transcripts regardless of the
 /// configured queue backend.
 pub fn run(cfg: &OutageConfig) -> OutageOutcome {
-    // A WAN-ish star: every path 40 ms RTT at the default link rate.
-    let topo = Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(40)));
-    let mut sim = Simulator::new(
-        topo,
-        SimConfig {
-            seed: cfg.seed,
-            queue: cfg.queue,
-            ..SimConfig::default()
-        },
-    );
+    let mut sim = AnySim::Single(Simulator::new(
+        outage_topology(),
+        outage_sim_config(cfg),
+    ));
+    run_on(cfg, &mut sim)
+}
 
+/// [`run`] on a [`ShardedSimulator`] with `shards` round-robin worker
+/// shards. Produces a transcript byte-identical to [`run`]'s for the
+/// same config — the shard-equivalence property the integration tests
+/// pin down across queue backends and shard counts.
+pub fn run_sharded(cfg: &OutageConfig, shards: u32) -> OutageOutcome {
+    let mut sim = AnySim::Sharded(ShardedSimulator::new(
+        outage_topology(),
+        outage_sim_config(cfg),
+        ShardPlan::round_robin(shards),
+    ));
+    run_on(cfg, &mut sim)
+}
+
+/// A WAN-ish star: every path 40 ms RTT at the default link rate.
+fn outage_topology() -> Topology {
+    Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(40)))
+}
+
+fn outage_sim_config(cfg: &OutageConfig) -> SimConfig {
+    SimConfig {
+        seed: cfg.seed,
+        queue: cfg.queue,
+        ..SimConfig::default()
+    }
+}
+
+fn run_on(cfg: &OutageConfig, sim: &mut AnySim) -> OutageOutcome {
     // The 13 letters all serve one shared root-zone engine.
     let mut catalog = Catalog::new();
     catalog.insert(root_zone(cfg.queries));
@@ -408,12 +484,12 @@ pub fn run(cfg: &OutageConfig) -> OutageOutcome {
     let resolver_id = sim.add_host(&[resolver_addr.ip()], Box::new(resolver));
 
     // The stub swarm, with one pre-armed timer per query.
-    let records = Rc::new(RefCell::new(vec![QueryRecord::default(); cfg.queries]));
+    let records = Arc::new(Mutex::new(vec![QueryRecord::default(); cfg.queries]));
     let stub_addr: SocketAddr = SocketAddr::new(STUB_ADDR.parse().expect("valid ip"), 5353);
     let stub = StubSwarm {
         addr: stub_addr,
         resolver: resolver_addr,
-        records: Rc::clone(&records),
+        records: Arc::clone(&records),
         max_attempts: cfg.stub_attempts,
         retry_gap: cfg.stub_retry_gap,
     };
@@ -425,12 +501,12 @@ pub fn run(cfg: &OutageConfig) -> OutageOutcome {
     }
 
     // Wire in the fault plan (packet shaping + crash/restart agent).
-    agent::install(&mut sim, &cfg.plan(), AGENT_ADDR.parse().expect("valid ip"));
+    sim.install(&cfg.plan(), AGENT_ADDR.parse().expect("valid ip"));
 
     let events = sim.run();
 
     // Deterministic transcript: config, per-query outcomes, counters.
-    let records = records.borrow();
+    let records = records.lock().expect("stub swarm does not panic");
     let mut t = String::new();
     t.push_str("fig_outage v1\n");
     t.push_str(&format!(

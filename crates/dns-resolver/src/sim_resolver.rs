@@ -465,9 +465,7 @@ impl Host for SimResolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     use dns_server::engine::ServerEngine;
     use dns_server::sim_server::SimDnsServer;
@@ -478,7 +476,7 @@ mod tests {
 
     /// A stub that records every response it receives.
     struct CaptureStub {
-        got: Rc<RefCell<Vec<Message>>>,
+        got: Arc<Mutex<Vec<Message>>>,
     }
 
     impl Host for CaptureStub {
@@ -490,7 +488,7 @@ mod tests {
             data: PacketBytes,
         ) {
             if let Ok(msg) = Message::decode(&data) {
-                self.got.borrow_mut().push(msg);
+                self.got.lock().expect("capture lock").push(msg);
             }
         }
         fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, _event: TcpEvent) {}
@@ -522,7 +520,7 @@ mod tests {
 
     struct Rig {
         sim: Simulator,
-        got: Rc<RefCell<Vec<Message>>>,
+        got: Arc<Mutex<Vec<Message>>>,
         stub_addr: SocketAddr,
         resolver_addr: SocketAddr,
         server_ids: Vec<netsim::HostId>,
@@ -548,9 +546,9 @@ mod tests {
         let mut resolver = SimResolver::new(resolver_addr, hints);
         tune(&mut resolver);
         sim.add_host(&[resolver_addr.ip()], Box::new(resolver));
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let stub_addr: SocketAddr = "10.2.0.1:5353".parse().unwrap();
-        let stub = CaptureStub { got: Rc::clone(&got) };
+        let stub = CaptureStub { got: Arc::clone(&got) };
         sim.add_host(&[stub_addr.ip()], Box::new(stub));
         Rig { sim, got, stub_addr, resolver_addr, server_ids }
     }
@@ -568,7 +566,7 @@ mod tests {
         let mut rig = rig(&[None, Some(good_engine())], |r| r.max_retries = 3);
         ask(&mut rig, 1, "www.example.");
         rig.sim.run();
-        let got = rig.got.borrow();
+        let got = rig.got.lock().expect("capture lock");
         assert_eq!(got.len(), 1, "exactly one answer to the stub");
         assert_eq!(got[0].rcode, Rcode::NoError);
         assert!(!got[0].answers.is_empty(), "positive answer after failover");
@@ -584,7 +582,7 @@ mod tests {
         });
         ask(&mut rig, 2, "www.example.");
         rig.sim.run();
-        let got = rig.got.borrow();
+        let got = rig.got.lock().expect("capture lock");
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].rcode, Rcode::NoError, "failover past the lame server");
         assert!(!got[0].answers.is_empty());
@@ -595,7 +593,7 @@ mod tests {
         let mut rig = rig(&[None, Some(good_engine())], |r| r.max_retries = 0);
         ask(&mut rig, 3, "www.example.");
         rig.sim.run();
-        let got = rig.got.borrow();
+        let got = rig.got.lock().expect("capture lock");
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].rcode, Rcode::ServFail, "no budget to reach server 2");
     }

@@ -1,0 +1,7 @@
+//! S1 clean fixture: exchange.rs is the one sanctioned call site for
+//! pushing packets into a worker's remote inbox.
+pub fn deliver(sim: &mut netsim::Simulator, batch: Vec<netsim::RemoteUdp>) {
+    for r in batch {
+        sim.enqueue_remote(r);
+    }
+}

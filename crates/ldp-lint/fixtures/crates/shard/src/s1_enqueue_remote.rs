@@ -1,0 +1,6 @@
+//! S1 fixture: a worker-side shard file smuggling a cross-shard packet
+//! past the exchange.
+pub fn smuggle(sim: &mut netsim::Simulator, r: netsim::RemoteUdp) {
+    // Bypasses the lookahead assertion and deterministic routing:
+    sim.enqueue_remote(r);
+}

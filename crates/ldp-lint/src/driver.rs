@@ -235,6 +235,16 @@ mod tests {
         assert_eq!(hit("D4", "netsim/src/d4_ambiguous.rs").line, 7);
         assert_eq!(hit("C1", "dns-server/src/tokio_c1.rs").line, 5);
         assert_eq!(hit("C2", "dns-server/src/tokio_c2.rs").line, 10);
+        assert_eq!(hit("S1", "shard/src/s1_enqueue_remote.rs").line, 5);
+        // exchange.rs is the sanctioned enqueue_remote call site.
+        assert!(
+            !report
+                .errors
+                .iter()
+                .any(|d| d.rule == "S1" && d.path.ends_with("shard/src/exchange.rs")),
+            "{:#?}",
+            report.errors
+        );
         // P2's indexing layer is warning-tier.
         assert!(
             report.warnings.iter().any(|d| d.rule == "P2"
@@ -301,12 +311,13 @@ mod tests {
              T1 telemetry/src/t1_wall_clock.rs\n\
              R1 replay/src/r1_unbounded_retry.rs\n\
              C1 dns-server/src/tokio_c1.rs\n\
-             C2 dns-server/src/tokio_c2.rs\n",
+             C2 dns-server/src/tokio_c2.rs\n\
+             S1 shard/src/s1_enqueue_remote.rs\n",
         )
         .unwrap();
         let report = check(&fixture_root(), al).expect("fixture walk");
         assert!(report.errors.is_empty(), "{:#?}", report.errors);
-        assert!(report.suppressed >= 14);
+        assert!(report.suppressed >= 15);
         assert_eq!(report.exit_code(), 0);
     }
 

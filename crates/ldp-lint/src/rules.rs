@@ -183,6 +183,17 @@ pub const CATALOG: &[RuleInfo] = &[
                     (.lock().await) is async-aware and allowed; dropping the guard \
                     before awaiting also satisfies the rule.",
     },
+    RuleInfo {
+        id: "S1",
+        severity: "error",
+        summary: "no direct Simulator::enqueue_remote calls in crates/shard/src \
+                  outside exchange.rs — cross-shard packets go through the Exchange",
+        rationale: "The sharded simulator's determinism rests on every cross-shard \
+                    packet passing the exchange's lookahead assertion and \
+                    (time, lane, seq)-ordered routing. A worker-side enqueue_remote \
+                    bypasses both, re-introducing thread-schedule-dependent delivery \
+                    order — transcripts stop being byte-identical to single-shard.",
+    },
 ];
 
 /// Look up a catalog entry by id.
@@ -200,11 +211,13 @@ pub struct FileScope {
     pub real_clock_ok: bool,
     /// Simulator-path file (D2 applies): `crates/netsim/src/**`,
     /// `crates/chaos/src/**` (fault injection runs inside the
-    /// simulator's delivery path), `sim_*.rs` anywhere.
+    /// simulator's delivery path), `crates/shard/src/**` (the sharded
+    /// coordinator is simulator infrastructure), `sim_*.rs` anywhere.
     pub sim_path: bool,
     /// Panic-safety hot path (P1 applies): `crates/dns-wire/src/**`,
     /// `crates/proxy/src/**`, `crates/dns-server/src/engine.rs`,
-    /// `crates/dns-server/src/template.rs`.
+    /// `crates/dns-server/src/template.rs`, `crates/shard/src/**` (a
+    /// worker-thread panic aborts the whole windowed drive).
     pub hot_path: bool,
     /// Lighter panic discipline (P2: no `unwrap`/`expect`) for the rest
     /// of the hot-path crates — dns-wire, dns-server, proxy, telemetry —
@@ -217,6 +230,9 @@ pub struct FileScope {
     /// sanctioned raw-clock read is `ClockSource`'s wall impl, which is
     /// allowlisted explicitly.
     pub telemetry_path: bool,
+    /// Sharded-simulator source (S1 applies): `crates/shard/src/**` —
+    /// cross-shard sends must flow through `exchange.rs`.
+    pub shard_path: bool,
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -234,11 +250,14 @@ pub fn classify(path: &str) -> FileScope {
         || file == "capture.rs"
         || in_dir("crates/bench")
         || p.contains("crates/bench/");
+    let shard_path = p.contains("crates/shard/src/");
     let sim_path = p.contains("crates/netsim/src/")
         || p.contains("crates/chaos/src/")
+        || shard_path
         || file.starts_with("sim_");
     let hot_path = p.contains("crates/dns-wire/src/")
         || p.contains("crates/proxy/src/")
+        || shard_path
         || p.ends_with("crates/dns-server/src/engine.rs")
         || p == "crates/dns-server/src/engine.rs"
         || p.ends_with("crates/dns-server/src/template.rs")
@@ -253,7 +272,16 @@ pub fn classify(path: &str) -> FileScope {
             || p.contains("crates/proxy/src/")
             || telemetry_path);
 
-    FileScope { exempt, real_clock_ok, sim_path, hot_path, panic_lite, channel_scope, telemetry_path }
+    FileScope {
+        exempt,
+        real_clock_ok,
+        sim_path,
+        hot_path,
+        panic_lite,
+        channel_scope,
+        telemetry_path,
+        shard_path,
+    }
 }
 
 /// Tokenize one file into its production-only (test-code-stripped)
@@ -320,6 +348,9 @@ pub fn analyze_files(files: &[FileData]) -> Vec<Diagnostic> {
         if scope.channel_scope {
             rule_a1(path, toks, &mut diags);
             rule_r1(path, toks, &mut diags);
+        }
+        if scope.shard_path {
+            rule_s1(path, toks, &mut diags);
         }
         crate::async_rules::rule_c1(fid, fd, &index, &mut diags);
         crate::async_rules::rule_c2(fd, &mut diags);
@@ -798,6 +829,36 @@ fn rule_p1(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
                 path,
                 t.line,
                 format!("`{}!` in a packet-decode/server hot path — return a typed error", t.text),
+            );
+        }
+    }
+}
+
+/// S1 — direct `enqueue_remote` calls in the shard crate. Only
+/// `exchange.rs` may push into a worker's remote inbox: the exchange
+/// is where the lookahead assertion and the `(time, lane, seq)` key
+/// ordering live, and a bypass silently reintroduces thread-schedule-
+/// dependent delivery order.
+fn rule_s1(path: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    if path.ends_with("exchange.rs") {
+        return; // the one sanctioned call site
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "."
+            && i + 2 < toks.len()
+            && toks[i + 1].text == "enqueue_remote"
+            && toks[i + 2].text == "("
+        {
+            push(
+                diags,
+                "S1",
+                Severity::Error,
+                path,
+                toks[i + 1].line,
+                "`.enqueue_remote()` outside exchange.rs — route cross-shard packets \
+                 through Exchange::route/deliver so the lookahead assertion and \
+                 deterministic (time, lane, seq) ordering apply"
+                    .to_string(),
             );
         }
     }
@@ -1576,6 +1637,42 @@ mod tests {
         assert_eq!(errs.len(), 1, "{errs:?}");
     }
 
+    // ---- S1 ----
+
+    #[test]
+    fn s1_flags_enqueue_remote_outside_exchange() {
+        let src = r#"
+            pub fn leak(sim: &mut Simulator, r: RemoteUdp) {
+                sim.enqueue_remote(r);
+            }
+        "#;
+        let ds = errors("crates/shard/src/sim.rs", src);
+        assert!(ds.iter().any(|d| d.rule == "S1" && d.line == 3), "{ds:?}");
+    }
+
+    #[test]
+    fn s1_exchange_is_the_sanctioned_call_site() {
+        let src = "pub fn deliver(sim: &mut Simulator, r: RemoteUdp) { sim.enqueue_remote(r); }";
+        assert!(errors("crates/shard/src/exchange.rs", src).is_empty());
+        // Outside the shard crate the rule does not apply at all —
+        // netsim itself defines and may use enqueue_remote.
+        assert!(errors("crates/netsim/src/sim.rs", src).iter().all(|d| d.rule != "S1"));
+    }
+
+    #[test]
+    fn shard_crate_is_sim_and_hot_path_scope() {
+        // D2 (hash iteration) and P1 (panic discipline) both cover the
+        // sharded coordinator.
+        let hash = r#"
+            use std::collections::HashMap;
+            pub struct W { pub owners: HashMap<u64, u32> }
+            impl W { pub fn f(&self) { for x in self.owners.values() { let _ = x; } } }
+        "#;
+        assert!(errors("crates/shard/src/sim.rs", hash).iter().any(|d| d.rule == "D2"));
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(errors("crates/shard/src/plan.rs", panicky).iter().any(|d| d.rule == "P1"));
+    }
+
     // ---- rule catalog ----
 
     #[test]
@@ -1585,10 +1682,10 @@ mod tests {
         let mut dedup = ids.clone();
         dedup.dedup();
         assert_eq!(ids, dedup, "duplicate rule ids in CATALOG");
-        for id in ["D1", "D2", "D3", "D4", "P1", "P2", "A1", "T1", "R1", "C1", "C2"] {
+        for id in ["D1", "D2", "D3", "D4", "P1", "P2", "A1", "T1", "R1", "C1", "C2", "S1"] {
             assert!(rule_info(id).is_some(), "{id} missing from CATALOG");
         }
-        assert_eq!(CATALOG.len(), 11);
+        assert_eq!(CATALOG.len(), 12);
         assert!(rule_info("D9").is_none());
     }
 

@@ -90,7 +90,12 @@ impl Default for PacketFate {
 ///
 /// Consulted exactly once per UDP datagram (after the topology's base
 /// loss draw) and once per TCP segment, in deterministic event order.
-pub trait FaultInjector {
+///
+/// `Send` because sharded runs install one injector replica per worker
+/// thread; replicas must make identical decisions from identical
+/// arguments (stateless or per-call-derived draws — see
+/// `ldp-chaos`'s `PlanInjector`).
+pub trait FaultInjector: Send {
     /// Decide what happens to one packet of `bytes` payload bytes going
     /// `src` → `dst` at simulated time `now`.
     fn fate(
@@ -108,7 +113,7 @@ pub struct FnInjector<F>(pub F);
 
 impl<F> FaultInjector for FnInjector<F>
 where
-    F: FnMut(SimTime, SocketAddr, SocketAddr, WireKind, usize) -> PacketFate,
+    F: FnMut(SimTime, SocketAddr, SocketAddr, WireKind, usize) -> PacketFate + Send,
 {
     fn fate(
         &mut self,

@@ -58,7 +58,11 @@ pub enum TcpEvent {
 /// Callbacks receive a [`Ctx`] through which all actions (sending,
 /// connecting, timers) are queued; actions take effect when the callback
 /// returns, keeping the event loop single-borrow and deterministic.
-pub trait Host {
+///
+/// Hosts are `Send`: a sharded run (`ldp-shard`) moves each shard's
+/// hosts onto its worker thread. Only one thread touches a host at a
+/// time, so no `Sync` is required.
+pub trait Host: Send {
     /// A UDP datagram arrived.
     fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, to: SocketAddr, data: PacketBytes);
 

@@ -29,7 +29,10 @@ pub use fault::{FaultInjector, FnInjector, PacketFate, WireKind};
 pub use host::{Host, PacketBytes, TcpEvent};
 pub use queue::{EventQueue, QueueKind};
 pub use resources::{CpuModel, MemoryModel};
-pub use sim::{ConnId, Ctx, HostId, HostStats, SimConfig, Simulator};
+pub use sim::{
+    stream_seed, ConnId, Ctx, HostId, HostStats, RemoteUdp, SimConfig, Simulator,
+    CONTROL_LANE_BASE, DRIVER_LANE,
+};
 pub use slab::Slab;
 pub use time::{SimDuration, SimTime};
 pub use topology::{PathConfig, Topology};

@@ -1,12 +1,21 @@
 //! Deterministic event queues for the simulator hot path.
 //!
-//! The production queue is a binary heap over `(time, insertion seq)`:
+//! The production queue is a binary heap over `(time, lane, seq)`:
 //! O(log n) push/pop with contiguous storage and no per-operation node
-//! allocation. Because the key is a *strict total order* (`seq` is
-//! unique), the pop sequence is fully determined by the push sequence —
-//! the heap's internal layout can never leak into event order, so the
-//! determinism guarantee (rule D2, `tests/determinism.rs`) is exactly
-//! as strong as the old `BTreeMap` queue's.
+//! allocation. Because the key is a *strict total order* (`(lane, seq)`
+//! is unique — `seq` is a per-lane counter), the pop sequence is fully
+//! determined by the pushed keys — the heap's internal layout can never
+//! leak into event order, so the determinism guarantee (rule D2,
+//! `tests/determinism.rs`) is exactly as strong as the old `BTreeMap`
+//! queue's.
+//!
+//! The *lane* component is what makes the order shard-invariant
+//! (`ldp-shard`): a lane is the global id of the host whose processing
+//! scheduled the event (or a control/driver lane), and `seq` counts
+//! pushes within that lane. Host behaviour is deterministic per host,
+//! so the same workload produces the same `(time, lane, seq)` key for
+//! every event regardless of how hosts are partitioned across shards —
+//! a single-shard run and an N-shard run pop the same global sequence.
 //!
 //! The `BTreeMap` implementation is kept as the measured baseline: the
 //! `hotpath` microbench runs the same simulation under both backends
@@ -21,25 +30,27 @@ use crate::time::SimTime;
 /// Which event-queue backend a simulator uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueKind {
-    /// Binary heap ordered by `(time, seq)` — the production default.
+    /// Binary heap ordered by `(time, lane, seq)` — the production default.
     #[default]
     Heap,
-    /// `BTreeMap` keyed by `(time, seq)` — the pre-heap implementation,
-    /// kept as the benchmark baseline and for equivalence testing.
+    /// `BTreeMap` keyed by `(time, lane, seq)` — the pre-heap
+    /// implementation, kept as the benchmark baseline and for
+    /// equivalence testing.
     BTree,
 }
 
 /// One scheduled item; ordered so that `BinaryHeap` (a max-heap) pops
-/// the *smallest* `(time, seq)` first.
+/// the *smallest* `(time, lane, seq)` first.
 struct Slot<T> {
     at: SimTime,
+    lane: u64,
     seq: u64,
     item: T,
 }
 
 impl<T> PartialEq for Slot<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.lane == other.lane && self.seq == other.seq
     }
 }
 
@@ -53,24 +64,26 @@ impl<T> PartialOrd for Slot<T> {
 
 impl<T> Ord for Slot<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed on both fields: earliest time wins, FIFO within a time.
+        // Reversed on all fields: earliest time wins, then lowest lane,
+        // then FIFO within a lane.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.lane.cmp(&self.lane))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 enum Inner<T> {
     Heap(BinaryHeap<Slot<T>>),
-    BTree(BTreeMap<(SimTime, u64), T>),
+    BTree(BTreeMap<(SimTime, u64, u64), T>),
 }
 
-/// A deterministic priority queue keyed by `(time, insertion seq)`:
-/// [`pop`](EventQueue::pop) yields items in time order with FIFO
-/// tie-breaking, independent of backend.
+/// A deterministic priority queue keyed by `(time, lane, seq)`:
+/// [`pop`](EventQueue::pop) yields items in key order, independent of
+/// backend. Callers own key assignment; `(lane, seq)` pairs must be
+/// unique per queue (the simulator keeps one `seq` counter per lane).
 pub struct EventQueue<T> {
-    seq: u64,
     inner: Inner<T>,
 }
 
@@ -81,18 +94,15 @@ impl<T> EventQueue<T> {
             QueueKind::Heap => Inner::Heap(BinaryHeap::new()),
             QueueKind::BTree => Inner::BTree(BTreeMap::new()),
         };
-        EventQueue { seq: 0, inner }
+        EventQueue { inner }
     }
 
-    /// Schedule `item` at time `at`, after everything already scheduled
-    /// for `at`.
-    pub fn push(&mut self, at: SimTime, item: T) {
-        let seq = self.seq;
-        self.seq += 1;
+    /// Schedule `item` under the explicit key `(at, lane, seq)`.
+    pub fn push(&mut self, at: SimTime, lane: u64, seq: u64, item: T) {
         match &mut self.inner {
-            Inner::Heap(h) => h.push(Slot { at, seq, item }),
+            Inner::Heap(h) => h.push(Slot { at, lane, seq, item }),
             Inner::BTree(m) => {
-                m.insert((at, seq), item);
+                m.insert((at, lane, seq), item);
             }
         }
     }
@@ -101,7 +111,7 @@ impl<T> EventQueue<T> {
     pub fn peek_time(&self) -> Option<SimTime> {
         match &self.inner {
             Inner::Heap(h) => h.peek().map(|s| s.at),
-            Inner::BTree(m) => m.first_key_value().map(|(&(t, _), _)| t),
+            Inner::BTree(m) => m.first_key_value().map(|(&(t, _, _), _)| t),
         }
     }
 
@@ -109,7 +119,7 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         match &mut self.inner {
             Inner::Heap(h) => h.pop().map(|s| (s.at, s.item)),
-            Inner::BTree(m) => m.pop_first().map(|((t, _), item)| (t, item)),
+            Inner::BTree(m) => m.pop_first().map(|((t, _, _), item)| (t, item)),
         }
     }
 
@@ -141,9 +151,9 @@ mod tests {
     fn pops_in_time_order() {
         for kind in [QueueKind::Heap, QueueKind::BTree] {
             let mut q = EventQueue::new(kind);
-            q.push(t(30), "c");
-            q.push(t(10), "a");
-            q.push(t(20), "b");
+            q.push(t(30), 0, 0, "c");
+            q.push(t(10), 0, 1, "a");
+            q.push(t(20), 0, 2, "b");
             assert_eq!(q.len(), 3);
             assert_eq!(q.peek_time(), Some(t(10)));
             assert_eq!(q.pop(), Some((t(10), "a")));
@@ -155,14 +165,20 @@ mod tests {
     }
 
     #[test]
-    fn equal_times_pop_fifo() {
+    fn equal_times_pop_lane_then_seq() {
         for kind in [QueueKind::Heap, QueueKind::BTree] {
             let mut q = EventQueue::new(kind);
+            // Push in scrambled lane order; within lane, in seq order.
             for i in 0..100u32 {
-                q.push(t(7), i);
+                let lane = u64::from(i % 7);
+                let seq = u64::from(i / 7);
+                q.push(t(7), lane, seq, (lane, seq));
             }
-            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
-            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
+            let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+            let mut expect = order.clone();
+            expect.sort();
+            assert_eq!(order, expect, "{kind:?}");
+            assert_eq!(order.len(), 100);
         }
     }
 
@@ -170,14 +186,34 @@ mod tests {
     fn interleaved_push_pop_keeps_order() {
         for kind in [QueueKind::Heap, QueueKind::BTree] {
             let mut q = EventQueue::new(kind);
-            q.push(t(5), 5u64);
-            q.push(t(1), 1);
+            q.push(t(5), 0, 0, 5u64);
+            q.push(t(1), 0, 1, 1);
             assert_eq!(q.pop(), Some((t(1), 1)));
-            q.push(t(3), 3);
-            q.push(t(5), 50); // same time as the first push, later seq
+            q.push(t(3), 0, 2, 3);
+            q.push(t(5), 0, 3, 50); // same time as the first push, later seq
             assert_eq!(q.pop(), Some((t(3), 3)));
             assert_eq!(q.pop(), Some((t(5), 5)));
             assert_eq!(q.pop(), Some((t(5), 50)));
+        }
+    }
+
+    /// The key is a total order even when pushes arrive out of key
+    /// order — exactly what the sharded exchange does when it injects a
+    /// remote packet whose `(time, lane, seq)` was assigned on another
+    /// shard.
+    #[test]
+    fn out_of_order_keyed_pushes_pop_in_key_order() {
+        for kind in [QueueKind::Heap, QueueKind::BTree] {
+            let mut q = EventQueue::new(kind);
+            q.push(t(10), 3, 0, "later-lane");
+            q.push(t(10), 1, 9, "mid-lane");
+            q.push(t(10), 1, 2, "mid-lane-early-seq");
+            q.push(t(9), 7, 0, "earlier-time");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+            assert_eq!(
+                order,
+                vec!["earlier-time", "mid-lane-early-seq", "mid-lane", "later-lane"]
+            );
         }
     }
 
@@ -201,8 +237,9 @@ mod tests {
                 _ => rng.gen::<u64>() % 1_000,
             };
             let at = t(now + jitter);
-            heap.push(at, i);
-            btree.push(at, i);
+            let lane = u64::from(rng.gen::<u32>() % 5);
+            heap.push(at, lane, i, i);
+            btree.push(at, lane, i, i);
             if rng.gen::<u32>() % 3 == 0 {
                 let a = heap.pop();
                 let b = btree.pop();

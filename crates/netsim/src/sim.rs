@@ -5,11 +5,19 @@
 //! accounting (Figures 11, 13, 14, 15).
 //!
 //! Hot-path invariants (see DESIGN.md "Performance invariants"):
-//! the event queue is a binary heap over `(time, insertion seq)` —
+//! the event queue is a binary heap over `(time, lane, seq)` —
 //! a strict total order, so event ordering is byte-identical to the
 //! old `BTreeMap` queue and never depends on heap layout; packet
 //! payloads are shared [`PacketBytes`] buffers that are never copied
 //! between send and delivery.
+//!
+//! Sharding invariants (see DESIGN.md §10 "Sharded DES"): every event
+//! key, random draw, and connection id is attributed to a *lane* — the
+//! global id of the host whose processing produced it (or a control /
+//! driver lane). Lanes are shard-placement-invariant, so an N-shard
+//! run (`ldp-shard`) pops, draws, and names exactly what the
+//! single-shard run does, and transcripts stay byte-identical across
+//! shard counts.
 
 use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
@@ -21,9 +29,37 @@ use rand::{Rng, SeedableRng};
 use crate::fault::{FaultInjector, WireKind};
 use crate::host::{Host, PacketBytes, TcpEvent};
 use crate::queue::{EventQueue, QueueKind};
-use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
+
+/// First lane reserved for control hosts (chaos agents and other
+/// experiment machinery that is *replicated* across shards). Control
+/// lanes order after every real host lane at equal times, and their
+/// timer dispatches are excluded from event counts so replicas don't
+/// skew the count under sharding.
+pub const CONTROL_LANE_BASE: u64 = 1 << 48;
+
+/// Lane for events scheduled from outside any host callback (driver
+/// APIs: `schedule_timer`, `inject_udp`). Orders after everything else
+/// at equal times.
+pub const DRIVER_LANE: u64 = u64::MAX;
+
+/// SplitMix64 finalizer — the standard stream splitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the RNG seed for one lane's independent stream from the
+/// master seed (SplitMix-style). A host's random history depends only
+/// on `(master seed, its global lane)` — never on which shard it runs
+/// in or on other hosts' draws.
+pub fn stream_seed(master: u64, lane: u64) -> u64 {
+    splitmix64(master ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// Interned telemetry kinds for the simulator, registered on first
 /// use (a `OnceLock`, so registration never runs on a per-event
@@ -77,7 +113,10 @@ pub struct SimConfig {
     /// Whether Nagle's algorithm is enabled by default on new
     /// connections (the paper disables it on clients, §5.2.1).
     pub default_nagle: bool,
-    /// RNG seed (packet loss draws).
+    /// Master RNG seed. Each lane (host / driver) draws from its own
+    /// SplitMix-derived stream ([`stream_seed`]), so one host's loss
+    /// draws never depend on another host's activity or on shard
+    /// placement.
     pub seed: u64,
     /// Event-queue backend. [`QueueKind::Heap`] is the production
     /// default; [`QueueKind::BTree`] is the measured baseline kept for
@@ -302,8 +341,12 @@ enum Command {
 pub struct Ctx<'a> {
     now: SimTime,
     host: HostId,
+    /// The host's global lane — the high half of every [`ConnId`] it
+    /// dials, making connection ids shard-placement-invariant.
+    lane: u64,
+    /// The host's dial counter (low half of its next [`ConnId`]).
+    dials: &'a mut u64,
     commands: &'a mut Vec<Command>,
-    conns: &'a mut Slab<Conn>,
 }
 
 impl<'a> Ctx<'a> {
@@ -331,9 +374,12 @@ impl<'a> Ctx<'a> {
     /// Open a TCP (or emulated-TLS) connection; returns its id
     /// immediately. `Connected` is delivered after the handshake.
     pub fn tcp_connect(&mut self, from: SocketAddr, to: SocketAddr, tls: bool) -> ConnId {
-        // Reserve a slab slot now so the id is stable immediately; the
-        // connection itself is built when the command is applied.
-        let id = ConnId(self.conns.reserve());
+        // The id is `(dialer lane << 32) | per-host dial counter`:
+        // stable immediately, never reused, and independent of shard
+        // placement (unlike a shared slab index).
+        debug_assert!(self.lane < (1 << 32), "control/driver lanes do not dial");
+        let id = ConnId((self.lane << 32) | *self.dials);
+        *self.dials += 1;
         self.commands.push(Command::TcpConnect {
             conn: id,
             from,
@@ -393,21 +439,66 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// Whose processing is currently attributing event keys and RNG draws.
+#[derive(Debug, Clone, Copy)]
+enum CurLane {
+    /// Inside a host's dispatch/callback: local host index.
+    Host(HostId),
+    /// Outside any host (driver APIs between/before runs).
+    Driver,
+}
+
+/// A UDP datagram crossing a shard boundary, carrying the explicit
+/// `(time, lane, seq)` key assigned on the sending shard so the
+/// receiving shard enqueues it at exactly the position the
+/// single-shard run would have (see `ldp-shard`'s exchange).
+#[derive(Debug, Clone)]
+pub struct RemoteUdp {
+    /// Arrival time (propagation + serialization + injected delay).
+    pub at: SimTime,
+    /// Lane component of the event key (the sender's lane).
+    pub lane: u64,
+    /// Seq component of the event key (the sender lane's counter).
+    pub seq: u64,
+    /// Source socket address.
+    pub src: SocketAddr,
+    /// Destination socket address.
+    pub dst: SocketAddr,
+    /// Shared payload buffer.
+    pub data: PacketBytes,
+}
+
 /// The discrete-event network simulator.
 pub struct Simulator {
     now: SimTime,
-    /// The event queue, keyed by (time, insertion seq): `pop` yields
-    /// events in time order with FIFO tie-breaking, and the ordering is
-    /// fully deterministic — never hash- or heap-layout-dependent
-    /// (rule D2). See [`crate::queue`].
+    /// The event queue, keyed by (time, lane, seq): `pop` yields
+    /// events in time order with per-lane FIFO tie-breaking, and the
+    /// ordering is fully deterministic — never hash- or
+    /// heap-layout-dependent (rule D2). See [`crate::queue`].
     queue: EventQueue<Event>,
     hosts: Vec<Option<Box<dyn Host>>>,
     addr_map: BTreeMap<IpAddr, HostId>,
     topology: Topology,
     config: SimConfig,
-    conns: Slab<Conn>,
+    /// Live connections keyed by raw [`ConnId`] — ids encode
+    /// `(dialer lane, dial count)` so iteration order (e.g. during a
+    /// crash) is shard-invariant.
+    conns: BTreeMap<u64, Conn>,
     stats: Vec<HostStats>,
-    rng: StdRng,
+    /// Per-host global lanes (index = local `HostId`).
+    lanes: Vec<u64>,
+    /// Per-lane event-key seq counters (index = local `HostId`).
+    seqs: Vec<u64>,
+    /// Per-host dial counters (low half of dialed `ConnId`s).
+    dials: Vec<u64>,
+    /// Per-lane RNG streams (index = local `HostId`); see [`stream_seed`].
+    host_rngs: Vec<StdRng>,
+    /// Driver-lane stream (external `inject_udp` loss draws).
+    driver_rng: StdRng,
+    /// Driver-lane seq counter.
+    driver_seq: u64,
+    /// Lane currently attributing keys/draws (set per dispatch).
+    current: CurLane,
     commands: Vec<Command>,
     /// Installed fault injector (None = no faults). Consulted once per
     /// packet in deterministic event order (see [`crate::fault`]).
@@ -417,13 +508,22 @@ pub struct Simulator {
     /// Per-host crash generation; bumped on crash so timers armed
     /// before the crash are stale after a restart.
     epochs: Vec<u64>,
+    /// Number of control hosts registered (control lane allocator).
+    controls: u64,
+    /// Sharded-worker view: the global address→shard map and this
+    /// worker's shard id. `None` means single-shard (plain) mode.
+    shard_view: Option<(BTreeMap<IpAddr, u32>, u32)>,
+    /// Outbound cross-shard datagrams accumulated during a window
+    /// (sharded-worker mode only); drained by the exchange.
+    outbox: Vec<RemoteUdp>,
     /// Interned telemetry kinds, resolved once at construction so the
     /// dispatch hot path never touches the registry's `OnceLock`.
     kinds: &'static SimKinds,
-    /// Dispatches since the last batched counter event, per
+    /// Dispatches since the last batched counter event, per host and
     /// high-frequency kind: `[deliver, host_timer, conn_timer]` (see
     /// `DISPATCH_BATCH`); only advanced while telemetry is enabled.
-    dispatch_pending: [u64; 3],
+    /// Batches are per-lane so the counter stream is shard-invariant.
+    dispatch_pending: Vec<[u64; 3]>,
 }
 
 /// Dispatches per recorded counter event for the high-frequency kinds
@@ -447,16 +547,35 @@ impl Simulator {
             addr_map: BTreeMap::new(),
             topology,
             config,
-            conns: Slab::new(),
+            conns: BTreeMap::new(),
             stats: Vec::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            lanes: Vec::new(),
+            seqs: Vec::new(),
+            dials: Vec::new(),
+            host_rngs: Vec::new(),
+            driver_rng: StdRng::seed_from_u64(stream_seed(config.seed, DRIVER_LANE)),
+            driver_seq: 0,
+            current: CurLane::Driver,
             commands: Vec::new(),
             injector: None,
             down: Vec::new(),
             epochs: Vec::new(),
+            controls: 0,
+            shard_view: None,
+            outbox: Vec::new(),
             kinds: SimKinds::get(),
-            dispatch_pending: [0; 3],
+            dispatch_pending: Vec::new(),
         }
+    }
+
+    /// Put this simulator into sharded-worker mode: `global` maps every
+    /// address in the whole (multi-shard) simulation to its owning
+    /// shard, and `my_shard` is this worker's id. UDP sends to
+    /// addresses owned by other shards are diverted to the
+    /// [`Simulator::take_outbox`] buffer instead of the local queue,
+    /// carrying their already-assigned `(time, lane, seq)` key.
+    pub fn set_shard_view(&mut self, global: BTreeMap<IpAddr, u32>, my_shard: u32) {
+        self.shard_view = Some((global, my_shard));
     }
 
     /// Install a fault injector consulted for every packet the
@@ -473,7 +592,17 @@ impl Simulator {
     }
 
     /// Register a host owning `addrs`. Panics if an address is taken.
+    /// The host's lane is its registration index — identical to the
+    /// global host id when every host lives in one simulator.
     pub fn add_host(&mut self, addrs: &[IpAddr], host: Box<dyn Host>) -> HostId {
+        let lane = self.hosts.len() as u64;
+        self.add_host_with_lane(addrs, host, lane)
+    }
+
+    /// Register a host under an explicit global `lane` (used by
+    /// `ldp-shard`, where a worker holds a subset of hosts but lanes
+    /// must stay the global host ids). Panics if an address is taken.
+    pub fn add_host_with_lane(&mut self, addrs: &[IpAddr], host: Box<dyn Host>, lane: u64) -> HostId {
         let id = self.hosts.len();
         for addr in addrs {
             let prev = self.addr_map.insert(*addr, id);
@@ -483,7 +612,31 @@ impl Simulator {
         self.stats.push(HostStats::default());
         self.down.push(false);
         self.epochs.push(0);
+        self.lanes.push(lane);
+        self.seqs.push(0);
+        self.dials.push(0);
+        self.host_rngs
+            .push(StdRng::seed_from_u64(stream_seed(self.config.seed, lane)));
+        self.dispatch_pending.push([0; 3]);
         id
+    }
+
+    /// Register a *control host* (chaos agent or similar experiment
+    /// machinery). Control hosts get lanes above [`CONTROL_LANE_BASE`]
+    /// — ordering after every real host at equal times — and their
+    /// timer dispatches are excluded from event counts, so a sharded
+    /// run (which replicates control hosts per shard) reports the same
+    /// count as the single-shard run. Control hosts must not receive
+    /// traffic or dial connections.
+    pub fn add_control_host(&mut self, addrs: &[IpAddr], host: Box<dyn Host>) -> HostId {
+        let lane = CONTROL_LANE_BASE + self.controls;
+        self.controls += 1;
+        self.add_host_with_lane(addrs, host, lane)
+    }
+
+    /// The global lane of a registered host.
+    pub fn lane_of(&self, host: HostId) -> u64 {
+        self.lanes[host]
     }
 
     /// Attach an additional address to an existing host.
@@ -520,12 +673,26 @@ impl Simulator {
     }
 
     /// Schedule a host timer externally (before the run starts).
+    /// Attributed to the driver lane.
     pub fn schedule_timer(&mut self, host: HostId, at: SimTime, token: u64) {
         let epoch = self.epochs[host];
-        self.push_event(at, Event::HostTimer { host, token, epoch });
+        let seq = self.driver_seq;
+        self.driver_seq += 1;
+        self.queue
+            .push(at, DRIVER_LANE, seq, Event::HostTimer { host, token, epoch });
+    }
+
+    /// Schedule a host timer under an explicit driver-lane `seq` (the
+    /// `ldp-shard` front-end owns the global driver counter and routes
+    /// each timer to the shard holding the host).
+    pub fn schedule_timer_keyed(&mut self, host: HostId, at: SimTime, token: u64, seq: u64) {
+        let epoch = self.epochs[host];
+        self.queue
+            .push(at, DRIVER_LANE, seq, Event::HostTimer { host, token, epoch });
     }
 
     /// Inject a UDP datagram from outside (used by drivers).
+    /// Loss/fault draws come from the driver lane's RNG stream.
     pub fn inject_udp(&mut self, from: SocketAddr, to: SocketAddr, data: impl Into<PacketBytes>) {
         let cmd = Command::SendUdp {
             from,
@@ -536,7 +703,8 @@ impl Simulator {
     }
 
     /// Run until the event queue drains or `deadline` passes. Returns
-    /// the number of events processed.
+    /// the number of events processed (control-lane timer dispatches
+    /// excluded; see [`Simulator::add_control_host`]).
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
         while let Some(t) = self.queue.peek_time() {
@@ -546,8 +714,8 @@ impl Simulator {
             let (t, event) = self.queue.pop().expect("peeked above");
             assert!(t >= self.now, "time went backwards");
             self.now = t;
+            n += u64::from(self.event_counted(&event));
             self.dispatch(event);
-            n += 1;
         }
         if self.now < deadline {
             self.now = deadline;
@@ -560,10 +728,86 @@ impl Simulator {
         let mut n = 0;
         while let Some((t, event)) = self.queue.pop() {
             self.now = t;
+            n += u64::from(self.event_counted(&event));
             self.dispatch(event);
-            n += 1;
         }
         n
+    }
+
+    /// Process every event strictly before `end` (one conservative
+    /// window of a sharded run). Returns the number processed, counted
+    /// as in [`Simulator::run`]. Unlike `run_until`, `now` is left at
+    /// the last dispatched event so in-window sends keep their exact
+    /// timestamps.
+    pub fn run_window(&mut self, end: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t >= end {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked above");
+            assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            n += u64::from(self.event_counted(&event));
+            self.dispatch(event);
+        }
+        n
+    }
+
+    /// The time of the earliest pending event, if any (the sharded
+    /// coordinator's window-planning input).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Move the clock forward to `t` without processing anything (end
+    /// of a bounded sharded run; mirrors the tail of `run_until`).
+    pub fn advance_now_to(&mut self, t: SimTime) {
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Drain the cross-shard datagrams accumulated since the last call
+    /// (sharded-worker mode).
+    pub fn take_outbox(&mut self) -> Vec<RemoteUdp> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Enqueue a datagram that crossed the shard boundary, under the
+    /// explicit key assigned on the sending shard. Only `ldp-shard`'s
+    /// exchange may call this (lint rule S1).
+    pub fn enqueue_remote(&mut self, r: RemoteUdp) {
+        self.queue.push(
+            r.at,
+            r.lane,
+            r.seq,
+            Event::Deliver(Packet {
+                src: r.src,
+                dst: r.dst,
+                payload: Payload::Udp(r.data),
+            }),
+        );
+    }
+
+    /// Credit a UDP transmission to a host's counters without sending
+    /// anything (the `ldp-shard` front-end resolves injected sends
+    /// itself, then routes the sender-side bookkeeping here).
+    pub fn credit_udp_tx(&mut self, host: HostId, bytes: u64) {
+        self.stats[host].udp_tx += 1;
+        self.stats[host].udp_tx_bytes += bytes;
+    }
+
+    /// Swap this simulator's driver-lane key counter and RNG stream
+    /// with the caller's. The `ldp-shard` front-end owns the *global*
+    /// driver stream — there is exactly one in the whole simulation,
+    /// as in a single-shard run — and lends it to whichever worker
+    /// executes a driver-side action (`inject_udp`, `crash_now`), then
+    /// takes it back. This keeps driver-lane keys globally unique and
+    /// the loss-draw sequence identical to the single-shard run.
+    pub fn swap_driver_stream(&mut self, seq: &mut u64, rng: &mut StdRng) {
+        std::mem::swap(&mut self.driver_seq, seq);
+        std::mem::swap(&mut self.driver_rng, rng);
     }
 
     /// True if no events remain.
@@ -571,38 +815,106 @@ impl Simulator {
         self.queue.is_empty()
     }
 
+    /// Control-lane timer dispatches don't count: control hosts are
+    /// replicated per shard, and the replicas' no-op timers would
+    /// otherwise make sharded event counts diverge from single-shard.
+    fn event_counted(&self, event: &Event) -> bool {
+        match event {
+            Event::HostTimer { host, .. } => self.lanes[*host] < CONTROL_LANE_BASE,
+            _ => true,
+        }
+    }
+
+    /// Consume the next `(lane, seq)` key component for the currently
+    /// attributed lane.
+    fn next_key(&mut self) -> (u64, u64) {
+        match self.current {
+            CurLane::Host(h) => {
+                let seq = self.seqs[h];
+                self.seqs[h] += 1;
+                (self.lanes[h], seq)
+            }
+            CurLane::Driver => {
+                let seq = self.driver_seq;
+                self.driver_seq += 1;
+                (DRIVER_LANE, seq)
+            }
+        }
+    }
+
+    /// The RNG stream of the currently attributed lane.
+    fn lane_rng(&mut self) -> &mut StdRng {
+        match self.current {
+            CurLane::Host(h) => &mut self.host_rngs[h],
+            CurLane::Driver => &mut self.driver_rng,
+        }
+    }
+
     fn push_event(&mut self, at: SimTime, event: Event) {
-        self.queue.push(at, event);
+        let (lane, seq) = self.next_key();
+        self.queue.push(at, lane, seq, event);
     }
 
     /// Advance the pending count for one high-frequency dispatch kind
-    /// (`which`: 0 = deliver, 1 = host timer, 2 = conn timer) and emit
-    /// one counter event per full `DISPATCH_BATCH`.
+    /// (`which`: 0 = deliver, 1 = host timer, 2 = conn timer) of one
+    /// host's lane, and emit one counter event per full
+    /// `DISPATCH_BATCH`. Batches are per-lane so the emitted counter
+    /// stream is identical across shard counts.
     #[inline]
-    fn batched_dispatch_counter(&mut self, t_ns: u64, which: usize) {
-        self.dispatch_pending[which] += 1;
-        if self.dispatch_pending[which] == DISPATCH_BATCH {
-            self.dispatch_pending[which] = 0;
+    fn batched_dispatch_counter(&mut self, t_ns: u64, host: HostId, which: usize) {
+        self.dispatch_pending[host][which] += 1;
+        if self.dispatch_pending[host][which] == DISPATCH_BATCH {
+            self.dispatch_pending[host][which] = 0;
             let k = self.kinds;
             let kind = [k.deliver, k.host_timer, k.conn_timer][which];
-            tel::counter_at(t_ns, kind, 0, DISPATCH_BATCH);
+            tel::counter_at(t_ns, kind, self.lanes[host], DISPATCH_BATCH);
+        }
+    }
+
+    /// The host whose lane owns this event's processing: the receiving
+    /// endpoint for packets, the dialer for connection housekeeping,
+    /// the timer's host. `None` (driver lane) when the target is
+    /// already gone — those dispatches are side-effect-free.
+    fn event_lane_host(&self, event: &Event) -> Option<HostId> {
+        match event {
+            Event::Deliver(pkt) => match &pkt.payload {
+                Payload::Udp(_) => self.addr_map.get(&pkt.dst.ip()).copied(),
+                Payload::Tcp { conn, .. } => self.conns.get(&conn.0).map(|c| c.host_at(pkt.dst)),
+            },
+            Event::HostTimer { host, .. } => Some(*host),
+            Event::ConnTimer { conn, .. } | Event::KillConn { conn } => {
+                self.conns.get(&conn.0).map(|c| c.client_host)
+            }
+            Event::ConnRefused { host, .. } => Some(*host),
         }
     }
 
     fn dispatch(&mut self, event: Event) {
+        let lane_host = self.event_lane_host(&event);
+        self.current = match lane_host {
+            Some(h) => CurLane::Host(h),
+            None => CurLane::Driver,
+        };
         if tel::enabled() {
             // Publish virtual "now" so clocked records made from inside
             // host callbacks (e.g. the server engine's spans) carry
             // virtual timestamps; then mark the dispatch itself.
             let t = self.now.as_nanos();
             tel::clock::publish_virtual_now(t);
-            match &event {
-                // Batched counters: see `DISPATCH_BATCH`.
-                Event::Deliver(_) => self.batched_dispatch_counter(t, 0),
-                Event::HostTimer { .. } => self.batched_dispatch_counter(t, 1),
-                Event::ConnTimer { .. } => self.batched_dispatch_counter(t, 2),
-                // Kill/refused get richer marks at their handling sites.
-                Event::KillConn { .. } | Event::ConnRefused { .. } => {}
+            // Batched counters: see `DISPATCH_BATCH`. Lane-less
+            // dispatches (target gone) and control-lane replicas are
+            // not counted — both would make the counter stream depend
+            // on shard placement.
+            if let Some(h) = lane_host {
+                if self.lanes[h] < CONTROL_LANE_BASE {
+                    match &event {
+                        Event::Deliver(_) => self.batched_dispatch_counter(t, h, 0),
+                        Event::HostTimer { .. } => self.batched_dispatch_counter(t, h, 1),
+                        Event::ConnTimer { .. } => self.batched_dispatch_counter(t, h, 2),
+                        // Kill/refused get richer marks at their sites.
+                        Event::KillConn { .. } | Event::ConnRefused { .. } => {}
+                    }
+                }
             }
         }
         match event {
@@ -623,28 +935,34 @@ impl Simulator {
                 }
                 if tel::enabled() {
                     let t = self.now.as_nanos();
-                    tel::mark_at(t, self.kinds.tcp_refused, conn.0, host as u64);
+                    tel::mark_at(t, self.kinds.tcp_refused, conn.0, self.lanes[host]);
                 }
                 self.with_host(host, |h, ctx| {
                     h.on_tcp_event(ctx, TcpEvent::Closed { conn })
                 });
             }
         }
+        self.current = CurLane::Driver;
     }
 
     /// Run a host callback with a command-collecting ctx, then apply.
+    /// Keys and draws produced by the callback (and by applying its
+    /// commands) are attributed to the host's lane.
     fn with_host<F>(&mut self, host: HostId, f: F)
     where
         F: FnOnce(&mut dyn Host, &mut Ctx<'_>),
     {
+        let prev = self.current;
+        self.current = CurLane::Host(host);
         let mut boxed = self.hosts[host].take().expect("host re-entered");
         let mut commands = std::mem::take(&mut self.commands);
         {
             let mut ctx = Ctx {
                 now: self.now,
                 host,
+                lane: self.lanes[host],
+                dials: &mut self.dials[host],
                 commands: &mut commands,
-                conns: &mut self.conns,
             };
             f(boxed.as_mut(), &mut ctx);
         }
@@ -655,13 +973,14 @@ impl Simulator {
             self.apply_command(cmd);
         }
         self.commands = commands;
+        self.current = prev;
     }
 
     fn apply_command(&mut self, cmd: Command) {
         match cmd {
             Command::SendUdp { from, to, data } => {
                 let path = self.topology.path(from.ip(), to.ip());
-                if path.loss > 0.0 && self.rng.gen::<f64>() < path.loss {
+                if path.loss > 0.0 && self.lane_rng().gen::<f64>() < path.loss {
                     return; // dropped
                 }
                 let fate = match &mut self.injector {
@@ -681,6 +1000,33 @@ impl Simulator {
                 }
                 let delay = path.one_way(data.len() + 28); // + IP/UDP headers
                 let at = self.now + delay + fate.extra_delay;
+                // Sharded-worker mode: a datagram to an address owned
+                // by another shard leaves through the outbox with its
+                // key, instead of the local queue. (An address in
+                // nobody's map stays local and dies unroutable, exactly
+                // as in the single-shard run.)
+                let remote = match &self.shard_view {
+                    Some((global, _)) if !self.addr_map.contains_key(&to.ip()) => {
+                        global.contains_key(&to.ip())
+                    }
+                    _ => false,
+                };
+                if remote {
+                    if let Some(gap) = fate.duplicate {
+                        let (lane, seq) = self.next_key();
+                        self.outbox.push(RemoteUdp {
+                            at: at + gap,
+                            lane,
+                            seq,
+                            src: from,
+                            dst: to,
+                            data: data.clone(),
+                        });
+                    }
+                    let (lane, seq) = self.next_key();
+                    self.outbox.push(RemoteUdp { at, lane, seq, src: from, dst: to, data });
+                    return;
+                }
                 if let Some(gap) = fate.duplicate {
                     self.push_event(
                         at + gap,
@@ -708,6 +1054,19 @@ impl Simulator {
                 from_host,
             } => {
                 let listener = self.addr_map.get(&to.ip()).copied();
+                if listener.is_none() {
+                    if let Some((global, _)) = &self.shard_view {
+                        // The conservative exchange only carries UDP:
+                        // TCP's bidirectional segment FIFO would need
+                        // cross-shard state. Both endpoints of a dial
+                        // must be co-located (ShardPlan::pin).
+                        assert!(
+                            !global.contains_key(&to.ip()),
+                            "cross-shard TCP is unsupported: dial from {from} to {to} \
+                             crosses a shard boundary; pin both hosts to one shard"
+                        );
+                    }
+                }
                 let server_host = match listener {
                     Some(h) if !self.down[h] => h,
                     // No listener at that address, or a crashed one: the
@@ -719,14 +1078,11 @@ impl Simulator {
                         let path = self.topology.path(from.ip(), to.ip());
                         let at = self.now + path.one_way(40) + path.one_way(40);
                         let epoch = self.epochs[from_host];
-                        // Release the slot reserved in `Ctx::tcp_connect`
-                        // — this connection will never exist.
-                        self.conns.remove(conn.0);
                         self.push_event(at, Event::ConnRefused { conn, host: from_host, epoch });
                         return;
                     }
                 };
-                self.conns.fill(
+                self.conns.insert(
                     conn.0,
                     Conn {
                         client: from,
@@ -755,7 +1111,7 @@ impl Simulator {
                 self.tcp_close_internal(conn, closer);
             }
             Command::SetIdleTimeout { conn, timeout } => {
-                if let Some(c) = self.conns.get_mut(conn.0) {
+                if let Some(c) = self.conns.get_mut(&conn.0) {
                     c.idle_timeout = timeout;
                     if let Some(t) = timeout {
                         let at = self.now + t;
@@ -802,7 +1158,7 @@ impl Simulator {
             return;
         }
         let mut at = self.now + path.one_way(size) + fate.extra_delay;
-        if let Some(c) = self.conns.get_mut(conn.0) {
+        if let Some(c) = self.conns.get_mut(&conn.0) {
             let dir = c.dir_from(from);
             if at < c.fifo_free[dir] {
                 at = c.fifo_free[dir];
@@ -839,7 +1195,7 @@ impl Simulator {
     }
 
     fn deliver_segment(&mut self, conn_id: ConnId, src: SocketAddr, dst: SocketAddr, kind: SegKind) {
-        let Some(conn) = self.conns.get_mut(conn_id.0) else {
+        let Some(conn) = self.conns.get_mut(&conn_id.0) else {
             return; // connection already gone (e.g. late segment)
         };
         conn.last_activity = self.now;
@@ -851,7 +1207,7 @@ impl Simulator {
             SegKind::SynAck => {
                 // Client side: complete TCP handshake.
                 self.send_segment(conn_id, dst, src, SegKind::AckOfSyn);
-                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+                let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
                 if conn.tls {
                     conn.state = ConnState::TlsHandshake;
                     let (c, s) = (conn.client, conn.server);
@@ -862,7 +1218,7 @@ impl Simulator {
             }
             SegKind::AckOfSyn => {
                 // Server: plain TCP is now established server-side.
-                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+                let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
                 if !conn.tls {
                     self.establish(conn_id, false);
                 }
@@ -882,7 +1238,7 @@ impl Simulator {
                 self.establish(conn_id, true);
             }
             SegKind::Data { bytes } => {
-                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+                let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
                 let dir = conn.dir_from(src);
                 let host = conn.host_at(dst);
                 let tls = conn.tls;
@@ -909,7 +1265,7 @@ impl Simulator {
                 });
             }
             SegKind::Ack => {
-                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+                let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
                 // ACK for data sent *by the receiver of this segment's
                 // direction*: data flowing src→dst was acked by dst...
                 // here, `src` acks data that `dst`... — direction of the
@@ -922,7 +1278,7 @@ impl Simulator {
                 // Passive close: reply FIN-ACK, deliver Closed. The
                 // passive closer does not enter TIME_WAIT.
                 self.send_segment(conn_id, dst, src, SegKind::FinAck);
-                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+                let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
                 conn.state = ConnState::Closed;
                 let side = usize::from(dst == conn.server);
                 if !conn.side_closed[side] {
@@ -936,7 +1292,7 @@ impl Simulator {
             }
             SegKind::FinAck => {
                 // Active closer: enter TIME_WAIT for 2·MSL.
-                let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+                let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
                 let side = usize::from(dst == conn.server);
                 if !conn.side_closed[side] {
                     conn.side_closed[side] = true;
@@ -960,7 +1316,7 @@ impl Simulator {
     /// Mark the connection established on one side and deliver the
     /// corresponding event; also arm the idle timer on the server side.
     fn establish(&mut self, conn_id: ConnId, client_side: bool) {
-        let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+        let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
         // A close can race the tail of the handshake (the app closed
         // while the final ACK was in flight): never resurrect it.
         if matches!(conn.state, ConnState::Closing | ConnState::Closed) {
@@ -984,7 +1340,7 @@ impl Simulator {
         if !client_side {
             self.stats[host].tcp_accepts += u64::from(!tls);
             self.stats[host].tls_accepts += u64::from(tls);
-            if let Some(t) = self.conns.get(conn_id.0).and_then(|c| c.idle_timeout) {
+            if let Some(t) = self.conns.get(&conn_id.0).and_then(|c| c.idle_timeout) {
                 let at = self.now + t;
                 self.push_event(at, Event::ConnTimer { conn: conn_id, kind: ConnTimer::IdleCheck });
             }
@@ -1003,7 +1359,7 @@ impl Simulator {
         // A close requested while the handshake was in flight happens
         // now, after the queued writes above went out.
         let deferred = {
-            let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+            let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
             if conn.pending_close == Some(host) {
                 conn.pending_close.take()
             } else {
@@ -1016,7 +1372,7 @@ impl Simulator {
     }
 
     fn tcp_send_internal(&mut self, conn_id: ConnId, data: PacketBytes, sender: HostId) {
-        let Some(conn) = self.conns.get_mut(conn_id.0) else {
+        let Some(conn) = self.conns.get_mut(&conn_id.0) else {
             return;
         };
         if conn.state == ConnState::Closed
@@ -1046,7 +1402,7 @@ impl Simulator {
 
     /// Send one data message, consuming any owed ACK (piggyback).
     fn transmit_data(&mut self, conn_id: ConnId, dir: usize, data: PacketBytes) {
-        let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+        let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
         let (src, dst) = if dir == 0 {
             (conn.client, conn.server)
         } else {
@@ -1086,7 +1442,7 @@ impl Simulator {
     /// large TCP message" effect the paper observed). A single pending
     /// write is forwarded as-is — zero-copy.
     fn flush_pending(&mut self, conn_id: ConnId, dir: usize) {
-        let Some(conn) = self.conns.get_mut(conn_id.0) else {
+        let Some(conn) = self.conns.get_mut(&conn_id.0) else {
             return;
         };
         if !matches!(conn.state, ConnState::Established) {
@@ -1108,7 +1464,7 @@ impl Simulator {
     }
 
     fn tcp_close_internal(&mut self, conn_id: ConnId, closer: HostId) {
-        let Some(conn) = self.conns.get_mut(conn_id.0) else {
+        let Some(conn) = self.conns.get_mut(&conn_id.0) else {
             return;
         };
         if matches!(conn.state, ConnState::Closing | ConnState::Closed)
@@ -1133,7 +1489,7 @@ impl Simulator {
         // the FIN behind the flushed data on the wire.
         let dir = conn.dir_from(from);
         self.flush_pending(conn_id, dir);
-        let conn = self.conns.get_mut(conn_id.0).expect("conn exists");
+        let conn = self.conns.get_mut(&conn_id.0).expect("conn exists");
         conn.state = ConnState::Closing;
         conn.closer = Some(closer);
         self.send_segment(conn_id, from, to, SegKind::Fin);
@@ -1142,7 +1498,7 @@ impl Simulator {
     fn conn_timer(&mut self, conn_id: ConnId, kind: ConnTimer) {
         match kind {
             ConnTimer::IdleCheck => {
-                let Some(conn) = self.conns.get(conn_id.0) else {
+                let Some(conn) = self.conns.get(&conn_id.0) else {
                     return;
                 };
                 let Some(timeout) = conn.idle_timeout else {
@@ -1171,13 +1527,13 @@ impl Simulator {
                 }
             }
             ConnTimer::TimeWaitDone => {
-                if let Some(conn) = self.conns.remove(conn_id.0) {
+                if let Some(conn) = self.conns.remove(&conn_id.0) {
                     let host = conn.closer.unwrap_or(conn.server_host);
                     self.stats[host].time_wait = self.stats[host].time_wait.saturating_sub(1);
                 }
             }
             ConnTimer::DelayedAck { dir } => {
-                let Some(conn) = self.conns.get_mut(conn_id.0) else {
+                let Some(conn) = self.conns.get_mut(&conn_id.0) else {
                     return;
                 };
                 if !conn.dirs[dir].ack_owed {
@@ -1201,7 +1557,7 @@ impl Simulator {
     /// already seen it (skipping crashed hosts — they get nothing).
     /// No TIME_WAIT: this models a reset/crash, not a graceful close.
     fn kill_conn(&mut self, conn_id: ConnId) {
-        let Some(conn) = self.conns.remove(conn_id.0) else {
+        let Some(conn) = self.conns.remove(&conn_id.0) else {
             return; // already gone (duplicate kill, late event)
         };
         if tel::enabled() {
@@ -1260,14 +1616,14 @@ impl Simulator {
         if let Some(h) = self.hosts[id].as_deref_mut() {
             h.on_crash();
         }
-        // Kill every connection the host participates in. Slab slot
-        // order is a deterministic function of the allocation/free
-        // history, so this stays reproducible (rule D2).
+        // Kill every connection the host participates in. The map is
+        // keyed by ConnId = (dialer lane, dial count), so the kill
+        // order is reproducible (rule D2) and shard-invariant.
         let doomed: Vec<ConnId> = self
             .conns
             .iter()
             .filter(|(_, c)| c.client_host == id || c.server_host == id)
-            .map(|(cid, _)| ConnId(cid))
+            .map(|(&cid, _)| ConnId(cid))
             .collect();
         for cid in doomed {
             self.kill_conn(cid);

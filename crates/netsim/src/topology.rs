@@ -106,6 +106,26 @@ impl Topology {
     pub fn default_path(&self) -> PathConfig {
         self.default
     }
+
+    /// The minimum one-way propagation latency over every configured
+    /// path (default + per-pair + per-source overrides) — the
+    /// conservative lookahead bound for sharded simulation
+    /// (`ldp-shard`): no packet sent at time `t` can arrive anywhere
+    /// before `t + min_one_way_latency()`, so shards may safely
+    /// process `[t, t + lookahead)` in parallel.
+    ///
+    /// Serialization delay is excluded (zero-byte bound): the result is
+    /// valid for any packet size.
+    pub fn min_one_way_latency(&self) -> SimDuration {
+        let mut min = self.default.rtt.half();
+        for cfg in self.per_pair.values().chain(self.per_src.values()) {
+            let half = cfg.rtt.half();
+            if half < min {
+                min = half;
+            }
+        }
+        min
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,31 @@
+//! # ldp-shard
+//!
+//! A sharded, multi-core front-end for [`netsim`]: hosts are
+//! partitioned across N worker simulators, each advancing on its own
+//! thread, synchronized by conservative lookahead windows sized by the
+//! topology's minimum one-way link latency. Cross-shard datagrams
+//! travel through a deterministic exchange carrying their exact
+//! single-shard event keys, so the merged transcript — and the
+//! canonically ordered telemetry drain — are **byte-identical** to the
+//! single-shard run for the same seed, for any shard count, on either
+//! queue backend (DESIGN.md §10).
+//!
+//! ```
+//! use ldp_shard::{ShardPlan, ShardedSimulator};
+//! use netsim::{PathConfig, SimConfig, SimDuration, Topology};
+//!
+//! let topo = Topology::uniform(PathConfig::with_rtt(SimDuration::from_millis(10)));
+//! let sim = ShardedSimulator::new(topo, SimConfig::default(), ShardPlan::round_robin(4));
+//! assert_eq!(sim.shards(), 4);
+//! assert_eq!(sim.lookahead(), SimDuration::from_millis(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exchange;
+pub mod plan;
+pub mod sim;
+
+pub use exchange::Exchange;
+pub use plan::ShardPlan;
+pub use sim::{ControlId, GlobalHostId, ShardedSimulator};

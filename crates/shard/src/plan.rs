@@ -1,0 +1,72 @@
+//! Host→shard assignment.
+//!
+//! The plan is pure data fixed before the run: a shard count plus
+//! optional per-host pins. Placement never changes results — the lane
+//! discipline in `netsim` makes transcripts shard-placement-invariant
+//! — so the plan is purely a performance/locality knob, with one
+//! semantic constraint: both endpoints of any TCP dial must land on
+//! the same shard (the conservative exchange carries only UDP).
+
+use std::collections::BTreeMap;
+
+/// How global host ids map onto worker shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: u32,
+    pinned: BTreeMap<usize, u32>,
+}
+
+impl ShardPlan {
+    /// `shards` workers; host `i` lands on shard `i % shards` unless
+    /// pinned. Clamps a zero shard count to one.
+    pub fn round_robin(shards: u32) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            pinned: BTreeMap::new(),
+        }
+    }
+
+    /// Pin one global host id to a specific shard (e.g. to co-locate
+    /// the two endpoints of a TCP connection). Out-of-range shards are
+    /// wrapped.
+    pub fn pin(&mut self, host: usize, shard: u32) -> &mut Self {
+        self.pinned.insert(host, shard % self.shards);
+        self
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard a global host id lands on.
+    pub fn shard_for(&self, host: usize) -> u32 {
+        match self.pinned.get(&host) {
+            Some(&s) => s,
+            None => (host % self.shards as usize) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_and_pins_override() {
+        let mut plan = ShardPlan::round_robin(3);
+        assert_eq!(plan.shards(), 3);
+        assert_eq!(plan.shard_for(0), 0);
+        assert_eq!(plan.shard_for(4), 1);
+        plan.pin(4, 2);
+        assert_eq!(plan.shard_for(4), 2);
+        assert_eq!(plan.shard_for(5), 2);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let plan = ShardPlan::round_robin(0);
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.shard_for(7), 0);
+    }
+}

@@ -12,7 +12,7 @@
 //! raw wall-clock reads anywhere else under `crates/telemetry/` and
 //! this file is allowlisted in `ldp-lint.allow`.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
@@ -70,22 +70,30 @@ impl ClockSource for FixedClockSource {
     }
 }
 
-/// The simulator's published "now", in nanoseconds of virtual time.
-static VIRTUAL_NOW: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// The simulator's published "now", in nanoseconds of virtual
+    /// time. Thread-local, not process-global: a sharded run
+    /// (`ldp-shard`) drives one simulator per worker thread, each at
+    /// its own point in virtual time within the current window —
+    /// records made on a worker must read *that worker's* clock, never
+    /// a racing neighbour's.
+    static VIRTUAL_NOW: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 /// Publish the simulator's current virtual time. `netsim` calls this
 /// once per dispatched event (only while telemetry is enabled), so
 /// clocked records made from inside host callbacks — e.g. the server
 /// engine's parse/lookup/encode spans — carry virtual timestamps.
+/// Per-thread: each sharded worker publishes its own clock.
 #[inline]
 pub fn publish_virtual_now(t_ns: u64) {
-    VIRTUAL_NOW.store(t_ns, Ordering::Relaxed);
+    VIRTUAL_NOW.with(|v| v.set(t_ns));
 }
 
-/// The last published virtual time, in nanoseconds.
+/// The last virtual time published *on this thread*, in nanoseconds.
 #[inline]
 pub fn virtual_now() -> u64 {
-    VIRTUAL_NOW.load(Ordering::Relaxed)
+    VIRTUAL_NOW.with(|v| v.get())
 }
 
 const MODE_ZERO: u8 = 0;

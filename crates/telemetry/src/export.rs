@@ -154,6 +154,22 @@ pub fn diff_logs(a: &[RawEvent], b: &[RawEvent]) -> Option<String> {
     None
 }
 
+/// Sort a drained log into its canonical cross-thread order: by
+/// `(virtual time, kind, op, a, b)` — content only, no thread ids.
+///
+/// `drain_all` concatenates per-thread rings in thread-registration
+/// order, which is first-record-wins and therefore scheduler-dependent
+/// once shard workers record concurrently. A sharded run produces the
+/// *same multiset* of events as the single-shard run (every record is
+/// attributed to shard-invariant lanes), so sorting by content alone
+/// yields one canonical log that is byte-identical across shard counts
+/// and thread schedules. The sort is stable; exact duplicates (e.g.
+/// two identical batched counters at one instant) stay adjacent and
+/// compare equal, so their relative order cannot matter.
+pub fn canonical_order(events: &mut [RawEvent]) {
+    events.sort_by_key(|e| (e.t_ns, e.kind, e.op, e.a, e.b));
+}
+
 /// Render events as a human-readable timeline, one line per event:
 /// `[      0.001234s] mark  q.send  a=42 b=512`.
 pub fn render_timeline(events: &[RawEvent]) -> String {

@@ -56,8 +56,8 @@ mod recorder;
 pub use clock::{ClockSource, FixedClockSource, VirtualClockSource, WallClockSource};
 pub use event::{kind_name, register_kind, registered_kinds, KindId, Op, RawEvent};
 pub use export::{
-    count_by_kind, diff_logs, dump_binary, dump_kind_table, folded_stacks, load_binary,
-    render_timeline, stage_breakdown, StageBreakdown, StageStat,
+    canonical_order, count_by_kind, diff_logs, dump_binary, dump_kind_table, folded_stacks,
+    load_binary, render_timeline, stage_breakdown, StageBreakdown, StageStat,
 };
 pub use recorder::{
     counter_at, drain_all, drain_flushed, drain_local, enabled, flush_thread, mark, mark_at,

@@ -101,6 +101,7 @@ else
     PROXY="--extern ldp_proxy=$od/libldp_proxy.rlib"
     METRICS="--extern ldp_metrics=$od/libldp_metrics.rlib"
     TELEM="--extern ldp_telemetry=$od/libldp_telemetry.rlib"
+    SHARD="--extern ldp_shard=$od/libldp_shard.rlib"
     WORKLOADS="--extern workloads=$od/libworkloads.rlib"
     ZC="--extern zone_construct=$od/libzone_construct.rlib"
     CORE="--extern ldp_core=$od/libldp_core.rlib"
@@ -120,6 +121,8 @@ else
     rc --crate-type lib --crate-name ldp_metrics crates/metrics/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_telemetry $METRICS crates/telemetry/src/lib.rs || fail=1
     rc --crate-type lib --crate-name netsim $RAND $TELEM crates/netsim/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name ldp_shard $NETSIM $RAND $TELEM \
+        crates/shard/src/lib.rs || fail=1
     rc --crate-type lib --crate-name dns_zone $WIRE $RAND crates/dns-zone/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_guard crates/guard/src/lib.rs || fail=1
     rc --crate-type lib --crate-name dns_server $WIRE $ZONE $NETSIM $TELEM $GUARD \
@@ -141,7 +144,7 @@ else
         $TELEM $GUARD \
         offline/core_offline.rs || fail=1
     rc --crate-type lib --crate-name ldp_chaos $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
-        $TRACE $REPLAY $TELEM $GUARD \
+        $TRACE $REPLAY $TELEM $GUARD $SHARD \
         crates/chaos/src/lib.rs || fail=1
 
     note "offline: dns-wire unit tests"
@@ -165,6 +168,18 @@ else
         "$od/determinism_t" -q || fail=1
     rc --test --crate-name tcp_model_t $NETSIM crates/netsim/tests/tcp_model.rs &&
         "$od/tcp_model_t" -q || fail=1
+
+    note "offline: ldp-shard unit + equivalence + telemetry-determinism suites"
+    rc --test --crate-name shard_t $NETSIM $RAND $TELEM crates/shard/src/lib.rs &&
+        "$od/shard_t" -q || fail=1
+    rc --test --crate-name shard_equiv_t $SHARD $NETSIM $RAND \
+        crates/shard/tests/equivalence.rs &&
+        "$od/shard_equiv_t" -q || fail=1
+    # Serial on purpose: the telemetry enable flag and flushed store
+    # are process-wide.
+    rc --test --crate-name shard_telem_t $SHARD $NETSIM $TELEM \
+        crates/shard/tests/telemetry_determinism.rs &&
+        "$od/shard_telem_t" -q --test-threads=1 || fail=1
 
     note "offline: dns-server engine/template/rrl/sim_server suites"
     rc --test --crate-name dns_server_t $WIRE $ZONE $NETSIM $TELEM $GUARD \
@@ -195,7 +210,7 @@ else
     # (prop_plan.rs is cargo-only: proptest is unavailable offline; the
     # deterministic round-trip unit tests in plan.rs run here instead.)
     rc --test --crate-name chaos_t $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
-        $TRACE $REPLAY $TELEM $GUARD \
+        $TRACE $REPLAY $TELEM $GUARD $SHARD \
         crates/chaos/src/lib.rs &&
         "$od/chaos_t" -q || fail=1
     rc --test --crate-name chaos_det_t $CHAOS $NETSIM crates/chaos/tests/determinism_faults.rs &&
@@ -205,6 +220,10 @@ else
     rc --test --crate-name chaos_telem_t $CHAOS $NETSIM $TELEM \
         crates/chaos/tests/telemetry_determinism.rs &&
         "$od/chaos_telem_t" -q || fail=1
+
+    note "offline: chaos shard-equivalence suite (outage matrix x shard counts)"
+    rc --test --crate-name chaos_shard_t $CHAOS $NETSIM crates/chaos/tests/shard_equivalence.rs &&
+        "$od/chaos_shard_t" -q || fail=1
 
     note "offline: facade + sim-path integration suite (full_pipeline)"
     rc --crate-type lib --crate-name ldplayer \
@@ -216,7 +235,7 @@ else
     rc --crate-name hierarchy_emulation_ex $LDP examples/hierarchy_emulation.rs || fail=1
 
     note "offline: hotpath microbench (includes telemetry + guard overhead gates)"
-    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM $GUARD $SERVER $ZONE \
+    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM $GUARD $SERVER $ZONE $SHARD \
         crates/bench/src/bin/hotpath.rs || fail=1
     rm -f BENCH_hotpath.json
     "$od/hotpath" BENCH_hotpath.json || fail=1
@@ -265,6 +284,18 @@ if [ -f BENCH_hotpath.json ]; then
     else
         note "server template bench: ${tpl} answers/s"
     fi
+    # Sharded-simulator gate: all three shard-count rates must be
+    # present (the hotpath binary itself asserts the sharded event
+    # counts equal the single-shard run before reporting them).
+    for n in 1 2 8; do
+        eps=$(bench_num "sharded_events_per_sec_$n")
+        if [ -z "$eps" ]; then
+            note "FAILED: sim.sharded_events_per_sec_$n missing from BENCH_hotpath.json"
+            fail=1
+        else
+            note "sharded sim bench (shards=$n): ${eps} events/s"
+        fi
+    done
 else
     note "FAILED: hotpath bench produced no BENCH_hotpath.json"
     fail=1

@@ -57,6 +57,7 @@ pub use ldp_core as core;
 pub use ldp_metrics as metrics;
 pub use ldp_proxy as proxy;
 pub use ldp_replay as replay;
+pub use ldp_shard as shard;
 pub use ldp_telemetry as telemetry;
 pub use ldp_trace as trace;
 pub use netsim;
