@@ -282,6 +282,81 @@ fn server_throughput(iters: u64) -> (f64, f64) {
     (template_aps, general_aps)
 }
 
+/// Resolver-cache ops/sec on the three answer paths the delayed-hits
+/// study classifies: plain hits (`get` on a warm store), delayed hits
+/// (joining an in-flight resolution in the outstanding table), and full
+/// misses (lookup miss → lead registration → completion → insert with
+/// eviction, on a store at capacity). Pure data-structure cost — no
+/// simulator, no sockets — so the rates bound what the sim resolver can
+/// possibly sustain per class.
+fn resolver_cache_throughput(iters: u64) -> (f64, f64, f64) {
+    use ldp_cache::{CacheConfig, FillInfo, OutstandingTable, PolicyKind, ResolverCache};
+
+    let n_names = 1024usize;
+    let names: Vec<dns_wire::Name> = (0..n_names)
+        .map(|i| format!("c{i}.bench.example").parse().expect("name"))
+        .collect();
+    let answer = |i: usize| {
+        vec![Record::new(
+            names[i].clone(),
+            60,
+            RData::A(format!("10.4.{}.{}", i / 256, i % 256).parse().expect("a")),
+        )]
+    };
+
+    // Hit path: a warm unbounded store, cycling reads inside the TTL.
+    let mut cache = ResolverCache::unbounded();
+    for i in 0..n_names {
+        cache.put_positive(&names[i], RecordType::A, answer(i), 0.0, FillInfo::default());
+    }
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let name = &names[(i as usize) % n_names];
+        black_box(cache.get(black_box(name), RecordType::A, 1.0));
+    }
+    let hit_ps = iters as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(cache.stats().misses, 0, "warm reads must all hit");
+
+    // Delayed-hit path: join an already-in-flight resolution (the
+    // coalescing push every waiter after the lead pays), 8 joins per
+    // begin/complete cycle like a typical cold-name train.
+    let mut table: OutstandingTable<u64> = OutstandingTable::new();
+    let joins_per_cycle = 8u64;
+    let cycles = iters / joins_per_cycle;
+    let t0 = Instant::now();
+    for c in 0..cycles {
+        let name = &names[(c as usize) % n_names];
+        table.begin(name, RecordType::A, c, c, 0.0);
+        for w in 0..joins_per_cycle {
+            let joined = table.join(black_box(name), RecordType::A, w, 0.0);
+            black_box(joined.is_ok());
+        }
+        black_box(table.complete(name, RecordType::A));
+    }
+    let delayed_ps = (cycles * joins_per_cycle) as f64 / t0.elapsed().as_secs_f64();
+    assert!(table.is_empty(), "every cycle completed");
+
+    // Miss path: a store at half the name count, so every lookup
+    // misses (the entry was evicted before its next visit) and every
+    // insert evicts — lookup + lead registration + completion + insert
+    // + eviction, the full miss bookkeeping.
+    let mut cache = ResolverCache::new(CacheConfig::bounded(n_names / 2, PolicyKind::Lru));
+    let mut table: OutstandingTable<u64> = OutstandingTable::new();
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let idx = (i as usize) % n_names;
+        let name = &names[idx];
+        black_box(cache.get(black_box(name), RecordType::A, 0.0));
+        table.begin(name, RecordType::A, i, i, 0.0);
+        black_box(table.complete(name, RecordType::A));
+        black_box(cache.put_positive(name, RecordType::A, answer(idx), 0.0, FillInfo::default()));
+    }
+    let miss_ps = iters as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(cache.stats().hits, 0, "cycling at 2× capacity must never hit");
+
+    (hit_ps, delayed_ps, miss_ps)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -417,9 +492,16 @@ fn main() {
         template_aps / general_aps
     );
 
+    // --- Resolver cache: hit / delayed-hit / miss path ops/sec. ---
+    println!("resolver cache: {iters} ops × 3 answer paths…");
+    let (cache_hit_ps, cache_delayed_ps, cache_miss_ps) = resolver_cache_throughput(iters);
+    println!(
+        "  hit {cache_hit_ps:>12.0} ops/s   delayed-hit {cache_delayed_ps:>12.0} ops/s   miss {cache_miss_ps:>12.0} ops/s"
+    );
+
     // Hand-rolled JSON: this binary must build with bare rustc offline.
     let json = format!(
-        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n    \"sharded_events_per_sec_1\": {:.0},\n    \"sharded_events_per_sec_2\": {:.0},\n    \"sharded_events_per_sec_8\": {:.0}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }},\n  \"server\": {{\n    \"template_answers_per_sec\": {template_aps:.0},\n    \"general_answers_per_sec\": {general_aps:.0},\n    \"template_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n    \"sharded_events_per_sec_1\": {:.0},\n    \"sharded_events_per_sec_2\": {:.0},\n    \"sharded_events_per_sec_8\": {:.0}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }},\n  \"server\": {{\n    \"template_answers_per_sec\": {template_aps:.0},\n    \"general_answers_per_sec\": {general_aps:.0},\n    \"template_speedup\": {:.3}\n  }},\n  \"resolver\": {{\n    \"cache_hit_per_sec\": {cache_hit_ps:.0},\n    \"cache_delayed_hit_per_sec\": {cache_delayed_ps:.0},\n    \"cache_miss_per_sec\": {cache_miss_ps:.0}\n  }}\n}}\n",
         heap_eps / btree_eps,
         heap_raw / btree_raw,
         sharded_eps[0],

@@ -1,0 +1,143 @@
+//! # ldp-cache
+//!
+//! Production-grade resolver caching for the LDplayer reproduction.
+//! The paper's what-if methodology (recursive trace replay against an
+//! emulated hierarchy, §2.3/§5) stands or falls on resolver cache
+//! fidelity; this crate replaces the first-generation unbounded TTL map
+//! with the three mechanisms real resolvers under heavy-tailed load
+//! live or die on:
+//!
+//! * **[`ResolverCache`]** — a capacity-bounded TTL store with
+//!   pluggable deterministic eviction policies behind one trait
+//!   ([`EvictionPolicy`]): [`policy::Lru`], [`policy::LfuLite`] and the
+//!   aggregate-delay-aware [`policy::DelayAware`] that ranks entries by
+//!   (expected miss latency × arrival rate) rather than recency. TTLs
+//!   are clamped per RFC 2181 §8 and expired sets are never inserted.
+//! * **[`OutstandingTable`]** — the in-flight query aggregation table:
+//!   concurrent misses for one (qname, qtype) coalesce onto a single
+//!   upstream resolution, and the answer fans out to every waiter — the
+//!   *delayed hit* path, with per-waiter arrival times recorded so the
+//!   extra latency each coalesced request paid is accountable.
+//! * **[`negative_ttl`]** — RFC 2308 negative caching: the negative TTL
+//!   is derived from the authority-section SOA (min of the SOA record
+//!   TTL and its MINIMUM field) instead of a hardcoded constant, with a
+//!   named config fallback ([`CacheConfig::neg_ttl_default`]) and a cap.
+//! * **Prefetch-before-expiry** — hot names are refreshed when their
+//!   remaining TTL drops under a configurable fraction
+//!   ([`PrefetchConfig::trigger_fraction`]), rate-budgeted by a
+//!   deterministic virtual-time token bucket so a popular-name storm
+//!   cannot turn the refresh path into its own query flood.
+//!
+//! Everything is virtual-time-friendly: time is an explicit `f64`
+//! seconds parameter (any epoch), there is no ambient clock and no
+//! ambient randomness, and all internal iteration is over ordered
+//! containers — two same-seed simulator runs using this cache produce
+//! byte-identical transcripts (ldp-lint rules D1–D4 and P1 apply to
+//! this crate; see DESIGN.md §7 and §11).
+
+#![warn(missing_docs)]
+
+pub mod negative;
+pub mod outstanding;
+pub mod policy;
+pub mod store;
+
+pub use negative::negative_ttl;
+pub use outstanding::{Completed, OutstandingStats, OutstandingTable, WaiterSlot};
+pub use policy::{EvictionPolicy, PolicyKind};
+pub use store::{CacheStats, CachedAnswer, EntryMeta, FillInfo, PutOutcome, ResolverCache};
+
+/// Prefetch-before-expiry knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchConfig {
+    /// Refresh when the remaining TTL drops to this fraction of the
+    /// original TTL (0.1 = refresh inside the last 10% of lifetime).
+    pub trigger_fraction: f64,
+    /// Sustained refresh budget, in refreshes per (virtual) second.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst: refreshes that may fire back-to-back.
+    pub burst: f64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            trigger_fraction: 0.1,
+            rate_per_sec: 10.0,
+            burst: 4.0,
+        }
+    }
+}
+
+/// Configuration of a [`ResolverCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum resident entries; `usize::MAX` means unbounded (the
+    /// legacy first-generation behavior). `0` disables caching.
+    pub capacity: usize,
+    /// Eviction policy applied when the store is full.
+    pub policy: PolicyKind,
+    /// Positive-TTL clamp floor (seconds). Left at 0, TTLs are taken
+    /// as-is; raising it protects the store from 1-second TTL churn.
+    pub min_ttl: u32,
+    /// Positive-TTL clamp cap (seconds): RFC 2181 §8 bounds TTL to 31
+    /// bits, and operationally a week is the common upper clamp.
+    pub max_ttl: u32,
+    /// Negative TTL used when the response carried no SOA to derive one
+    /// from (RFC 2308 §5) — the named fallback replacing the old
+    /// hardcoded constant.
+    pub neg_ttl_default: u32,
+    /// Cap on SOA-derived negative TTLs (RFC 2308 suggests resolvers
+    /// bound negative caching; 3 hours is BIND's default cap).
+    pub neg_ttl_cap: u32,
+    /// Prefetch-before-expiry; `None` disables the refresh path.
+    pub prefetch: Option<PrefetchConfig>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: usize::MAX,
+            policy: PolicyKind::Lru,
+            min_ttl: 0,
+            max_ttl: 604_800,
+            neg_ttl_default: 30,
+            neg_ttl_cap: 10_800,
+            prefetch: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A bounded cache with `capacity` entries under `policy`, other
+    /// knobs at their defaults.
+    pub fn bounded(capacity: usize, policy: PolicyKind) -> Self {
+        CacheConfig {
+            capacity,
+            policy,
+            ..CacheConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_unbounded_lru() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.capacity, usize::MAX);
+        assert_eq!(cfg.policy, PolicyKind::Lru);
+        assert!(cfg.prefetch.is_none());
+        assert_eq!(cfg.neg_ttl_default, 30);
+    }
+
+    #[test]
+    fn bounded_sets_capacity_and_policy() {
+        let cfg = CacheConfig::bounded(128, PolicyKind::DelayAware);
+        assert_eq!(cfg.capacity, 128);
+        assert_eq!(cfg.policy, PolicyKind::DelayAware);
+        assert_eq!(cfg.max_ttl, 604_800);
+    }
+}

@@ -1,0 +1,759 @@
+//! The capacity-bounded TTL store.
+//!
+//! Time is an explicit parameter (seconds, any epoch) so the same store
+//! runs under the simulator's virtual clock or the wall clock. All
+//! containers are ordered (`BTreeMap`/`BTreeSet`) and every eviction
+//! decision ties-break on insertion slots, so a given access sequence
+//! produces the same residency set — and therefore the same simulator
+//! transcript — in every run (ldp-lint rule D2 applies to this crate).
+//!
+//! Layout: entries live in a `name → qtype → Entry` two-level ordered
+//! map (lookups borrow the caller's [`Name`], no per-get clone), and a
+//! `(rank, slot)` ordered index realizes the eviction order; `slot` is
+//! a monotone insertion counter that makes ranks unique and resolves
+//! back to the owning key through a side map. Hits, inserts and
+//! evictions are all O(log n); there is no O(capacity) scan anywhere.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dns_wire::{Name, Rcode, Record, RecordType};
+
+use crate::policy::EvictionPolicy;
+use crate::{CacheConfig, PrefetchConfig};
+
+/// A cached outcome for a (name, type) question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedAnswer {
+    /// Positive answer records (answer-section records, CNAMEs included).
+    Positive(Vec<Record>),
+    /// Negative result with the rcode to reproduce (NXDOMAIN or NODATA
+    /// as NoError-with-no-answers).
+    Negative(Rcode),
+}
+
+/// Per-entry bookkeeping the eviction policies rank on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryMeta {
+    /// When this key was first inserted (survives refreshes, so the
+    /// arrival-rate estimate spans the key's whole observed lifetime).
+    pub first_seen: f64,
+    /// Lifetime requests for this key: cache hits plus, at each fill,
+    /// every request the fill aggregated (lead + coalesced waiters).
+    pub requests: u64,
+    /// Global access sequence number of the last touch (recency).
+    pub last_access_seq: u64,
+    /// Observed upstream latency of the most recent fill, seconds —
+    /// what a miss for this key is expected to cost again.
+    pub fill_latency: f64,
+    /// A prefetch was already triggered for this generation of the
+    /// entry (reset on refresh, so each TTL window refreshes at most
+    /// once).
+    pub prefetch_armed: bool,
+}
+
+/// What a fill observed, fed back into the store at insert time so the
+/// delay-aware policy can rank on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillInfo {
+    /// Upstream latency of the resolution that produced this answer
+    /// (seconds).
+    pub latency: f64,
+    /// Requests this fill served: the lead miss plus every waiter that
+    /// coalesced onto it while it was outstanding.
+    pub requests: u64,
+}
+
+impl Default for FillInfo {
+    fn default() -> Self {
+        FillInfo {
+            latency: 0.0,
+            requests: 1,
+        }
+    }
+}
+
+/// Result of a `put_*` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Whether the answer was stored (expired/empty sets are rejected).
+    pub inserted: bool,
+    /// Entries evicted to make room.
+    pub evicted: usize,
+}
+
+/// Cumulative store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent or expired).
+    pub misses: u64,
+    /// Of the misses, lookups that found only an expired entry.
+    pub expired: u64,
+    /// Successful inserts (positive + negative).
+    pub inserts: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Inserts rejected (empty record set, zero/overflowed TTL, or
+    /// capacity 0).
+    pub rejected: u64,
+    /// Prefetch triggers granted by [`ResolverCache::prefetch_due`].
+    pub prefetch_grants: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    answer: CachedAnswer,
+    expires: f64,
+    /// Effective (clamped) TTL this generation was stored with.
+    ttl: u32,
+    slot: u64,
+    rank: u128,
+    meta: EntryMeta,
+}
+
+/// Deterministic virtual-time token bucket for the prefetch budget.
+#[derive(Debug, Clone, Copy)]
+struct PrefetchBudget {
+    tokens: f64,
+    last: f64,
+}
+
+impl PrefetchBudget {
+    fn new(cfg: &PrefetchConfig) -> Self {
+        PrefetchBudget {
+            tokens: cfg.burst,
+            last: 0.0,
+        }
+    }
+
+    fn try_take(&mut self, now: f64, cfg: &PrefetchConfig) -> bool {
+        let elapsed = (now - self.last).max(0.0);
+        self.tokens = (self.tokens + elapsed * cfg.rate_per_sec).min(cfg.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The capacity-bounded, TTL-aware resolver cache.
+#[derive(Debug)]
+pub struct ResolverCache {
+    config: CacheConfig,
+    policy: Box<dyn EvictionPolicy>,
+    /// name → qtype → entry; two levels so lookups borrow the qname.
+    entries: BTreeMap<Name, BTreeMap<u16, Entry>>,
+    /// Eviction order: minimum `(rank, slot)` is evicted first.
+    by_rank: BTreeSet<(u128, u64)>,
+    /// slot → key, to resolve an eviction victim back to its entry.
+    slot_key: BTreeMap<u64, (Name, u16)>,
+    count: usize,
+    seq: u64,
+    next_slot: u64,
+    budget: PrefetchBudget,
+    stats: CacheStats,
+}
+
+impl ResolverCache {
+    /// A cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let budget = PrefetchBudget::new(&config.prefetch.unwrap_or_default());
+        ResolverCache {
+            policy: config.policy.build(),
+            config,
+            entries: BTreeMap::new(),
+            by_rank: BTreeSet::new(),
+            slot_key: BTreeMap::new(),
+            count: 0,
+            seq: 0,
+            next_slot: 0,
+            budget,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The legacy shape: unbounded, LRU-ranked, no prefetch.
+    pub fn unbounded() -> Self {
+        ResolverCache::new(CacheConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The active policy's label.
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
+    }
+
+    /// Look up a question at time `now`. Expired entries miss and are
+    /// evicted lazily; hits refresh the entry's recency/frequency
+    /// bookkeeping (and thus its eviction rank).
+    pub fn get(&mut self, name: &Name, qtype: RecordType, now: f64) -> Option<CachedAnswer> {
+        let t = qtype.to_u16();
+        let mut hit = None;
+        let mut found_expired = false;
+        if let Some(e) = self.entries.get_mut(name).and_then(|m| m.get_mut(&t)) {
+            if e.expires > now {
+                self.seq += 1;
+                e.meta.last_access_seq = self.seq;
+                e.meta.requests = e.meta.requests.saturating_add(1);
+                let new_rank = self.policy.rank(&e.meta, now);
+                self.by_rank.remove(&(e.rank, e.slot));
+                self.by_rank.insert((new_rank, e.slot));
+                e.rank = new_rank;
+                hit = Some(e.answer.clone());
+            } else {
+                found_expired = true;
+            }
+        }
+        if found_expired {
+            self.remove_key(name, t);
+            self.stats.expired += 1;
+        }
+        match hit {
+            Some(answer) => {
+                self.stats.hits += 1;
+                Some(answer)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a positive answer; the effective TTL is the minimum
+    /// record TTL, clamped per RFC 2181 §8 (31-bit bound → 0, then the
+    /// configured `[min_ttl, max_ttl]` window). Empty or already-expired
+    /// sets (effective TTL 0) are rejected, never inserted.
+    pub fn put_positive(
+        &mut self,
+        name: &Name,
+        qtype: RecordType,
+        records: Vec<Record>,
+        now: f64,
+        fill: FillInfo,
+    ) -> PutOutcome {
+        let Some(raw) = records.iter().map(|r| r.ttl).min() else {
+            self.stats.rejected += 1;
+            return PutOutcome::default();
+        };
+        let ttl = self.clamp_positive_ttl(raw);
+        if ttl == 0 {
+            self.stats.rejected += 1;
+            return PutOutcome::default();
+        }
+        self.insert(name, qtype, CachedAnswer::Positive(records), ttl, now, fill)
+    }
+
+    /// Insert a negative answer (RFC 2308). `soa_ttl` is the TTL
+    /// derived from the authority-section SOA ([`crate::negative_ttl`]);
+    /// `None` falls back to the named [`CacheConfig::neg_ttl_default`].
+    /// Either way the value is capped at [`CacheConfig::neg_ttl_cap`].
+    pub fn put_negative(
+        &mut self,
+        name: &Name,
+        qtype: RecordType,
+        rcode: Rcode,
+        soa_ttl: Option<u32>,
+        now: f64,
+        fill: FillInfo,
+    ) -> PutOutcome {
+        let raw = soa_ttl.unwrap_or(self.config.neg_ttl_default);
+        let ttl = clamp_rfc2181(raw).min(self.config.neg_ttl_cap);
+        if ttl == 0 {
+            self.stats.rejected += 1;
+            return PutOutcome::default();
+        }
+        self.insert(name, qtype, CachedAnswer::Negative(rcode), ttl, now, fill)
+    }
+
+    /// True if a fresh entry for the key should be refreshed now:
+    /// prefetch is configured, the entry's remaining TTL is inside the
+    /// trigger window, this generation hasn't already been refreshed,
+    /// and the rate budget grants a token. Granting arms the entry so
+    /// the caller is the only one who sees `true` for this generation.
+    pub fn prefetch_due(&mut self, name: &Name, qtype: RecordType, now: f64) -> bool {
+        let Some(pf) = self.config.prefetch else {
+            return false;
+        };
+        let t = qtype.to_u16();
+        let Some(e) = self.entries.get_mut(name).and_then(|m| m.get_mut(&t)) else {
+            return false;
+        };
+        if e.meta.prefetch_armed || e.expires <= now {
+            return false;
+        }
+        let remaining = e.expires - now;
+        if remaining > pf.trigger_fraction * e.ttl as f64 {
+            return false;
+        }
+        if !self.budget.try_take(now, &pf) {
+            return false;
+        }
+        e.meta.prefetch_armed = true;
+        self.stats.prefetch_grants += 1;
+        true
+    }
+
+    /// Entries currently resident (including not-yet-evicted expired
+    /// ones).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop everything (a "cold cache" reset — zone construction
+    /// requires cold-cache walks, paper §2.3). Counters survive.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_rank.clear();
+        self.slot_key.clear();
+        self.count = 0;
+    }
+
+    /// RFC 2181 §8 bound, then the configured clamp window. A TTL of 0
+    /// stays 0 ("do not cache") — the window only applies to cacheable
+    /// answers.
+    fn clamp_positive_ttl(&self, raw: u32) -> u32 {
+        let bounded = clamp_rfc2181(raw);
+        if bounded == 0 {
+            return 0;
+        }
+        bounded.clamp(self.config.min_ttl.max(1), self.config.max_ttl)
+    }
+
+    fn insert(
+        &mut self,
+        name: &Name,
+        qtype: RecordType,
+        answer: CachedAnswer,
+        ttl: u32,
+        now: f64,
+        fill: FillInfo,
+    ) -> PutOutcome {
+        if self.config.capacity == 0 {
+            self.stats.rejected += 1;
+            return PutOutcome::default();
+        }
+        let t = qtype.to_u16();
+        // Refresh: drop the old generation but keep its lifetime stats.
+        let carried = self.remove_key(name, t);
+        let mut evicted = 0;
+        while self.count >= self.config.capacity {
+            if !self.evict_one() {
+                break;
+            }
+            evicted += 1;
+        }
+        self.seq += 1;
+        let meta = EntryMeta {
+            first_seen: carried.map(|m| m.first_seen).unwrap_or(now),
+            requests: carried
+                .map(|m| m.requests)
+                .unwrap_or(0)
+                .saturating_add(fill.requests.max(1)),
+            last_access_seq: self.seq,
+            fill_latency: fill.latency.max(0.0),
+            prefetch_armed: false,
+        };
+        let rank = self.policy.rank(&meta, now);
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.entries.entry(name.clone()).or_default().insert(
+            t,
+            Entry {
+                answer,
+                expires: now + ttl as f64,
+                ttl,
+                slot,
+                rank,
+                meta,
+            },
+        );
+        self.by_rank.insert((rank, slot));
+        self.slot_key.insert(slot, (name.clone(), t));
+        self.count += 1;
+        self.stats.inserts += 1;
+        self.stats.evictions += evicted as u64;
+        PutOutcome {
+            inserted: true,
+            evicted,
+        }
+    }
+
+    /// Remove the entry for (name, t) if present, returning its meta
+    /// (for refresh carry-over).
+    fn remove_key(&mut self, name: &Name, t: u16) -> Option<EntryMeta> {
+        let types = self.entries.get_mut(name)?;
+        let e = types.remove(&t)?;
+        if types.is_empty() {
+            self.entries.remove(name);
+        }
+        self.by_rank.remove(&(e.rank, e.slot));
+        self.slot_key.remove(&e.slot);
+        self.count = self.count.saturating_sub(1);
+        Some(e.meta)
+    }
+
+    /// Evict the minimum-ranked entry; false if the store is empty.
+    fn evict_one(&mut self) -> bool {
+        let Some(&(rank, slot)) = self.by_rank.iter().next() else {
+            return false;
+        };
+        self.by_rank.remove(&(rank, slot));
+        let Some((name, t)) = self.slot_key.remove(&slot) else {
+            return false;
+        };
+        if let Some(types) = self.entries.get_mut(&name) {
+            types.remove(&t);
+            if types.is_empty() {
+                self.entries.remove(&name);
+            }
+        }
+        self.count = self.count.saturating_sub(1);
+        true
+    }
+}
+
+/// RFC 2181 §8: TTL is a 31-bit unsigned value; a received TTL with the
+/// high bit set must be treated as zero.
+fn clamp_rfc2181(ttl: u32) -> u32 {
+    if ttl > i32::MAX as u32 {
+        0
+    } else {
+        ttl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyKind;
+    use dns_wire::RData;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn a_rec(name: &str, ttl: u32) -> Record {
+        Record::new(n(name), ttl, RData::A("1.2.3.4".parse().unwrap()))
+    }
+
+    fn put(c: &mut ResolverCache, name: &str, ttl: u32, now: f64) -> PutOutcome {
+        c.put_positive(
+            &n(name),
+            RecordType::A,
+            vec![a_rec(name, ttl)],
+            now,
+            FillInfo::default(),
+        )
+    }
+
+    #[test]
+    fn positive_hit_until_ttl() {
+        let mut c = ResolverCache::unbounded();
+        put(&mut c, "www.example", 60, 100.0);
+        assert!(c.get(&n("www.example"), RecordType::A, 120.0).is_some());
+        assert!(c.get(&n("www.example"), RecordType::A, 159.9).is_some());
+        assert!(c.get(&n("www.example"), RecordType::A, 160.1).is_none());
+        assert!(c.is_empty(), "expired entry evicted lazily");
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn empty_record_set_is_rejected_not_inserted() {
+        // The first-generation cache inserted an already-expired entry
+        // here (expires = now + 0); the store must skip it entirely.
+        let mut c = ResolverCache::unbounded();
+        let out = c.put_positive(&n("x."), RecordType::A, vec![], 5.0, FillInfo::default());
+        assert!(!out.inserted);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn zero_ttl_set_is_rejected_not_inserted() {
+        let mut c = ResolverCache::unbounded();
+        let out = put(&mut c, "x.", 0, 5.0);
+        assert!(!out.inserted);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rfc2181_high_bit_ttl_treated_as_zero() {
+        let mut c = ResolverCache::unbounded();
+        let out = put(&mut c, "x.", 0x8000_0001, 5.0);
+        assert!(!out.inserted, "31-bit overflow means do-not-cache");
+    }
+
+    #[test]
+    fn absurd_ttl_clamped_to_max() {
+        let mut c = ResolverCache::new(CacheConfig {
+            max_ttl: 3600,
+            ..CacheConfig::default()
+        });
+        put(&mut c, "x.", 2_000_000, 0.0);
+        assert!(c.get(&n("x."), RecordType::A, 3599.0).is_some());
+        assert!(c.get(&n("x."), RecordType::A, 3601.0).is_none());
+    }
+
+    #[test]
+    fn min_ttl_clamp_raises_short_ttls() {
+        let mut c = ResolverCache::new(CacheConfig {
+            min_ttl: 10,
+            ..CacheConfig::default()
+        });
+        put(&mut c, "x.", 1, 0.0);
+        assert!(c.get(&n("x."), RecordType::A, 9.0).is_some(), "raised to 10s");
+    }
+
+    #[test]
+    fn min_ttl_of_set_governs() {
+        let mut c = ResolverCache::unbounded();
+        c.put_positive(
+            &n("x.example"),
+            RecordType::A,
+            vec![a_rec("x.example", 300), a_rec("x.example", 10)],
+            0.0,
+            FillInfo::default(),
+        );
+        assert!(c.get(&n("x.example"), RecordType::A, 9.0).is_some());
+        assert!(c.get(&n("x.example"), RecordType::A, 11.0).is_none());
+    }
+
+    #[test]
+    fn negative_soa_ttl_and_fallback() {
+        let mut c = ResolverCache::unbounded();
+        c.put_negative(
+            &n("no."),
+            RecordType::A,
+            Rcode::NxDomain,
+            Some(7),
+            0.0,
+            FillInfo::default(),
+        );
+        assert!(matches!(
+            c.get(&n("no."), RecordType::A, 6.0),
+            Some(CachedAnswer::Negative(Rcode::NxDomain))
+        ));
+        assert!(c.get(&n("no."), RecordType::A, 8.0).is_none(), "SOA TTL governs");
+        // No SOA: the named default (30 s) applies.
+        c.put_negative(&n("no2."), RecordType::A, Rcode::NxDomain, None, 0.0, FillInfo::default());
+        assert!(c.get(&n("no2."), RecordType::A, 29.0).is_some());
+        assert!(c.get(&n("no2."), RecordType::A, 31.0).is_none());
+    }
+
+    #[test]
+    fn negative_ttl_capped() {
+        let mut c = ResolverCache::unbounded();
+        c.put_negative(
+            &n("no."),
+            RecordType::A,
+            Rcode::NxDomain,
+            Some(86_400),
+            0.0,
+            FillInfo::default(),
+        );
+        assert!(c.get(&n("no."), RecordType::A, 10_799.0).is_some());
+        assert!(c.get(&n("no."), RecordType::A, 10_801.0).is_none(), "capped at 3h");
+    }
+
+    #[test]
+    fn type_distinguishes_entries() {
+        let mut c = ResolverCache::unbounded();
+        put(&mut c, "x.example", 60, 0.0);
+        assert!(c.get(&n("x.example"), RecordType::AAAA, 1.0).is_none());
+        assert!(c.get(&n("x.example"), RecordType::A, 1.0).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResolverCache::new(CacheConfig::bounded(2, PolicyKind::Lru));
+        put(&mut c, "a.", 600, 0.0);
+        put(&mut c, "b.", 600, 1.0);
+        // Touch a so b is the LRU victim.
+        assert!(c.get(&n("a."), RecordType::A, 2.0).is_some());
+        let out = put(&mut c, "c.", 600, 3.0);
+        assert_eq!(out.evicted, 1);
+        assert!(c.get(&n("b."), RecordType::A, 4.0).is_none(), "b evicted");
+        assert!(c.get(&n("a."), RecordType::A, 4.0).is_some());
+        assert!(c.get(&n("c."), RecordType::A, 4.0).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = ResolverCache::new(CacheConfig::bounded(2, PolicyKind::LfuLite));
+        put(&mut c, "hot.", 600, 0.0);
+        put(&mut c, "cold.", 600, 1.0);
+        for i in 0..5 {
+            assert!(c.get(&n("hot."), RecordType::A, 2.0 + i as f64).is_some());
+        }
+        // cold. is more recent than hot. but far less frequent.
+        assert!(c.get(&n("cold."), RecordType::A, 8.0).is_some());
+        put(&mut c, "new.", 600, 9.0);
+        assert!(c.get(&n("cold."), RecordType::A, 10.0).is_none(), "cold evicted");
+        assert!(c.get(&n("hot."), RecordType::A, 10.0).is_some());
+    }
+
+    #[test]
+    fn delay_aware_keeps_expensive_entry() {
+        let mut c = ResolverCache::new(CacheConfig::bounded(2, PolicyKind::DelayAware));
+        // slow.: expensive fill that aggregated many waiters.
+        c.put_positive(
+            &n("slow."),
+            RecordType::A,
+            vec![a_rec("slow.", 600)],
+            0.0,
+            FillInfo {
+                latency: 2.0,
+                requests: 50,
+            },
+        );
+        // fast.: cheap fill, single requester, but more recent.
+        c.put_positive(
+            &n("fast."),
+            RecordType::A,
+            vec![a_rec("fast.", 600)],
+            1.0,
+            FillInfo {
+                latency: 0.001,
+                requests: 1,
+            },
+        );
+        put(&mut c, "new.", 600, 2.0);
+        assert!(c.get(&n("slow."), RecordType::A, 3.0).is_some(), "expensive kept");
+        assert!(c.get(&n("fast."), RecordType::A, 3.0).is_none(), "cheap evicted");
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_across_runs() {
+        let run = |kind: PolicyKind| -> Vec<bool> {
+            let mut c = ResolverCache::new(CacheConfig::bounded(3, kind));
+            for i in 0..8 {
+                put(&mut c, &format!("k{i}."), 600, i as f64);
+                if i % 2 == 0 {
+                    c.get(&n(&format!("k{}.", i / 2)), RecordType::A, i as f64 + 0.5);
+                }
+            }
+            (0..8)
+                .map(|i| c.get(&n(&format!("k{i}.")), RecordType::A, 20.0).is_some())
+                .collect()
+        };
+        for kind in PolicyKind::ALL {
+            assert_eq!(run(kind), run(kind), "{kind:?} residency must be reproducible");
+        }
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let mut c = ResolverCache::new(CacheConfig::bounded(0, PolicyKind::Lru));
+        let out = put(&mut c, "a.", 600, 0.0);
+        assert!(!out.inserted);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn refresh_carries_lifetime_stats() {
+        let mut c = ResolverCache::unbounded();
+        put(&mut c, "a.", 10, 0.0);
+        for t in 1..5 {
+            assert!(c.get(&n("a."), RecordType::A, t as f64).is_some());
+        }
+        // Refresh after expiry; requests must accumulate, first_seen hold.
+        c.put_positive(
+            &n("a."),
+            RecordType::A,
+            vec![a_rec("a.", 10)],
+            11.0,
+            FillInfo {
+                latency: 0.04,
+                requests: 3,
+            },
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().inserts, 2);
+    }
+
+    #[test]
+    fn prefetch_due_fires_once_in_window_and_respects_budget() {
+        let cfg = CacheConfig {
+            prefetch: Some(PrefetchConfig {
+                trigger_fraction: 0.2,
+                rate_per_sec: 0.0, // no refill: only the burst is spendable
+                burst: 1.0,
+            }),
+            ..CacheConfig::default()
+        };
+        let mut c = ResolverCache::new(cfg);
+        put(&mut c, "hot.", 100, 0.0);
+        put(&mut c, "hot2.", 100, 0.0);
+        assert!(!c.prefetch_due(&n("hot."), RecordType::A, 50.0), "outside window");
+        assert!(c.prefetch_due(&n("hot."), RecordType::A, 85.0), "inside last 20%");
+        assert!(
+            !c.prefetch_due(&n("hot."), RecordType::A, 86.0),
+            "armed: one refresh per generation"
+        );
+        assert!(
+            !c.prefetch_due(&n("hot2."), RecordType::A, 85.0),
+            "budget of 1 token spent"
+        );
+        // A refresh re-arms the entry.
+        put(&mut c, "hot.", 100, 90.0);
+        assert!(!c.prefetch_due(&n("hot."), RecordType::A, 100.0));
+        assert_eq!(c.stats().prefetch_grants, 1);
+    }
+
+    #[test]
+    fn prefetch_budget_refills_over_time() {
+        let cfg = CacheConfig {
+            prefetch: Some(PrefetchConfig {
+                trigger_fraction: 1.0, // whole lifetime is the window
+                rate_per_sec: 1.0,
+                burst: 1.0,
+            }),
+            ..CacheConfig::default()
+        };
+        let mut c = ResolverCache::new(cfg);
+        put(&mut c, "a.", 1000, 0.0);
+        put(&mut c, "b.", 1000, 0.0);
+        assert!(c.prefetch_due(&n("a."), RecordType::A, 1.0));
+        assert!(!c.prefetch_due(&n("b."), RecordType::A, 1.1), "bucket empty");
+        assert!(c.prefetch_due(&n("b."), RecordType::A, 3.0), "refilled at 1/s");
+    }
+
+    #[test]
+    fn clear_resets_residency() {
+        let mut c = ResolverCache::unbounded();
+        put(&mut c, "x.example", 60, 0.0);
+        c.clear();
+        assert!(c.get(&n("x.example"), RecordType::A, 0.0).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut c = ResolverCache::unbounded();
+        put(&mut c, "x.example", 60, 0.0);
+        c.get(&n("x.example"), RecordType::A, 1.0);
+        c.get(&n("y.example"), RecordType::A, 1.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+}

@@ -22,6 +22,9 @@
 //!   host-level crash/restart events on schedule,
 //! - [`outage`]: the root-letter outage study (the `fig_outage`
 //!   scenario) built on all of the above,
+//! - [`delayed`]: the delayed-hits caching study (the `fig_cache`
+//!   scenario): a Zipf stub workload against an `ldp-cache`-backed
+//!   resolver, with optional delay spikes and upstream crashes,
 //! - [`recovery`]: the crash-recovery study (the `fig_recovery`
 //!   scenario): kill-and-resume from a checkpoint, and querier
 //!   power-cycles via [`plan::FaultEvent::QuerierCrash`].
@@ -29,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod delayed;
 pub mod injector;
 pub mod outage;
 pub mod plan;
 pub mod recovery;
 
 pub use agent::{install, install_sharded, ChaosAgent};
+pub use delayed::{DelayedConfig, DelayedOutcome};
 pub use injector::PlanInjector;
 pub use plan::{FaultEvent, FaultPlan, PlanParseError, PlannedFault};
 pub use recovery::{RecoveryConfig, RecoveryOutcome};

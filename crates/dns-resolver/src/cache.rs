@@ -1,106 +1,81 @@
-//! The resolver cache: TTL-bounded positive and negative entries.
+//! The resolver cache, backed by the [`ldp_cache`] subsystem.
 //!
-//! Time is an explicit parameter (seconds, any epoch) so the same cache
-//! runs under the simulator's virtual clock or the wall clock.
-
-use std::collections::HashMap;
+//! This module keeps the first-generation `Cache` API (used by the
+//! synchronous [`crate::IterativeResolver`] for zone construction's
+//! cold-cache walks) as a thin shim over [`ldp_cache::ResolverCache`],
+//! and re-exports the subsystem's types for everyone else. The shim is
+//! unbounded (the legacy behavior) but inherits the subsystem's
+//! correctness fixes: empty or zero-TTL record sets are rejected
+//! instead of inserted already-expired, and TTLs are clamped per
+//! RFC 2181 §8.
 
 use dns_wire::{Name, Rcode, Record, RecordType};
 
-/// A cached outcome for a (name, type) question.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CachedAnswer {
-    /// Positive answer records (answer-section records, CNAMEs included).
-    Positive(Vec<Record>),
-    /// Negative result with the rcode to reproduce (NXDOMAIN or NODATA
-    /// as NoError-with-no-answers).
-    Negative(Rcode),
-}
+pub use ldp_cache::{
+    negative_ttl, CacheConfig, CacheStats, CachedAnswer, FillInfo, PolicyKind, PrefetchConfig,
+    PutOutcome, ResolverCache,
+};
 
-#[derive(Debug, Clone)]
-struct Entry {
-    answer: CachedAnswer,
-    expires: f64,
-}
-
-/// TTL-aware resolver cache.
-#[derive(Debug, Default)]
+/// TTL-aware resolver cache (legacy unbounded API).
+#[derive(Debug)]
 pub struct Cache {
-    entries: HashMap<(Name, u16), Entry>,
-    hits: u64,
-    misses: u64,
+    inner: ResolverCache,
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Cache::new()
+    }
 }
 
 impl Cache {
     /// Empty cache.
     pub fn new() -> Self {
-        Cache::default()
+        Cache {
+            inner: ResolverCache::unbounded(),
+        }
     }
 
     /// Look up a question at time `now` (expired entries miss and are
     /// evicted lazily).
     pub fn get(&mut self, name: &Name, qtype: RecordType, now: f64) -> Option<CachedAnswer> {
-        let key = (name.clone(), qtype.to_u16());
-        match self.entries.get(&key) {
-            Some(e) if e.expires > now => {
-                self.hits += 1;
-                Some(e.answer.clone())
-            }
-            Some(_) => {
-                self.entries.remove(&key);
-                self.misses += 1;
-                None
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.inner.get(name, qtype, now)
     }
 
-    /// Insert a positive answer; TTL is the minimum record TTL.
+    /// Insert a positive answer; TTL is the minimum record TTL, clamped
+    /// per RFC 2181 §8. Empty or zero-TTL sets are not inserted.
     pub fn put_positive(&mut self, name: &Name, qtype: RecordType, records: Vec<Record>, now: f64) {
-        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
-        self.entries.insert(
-            (name.clone(), qtype.to_u16()),
-            Entry {
-                answer: CachedAnswer::Positive(records),
-                expires: now + ttl as f64,
-            },
-        );
+        self.inner
+            .put_positive(name, qtype, records, now, FillInfo::default());
     }
 
     /// Insert a negative answer with an explicit negative TTL (from the
     /// SOA minimum, RFC 2308).
     pub fn put_negative(&mut self, name: &Name, qtype: RecordType, rcode: Rcode, neg_ttl: u32, now: f64) {
-        self.entries.insert(
-            (name.clone(), qtype.to_u16()),
-            Entry {
-                answer: CachedAnswer::Negative(rcode),
-                expires: now + neg_ttl as f64,
-            },
-        );
+        self.inner
+            .put_negative(name, qtype, rcode, Some(neg_ttl), now, FillInfo::default());
     }
 
     /// Entries currently stored (including not-yet-evicted expired ones).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.inner.len()
     }
 
     /// True if no entries are stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.inner.is_empty()
     }
 
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        let s = self.inner.stats();
+        (s.hits, s.misses)
     }
 
     /// Drop everything (a "cold cache" reset — zone construction
     /// requires cold-cache walks, paper §2.3).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.inner.clear();
     }
 }
 
@@ -175,5 +150,21 @@ mod tests {
         c.put_positive(&n("x.example"), RecordType::A, vec![a_rec("x.example", 60)], 0.0);
         c.clear();
         assert!(c.get(&n("x.example"), RecordType::A, 0.0).is_none());
+    }
+
+    #[test]
+    fn empty_set_is_not_inserted_expired() {
+        // Regression: the first-generation cache inserted an entry with
+        // expires = now + 0 here, churning the map for nothing.
+        let mut c = Cache::new();
+        c.put_positive(&n("x.example"), RecordType::A, vec![], 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rfc2181_overflowed_ttl_not_inserted() {
+        let mut c = Cache::new();
+        c.put_positive(&n("x.example"), RecordType::A, vec![a_rec("x.example", u32::MAX)], 0.0);
+        assert!(c.is_empty(), "TTL with the high bit set means do-not-cache");
     }
 }

@@ -1,10 +1,11 @@
 //! # dns-resolver
 //!
-//! Recursive DNS resolution for the LDplayer reproduction: a TTL cache,
-//! a synchronous iterative resolver (used by the zone constructor's
-//! one-time cold-cache walks, paper §2.3), and an event-driven recursive
-//! resolver host for the network simulator (the "Recursive Server" of
-//! Figures 1 and 2).
+//! Recursive DNS resolution for the LDplayer reproduction: the
+//! [`ldp_cache`]-backed resolver cache (capacity-bounded, with in-flight
+//! query aggregation), a synchronous iterative resolver (used by the
+//! zone constructor's one-time cold-cache walks, paper §2.3), and an
+//! event-driven recursive resolver host for the network simulator (the
+//! "Recursive Server" of Figures 1 and 2).
 
 #![warn(missing_docs)]
 
@@ -12,6 +13,8 @@ pub mod cache;
 pub mod iterative;
 pub mod sim_resolver;
 
-pub use cache::{Cache, CachedAnswer};
+pub use cache::{Cache, CacheConfig, CachedAnswer, PolicyKind, PrefetchConfig};
 pub use iterative::{IterativeResolver, Resolution, ResolveError, Upstream};
-pub use sim_resolver::{ResolverStats, SimResolver};
+pub use sim_resolver::{
+    AnswerClass, AnswerEvent, ResolverSnapshot, ResolverStats, SimResolver,
+};

@@ -3,6 +3,15 @@
 //! retries, and answers the stub — the "Recursive Server" box in the
 //! paper's Figure 1/2.
 //!
+//! The miss path runs through [`ldp_cache`]: concurrent misses for the
+//! same (qname, qtype) coalesce onto one in-flight resolution via the
+//! [`OutstandingTable`] and the single upstream answer fans out to
+//! every waiter (*delayed hits*, with per-waiter latency accounting);
+//! the store is capacity-bounded with pluggable deterministic eviction
+//! ([`CacheConfig`]); negative TTLs derive from the authority-section
+//! SOA per RFC 2308; and hot names can be refreshed before expiry
+//! (rate-budgeted prefetch).
+//!
 //! Referrals must carry glue (our zone constructor always emits glue for
 //! in-zone nameservers); glue-less referrals answer SERVFAIL, a
 //! documented simplification of this host (the synchronous
@@ -11,14 +20,17 @@
 
 use std::collections::BTreeMap;
 use std::net::{IpAddr, SocketAddr};
+use std::sync::{Arc, Mutex};
 
 use dns_wire::{Message, Name, RData, Rcode, RecordType};
+use ldp_cache::{
+    negative_ttl, CacheConfig, CacheStats, CachedAnswer, FillInfo, OutstandingStats,
+    OutstandingTable, ResolverCache,
+};
 use ldp_telemetry as tel;
 use netsim::{Ctx, Host, PacketBytes, SimDuration, TcpEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-use crate::cache::{Cache, CachedAnswer};
 
 /// Interned per-attempt lifecycle marks for the resolver. The `a` key
 /// is the task id, so a whole resolution chain (stub → upstream
@@ -27,11 +39,14 @@ use crate::cache::{Cache, CachedAnswer};
 struct RsvKinds {
     stub: tel::KindId,
     cache_hit: tel::KindId,
+    delayed_hit: tel::KindId,
     upstream: tel::KindId,
     timeout: tel::KindId,
     failover: tel::KindId,
     servfail: tel::KindId,
     answer: tel::KindId,
+    evict: tel::KindId,
+    prefetch: tel::KindId,
 }
 
 fn rsv_kinds() -> &'static RsvKinds {
@@ -39,23 +54,37 @@ fn rsv_kinds() -> &'static RsvKinds {
     K.get_or_init(|| RsvKinds {
         stub: tel::register_kind("rsv.stub"),
         cache_hit: tel::register_kind("rsv.cache_hit"),
+        delayed_hit: tel::register_kind("rsv.delayed_hit"),
         upstream: tel::register_kind("rsv.upstream"),
         timeout: tel::register_kind("rsv.timeout"),
         failover: tel::register_kind("rsv.failover"),
         servfail: tel::register_kind("rsv.servfail"),
         answer: tel::register_kind("rsv.answer"),
+        evict: tel::register_kind("rsv.evict"),
+        prefetch: tel::register_kind("rsv.prefetch"),
     })
+}
+
+/// A client parked on an in-flight resolution: enough to answer it when
+/// the upstream walk completes (each waiter keeps its own query so the
+/// fan-out responds with the right DNS id and flags per client).
+#[derive(Debug, Clone)]
+struct Waiter {
+    stub: SocketAddr,
+    query: Message,
 }
 
 /// Per-resolution state machine.
 #[derive(Debug)]
 struct Task {
-    stub: SocketAddr,
-    stub_query: Message,
-    /// The stub's original question name (cache key).
-    orig_qname: Name,
+    /// The cache/aggregation key: the clients' original question.
+    key_name: Name,
     qname: Name,
     qtype: RecordType,
+    /// DO bit of the lead query, propagated upstream.
+    dnssec_ok: bool,
+    /// A prefetch refresh: launched with no waiting client.
+    prefetch: bool,
     servers: Vec<IpAddr>,
     server_idx: usize,
     answers: Vec<dns_wire::Record>,
@@ -77,15 +106,78 @@ pub struct ResolverStats {
     pub upstream_queries: u64,
     /// Cache hits.
     pub cache_hits: u64,
+    /// Delayed hits: queries that coalesced onto an in-flight
+    /// resolution instead of launching their own.
+    pub delayed_hits: u64,
+    /// Entries evicted by the cache capacity bound.
+    pub evictions: u64,
+    /// Prefetch refreshes launched before expiry.
+    pub prefetches: u64,
     /// Resolutions that failed (SERVFAIL to the stub).
     pub failures: u64,
+}
+
+/// How a stub query was ultimately answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerClass {
+    /// Served from the cache immediately.
+    Hit,
+    /// Lead miss: this query launched the upstream resolution.
+    Miss,
+    /// Coalesced onto an in-flight resolution and waited for its answer.
+    DelayedHit,
+    /// Resolution failed; the stub got SERVFAIL.
+    ServFail,
+}
+
+impl AnswerClass {
+    /// Transcript/legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnswerClass::Hit => "hit",
+            AnswerClass::Miss => "miss",
+            AnswerClass::DelayedHit => "delayed-hit",
+            AnswerClass::ServFail => "servfail",
+        }
+    }
+}
+
+/// One answered stub query, as recorded by the answer log.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerEvent {
+    /// Virtual time the answer was sent (ns).
+    pub at_ns: u64,
+    /// DNS id of the stub query answered.
+    pub qid: u16,
+    /// How it was served.
+    pub class: AnswerClass,
+    /// Time the client waited on an in-flight resolution (ns): the full
+    /// resolution for a [`AnswerClass::Miss`], the residual wait for a
+    /// [`AnswerClass::DelayedHit`], 0 for a hit.
+    pub waited_ns: u64,
+}
+
+/// A point-in-time copy of the resolver's counters, published through
+/// [`SimResolver::set_stats_out`] so experiment drivers can read them
+/// after the simulation consumed the host.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResolverSnapshot {
+    /// Host counters.
+    pub stats: ResolverStats,
+    /// Cache store counters.
+    pub cache: CacheStats,
+    /// In-flight aggregation counters.
+    pub outstanding: OutstandingStats,
+    /// Resident cache entries.
+    pub cache_len: usize,
 }
 
 /// The simulated recursive resolver host.
 pub struct SimResolver {
     addr: SocketAddr,
     root_hints: Vec<IpAddr>,
-    cache: Cache,
+    cache: ResolverCache,
+    outstanding: OutstandingTable<Waiter>,
     delegations: BTreeMap<Name, Vec<IpAddr>>,
     tasks: BTreeMap<u64, Task>,
     upstream_map: BTreeMap<u16, u64>,
@@ -112,15 +204,21 @@ pub struct SimResolver {
     rng: StdRng,
     /// Reusable encode buffer + compression interner for all sends.
     scratch: dns_wire::EncodeScratch,
+    answer_log: Option<Arc<Mutex<Vec<AnswerEvent>>>>,
+    stats_out: Option<Arc<Mutex<ResolverSnapshot>>>,
 }
 
 impl SimResolver {
-    /// New resolver at `addr` using `root_hints`.
+    /// New resolver at `addr` using `root_hints`. The cache starts in
+    /// the legacy shape (unbounded LRU, no prefetch); use
+    /// [`set_cache_config`](Self::set_cache_config) before traffic to
+    /// bound it.
     pub fn new(addr: SocketAddr, root_hints: Vec<IpAddr>) -> Self {
         SimResolver {
             addr,
             root_hints,
-            cache: Cache::new(),
+            cache: ResolverCache::unbounded(),
+            outstanding: OutstandingTable::new(),
             delegations: BTreeMap::new(),
             tasks: BTreeMap::new(),
             upstream_map: BTreeMap::new(),
@@ -133,6 +231,53 @@ impl SimResolver {
             stats: ResolverStats::default(),
             rng: StdRng::seed_from_u64(0x1d9_c0de),
             scratch: dns_wire::EncodeScratch::new(),
+            answer_log: None,
+            stats_out: None,
+        }
+    }
+
+    /// Replace the cache with a fresh one built from `config`. Call
+    /// before traffic: resident entries are dropped.
+    pub fn set_cache_config(&mut self, config: CacheConfig) {
+        self.cache = ResolverCache::new(config);
+    }
+
+    /// Record every answered stub query into `log` (class + wait time),
+    /// for experiment drivers that need per-query accounting after the
+    /// simulator consumed this host.
+    pub fn set_answer_log(&mut self, log: Arc<Mutex<Vec<AnswerEvent>>>) {
+        self.answer_log = Some(log);
+    }
+
+    /// Publish a [`ResolverSnapshot`] into `out` every time counters
+    /// change, so drivers can read final stats after the run.
+    pub fn set_stats_out(&mut self, out: Arc<Mutex<ResolverSnapshot>>) {
+        self.stats_out = Some(out);
+    }
+
+    fn publish_snapshot(&self) {
+        if let Some(out) = &self.stats_out {
+            if let Ok(mut s) = out.lock() {
+                *s = ResolverSnapshot {
+                    stats: self.stats,
+                    cache: self.cache.stats(),
+                    outstanding: self.outstanding.stats(),
+                    cache_len: self.cache.len(),
+                };
+            }
+        }
+    }
+
+    fn log_answer(&self, at_ns: u64, qid: u16, class: AnswerClass, waited_ns: u64) {
+        if let Some(log) = &self.answer_log {
+            if let Ok(mut v) = log.lock() {
+                v.push(AnswerEvent {
+                    at_ns,
+                    qid,
+                    class,
+                    waited_ns,
+                });
+            }
         }
     }
 
@@ -182,6 +327,38 @@ impl SimResolver {
         self.root_hints.clone()
     }
 
+    /// Create the per-resolution task for `key_name`/`qtype` and launch
+    /// its first upstream attempt. The caller has already registered
+    /// the key in the outstanding table.
+    fn start_task(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        task_id: u64,
+        key_name: Name,
+        qtype: RecordType,
+        dnssec_ok: bool,
+        prefetch: bool,
+    ) {
+        let servers = self.best_servers(&key_name);
+        let server_idx = self.start_idx(task_id, servers.len());
+        let task = Task {
+            qname: key_name.clone(),
+            key_name,
+            qtype,
+            dnssec_ok,
+            prefetch,
+            servers,
+            server_idx,
+            answers: vec![],
+            cname_hops: 0,
+            retries: 0,
+            outstanding: None,
+            cur_timeout: self.timeout,
+        };
+        self.tasks.insert(task_id, task);
+        self.send_upstream(ctx, task_id);
+    }
+
     fn handle_stub_query(&mut self, ctx: &mut Ctx<'_>, from: SocketAddr, query: Message) {
         self.stats.stub_queries += 1;
         if tel::enabled() {
@@ -195,13 +372,16 @@ impl SimResolver {
             ctx.send_udp(self.addr, from, resp.encode_into(&mut self.scratch));
             return;
         };
+        let now = ctx.now().as_secs_f64();
         // Cache hit answers immediately.
-        if let Some(hit) = self.cache.get(&q.name, q.qtype, ctx.now().as_secs_f64()) {
+        if let Some(hit) = self.cache.get(&q.name, q.qtype, now) {
             self.stats.cache_hits += 1;
             self.stats.stub_answers += 1;
             if tel::enabled() {
                 tel::mark_at(ctx.now().as_nanos(), rsv_kinds().cache_hit, self.next_task, 0);
             }
+            let qid = query.id;
+            let dnssec_ok = query.dnssec_ok();
             let mut resp = query.response_to();
             resp.flags.recursion_available = true;
             match hit {
@@ -213,28 +393,41 @@ impl SimResolver {
                 }
             }
             ctx.send_udp(self.addr, from, resp.encode_into(&mut self.scratch));
+            self.log_answer(ctx.now().as_nanos(), qid, AnswerClass::Hit, 0);
+            // Hot-name refresh: if this entry is inside its prefetch
+            // window and the budget allows, resolve it again in the
+            // background before it expires.
+            if self.cache.prefetch_due(&q.name, q.qtype, now)
+                && !self.outstanding.contains(&q.name, q.qtype)
+            {
+                let task_id = self.next_task;
+                self.next_task += 1;
+                self.stats.prefetches += 1;
+                if tel::enabled() {
+                    tel::mark_at(ctx.now().as_nanos(), rsv_kinds().prefetch, task_id, 0);
+                }
+                self.outstanding.begin_prefetch(&q.name, q.qtype, task_id, now);
+                self.start_task(ctx, task_id, q.name, q.qtype, dnssec_ok, true);
+            }
+            self.publish_snapshot();
             return;
         }
-        let task_id = self.next_task;
-        self.next_task += 1;
-        let servers = self.best_servers(&q.name);
-        let server_idx = self.start_idx(task_id, servers.len());
-        let task = Task {
-            stub: from,
-            stub_query: query,
-            orig_qname: q.name.clone(),
-            qname: q.name,
-            qtype: q.qtype,
-            servers,
-            server_idx,
-            answers: vec![],
-            cname_hops: 0,
-            retries: 0,
-            outstanding: None,
-            cur_timeout: self.timeout,
-        };
-        self.tasks.insert(task_id, task);
-        self.send_upstream(ctx, task_id);
+        // Miss: coalesce onto an in-flight resolution for the same key,
+        // or become the lead and launch one.
+        let waiter = Waiter { stub: from, query };
+        match self.outstanding.join(&q.name, q.qtype, waiter, now) {
+            Ok(_pos) => {
+                // Delayed hit: the answer fans out on completion.
+                self.stats.delayed_hits += 1;
+            }
+            Err(waiter) => {
+                let task_id = self.next_task;
+                self.next_task += 1;
+                let dnssec_ok = waiter.query.dnssec_ok();
+                self.outstanding.begin(&q.name, q.qtype, task_id, waiter, now);
+                self.start_task(ctx, task_id, q.name, q.qtype, dnssec_ok, false);
+            }
+        }
     }
 
     fn send_upstream(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
@@ -248,7 +441,7 @@ impl SimResolver {
         };
         let mut q = Message::query(id, task.qname.clone(), task.qtype);
         q.flags.recursion_desired = false;
-        if task.stub_query.dnssec_ok() {
+        if task.dnssec_ok {
             q.set_dnssec_ok(true);
         }
         task.outstanding = Some(id);
@@ -293,42 +486,101 @@ impl SimResolver {
         }
     }
 
+    /// The resolution failed: SERVFAIL everyone waiting on it.
     fn fail(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
-        if let Some(task) = self.tasks.remove(&task_id) {
-            if let Some(id) = task.outstanding {
-                self.upstream_map.remove(&id);
-            }
-            self.stats.failures += 1;
-            self.stats.stub_answers += 1;
-            if tel::enabled() {
-                tel::mark_at(ctx.now().as_nanos(), rsv_kinds().servfail, task_id, task.retries as u64);
-            }
-            let mut resp = task.stub_query.response_to();
+        let Some(task) = self.tasks.remove(&task_id) else {
+            return;
+        };
+        if let Some(id) = task.outstanding {
+            self.upstream_map.remove(&id);
+        }
+        self.stats.failures += 1;
+        if tel::enabled() {
+            tel::mark_at(ctx.now().as_nanos(), rsv_kinds().servfail, task_id, task.retries as u64);
+        }
+        let waiters = self
+            .outstanding
+            .complete(&task.key_name, task.qtype)
+            .map(|c| c.waiters)
+            .unwrap_or_default();
+        let now = ctx.now().as_secs_f64();
+        let now_ns = ctx.now().as_nanos();
+        for slot in waiters {
+            let mut resp = slot.waiter.query.response_to();
             resp.flags.recursion_available = true;
             resp.rcode = Rcode::ServFail;
-            ctx.send_udp(self.addr, task.stub, resp.encode_into(&mut self.scratch));
+            self.stats.stub_answers += 1;
+            let waited_ns = (((now - slot.arrived).max(0.0)) * 1e9) as u64;
+            self.log_answer(now_ns, slot.waiter.query.id, AnswerClass::ServFail, waited_ns);
+            ctx.send_udp(self.addr, slot.waiter.stub, resp.encode_into(&mut self.scratch));
         }
+        self.publish_snapshot();
     }
 
-    fn finish(&mut self, ctx: &mut Ctx<'_>, task_id: u64, rcode: Rcode) {
-        if let Some(task) = self.tasks.remove(&task_id) {
-            let now = ctx.now().as_secs_f64();
-            if rcode == Rcode::NoError && !task.answers.is_empty() {
-                self.cache
-                    .put_positive(&task.orig_qname, task.qtype, task.answers.clone(), now);
-            } else if rcode == Rcode::NxDomain || task.answers.is_empty() {
-                self.cache.put_negative(&task.orig_qname, task.qtype, rcode, 30, now);
-            }
-            self.stats.stub_answers += 1;
+    /// The resolution completed: fill the cache (positive, or negative
+    /// with the SOA-derived TTL) and fan the answer out to every
+    /// waiter. The lead miss is charged the full resolution latency;
+    /// coalesced waiters are *delayed hits*, each charged exactly the
+    /// residual wait from its own arrival.
+    fn finish(&mut self, ctx: &mut Ctx<'_>, task_id: u64, rcode: Rcode, neg_ttl: Option<u32>) {
+        let Some(task) = self.tasks.remove(&task_id) else {
+            return;
+        };
+        if let Some(id) = task.outstanding {
+            self.upstream_map.remove(&id);
+        }
+        let now = ctx.now().as_secs_f64();
+        let done = self.outstanding.complete(&task.key_name, task.qtype);
+        let (started, waiters) = match done {
+            Some(c) => (c.started, c.waiters),
+            None => (now, Vec::new()),
+        };
+        let fill = FillInfo {
+            latency: (now - started).max(0.0),
+            requests: (waiters.len() as u64).max(1),
+        };
+        let out = if rcode == Rcode::NoError && !task.answers.is_empty() {
+            self.cache
+                .put_positive(&task.key_name, task.qtype, task.answers.clone(), now, fill)
+        } else if rcode == Rcode::NxDomain || task.answers.is_empty() {
+            self.cache
+                .put_negative(&task.key_name, task.qtype, rcode, neg_ttl, now, fill)
+        } else {
+            Default::default()
+        };
+        if out.evicted > 0 {
+            self.stats.evictions += out.evicted as u64;
             if tel::enabled() {
-                tel::mark_at(ctx.now().as_nanos(), rsv_kinds().answer, task_id, u64::from(rcode.to_u16()));
+                tel::mark_at(ctx.now().as_nanos(), rsv_kinds().evict, task_id, out.evicted as u64);
             }
-            let mut resp = task.stub_query.response_to();
+        }
+        if tel::enabled() {
+            tel::mark_at(ctx.now().as_nanos(), rsv_kinds().answer, task_id, u64::from(rcode.to_u16()));
+        }
+        let now_ns = ctx.now().as_nanos();
+        for (i, slot) in waiters.into_iter().enumerate() {
+            let mut resp = slot.waiter.query.response_to();
             resp.flags.recursion_available = true;
             resp.rcode = rcode;
-            resp.answers = task.answers;
-            ctx.send_udp(self.addr, task.stub, resp.encode_into(&mut self.scratch));
+            resp.answers = task.answers.clone();
+            self.stats.stub_answers += 1;
+            let waited_ns = (((now - slot.arrived).max(0.0)) * 1e9) as u64;
+            // The lead of a client-launched task is the miss; everyone
+            // else (including anyone who joined a prefetch refresh)
+            // coalesced mid-flight and is a delayed hit.
+            let class = if i == 0 && !task.prefetch {
+                AnswerClass::Miss
+            } else {
+                AnswerClass::DelayedHit
+            };
+            // (delayed_hits was already counted at join time.)
+            if class == AnswerClass::DelayedHit && tel::enabled() {
+                tel::mark_at(now_ns, rsv_kinds().delayed_hit, task_id, waited_ns);
+            }
+            self.log_answer(now_ns, slot.waiter.query.id, class, waited_ns);
+            ctx.send_udp(self.addr, slot.waiter.stub, resp.encode_into(&mut self.scratch));
         }
+        self.publish_snapshot();
     }
 
     fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, resp: Message) {
@@ -344,11 +596,12 @@ impl SimResolver {
             }
         }
         self.upstream_map.remove(&resp.id);
-        let now = ctx.now().as_secs_f64();
 
         // Classify: answer / referral / negative.
         if resp.rcode == Rcode::NxDomain {
-            self.finish(ctx, task_id, Rcode::NxDomain);
+            // RFC 2308: negative TTL from the authority-section SOA.
+            let neg_ttl = negative_ttl(&resp.authorities);
+            self.finish(ctx, task_id, Rcode::NxDomain, neg_ttl);
             return;
         }
         if resp.rcode != Rcode::NoError {
@@ -387,7 +640,7 @@ impl SimResolver {
                     return;
                 }
             }
-            self.finish(ctx, task_id, Rcode::NoError);
+            self.finish(ctx, task_id, Rcode::NoError, None);
             return;
         }
         // Referral?
@@ -420,9 +673,9 @@ impl SimResolver {
                 return;
             }
         }
-        // NODATA.
-        let _ = now;
-        self.finish(ctx, task_id, Rcode::NoError);
+        // NODATA: also negatively cacheable per RFC 2308, SOA-derived.
+        let neg_ttl = negative_ttl(&resp.authorities);
+        self.finish(ctx, task_id, Rcode::NoError, neg_ttl);
     }
 }
 
@@ -465,17 +718,23 @@ impl Host for SimResolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Arc, Mutex};
 
     use dns_server::engine::ServerEngine;
     use dns_server::sim_server::SimDnsServer;
     use dns_wire::record::Record;
+    use dns_wire::Soa;
     use dns_zone::catalog::Catalog;
     use dns_zone::zone::Zone;
-    use netsim::{SimConfig, Simulator, Topology};
+    use ldp_cache::{PolicyKind, PrefetchConfig};
+    use netsim::{SimConfig, SimTime, Simulator, Topology};
 
-    /// A stub that records every response it receives.
+    /// A stub that records every response it receives and can send
+    /// pre-scheduled queries when its timers fire (token = index into
+    /// `sends`).
     struct CaptureStub {
+        addr: SocketAddr,
+        resolver: SocketAddr,
+        sends: Vec<Message>,
         got: Arc<Mutex<Vec<Message>>>,
     }
 
@@ -492,19 +751,46 @@ mod tests {
             }
         }
         fn on_tcp_event(&mut self, _ctx: &mut Ctx<'_>, _event: TcpEvent) {}
-        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if let Some(q) = self.sends.get(token as usize) {
+                ctx.send_udp(self.addr, self.resolver, q.encode());
+            }
+        }
     }
 
     fn name(s: &str) -> Name {
         s.parse().unwrap()
     }
 
+    fn soa_rec(zone: &str, minimum: u32) -> Record {
+        Record::new(
+            name(zone),
+            3600,
+            RData::Soa(Soa {
+                mname: name("ns.example."),
+                rname: name("host.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum,
+            }),
+        )
+    }
+
     fn good_engine() -> Arc<ServerEngine> {
         let mut zone = Zone::new(name("example."));
+        zone.insert(soa_rec("example.", 300)).unwrap();
         zone.insert(Record::new(
             name("www.example."),
             3600,
             RData::A("192.0.2.1".parse().unwrap()),
+        ))
+        .unwrap();
+        zone.insert(Record::new(
+            name("w2.example."),
+            3600,
+            RData::A("192.0.2.2".parse().unwrap()),
         ))
         .unwrap();
         let mut catalog = Catalog::new();
@@ -521,15 +807,23 @@ mod tests {
     struct Rig {
         sim: Simulator,
         got: Arc<Mutex<Vec<Message>>>,
+        answers: Arc<Mutex<Vec<AnswerEvent>>>,
+        snapshot: Arc<Mutex<ResolverSnapshot>>,
         stub_addr: SocketAddr,
         resolver_addr: SocketAddr,
         server_ids: Vec<netsim::HostId>,
     }
 
-    /// Build a sim with a stub, a resolver hinted at `upstreams`
-    /// in order, and one server host per `Some(engine)` entry
-    /// (a `None` upstream is a dead address — queries to it vanish).
-    fn rig(upstreams: &[Option<Arc<ServerEngine>>], tune: impl FnOnce(&mut SimResolver)) -> Rig {
+    /// Build a sim with a stub (optionally pre-loaded with queries to
+    /// send at scheduled virtual times), a resolver hinted at
+    /// `upstreams` in order, and one server host per `Some(engine)`
+    /// entry (a `None` upstream is a dead address — queries to it
+    /// vanish).
+    fn scheduled_rig(
+        upstreams: &[Option<Arc<ServerEngine>>],
+        sends: Vec<(SimTime, Message)>,
+        tune: impl FnOnce(&mut SimResolver),
+    ) -> Rig {
         let mut sim = Simulator::new(Topology::default(), SimConfig::default());
         let mut hints = Vec::new();
         let mut server_ids = Vec::new();
@@ -544,13 +838,37 @@ mod tests {
         }
         let resolver_addr: SocketAddr = "10.1.0.1:53".parse().unwrap();
         let mut resolver = SimResolver::new(resolver_addr, hints);
+        let answers = Arc::new(Mutex::new(Vec::new()));
+        let snapshot = Arc::new(Mutex::new(ResolverSnapshot::default()));
+        resolver.set_answer_log(Arc::clone(&answers));
+        resolver.set_stats_out(Arc::clone(&snapshot));
         tune(&mut resolver);
         sim.add_host(&[resolver_addr.ip()], Box::new(resolver));
         let got = Arc::new(Mutex::new(Vec::new()));
         let stub_addr: SocketAddr = "10.2.0.1:5353".parse().unwrap();
-        let stub = CaptureStub { got: Arc::clone(&got) };
-        sim.add_host(&[stub_addr.ip()], Box::new(stub));
-        Rig { sim, got, stub_addr, resolver_addr, server_ids }
+        let stub = CaptureStub {
+            addr: stub_addr,
+            resolver: resolver_addr,
+            sends: sends.iter().map(|(_, m)| m.clone()).collect(),
+            got: Arc::clone(&got),
+        };
+        let stub_id = sim.add_host(&[stub_addr.ip()], Box::new(stub));
+        for (i, (at, _)) in sends.iter().enumerate() {
+            sim.schedule_timer(stub_id, *at, i as u64);
+        }
+        Rig {
+            sim,
+            got,
+            answers,
+            snapshot,
+            stub_addr,
+            resolver_addr,
+            server_ids,
+        }
+    }
+
+    fn rig(upstreams: &[Option<Arc<ServerEngine>>], tune: impl FnOnce(&mut SimResolver)) -> Rig {
+        scheduled_rig(upstreams, Vec::new(), tune)
     }
 
     fn ask(rig: &mut Rig, id: u16, qname: &str) {
@@ -642,5 +960,122 @@ mod tests {
         let base = r.timeout;
         assert_eq!(r.next_timeout(base), base);
         assert_eq!(r.next_timeout(SimDuration::from_secs(30)), base);
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_to_one_upstream_query() {
+        // Three stubs queries for the same cold name arrive before the
+        // upstream answer: exactly one upstream query, three answers,
+        // classes Miss + DelayedHit + DelayedHit.
+        let mut rig = rig(&[Some(good_engine())], |_| {});
+        ask(&mut rig, 10, "www.example.");
+        ask(&mut rig, 11, "www.example.");
+        ask(&mut rig, 12, "www.example.");
+        rig.sim.run();
+        let got = rig.got.lock().expect("capture lock");
+        assert_eq!(got.len(), 3, "every stub query answered");
+        for m in got.iter() {
+            assert_eq!(m.rcode, Rcode::NoError);
+            assert!(!m.answers.is_empty());
+        }
+        assert_eq!(
+            rig.sim.stats(rig.server_ids[0]).udp_rx,
+            1,
+            "dedup invariant: one upstream query for N concurrent misses"
+        );
+        let log = rig.answers.lock().expect("answer log");
+        let classes: Vec<AnswerClass> = log.iter().map(|e| e.class).collect();
+        assert_eq!(
+            classes,
+            vec![AnswerClass::Miss, AnswerClass::DelayedHit, AnswerClass::DelayedHit]
+        );
+        // The lead waited longest; joiners arrived later so waited less
+        // (or equally, with zero-latency links).
+        assert!(log[1].waited_ns <= log[0].waited_ns);
+        assert!(log[2].waited_ns <= log[1].waited_ns);
+        let snap = rig.snapshot.lock().expect("snapshot");
+        assert_eq!(snap.stats.delayed_hits, 2);
+        assert_eq!(snap.outstanding.leads, 1);
+        assert_eq!(snap.outstanding.coalesced, 2);
+    }
+
+    #[test]
+    fn negative_ttl_derived_from_soa_not_hardcoded() {
+        // The zone SOA has MINIMUM=300. An NXDOMAIN must be cached for
+        // 300s — a re-ask at t=60s (past the old hardcoded 30s) must be
+        // served from cache, not re-resolved.
+        let sends = vec![
+            (SimTime::from_secs_f64(0.0), Message::query(20, name("missing.example."), RecordType::A)),
+            (SimTime::from_secs_f64(60.0), Message::query(21, name("missing.example."), RecordType::A)),
+            (SimTime::from_secs_f64(400.0), Message::query(22, name("missing.example."), RecordType::A)),
+        ];
+        let mut rig = scheduled_rig(&[Some(good_engine())], sends, |_| {});
+        rig.sim.run();
+        let got = rig.got.lock().expect("capture lock");
+        assert_eq!(got.len(), 3);
+        for m in got.iter() {
+            assert_eq!(m.rcode, Rcode::NxDomain);
+        }
+        assert_eq!(
+            rig.sim.stats(rig.server_ids[0]).udp_rx,
+            2,
+            "t=60 from negative cache (SOA ttl 300); t=400 re-resolved"
+        );
+        let log = rig.answers.lock().expect("answer log");
+        let classes: Vec<AnswerClass> = log.iter().map(|e| e.class).collect();
+        assert_eq!(
+            classes,
+            vec![AnswerClass::Miss, AnswerClass::Hit, AnswerClass::Miss]
+        );
+    }
+
+    #[test]
+    fn prefetch_refreshes_hot_name_before_expiry() {
+        // www.example has TTL 3600; with a 0.5 trigger fraction a hit
+        // at t=2000 (remaining 1600 < 1800) must launch a background
+        // refresh: 2 upstream queries total, yet both client answers
+        // are {Miss, Hit} — the refresh is invisible to clients.
+        let sends = vec![
+            (SimTime::from_secs_f64(0.0), Message::query(30, name("www.example."), RecordType::A)),
+            (SimTime::from_secs_f64(2000.0), Message::query(31, name("www.example."), RecordType::A)),
+        ];
+        let mut rig = scheduled_rig(&[Some(good_engine())], sends, |r| {
+            r.set_cache_config(CacheConfig {
+                prefetch: Some(PrefetchConfig {
+                    trigger_fraction: 0.5,
+                    rate_per_sec: 1.0,
+                    burst: 2.0,
+                }),
+                ..CacheConfig::default()
+            });
+        });
+        rig.sim.run();
+        let got = rig.got.lock().expect("capture lock");
+        assert_eq!(got.len(), 2, "clients see only their two answers");
+        assert_eq!(rig.sim.stats(rig.server_ids[0]).udp_rx, 2, "miss + prefetch");
+        let snap = rig.snapshot.lock().expect("snapshot");
+        assert_eq!(snap.stats.prefetches, 1);
+        let log = rig.answers.lock().expect("answer log");
+        let classes: Vec<AnswerClass> = log.iter().map(|e| e.class).collect();
+        assert_eq!(classes, vec![AnswerClass::Miss, AnswerClass::Hit]);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_deterministically() {
+        // Capacity 1 LRU: www evicted by w2, so the re-ask of www goes
+        // upstream again.
+        let sends = vec![
+            (SimTime::from_secs_f64(0.0), Message::query(40, name("www.example."), RecordType::A)),
+            (SimTime::from_secs_f64(1.0), Message::query(41, name("w2.example."), RecordType::A)),
+            (SimTime::from_secs_f64(2.0), Message::query(42, name("www.example."), RecordType::A)),
+        ];
+        let mut rig = scheduled_rig(&[Some(good_engine())], sends, |r| {
+            r.set_cache_config(CacheConfig::bounded(1, PolicyKind::Lru));
+        });
+        rig.sim.run();
+        assert_eq!(rig.sim.stats(rig.server_ids[0]).udp_rx, 3, "all three miss");
+        let snap = rig.snapshot.lock().expect("snapshot");
+        assert_eq!(snap.stats.evictions, 2);
+        assert_eq!(snap.cache_len, 1);
     }
 }

@@ -83,9 +83,9 @@ pub const CATALOG: &[RuleInfo] = &[
         id: "D2",
         severity: "error",
         summary: "no order-dependent iteration over HashMap/HashSet in simulator paths \
-                  (crates/netsim/src, crates/chaos/src, sim_*.rs) — resolved through \
-                  type aliases and struct fields across files; any hash-collection \
-                  mention there is a warning",
+                  (crates/netsim/src, crates/chaos/src, crates/cache/src, sim_*.rs) — \
+                  resolved through type aliases and struct fields across files; any \
+                  hash-collection mention there is a warning",
         rationale: "Hash iteration order is randomized per process; if it reaches event \
                     order, the same seed yields different transcripts. BTreeMap/BTreeSet \
                     give deterministic order. The cross-file layer resolves aliases, use \
@@ -211,11 +211,14 @@ pub struct FileScope {
     pub real_clock_ok: bool,
     /// Simulator-path file (D2 applies): `crates/netsim/src/**`,
     /// `crates/chaos/src/**` (fault injection runs inside the
-    /// simulator's delivery path), `crates/shard/src/**` (the sharded
-    /// coordinator is simulator infrastructure), `sim_*.rs` anywhere.
+    /// simulator's delivery path), `crates/cache/src/**` (the resolver
+    /// cache's iteration order decides evictions and fan-out order),
+    /// `crates/shard/src/**` (the sharded coordinator is simulator
+    /// infrastructure), `sim_*.rs` anywhere.
     pub sim_path: bool,
     /// Panic-safety hot path (P1 applies): `crates/dns-wire/src/**`,
-    /// `crates/proxy/src/**`, `crates/dns-server/src/engine.rs`,
+    /// `crates/proxy/src/**`, `crates/cache/src/**` (every resolver
+    /// query crosses the cache), `crates/dns-server/src/engine.rs`,
     /// `crates/dns-server/src/template.rs`, `crates/shard/src/**` (a
     /// worker-thread panic aborts the whole windowed drive).
     pub hot_path: bool,
@@ -253,10 +256,12 @@ pub fn classify(path: &str) -> FileScope {
     let shard_path = p.contains("crates/shard/src/");
     let sim_path = p.contains("crates/netsim/src/")
         || p.contains("crates/chaos/src/")
+        || p.contains("crates/cache/src/")
         || shard_path
         || file.starts_with("sim_");
     let hot_path = p.contains("crates/dns-wire/src/")
         || p.contains("crates/proxy/src/")
+        || p.contains("crates/cache/src/")
         || shard_path
         || p.ends_with("crates/dns-server/src/engine.rs")
         || p == "crates/dns-server/src/engine.rs"
@@ -1671,6 +1676,22 @@ mod tests {
         assert!(errors("crates/shard/src/sim.rs", hash).iter().any(|d| d.rule == "D2"));
         let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
         assert!(errors("crates/shard/src/plan.rs", panicky).iter().any(|d| d.rule == "P1"));
+    }
+
+    #[test]
+    fn cache_crate_is_sim_and_hot_path_scope() {
+        // The resolver cache decides eviction and fan-out order, so D2
+        // (hash iteration) and P1 (panic discipline) both cover it.
+        let hash = r#"
+            use std::collections::HashMap;
+            pub struct C { pub entries: HashMap<u64, u32> }
+            impl C { pub fn f(&self) { for x in self.entries.values() { let _ = x; } } }
+        "#;
+        assert!(errors("crates/cache/src/store.rs", hash).iter().any(|d| d.rule == "D2"));
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(errors("crates/cache/src/policy.rs", panicky).iter().any(|d| d.rule == "P1"));
+        let scope = classify("crates/cache/src/outstanding.rs");
+        assert!(scope.sim_path && scope.hot_path && !scope.exempt);
     }
 
     // ---- rule catalog ----

@@ -6,6 +6,7 @@
 pub use dns_resolver as resolver;
 pub use dns_server as server;
 pub use dns_wire as wire;
+pub use ldp_cache as cache;
 pub use ldp_chaos as chaos;
 pub use dns_zone as zone;
 pub use ldp_core as core;

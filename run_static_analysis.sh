@@ -60,6 +60,9 @@ if cargo_works; then
 
     note "fig_trace telemetry smoke run (stage breakdown + determinism gates)"
     cargo run --release -q -p ldp-bench --bin fig_trace -- --smoke || fail=1
+
+    note "fig_cache delayed-hits smoke run (determinism + dedup + eviction gates)"
+    cargo run --release -q -p ldp-bench --bin fig_cache -- --smoke || fail=1
 else
     note "cargo cannot resolve dependencies here; running the offline rustc chain"
     bin=${TMPDIR:-/tmp}/ldp-lint-gate
@@ -98,6 +101,7 @@ else
     SERVER="--extern dns_server=$od/libdns_server.rlib"
     REPLAY="--extern ldp_replay=$od/libldp_replay.rlib"
     RESOLVER="--extern dns_resolver=$od/libdns_resolver.rlib"
+    CACHE="--extern ldp_cache=$od/libldp_cache.rlib"
     PROXY="--extern ldp_proxy=$od/libldp_proxy.rlib"
     METRICS="--extern ldp_metrics=$od/libldp_metrics.rlib"
     TELEM="--extern ldp_telemetry=$od/libldp_telemetry.rlib"
@@ -117,6 +121,7 @@ else
 
     note "offline: workspace rlibs (dns-wire, trace, metrics, telemetry, netsim, dns-zone, guard, dns-server, replay)"
     rc --crate-type lib --crate-name dns_wire $BYTES crates/dns-wire/src/lib.rs || fail=1
+    rc --crate-type lib --crate-name ldp_cache $WIRE crates/cache/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_trace $WIRE $RAND crates/trace/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_metrics crates/metrics/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_telemetry $METRICS crates/telemetry/src/lib.rs || fail=1
@@ -133,7 +138,7 @@ else
     note "offline: workspace rlibs (workloads, resolver, proxy, zone-construct, core, chaos)"
     rc --crate-type lib --crate-name workloads $WIRE $TRACE $RAND \
         crates/workloads/src/lib.rs || fail=1
-    rc --crate-type lib --crate-name dns_resolver $WIRE $ZONE $NETSIM $RAND $TELEM \
+    rc --crate-type lib --crate-name dns_resolver $WIRE $ZONE $NETSIM $RAND $TELEM $CACHE \
         crates/dns-resolver/src/lib.rs || fail=1
     rc --crate-type lib --crate-name ldp_proxy $WIRE $NETSIM \
         offline/proxy_offline.rs || fail=1
@@ -144,12 +149,16 @@ else
         $TELEM $GUARD \
         offline/core_offline.rs || fail=1
     rc --crate-type lib --crate-name ldp_chaos $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
-        $TRACE $REPLAY $TELEM $GUARD $SHARD \
+        $TRACE $REPLAY $TELEM $GUARD $SHARD $CACHE $WORKLOADS \
         crates/chaos/src/lib.rs || fail=1
 
     note "offline: dns-wire unit tests"
     rc --test --crate-name dns_wire_t $BYTES crates/dns-wire/src/lib.rs &&
         "$od/dns_wire_t" -q || fail=1
+
+    note "offline: ldp-cache unit tests (store, policies, outstanding, negative)"
+    rc --test --crate-name cache_t $WIRE crates/cache/src/lib.rs &&
+        "$od/cache_t" -q || fail=1
 
     note "offline: guard unit tests (budget, checkpoint, admission, supervisor)"
     rc --test --crate-name guard_t crates/guard/src/lib.rs &&
@@ -194,7 +203,7 @@ else
         "$od/replay_t" -q --test-threads=1 || fail=1
 
     note "offline: resolver, proxy, emulation suites"
-    rc --test --crate-name resolver_t $WIRE $ZONE $NETSIM $RAND $SERVER $TELEM \
+    rc --test --crate-name resolver_t $WIRE $ZONE $NETSIM $RAND $SERVER $TELEM $CACHE \
         crates/dns-resolver/src/lib.rs &&
         "$od/resolver_t" -q || fail=1
     rc --test --crate-name proxy_t $WIRE $NETSIM $ZONE $SERVER $RESOLVER \
@@ -210,13 +219,16 @@ else
     # (prop_plan.rs is cargo-only: proptest is unavailable offline; the
     # deterministic round-trip unit tests in plan.rs run here instead.)
     rc --test --crate-name chaos_t $WIRE $ZONE $SERVER $RESOLVER $NETSIM $RAND \
-        $TRACE $REPLAY $TELEM $GUARD $SHARD \
+        $TRACE $REPLAY $TELEM $GUARD $SHARD $CACHE $WORKLOADS \
         crates/chaos/src/lib.rs &&
         "$od/chaos_t" -q || fail=1
     rc --test --crate-name chaos_det_t $CHAOS $NETSIM crates/chaos/tests/determinism_faults.rs &&
         "$od/chaos_det_t" -q || fail=1
     rc --test --crate-name chaos_outage_t $CHAOS $NETSIM crates/chaos/tests/outage.rs &&
         "$od/chaos_outage_t" -q || fail=1
+    rc --test --crate-name chaos_delayed_t $CHAOS $NETSIM $RESOLVER \
+        crates/chaos/tests/delayed_hits.rs &&
+        "$od/chaos_delayed_t" -q || fail=1
     rc --test --crate-name chaos_telem_t $CHAOS $NETSIM $TELEM \
         crates/chaos/tests/telemetry_determinism.rs &&
         "$od/chaos_telem_t" -q || fail=1
@@ -227,7 +239,7 @@ else
 
     note "offline: facade + sim-path integration suite (full_pipeline)"
     rc --crate-type lib --crate-name ldplayer \
-        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS $TELEM $GUARD \
+        $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS $TELEM $GUARD $CACHE \
         offline/ldplayer_offline.rs || fail=1
     rc --test --crate-name full_pipeline_t $LDP tests/full_pipeline.rs &&
         "$od/full_pipeline_t" -q || fail=1
@@ -235,7 +247,7 @@ else
     rc --crate-name hierarchy_emulation_ex $LDP examples/hierarchy_emulation.rs || fail=1
 
     note "offline: hotpath microbench (includes telemetry + guard overhead gates)"
-    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM $GUARD $SERVER $ZONE $SHARD \
+    rc --crate-name hotpath $WIRE $TRACE $NETSIM $REPLAY $TELEM $GUARD $SERVER $ZONE $SHARD $CACHE \
         crates/bench/src/bin/hotpath.rs || fail=1
     rm -f BENCH_hotpath.json
     "$od/hotpath" BENCH_hotpath.json || fail=1
@@ -245,6 +257,11 @@ else
     rc --crate-name fig_outage $BENCH $CHAOS $NETSIM $METRICS \
         crates/bench/src/bin/fig_outage.rs &&
         "$od/fig_outage" --smoke || fail=1
+
+    note "offline: fig_cache delayed-hits smoke run (determinism + dedup + eviction gates)"
+    rc --crate-name fig_cache $BENCH $CHAOS $NETSIM $RESOLVER $TELEM $METRICS \
+        crates/bench/src/bin/fig_cache.rs &&
+        "$od/fig_cache" --smoke || fail=1
 
     note "offline: fig_trace telemetry smoke run (stage breakdown + determinism gates)"
     rc --crate-name fig_trace \
@@ -283,6 +300,21 @@ if [ -f BENCH_hotpath.json ]; then
         fail=1
     else
         note "server template bench: ${tpl} answers/s"
+    fi
+    # Resolver-cache gate: the three answer-path rates must be present,
+    # and the warm-hit path must not be slower than the full miss path
+    # (lookup + lead registration + insert + eviction).
+    chit=$(bench_num cache_hit_per_sec)
+    cdel=$(bench_num cache_delayed_hit_per_sec)
+    cmiss=$(bench_num cache_miss_per_sec)
+    if [ -z "$chit" ] || [ -z "$cdel" ] || [ -z "$cmiss" ]; then
+        note "FAILED: resolver.cache_{hit,delayed_hit,miss}_per_sec missing from BENCH_hotpath.json"
+        fail=1
+    elif [ "$chit" -lt "$cmiss" ]; then
+        note "FAILED: resolver.cache_hit_per_sec ($chit) < cache_miss_per_sec ($cmiss)"
+        fail=1
+    else
+        note "resolver cache bench: hit ${chit}, delayed-hit ${cdel}, miss ${cmiss} ops/s"
     fi
     # Sharded-simulator gate: all three shard-count rates must be
     # present (the hotpath binary itself asserts the sharded event

@@ -15,6 +15,10 @@
 //!   views, DNSSEC size simulation.
 //! - [`server`] — the authoritative server engine (meta-DNS-server).
 //! - [`resolver`] — a recursive resolver with cache.
+//! - [`cache`] — the resolver cache subsystem: capacity-bounded store
+//!   with pluggable deterministic eviction (LRU / LFU-lite /
+//!   delay-aware), in-flight query aggregation (delayed hits), RFC 2308
+//!   negative caching and rate-budgeted prefetch.
 //! - [`netsim`] — the deterministic network simulator (UDP/TCP/TLS
 //!   cost models) used by the resource and latency experiments.
 //! - [`trace`] — pcap/text/binary trace formats, converters and the
@@ -50,6 +54,7 @@
 
 pub use dns_resolver as resolver;
 pub use dns_server as server;
+pub use ldp_cache as cache;
 pub use ldp_chaos as chaos;
 pub use dns_wire as wire;
 pub use dns_zone as zone;
