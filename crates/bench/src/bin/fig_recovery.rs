@@ -14,15 +14,25 @@
 //!    span. Gate: ≥ 99 % of the trace still answered, and at least one
 //!    query demonstrably re-dispatched after the restart (so the fault
 //!    is live, not a no-op).
+//! 3. **Crash storm** (`--storm`). A sustained loss-plus-delay storm
+//!    makes the client permanently non-quiescent, so v1's quiescent
+//!    checkpointing commits *nothing* from the storm's onset to the
+//!    kill (the `v1-starvation` row) while the v2 fuzzy-cut cadence
+//!    keeps committing with live in-flight state. Gates: zero v1
+//!    commits in the storm window but at least one calm-prefix commit;
+//!    v2 commits in the window with `inflight > 0`; resume from the
+//!    mid-storm fuzzy cut is transcript- AND telemetry-byte-identical
+//!    to the uninterrupted storm baseline, on both backends.
 //!
 //! Exits nonzero if any gate fails.
 //!
-//! `cargo run --release -p ldp-bench --bin fig_recovery [-- --seed 11 --smoke]`
+//! `cargo run --release -p ldp-bench --bin fig_recovery [-- --seed 11 --smoke --storm]`
 
 use ldp_bench::{arg_f64, arg_flag};
 use ldp_chaos::recovery::{
-    run_killed, run_querier_crash, run_resumed, run_uninterrupted, spliced_q_events,
-    RecoveryConfig,
+    run_killed, run_querier_crash, run_resumed, run_storm_baseline, run_storm_killed,
+    run_storm_killed_v1, run_storm_resumed, run_uninterrupted, spliced_q_events,
+    spliced_q_events_fuzzy, RecoveryConfig, StormConfig,
 };
 use ldp_guard::Checkpoint;
 use ldp_telemetry as tel;
@@ -46,9 +56,18 @@ fn body(transcript: &str) -> String {
     transcript.lines().skip(2).collect::<Vec<_>>().join("\n")
 }
 
+fn storm_cfg_for(seed: u64, queue: QueueKind, smoke: bool) -> StormConfig {
+    if smoke {
+        StormConfig::smoke(seed, queue)
+    } else {
+        StormConfig::standard(seed, queue)
+    }
+}
+
 fn main() {
     let seed = arg_f64("--seed", 11.0) as u64;
     let smoke = arg_flag("--smoke");
+    let storm = arg_flag("--storm");
     let mut failed = false;
 
     let shape = cfg_for(seed, QueueKind::Heap, smoke);
@@ -148,9 +167,112 @@ fn main() {
     );
     failed |= !frac_ok || !live_ok;
 
+    if storm {
+        let shape = storm_cfg_for(seed, QueueKind::Heap, smoke);
+        let (from, to) = shape.storm_window();
+        println!(
+            "\ncrash storm: {:.0}% loss + {} ms (+{} ms jitter) delay from {:.2}s to {:.2}s,",
+            shape.loss_rate * 100.0,
+            shape.extra_delay.as_nanos() / 1_000_000,
+            shape.delay_jitter.as_nanos() / 1_000_000,
+            shape.storm_from.as_secs_f64(),
+            shape.storm_until.as_secs_f64(),
+        );
+        println!(
+            "kill at {:.2}s (mid-storm), v2 cadence {} ms, retransmit budget {} at {} ms base",
+            shape.base.kill_at.as_secs_f64(),
+            shape.cadence.as_nanos() / 1_000_000,
+            shape.retransmit.max_retx,
+            shape.retransmit.base_us / 1_000,
+        );
+
+        // The starvation row: v1 quiescent checkpointing under the
+        // same storm and kill commits nothing once the storm starts.
+        let v1 = run_storm_killed_v1(&shape);
+        let v1_calm = v1.stamps.iter().filter(|s| s.taken_ns < from).count();
+        let v1_storm = v1.stamps_in(from, to).len();
+        let starve_ok = v1_calm > 0 && v1_storm == 0;
+        println!(
+            "v1-starvation: {v1_calm} calm-prefix commits, {v1_storm} commits in the storm window {}",
+            if starve_ok { "(starved, as designed)" } else { "FAIL" },
+        );
+        failed |= !starve_ok;
+
+        // The v2 legs: commit-through-storm plus kill/resume
+        // byte-identity, per backend.
+        for queue in [QueueKind::Heap, QueueKind::BTree] {
+            let cfg = storm_cfg_for(seed, queue, smoke);
+            let base = run_storm_baseline(&cfg);
+            let answered_ok = base.outcome.records.len() == cfg.base.queries;
+            let killed = run_storm_killed(&cfg);
+            let in_storm = killed.stamps_in(from, to);
+            let commit_ok =
+                !in_storm.is_empty() && in_storm.iter().any(|s| s.inflight > 0);
+            let Some(cp) = killed.outcome.checkpoint.clone() else {
+                println!("gate: {queue:?} storm resume — FAIL (no fuzzy cut committed)");
+                failed = true;
+                continue;
+            };
+            let cp = match cp
+                .to_text()
+                .map_err(|e| e.to_string())
+                .and_then(|t| Checkpoint::from_text(&t).map_err(|e| e.to_string()))
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("gate: {queue:?} storm resume — FAIL (v2 round-trip: {e})");
+                    failed = true;
+                    continue;
+                }
+            };
+            let resumed = run_storm_resumed(&cfg, &cp);
+            let transcript_ok =
+                body(&resumed.outcome.transcript) == body(&base.outcome.transcript);
+            let spliced = spliced_q_events_fuzzy(&killed.outcome, &resumed.outcome);
+            let mut base_events = base.outcome.q_events.clone();
+            tel::canonical_order(&mut base_events);
+            let tel_diff = tel::diff_logs(&spliced, &base_events);
+            let dump_ok = tel::dump_binary(&spliced) == tel::dump_binary(&base_events);
+            println!(
+                "gate: {:?} storm — {} v2 commits in window ({} with live state) {}, baseline answered {}/{} {}",
+                queue,
+                in_storm.len(),
+                in_storm.iter().filter(|s| s.inflight > 0).count(),
+                if commit_ok { "ok" } else { "FAIL" },
+                base.outcome.records.len(),
+                cfg.base.queries,
+                if answered_ok { "ok" } else { "FAIL" },
+            );
+            println!(
+                "gate: {:?} storm resume from epoch {} ({} records, {} inflight at the cut) — transcript {}, telemetry {} ({} events)",
+                queue,
+                cp.epoch,
+                cp.records.len(),
+                cp.inflight.len(),
+                if transcript_ok { "byte-identical" } else { "MISMATCH" },
+                if tel_diff.is_none() && dump_ok { "byte-identical" } else { "MISMATCH" },
+                base_events.len(),
+            );
+            if let Some(ref d) = tel_diff {
+                println!("  telemetry divergence: {d}");
+            }
+            failed |= !answered_ok
+                || !commit_ok
+                || cp.inflight.is_empty()
+                || !transcript_ok
+                || tel_diff.is_some()
+                || !dump_ok;
+        }
+    }
+
     println!("\ntakeaway: quiescent-cut checkpoints make a killed replay resumable with a");
     println!("byte-identical virtual-time transcript, and on_restart re-dispatch bounds a");
     println!("querier power-cycle to the queries whose deadlines fell inside the outage.");
+    if storm {
+        println!("under a sustained storm only the v2 fuzzy cut keeps committing: it carries");
+        println!("per-query in-flight state, so resume re-executes the live queries and still");
+        println!("reproduces the uninterrupted run byte-for-byte.");
+    }
 
     if failed {
         std::process::exit(1);

@@ -357,6 +357,66 @@ fn resolver_cache_throughput(iters: u64) -> (f64, f64, f64) {
     (hit_ps, delayed_ps, miss_ps)
 }
 
+/// v2 fuzzy-cut checkpoint document round-trips (`to_text` +
+/// `from_text`) per second on a representative mid-storm cut: 2 000
+/// committed records and 256 `inflight` lines (mixed statuses, half
+/// with budget snapshots). The cadence commits one of these per tick
+/// on the replay host's thread, so serialization cost bounds how fine
+/// a cadence a storm run can afford.
+fn fuzzy_checkpoint_throughput() -> f64 {
+    use ldp_guard::{BudgetSnapshot, Checkpoint, InflightEntry, InflightStatus};
+    let records: Vec<String> = (0..2_000u64)
+        .map(|i| {
+            let sent = i as f64 * 0.05;
+            format!("{i} {:?} {:?} Udp 10.1.0.{} 120", sent, sent + 0.04, 1 + i % 4)
+        })
+        .collect();
+    let inflight: Vec<InflightEntry> = (0..256u64)
+        .map(|i| InflightEntry {
+            seq: 2_000 + i,
+            deadline_ns: 100_000_000_000 + i * 50_000_000,
+            sends: 1 + (i % 3) as u32,
+            retx: (i % 3) as u32,
+            status: match i % 3 {
+                0 => InflightStatus::InFlight,
+                1 => InflightStatus::Parked,
+                _ => InflightStatus::Retrying,
+            },
+            budget: (i % 2 == 0).then(|| BudgetSnapshot {
+                used: (i % 8) as u32,
+                prev_us: 200_000 + i,
+                rng_state: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }),
+        })
+        .collect();
+    let cp = Checkpoint {
+        version: 2,
+        epoch: 13,
+        taken_ns: 3_250_000_000,
+        cursor: 1_987,
+        counters: vec![
+            ("sent".into(), 2_117),
+            ("connects".into(), 12),
+            ("retries".into(), 117),
+            ("shed".into(), 0),
+            ("restarts".into(), 1),
+        ],
+        records,
+        inflight,
+    };
+    let rounds = 200u64;
+    let (_, secs) = best_of(3, || {
+        for _ in 0..rounds {
+            let text = cp.to_text().expect("serializes");
+            let back = Checkpoint::from_text(&text).expect("parses");
+            assert_eq!(back.inflight.len(), cp.inflight.len());
+            black_box(back);
+        }
+        rounds
+    });
+    rounds as f64 / secs
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -478,6 +538,11 @@ fn main() {
         if guard_ok { "ok" } else { "FAIL" }
     );
 
+    // --- Guard: v2 fuzzy-cut checkpoint serialization round-trips. ---
+    println!("guard: v2 fuzzy-cut checkpoint round-trips (2000 records + 256 inflight)…");
+    let fuzzy_cp_ps = fuzzy_checkpoint_throughput();
+    println!("  {fuzzy_cp_ps:>12.0} round-trips/s");
+
     // --- Wire: encode/decode round-trip throughput. ---
     let iters = 200_000u64;
     println!("wire: {iters} encode + decode iterations…");
@@ -501,7 +566,7 @@ fn main() {
 
     // Hand-rolled JSON: this binary must build with bare rustc offline.
     let json = format!(
-        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n    \"sharded_events_per_sec_1\": {:.0},\n    \"sharded_events_per_sec_2\": {:.0},\n    \"sharded_events_per_sec_8\": {:.0}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }},\n  \"server\": {{\n    \"template_answers_per_sec\": {template_aps:.0},\n    \"general_answers_per_sec\": {general_aps:.0},\n    \"template_speedup\": {:.3}\n  }},\n  \"resolver\": {{\n    \"cache_hit_per_sec\": {cache_hit_ps:.0},\n    \"cache_delayed_hit_per_sec\": {cache_delayed_ps:.0},\n    \"cache_miss_per_sec\": {cache_miss_ps:.0}\n  }}\n}}\n",
+        "{{\n  \"sim\": {{\n    \"events\": {heap_events},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"btree_events_per_sec\": {btree_eps:.0},\n    \"heap_speedup\": {:.3},\n    \"raw_queue_heap_ops_per_sec\": {heap_raw:.0},\n    \"raw_queue_btree_ops_per_sec\": {btree_raw:.0},\n    \"raw_queue_heap_speedup\": {:.3},\n    \"telemetry_events_per_sec\": {tel_eps:.0},\n    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n    \"sharded_events_per_sec_1\": {:.0},\n    \"sharded_events_per_sec_2\": {:.0},\n    \"sharded_events_per_sec_8\": {:.0}\n  }},\n  \"replay\": {{\n    \"queries\": {sent},\n    \"queries_per_sec\": {qps:.0},\n    \"guarded_queries_per_sec\": {guard_qps:.0},\n    \"guard_overhead_pct\": {guard_overhead_pct:.2},\n    \"errors\": {errors}\n  }},\n  \"guard\": {{\n    \"fuzzy_checkpoint_per_sec\": {fuzzy_cp_ps:.0}\n  }},\n  \"wire\": {{\n    \"message_bytes\": {msg_size},\n    \"encode_msgs_per_sec\": {enc_mps:.0},\n    \"decode_msgs_per_sec\": {dec_mps:.0},\n    \"encode_mb_per_sec\": {:.1},\n    \"decode_mb_per_sec\": {:.1}\n  }},\n  \"server\": {{\n    \"template_answers_per_sec\": {template_aps:.0},\n    \"general_answers_per_sec\": {general_aps:.0},\n    \"template_speedup\": {:.3}\n  }},\n  \"resolver\": {{\n    \"cache_hit_per_sec\": {cache_hit_ps:.0},\n    \"cache_delayed_hit_per_sec\": {cache_delayed_ps:.0},\n    \"cache_miss_per_sec\": {cache_miss_ps:.0}\n  }}\n}}\n",
         heap_eps / btree_eps,
         heap_raw / btree_raw,
         sharded_eps[0],

@@ -31,8 +31,8 @@ use dns_wire::record::Record;
 use dns_wire::{Name, RData, RecordType};
 use dns_zone::catalog::Catalog;
 use dns_zone::zone::Zone;
-use ldp_guard::Checkpoint;
-use ldp_replay::sim_replay::{LatencyLog, LatencyRecord, SimReplayClient};
+use ldp_guard::{Checkpoint, RetransmitConfig};
+use ldp_replay::sim_replay::{CheckpointStamp, LatencyLog, LatencyRecord, SimReplayClient};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
 use netsim::{PathConfig, QueueKind, SimConfig, SimDuration, SimTime, Simulator, Topology};
@@ -366,6 +366,267 @@ pub fn spliced_q_events(
         .copied()
         .collect();
     events.extend(resumed.q_events.iter().copied());
+    events
+}
+
+// ---------------------------------------------------------------------
+// The crash-storm study (fuzzy-cut checkpoints v2)
+// ---------------------------------------------------------------------
+
+/// Parameters of the crash-storm study: a calm prefix long enough for
+/// v1's quiescent checkpointing to commit at least once, then a
+/// sustained loss-plus-delay storm that outlasts the kill.
+///
+/// The storm's `extra_delay` exceeds the query gap, so from its onset
+/// every completion happens with later queries already on the wire —
+/// [`SimReplayClient`]'s quiescent cut is *provably* never reached and
+/// v1 commits nothing for the storm's entire duration. The v2 cadence
+/// keeps committing fuzzy cuts regardless, which is the whole point.
+///
+/// The study runs with admission disabled: a resumed run's admission
+/// window starts emptier than the original's was at the same instant,
+/// so verdicts (and thus transcripts) could diverge. Fuzzy-cut resume
+/// guarantees byte-identity only for unguarded dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormConfig {
+    /// The underlying trace/sim shape. `checkpoint_every` drives the
+    /// v1 (starvation) leg; the v2 legs use `cadence` instead.
+    pub base: RecoveryConfig,
+    /// Storm onset (virtual). Placed mid-gap, after the calm prefix.
+    pub storm_from: SimTime,
+    /// Storm end. Must exceed `base.kill_at`: the kill lands inside
+    /// the storm, which is what starves v1 of a usable checkpoint.
+    pub storm_until: SimTime,
+    /// Per-packet drop probability during the storm.
+    pub loss_rate: f64,
+    /// Fixed extra one-way delay during the storm. Keep it above
+    /// `base.query_gap` or the v1-starvation guarantee evaporates.
+    pub extra_delay: SimDuration,
+    /// Jitter bound on top of `extra_delay`.
+    pub delay_jitter: SimDuration,
+    /// v2 fuzzy-cut cadence (absolute grid, anchored at the origin).
+    pub cadence: SimDuration,
+    /// UDP retransmission policy — generous enough that every query
+    /// lost to the storm still has budget left when it ends.
+    pub retransmit: RetransmitConfig,
+    /// Run-level seed for the per-query retransmit jitter streams.
+    pub retx_seed: u64,
+}
+
+impl StormConfig {
+    /// The standard storm: calm until 1.52 s, then 40% loss plus a
+    /// 150 ms (+30 ms jitter) delay spike until 6.5 s; killed at
+    /// 4.11 s, mid-storm; fuzzy cuts every 250 ms.
+    pub fn standard(seed: u64, queue: QueueKind) -> Self {
+        StormConfig {
+            base: RecoveryConfig {
+                kill_at: SimTime::from_secs_f64(4.11),
+                ..RecoveryConfig::standard(seed, queue)
+            },
+            storm_from: SimTime::from_secs_f64(1.52),
+            storm_until: SimTime::from_secs_f64(6.5),
+            loss_rate: 0.4,
+            extra_delay: SimDuration::from_millis(150),
+            delay_jitter: SimDuration::from_millis(30),
+            cadence: SimDuration::from_millis(250),
+            retransmit: RetransmitConfig {
+                max_retx: 12,
+                base_us: 200_000,
+                cap_us: 1_500_000,
+            },
+            retx_seed: seed ^ 0x5f0f,
+        }
+    }
+
+    /// A smaller, faster variant for smoke tests and CI gates.
+    pub fn smoke(seed: u64, queue: QueueKind) -> Self {
+        StormConfig {
+            base: RecoveryConfig {
+                kill_at: SimTime::from_secs_f64(3.37),
+                ..RecoveryConfig::smoke(seed, queue)
+            },
+            storm_until: SimTime::from_secs_f64(4.5),
+            ..StormConfig::standard(seed, queue)
+        }
+    }
+
+    /// The fault plan all four runs install: one sustained loss burst
+    /// plus one delay spike, both spanning `[storm_from, storm_until]`.
+    /// Packet fates are pure functions of `(plan seed, virtual time,
+    /// endpoints, payload)`, so a resumed run re-executing an in-flight
+    /// query re-draws the identical fates.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.base.seed)
+            .at(
+                self.storm_from,
+                FaultEvent::LossBurst { rate: self.loss_rate, until: self.storm_until },
+            )
+            .at(
+                self.storm_from,
+                FaultEvent::DelaySpike {
+                    extra: self.extra_delay,
+                    jitter: self.delay_jitter,
+                    until: self.storm_until,
+                },
+            )
+    }
+
+    /// The `[storm onset, kill]` window (ns) the starvation gate
+    /// counts checkpoint commits in.
+    pub fn storm_window(&self) -> (u64, u64) {
+        (self.storm_from.as_nanos(), self.base.kill_at.as_nanos())
+    }
+}
+
+/// A recovery outcome plus the run's checkpoint-commit history.
+#[derive(Debug, Clone)]
+pub struct StormOutcome {
+    /// Records, transcript, telemetry, and the last checkpoint.
+    pub outcome: RecoveryOutcome,
+    /// Every commit the run made, in commit order.
+    pub stamps: Vec<CheckpointStamp>,
+}
+
+impl StormOutcome {
+    /// Commits whose virtual instant falls inside `[from, to]` ns.
+    pub fn stamps_in(&self, from: u64, to: u64) -> Vec<CheckpointStamp> {
+        self.stamps
+            .iter()
+            .filter(|s| s.taken_ns >= from && s.taken_ns <= to)
+            .copied()
+            .collect()
+    }
+}
+
+/// Which checkpoint mechanism a storm run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckpointMech {
+    /// v1: quiescent cuts after every `checkpoint_every` completions.
+    Quiescent,
+    /// v2: fuzzy cuts on the absolute cadence grid.
+    Fuzzy,
+}
+
+/// One storm run. `run_until` is the kill instant for abandoned runs
+/// or the horizon for complete ones; `resume_from` rebuilds the client
+/// from a fuzzy cut first.
+fn run_storm(
+    cfg: &StormConfig,
+    label: &str,
+    mech: CheckpointMech,
+    run_until: SimTime,
+    resume_from: Option<&Checkpoint>,
+) -> StormOutcome {
+    tel::set_enabled(true);
+    let _ = tel::drain_local();
+    let trace = mk_trace(&cfg.base);
+    let mut sim = build_sim(&cfg.base);
+    let log: LatencyLog = Arc::new(Mutex::new(Vec::new()));
+    let cp_out = Arc::new(Mutex::new(None));
+    let stamps = Arc::new(Mutex::new(Vec::new()));
+    let server: SocketAddr = SERVER_ADDR.parse().expect("valid addr");
+    let mut client = match resume_from {
+        None => SimReplayClient::new(trace.clone(), server, log.clone()),
+        Some(cp) => match SimReplayClient::resume(trace.clone(), server, log.clone(), cp) {
+            Ok(c) => c,
+            Err(e) => {
+                let mut out = outcome(&cfg.base, label, &log, Vec::new(), None);
+                out.transcript.push_str(&format!("resume-error {e}\n"));
+                return StormOutcome { outcome: out, stamps: Vec::new() };
+            }
+        },
+    };
+    match mech {
+        CheckpointMech::Quiescent => client.checkpoint_every = cfg.base.checkpoint_every,
+        CheckpointMech::Fuzzy => client.checkpoint_cadence = Some(cfg.cadence),
+    }
+    client.udp_retransmit = Some(cfg.retransmit);
+    client.retx_seed = cfg.retx_seed;
+    client.checkpoint_out = Some(cp_out.clone());
+    client.checkpoint_stamps = Some(stamps.clone());
+    let srcs = client.source_addrs();
+    let client_id = sim.add_host(&srcs, Box::new(client));
+    match resume_from {
+        None => SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO),
+        Some(cp) => {
+            SimReplayClient::schedule_resume(&mut sim, client_id, &trace, SimTime::ZERO, cp)
+        }
+    }
+    // Host add order (server, client, agent) is part of the replayed
+    // shape: all four runs must match or host ids — and with them the
+    // deterministic event order — would drift.
+    let plan = cfg.plan();
+    agent::install(&mut sim, &plan, AGENT_ADDR.parse().expect("valid ip"));
+    sim.run_until(run_until);
+    let cp = cp_out.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let stamps = stamps.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    StormOutcome { outcome: outcome(&cfg.base, label, &log, drain_q_events(), cp), stamps }
+}
+
+/// The storm baseline: fuzzy-cut cadence, storm installed, left alone
+/// to completion. Retransmission outlasts the storm, so the whole
+/// trace is still answered.
+pub fn run_storm_baseline(cfg: &StormConfig) -> StormOutcome {
+    run_storm(cfg, "storm_baseline", CheckpointMech::Fuzzy, cfg.base.horizon(), None)
+}
+
+/// The v2 killed run: fuzzy-cut cadence, abandoned mid-storm at
+/// `kill_at`. Its `checkpoint` is a fuzzy cut with live `inflight`
+/// state — what the resume starts from.
+pub fn run_storm_killed(cfg: &StormConfig) -> StormOutcome {
+    run_storm(cfg, "storm_killed", CheckpointMech::Fuzzy, cfg.base.kill_at, None)
+}
+
+/// The v1 starvation leg: same trace, same storm, same kill — but
+/// quiescent checkpointing. Expect zero commits inside
+/// [`StormConfig::storm_window`]: the delay spike keeps a later query
+/// on the wire at every completion, so the quiescent cut never comes.
+pub fn run_storm_killed_v1(cfg: &StormConfig) -> StormOutcome {
+    run_storm(cfg, "storm_killed_v1", CheckpointMech::Quiescent, cfg.base.kill_at, None)
+}
+
+/// The resumed run: rebuilt from a fuzzy cut in a fresh simulator with
+/// the same storm installed. Carried queries are re-armed at their
+/// original deadlines and re-execute their full lifecycles under
+/// identical packet fates, so the final transcript is byte-identical
+/// to the baseline's.
+pub fn run_storm_resumed(cfg: &StormConfig, cp: &Checkpoint) -> StormOutcome {
+    run_storm(cfg, "storm_resumed", CheckpointMech::Fuzzy, cfg.base.horizon(), Some(cp))
+}
+
+/// Telemetry of a fuzzy-cut lineage, in canonical order.
+///
+/// Unlike a quiescent cut, events before the cut are *not* all owned
+/// by completed queries: the killed run's pre-cut events for queries
+/// the checkpoint carries in flight will be re-emitted (at their
+/// original virtual times) by the resumed run's re-execution. So the
+/// splice keeps the killed run's events only for queries the cut had
+/// completed, appends everything the resumed run drained, and sorts
+/// both sides' unions into [`tel::canonical_order`] — re-execution
+/// emits old-timestamped events after newer ones, so raw drain order
+/// is not comparable. Compare against a baseline sorted the same way.
+pub fn spliced_q_events_fuzzy(
+    killed: &RecoveryOutcome,
+    resumed: &RecoveryOutcome,
+) -> Vec<tel::RawEvent> {
+    let Some(cp) = &killed.checkpoint else {
+        let mut events = resumed.q_events.clone();
+        tel::canonical_order(&mut events);
+        return events;
+    };
+    let done: std::collections::BTreeSet<u64> = cp
+        .records
+        .iter()
+        .filter_map(|l| l.split_whitespace().next()?.parse().ok())
+        .collect();
+    let mut events: Vec<tel::RawEvent> = killed
+        .q_events
+        .iter()
+        .filter(|ev| ev.t_ns <= cp.taken_ns && done.contains(&ev.a))
+        .copied()
+        .collect();
+    events.extend(resumed.q_events.iter().copied());
+    tel::canonical_order(&mut events);
     events
 }
 

@@ -71,7 +71,12 @@ impl AdmissionController {
             return Admission::Admit;
         }
         if now_us > deadline_us.saturating_add(self.cfg.max_lateness_us) {
-            self.shed.push(seq);
+            // Shedding is idempotent per seq: a query re-offered after
+            // a querier crash (its park timer died with the process)
+            // must not be reported shed twice.
+            if !self.shed.contains(&seq) {
+                self.shed.push(seq);
+            }
             return Admission::Shed;
         }
         Admission::Busy
@@ -84,8 +89,14 @@ impl AdmissionController {
     }
 
     /// Forget the whole in-flight window — a crashed querier's
-    /// in-flight queries died with it. Shed history and the admitted
-    /// counter survive (they are a report, not live state).
+    /// in-flight queries died with it. Only the live window is
+    /// cleared: the shed history survives (and stays duplicate-free —
+    /// re-offering a previously shed seq after the crash does not
+    /// re-record it), while `admitted` keeps counting *grants*, so a
+    /// query that is re-offered and re-admitted after the crash is
+    /// counted once per grant, not once per distinct seq. Callers that
+    /// park queries must re-offer them after calling this — in
+    /// ascending seq order, so recovery is deterministic.
     pub fn reset_in_flight(&mut self) {
         self.in_flight = 0;
     }
@@ -95,17 +106,21 @@ impl AdmissionController {
         self.in_flight
     }
 
-    /// Total queries admitted so far.
+    /// Total admission *grants* so far. A query re-offered after a
+    /// crash ([`AdmissionController::reset_in_flight`]) is granted —
+    /// and counted — again, so this can exceed the number of distinct
+    /// admitted seqs.
     pub fn admitted(&self) -> u64 {
         self.admitted
     }
 
-    /// Seqs shed so far, in shed order.
+    /// Distinct seqs shed so far, in first-shed order (a seq re-shed
+    /// after a crash re-offer appears once).
     pub fn shed_seqs(&self) -> &[u64] {
         &self.shed
     }
 
-    /// Count of shed queries.
+    /// Count of distinct shed queries.
     pub fn shed_count(&self) -> u64 {
         self.shed.len() as u64
     }
@@ -176,6 +191,42 @@ mod tests {
         for seq in 0..10_000u64 {
             assert_eq!(ac.offer(seq, 0, u64::MAX), Admission::Admit);
         }
+        assert_eq!(ac.shed_count(), 0);
+    }
+
+    #[test]
+    fn shed_history_is_idempotent_across_crash_reoffers() {
+        let mut ac = tiny();
+        ac.offer(0, 100, 50);
+        ac.offer(1, 100, 50);
+        assert_eq!(ac.offer(7, 100, 5_000), Admission::Shed);
+        // Querier crashes; its window dies; the shed query is
+        // re-offered on restart (still hopelessly late).
+        ac.reset_in_flight();
+        assert_eq!(ac.offer(0, 100, 6_000), Admission::Admit);
+        assert_eq!(ac.offer(1, 100, 6_000), Admission::Admit);
+        assert_eq!(ac.offer(7, 100, 6_000), Admission::Shed);
+        assert_eq!(ac.shed_seqs(), &[7], "one entry per distinct seq");
+        assert_eq!(ac.shed_count(), 1);
+        // `admitted` counts grants: 0 and 1 were each granted twice.
+        assert_eq!(ac.admitted(), 4);
+    }
+
+    #[test]
+    fn crash_recovery_reoffer_in_seq_order_is_deterministic() {
+        let mut ac = tiny();
+        ac.offer(3, 100, 50);
+        ac.offer(5, 100, 50);
+        assert_eq!(ac.offer(8, 100, 60), Admission::Busy, "parked");
+        ac.reset_in_flight();
+        // The contract: after a crash the caller re-offers the dead
+        // window's queries and its parked queries in ascending seq
+        // order. With a window of 2, the verdict sequence is pinned:
+        // first two seqs admit, the third parks again.
+        let verdicts: Vec<Admission> =
+            [3u64, 5, 8].iter().map(|&s| ac.offer(s, 100, 70)).collect();
+        assert_eq!(verdicts, vec![Admission::Admit, Admission::Admit, Admission::Busy]);
+        assert_eq!(ac.in_flight(), 2);
         assert_eq!(ac.shed_count(), 0);
     }
 

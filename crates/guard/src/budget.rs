@@ -77,6 +77,42 @@ impl RetryBudget {
         self.used = 0;
         self.prev_us = self.base_us;
     }
+
+    /// Capture the budget's dynamic state — attempts spent, the
+    /// previous delay the decorrelated-jitter recurrence feeds on, and
+    /// the RNG stream position — for a fuzzy-cut checkpoint. The
+    /// static policy (`max_attempts`, `base_us`, `cap_us`) is the
+    /// caller's configuration and is not part of the snapshot.
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        BudgetSnapshot {
+            used: self.used,
+            prev_us: self.prev_us,
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Rewind this budget to a captured snapshot. The subsequent
+    /// delay stream is identical to what the snapshotted budget would
+    /// have produced — the property that lets a resumed run continue a
+    /// half-spent retry chain instead of restarting it.
+    pub fn restore(&mut self, snap: &BudgetSnapshot) {
+        self.used = snap.used;
+        self.prev_us = snap.prev_us.max(self.base_us);
+        self.rng = SplitMix64::from_state(snap.rng_state);
+    }
+}
+
+/// The dynamic state of a [`RetryBudget`] at one instant, as carried
+/// on a checkpoint `inflight` line. Small, `Copy`, and exact: restoring
+/// it reproduces the remaining delay stream bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Attempts already spent.
+    pub used: u32,
+    /// Previous delay (µs) — the decorrelated-jitter recurrence input.
+    pub prev_us: u64,
+    /// SplitMix64 stream position.
+    pub rng_state: u64,
 }
 
 #[cfg(test)]
@@ -135,6 +171,42 @@ mod tests {
         // draw would only match by coincidence, not by construction.
         assert!(b.next_delay_us().is_some());
         let _ = first;
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_identical_delay_stream() {
+        let mut a = RetryBudget::new(12, 100, 50_000, 4242);
+        for _ in 0..5 {
+            a.next_delay_us();
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.used, 5);
+
+        // A fresh budget with the same *policy* but a different seed:
+        // restore overwrites the dynamic state, so from here on it
+        // must shadow `a` exactly.
+        let mut b = RetryBudget::new(12, 100, 50_000, 1);
+        b.restore(&snap);
+        assert_eq!(b.used(), 5);
+        assert_eq!(b.remaining(), 7);
+        loop {
+            let (da, db) = (a.next_delay_us(), b.next_delay_us());
+            assert_eq!(da, db);
+            if da.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_passive() {
+        let mut a = RetryBudget::new(3, 100, 1000, 7);
+        let before = a.snapshot();
+        let _ = a.snapshot();
+        a.next_delay_us();
+        let after = a.snapshot();
+        assert_eq!(before.used + 1, after.used);
+        assert_ne!(before.rng_state, after.rng_state);
     }
 
     #[test]

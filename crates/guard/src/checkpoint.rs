@@ -1,53 +1,101 @@
 //! The versioned replay checkpoint: progress a killed run can resume
 //! from.
 //!
-//! A checkpoint is taken at a *quiescent cut* — a virtual-time instant
-//! with no queries in flight — so it fully determines the remaining
-//! run: the trace cursor says which queries are still owed, the
-//! completed records are carried verbatim, and the counters seed the
-//! resumed client's state. Resuming then re-arms only the uncompleted
-//! queries at their original virtual deadlines, and (on a loss-free
-//! deterministic path) the concatenated transcript is byte-identical
-//! to an uninterrupted same-seed run — the property `fig_recovery`
-//! gates on.
+//! **v1 — quiescent cut.** A v1 checkpoint is taken at a virtual-time
+//! instant with no queries in flight, so it fully determines the
+//! remaining run: the trace cursor says which queries are still owed,
+//! the completed records are carried verbatim, and the counters seed
+//! the resumed client's state. Its weakness is the commit condition
+//! itself: under sustained loss a quiescent cut never forms, so a kill
+//! mid-storm discards everything since the last lull.
+//!
+//! **v2 — fuzzy cut.** A v2 checkpoint commits at *any* virtual
+//! instant, on a fixed cadence, by additionally carrying one
+//! [`InflightEntry`] per outstanding query (see [`crate::inflight`]):
+//! its seq, original virtual send deadline, elapsed send/retransmit
+//! counts, a [`RetryBudget`](crate::RetryBudget) snapshot, and its
+//! admission status. Counters in a v2 document are *committed* values
+//! — completed work only — and the in-flight contributions ride on
+//! the `inflight` lines, so a resumed run that re-executes the
+//! outstanding queries from their original deadlines reconstructs the
+//! uninterrupted run's totals, transcript, and telemetry exactly.
 //!
 //! Like `ldp-chaos`'s fault plans, checkpoints are data, not code: a
 //! line-based text format with an exact round-trip, safe to store next
-//! to results and diff in CI.
+//! to results and diff in CI. LF line endings only — CRLF is rejected
+//! at parse time because records are carried verbatim and a stripped
+//! `\r` would silently break the exact round-trip.
 //!
 //! ```text
-//! ldpguard checkpoint v1
+//! ldpguard checkpoint v2
 //! epoch 2
 //! taken_ns 1500000000
 //! cursor 42
-//! counter sent 42
+//! counter sent 40
 //! rec q7 sent=1200 done=1240 ok
+//! inflight 41 deadline 1450000000 sends 2 retx 1 status inflight budget 1 450 12345
 //! ```
+//!
+//! A v2 document's sections are strictly ordered (`counter*`, `rec*`,
+//! `inflight*`); v1 documents keep their historical lenient ordering
+//! for back-compat, and parse into a [`Checkpoint`] with an empty
+//! in-flight set — a v1 quiescent cut *is* a fuzzy cut with nothing in
+//! flight, so upgrade reads are free.
 
 use std::fmt;
 
+use crate::inflight::InflightEntry;
+
 /// One resumable snapshot of replay progress.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
+    /// Format version this checkpoint serializes as: 1 (quiescent
+    /// cut, no in-flight state) or 2 (fuzzy cut).
+    pub version: u8,
     /// Checkpoint ordinal within the run (1 = first cut).
     pub epoch: u32,
     /// Virtual time of the cut, nanoseconds since simulation start.
-    /// Every uncompleted query's deadline is strictly later.
+    /// In a v1 document every uncompleted query's deadline is strictly
+    /// later; in a v2 document in-flight deadlines may be earlier (the
+    /// query was already dispatched when the cut committed).
     pub taken_ns: u64,
     /// Next trace sequence number to dispatch: seqs `< cursor` are
-    /// accounted for (completed or recorded as shed).
+    /// accounted for (completed, recorded as shed, or carried on an
+    /// `inflight` line).
     pub cursor: u64,
     /// Named monotonic counters (sent, connects, retries, shed, ...)
-    /// in serialization order. Names must be whitespace-free.
+    /// in serialization order. Names must be whitespace-free and
+    /// unique. In a v2 document these are *committed* values: work
+    /// belonging to completed queries only.
     pub counters: Vec<(String, u64)>,
     /// Completed per-query transcript lines, carried verbatim (they
     /// must not contain newlines). On resume these seed the output so
     /// the final transcript equals an uninterrupted run's.
     pub records: Vec<String>,
+    /// Outstanding queries at the cut (v2 only; empty in v1). Sorted
+    /// by seq at serialization time by convention, but the parser
+    /// preserves whatever order the document carries.
+    pub inflight: Vec<InflightEntry>,
+}
+
+impl Default for Checkpoint {
+    fn default() -> Self {
+        Checkpoint {
+            version: 1,
+            epoch: 0,
+            taken_ns: 0,
+            cursor: 0,
+            counters: Vec::new(),
+            records: Vec::new(),
+            inflight: Vec::new(),
+        }
+    }
 }
 
 impl Checkpoint {
-    /// Look up a counter by name.
+    /// Look up a counter by name. Counter names are unique in any
+    /// document [`Checkpoint::from_text`] accepts (duplicates are a
+    /// parse error), so this is unambiguous.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
@@ -57,18 +105,28 @@ impl Checkpoint {
 
     /// Serialize to the line-based text format (see module docs).
     ///
-    /// Returns `Err` (rather than emitting a corrupt document) if a
-    /// counter name contains whitespace or a record contains a
-    /// newline.
+    /// Returns `Err` (rather than emitting a corrupt document) if the
+    /// version is unknown, a counter name contains whitespace or is
+    /// duplicated, a record contains a newline, or a v1 checkpoint
+    /// carries in-flight entries (v1 cannot represent them).
     pub fn to_text(&self) -> Result<String, CheckpointParseError> {
         let err = |msg: &str| CheckpointParseError { line: 0, msg: msg.to_string() };
-        let mut out = String::from("ldpguard checkpoint v1\n");
+        if self.version != 1 && self.version != 2 {
+            return Err(err("unknown checkpoint version (expected 1 or 2)"));
+        }
+        if self.version == 1 && !self.inflight.is_empty() {
+            return Err(err("v1 checkpoints cannot carry inflight entries"));
+        }
+        let mut out = format!("ldpguard checkpoint v{}\n", self.version);
         out.push_str(&format!("epoch {}\n", self.epoch));
         out.push_str(&format!("taken_ns {}\n", self.taken_ns));
         out.push_str(&format!("cursor {}\n", self.cursor));
-        for (name, v) in &self.counters {
+        for (i, (name, v)) in self.counters.iter().enumerate() {
             if name.is_empty() || name.chars().any(char::is_whitespace) {
                 return Err(err("counter name must be non-empty and whitespace-free"));
+            }
+            if self.counters[..i].iter().any(|(n, _)| n == name) {
+                return Err(err("duplicate counter name"));
             }
             out.push_str(&format!("counter {name} {v}\n"));
         }
@@ -78,14 +136,25 @@ impl Checkpoint {
             }
             out.push_str(&format!("rec {rec}\n"));
         }
+        for entry in &self.inflight {
+            out.push_str(&entry.to_line());
+            out.push('\n');
+        }
         Ok(out)
     }
 
-    /// Parse the text format back. Blank lines and `#` comments are
-    /// ignored (record payloads are taken verbatim after `rec `, so a
-    /// record can itself start with `#` only via the keyword line).
+    /// Parse the text format back (either version). Blank lines and
+    /// `#` comments are ignored (record payloads are taken verbatim
+    /// after `rec `, so a record can itself start with `#` only via
+    /// the keyword line). CRLF input is rejected. v2 documents must
+    /// keep their sections in order (`counter*`, `rec*`, `inflight*`);
+    /// v1 documents keep the historical lenient counter/rec ordering.
     pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointParseError> {
         let err = |line: usize, msg: &str| CheckpointParseError { line, msg: msg.to_string() };
+        if let Some(pos) = text.find('\r') {
+            let ln = text[..pos].matches('\n').count() + 1;
+            return Err(err(ln, "CRLF line endings are not supported (LF only)"));
+        }
         let mut lines = text
             .lines()
             .enumerate()
@@ -96,34 +165,57 @@ impl Checkpoint {
             });
 
         let (ln, header) = lines.next().ok_or_else(|| err(0, "empty checkpoint"))?;
-        if header.trim() != "ldpguard checkpoint v1" {
-            return Err(err(ln, "expected header `ldpguard checkpoint v1`"));
-        }
-        let mut field = |name: &str| -> Result<u64, CheckpointParseError> {
+        let version = match header.trim() {
+            "ldpguard checkpoint v1" => 1u8,
+            "ldpguard checkpoint v2" => 2u8,
+            _ => {
+                return Err(err(
+                    ln,
+                    "expected header `ldpguard checkpoint v1` or `ldpguard checkpoint v2`",
+                ))
+            }
+        };
+        // Track the last line number consumed so "ran out of input"
+        // errors point at the end of the document instead of line 0.
+        let mut last_ln = ln;
+        let mut field = |name: &str| -> Result<(usize, u64), CheckpointParseError> {
             let (ln, line) = lines
                 .next()
-                .ok_or_else(|| err(0, &format!("missing `{name}`")))?;
+                .ok_or_else(|| err(last_ln, &format!("missing `{name}`")))?;
+            last_ln = ln;
             line.trim()
                 .strip_prefix(name)
                 .and_then(|rest| rest.trim().parse::<u64>().ok())
+                .map(|v| (ln, v))
                 .ok_or_else(|| err(ln, &format!("expected `{name} <u64>`")))
         };
-        let epoch = field("epoch")?;
-        let epoch = u32::try_from(epoch).map_err(|_| err(0, "epoch exceeds u32"))?;
-        let taken_ns = field("taken_ns")?;
-        let cursor = field("cursor")?;
+        let (epoch_ln, epoch) = field("epoch")?;
+        let epoch = u32::try_from(epoch).map_err(|_| err(epoch_ln, "epoch exceeds u32"))?;
+        let (_, taken_ns) = field("taken_ns")?;
+        let (_, cursor) = field("cursor")?;
 
         let mut cp = Checkpoint {
+            version,
             epoch,
             taken_ns,
             cursor,
             counters: Vec::new(),
             records: Vec::new(),
+            inflight: Vec::new(),
         };
+        // Section progression for v2: counter(0) -> rec(1) -> inflight(2).
+        let mut section = 0u8;
         for (ln, line) in lines {
             if let Some(rest) = line.strip_prefix("rec ") {
+                if version == 2 && section > 1 {
+                    return Err(err(ln, "`rec` lines must precede `inflight` lines"));
+                }
+                section = section.max(1);
                 cp.records.push(rest.to_string());
             } else if let Some(rest) = line.trim().strip_prefix("counter ") {
+                if version == 2 && section > 0 {
+                    return Err(err(ln, "`counter` lines must precede `rec` and `inflight` lines"));
+                }
                 let mut it = rest.split_whitespace();
                 let name = it.next().ok_or_else(|| err(ln, "counter needs a name"))?;
                 let v = it
@@ -133,7 +225,18 @@ impl Checkpoint {
                 if it.next().is_some() {
                     return Err(err(ln, "trailing tokens after counter value"));
                 }
+                if cp.counters.iter().any(|(n, _)| n == name) {
+                    return Err(err(ln, &format!("duplicate counter `{name}`")));
+                }
                 cp.counters.push((name.to_string(), v));
+            } else if line.trim().starts_with("inflight ") || line.trim() == "inflight" {
+                if version == 1 {
+                    return Err(err(ln, "v1 documents cannot carry `inflight` lines"));
+                }
+                section = 2;
+                cp.inflight.push(InflightEntry::from_line(line.trim(), ln)?);
+            } else if version == 2 {
+                return Err(err(ln, "expected `counter ...`, `rec ...`, or `inflight ...`"));
             } else {
                 return Err(err(ln, "expected `counter ...` or `rec ...`"));
             }
@@ -163,9 +266,12 @@ impl std::error::Error for CheckpointParseError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::BudgetSnapshot;
+    use crate::inflight::InflightStatus;
 
     fn sample() -> Checkpoint {
         Checkpoint {
+            version: 1,
             epoch: 2,
             taken_ns: 1_500_000_000,
             cursor: 42,
@@ -178,16 +284,57 @@ mod tests {
                 "q0 sent=1000 done=1040 ok".to_string(),
                 "q1 sent=1100 done=- shed".to_string(),
             ],
+            inflight: Vec::new(),
+        }
+    }
+
+    fn sample_v2() -> Checkpoint {
+        Checkpoint {
+            version: 2,
+            inflight: vec![
+                InflightEntry {
+                    seq: 40,
+                    deadline_ns: 1_450_000_000,
+                    sends: 2,
+                    retx: 1,
+                    status: InflightStatus::InFlight,
+                    budget: Some(BudgetSnapshot { used: 1, prev_us: 450, rng_state: 12345 }),
+                },
+                InflightEntry {
+                    seq: 41,
+                    deadline_ns: 1_490_000_000,
+                    sends: 0,
+                    retx: 0,
+                    status: InflightStatus::Parked,
+                    budget: None,
+                },
+            ],
+            ..sample()
         }
     }
 
     #[test]
     fn text_round_trips_exactly() {
-        let cp = sample();
-        let text = cp.to_text().expect("serializes");
-        let back = Checkpoint::from_text(&text).expect("parses");
-        assert_eq!(cp, back);
-        assert_eq!(text, back.to_text().expect("re-serializes"));
+        for cp in [sample(), sample_v2()] {
+            let text = cp.to_text().expect("serializes");
+            let back = Checkpoint::from_text(&text).expect("parses");
+            assert_eq!(cp, back);
+            assert_eq!(text, back.to_text().expect("re-serializes"));
+        }
+    }
+
+    #[test]
+    fn v1_reads_as_empty_inflight_upgrade() {
+        // A v1 quiescent cut is a fuzzy cut with nothing in flight:
+        // reading it and re-writing as v2 is lossless.
+        let text = sample().to_text().expect("ok");
+        let mut up = Checkpoint::from_text(&text).expect("parses");
+        assert_eq!(up.version, 1);
+        assert!(up.inflight.is_empty());
+        up.version = 2;
+        let v2_text = up.to_text().expect("serializes as v2");
+        let back = Checkpoint::from_text(&v2_text).expect("parses as v2");
+        assert_eq!(back, up);
     }
 
     #[test]
@@ -218,7 +365,7 @@ mod tests {
     #[test]
     fn parse_errors_carry_line_numbers() {
         assert!(Checkpoint::from_text("").is_err());
-        assert!(Checkpoint::from_text("ldpguard checkpoint v2\n").is_err());
+        assert!(Checkpoint::from_text("ldpguard checkpoint v3\n").is_err());
         let e = Checkpoint::from_text(
             "ldpguard checkpoint v1\nepoch 1\ntaken_ns 5\ncursor 0\nbogus line\n",
         )
@@ -226,6 +373,40 @@ mod tests {
         assert_eq!(e.line, 5);
         let e = Checkpoint::from_text("ldpguard checkpoint v1\nepoch x\n").expect_err("bad epoch");
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn epoch_overflow_error_names_the_epoch_line() {
+        let e = Checkpoint::from_text("ldpguard checkpoint v1\n# pad\nepoch 5000000000\n")
+            .expect_err("epoch exceeds u32");
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("epoch exceeds u32"), "{}", e.msg);
+    }
+
+    #[test]
+    fn missing_field_error_points_at_end_of_input() {
+        let e = Checkpoint::from_text("ldpguard checkpoint v1\nepoch 1\ntaken_ns 5\n")
+            .expect_err("missing cursor");
+        assert_eq!(e.line, 3, "points at the last line seen, not 0");
+        assert!(e.msg.contains("cursor"), "{}", e.msg);
+        let e = Checkpoint::from_text("ldpguard checkpoint v1\n").expect_err("missing epoch");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn duplicate_counters_rejected_with_line_number() {
+        let text = "ldpguard checkpoint v1\nepoch 1\ntaken_ns 5\ncursor 0\n\
+                    counter sent 3\ncounter connects 1\ncounter sent 9\n";
+        let e = Checkpoint::from_text(text).expect_err("duplicate counter");
+        assert_eq!(e.line, 7);
+        assert!(e.msg.contains("duplicate counter `sent`"), "{}", e.msg);
+        // Serialization refuses to create such a document in the
+        // first place.
+        let cp = Checkpoint {
+            counters: vec![("sent".to_string(), 1), ("sent".to_string(), 2)],
+            ..Checkpoint::default()
+        };
+        assert!(cp.to_text().is_err());
     }
 
     #[test]
@@ -240,5 +421,79 @@ mod tests {
             ..Checkpoint::default()
         };
         assert!(cp.to_text().is_err());
+        let cp = Checkpoint { version: 3, ..Checkpoint::default() };
+        assert!(cp.to_text().is_err());
+        let cp = Checkpoint {
+            inflight: vec![InflightEntry {
+                seq: 0,
+                deadline_ns: 0,
+                sends: 0,
+                retx: 0,
+                status: InflightStatus::Parked,
+                budget: None,
+            }],
+            ..Checkpoint::default()
+        };
+        assert!(cp.to_text().is_err(), "v1 cannot carry inflight entries");
+    }
+
+    // -- malformed-document corpus (hand-written, offline) ------------
+
+    fn v2_doc(body: &str) -> String {
+        format!("ldpguard checkpoint v2\nepoch 1\ntaken_ns 5\ncursor 4\n{body}")
+    }
+
+    #[test]
+    fn corpus_truncated_inflight_lines() {
+        let full = "inflight 3 deadline 100 sends 1 retx 0 status inflight budget 1 450 99";
+        let tokens: Vec<&str> = full.split_whitespace().collect();
+        for n in 1..tokens.len() {
+            let doc = v2_doc(&format!("{}\n", tokens[..n].join(" ")));
+            let e = Checkpoint::from_text(&doc).expect_err("truncated inflight");
+            assert_eq!(e.line, 5, "prefix {:?}", tokens[..n].join(" "));
+        }
+    }
+
+    #[test]
+    fn corpus_interleaved_sections() {
+        for (doc, bad_line) in [
+            // counter after rec
+            (v2_doc("rec q0 ok\ncounter sent 1\n"), 6),
+            // counter after inflight
+            (
+                v2_doc("inflight 3 deadline 1 sends 0 retx 0 status parked budget -\ncounter sent 1\n"),
+                6,
+            ),
+            // rec after inflight
+            (
+                v2_doc("inflight 3 deadline 1 sends 0 retx 0 status parked budget -\nrec q0 ok\n"),
+                6,
+            ),
+        ] {
+            let e = Checkpoint::from_text(&doc).expect_err("interleaved sections");
+            assert_eq!(e.line, bad_line, "doc:\n{doc}");
+        }
+        // v1 keeps the historical lenient ordering (back-compat).
+        let v1 = "ldpguard checkpoint v1\nepoch 1\ntaken_ns 5\ncursor 4\nrec q0 ok\ncounter sent 1\n";
+        assert!(Checkpoint::from_text(v1).is_ok());
+    }
+
+    #[test]
+    fn corpus_crlf_rejected_with_line_number() {
+        let doc = "ldpguard checkpoint v2\r\nepoch 1\r\n";
+        let e = Checkpoint::from_text(doc).expect_err("CRLF");
+        assert_eq!(e.line, 1);
+        let doc = "ldpguard checkpoint v2\nepoch 1\ntaken_ns 5\r\ncursor 0\n";
+        let e = Checkpoint::from_text(doc).expect_err("CRLF mid-document");
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("CRLF"), "{}", e.msg);
+    }
+
+    #[test]
+    fn corpus_v1_rejects_inflight_lines() {
+        let doc = "ldpguard checkpoint v1\nepoch 1\ntaken_ns 5\ncursor 4\n\
+                   inflight 3 deadline 1 sends 0 retx 0 status parked budget -\n";
+        let e = Checkpoint::from_text(doc).expect_err("inflight in v1");
+        assert_eq!(e.line, 5);
     }
 }

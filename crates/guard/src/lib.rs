@@ -13,8 +13,14 @@
 //! - [`checkpoint`]: [`Checkpoint`] — a compact, versioned,
 //!   line-based snapshot of replay progress (trace cursor, completed
 //!   records, counters, virtual-time epoch) with an exact text
-//!   round-trip, so a killed run resumes from the last quiescent cut
-//!   and replays a byte-identical virtual-time transcript.
+//!   round-trip, so a killed run resumes from the last cut and
+//!   replays a byte-identical virtual-time transcript. v1 commits at
+//!   quiescent cuts only; v2 ("fuzzy cut") commits at any instant by
+//!   carrying per-query in-flight state.
+//! - [`inflight`]: [`InflightEntry`] — the per-query state a v2
+//!   checkpoint carries for each outstanding query (original send
+//!   deadline, elapsed retransmits, retry-budget snapshot, admission
+//!   status).
 //! - [`admission`]: [`AdmissionController`] — a bounded in-flight
 //!   window with deadline-aware shedding that records dropped seqs
 //!   instead of stalling the replay clock.
@@ -36,12 +42,14 @@ pub mod admission;
 pub mod budget;
 pub mod checkpoint;
 pub mod config;
+pub mod inflight;
 pub mod rng;
 pub mod supervisor;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionController};
-pub use budget::RetryBudget;
+pub use budget::{BudgetSnapshot, RetryBudget};
 pub use checkpoint::{Checkpoint, CheckpointParseError};
-pub use config::{GuardConfig, OverloadConfig, ReconnectConfig};
+pub use config::{GuardConfig, OverloadConfig, ReconnectConfig, RetransmitConfig};
+pub use inflight::{InflightEntry, InflightStatus};
 pub use rng::SplitMix64;
 pub use supervisor::{Supervisor, SupervisorAction, SupervisorConfig};

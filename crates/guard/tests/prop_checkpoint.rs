@@ -1,0 +1,148 @@
+//! Property tests: any well-formed `Checkpoint` survives a text
+//! round-trip exactly — `from_text(to_text(cp)) == cp` — for both the
+//! v1 quiescent format and the v2 fuzzy-cut format with arbitrary
+//! in-flight entries, and the serializer is a fixed point (re-encoding
+//! the parse changes nothing). Cargo-only (proptest is unavailable in
+//! the offline bare-rustc gate, which runs the deterministic
+//! malformed-corpus unit tests in `checkpoint.rs` instead).
+
+use ldp_guard::{BudgetSnapshot, Checkpoint, InflightEntry, InflightStatus};
+use proptest::prelude::*;
+
+/// Counter names: non-empty, whitespace-free (the serializer rejects
+/// anything else), drawn from the tokens real callers use.
+fn arb_counter_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.:-]{0,15}"
+}
+
+/// Unique-named counter list (duplicate names are a serialize error
+/// and a parse error, so they can never round-trip).
+fn arb_counters() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec((arb_counter_name(), any::<u64>()), 0..8).prop_map(|mut v| {
+        let mut seen = std::collections::HashSet::new();
+        v.retain(|(n, _)| seen.insert(n.clone()));
+        v
+    })
+}
+
+/// Record payloads: any single line (no LF/CR — the serializer refuses
+/// to emit them), including leading/trailing whitespace, `#`, and
+/// strings that look like other keywords (`counter x 1`, `inflight 3`).
+fn arb_record() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[^\\r\\n]{0,40}",
+        Just(String::new()),
+        Just("  padded  ".to_string()),
+        Just("# not a comment once prefixed".to_string()),
+        Just("counter smuggled 1".to_string()),
+        Just("inflight 3 deadline 4".to_string()),
+    ]
+}
+
+fn arb_status() -> impl Strategy<Value = InflightStatus> {
+    prop_oneof![
+        Just(InflightStatus::InFlight),
+        Just(InflightStatus::Parked),
+        Just(InflightStatus::Retrying),
+    ]
+}
+
+fn arb_budget() -> impl Strategy<Value = Option<BudgetSnapshot>> {
+    proptest::option::of((any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+        |(used, prev_us, rng_state)| BudgetSnapshot { used, prev_us, rng_state },
+    ))
+}
+
+fn arb_inflight_entry() -> impl Strategy<Value = InflightEntry> {
+    (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>(), arb_status(), arb_budget()).prop_map(
+        |(seq, deadline_ns, sends, retx, status, budget)| InflightEntry {
+            seq,
+            deadline_ns,
+            sends,
+            retx,
+            status,
+            budget,
+        },
+    )
+}
+
+/// A v2 fuzzy-cut checkpoint: counters, records, and in-flight entries
+/// all populated with arbitrary (but serializable) values.
+fn arb_v2_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        arb_counters(),
+        proptest::collection::vec(arb_record(), 0..16),
+        proptest::collection::vec(arb_inflight_entry(), 0..16),
+    )
+        .prop_map(|(epoch, taken_ns, cursor, counters, records, inflight)| Checkpoint {
+            version: 2,
+            epoch,
+            taken_ns,
+            cursor,
+            counters,
+            records,
+            inflight,
+        })
+}
+
+/// A v1 quiescent checkpoint: same shape, no in-flight section (v1
+/// cannot represent one — `to_text` refuses).
+fn arb_v1_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    arb_v2_checkpoint().prop_map(|mut cp| {
+        cp.version = 1;
+        cp.inflight.clear();
+        cp
+    })
+}
+
+proptest! {
+    #[test]
+    fn v2_text_round_trip_is_exact(cp in arb_v2_checkpoint()) {
+        let text = cp.to_text().expect("well-formed v2 serializes");
+        let back = Checkpoint::from_text(&text).expect("own output parses");
+        prop_assert_eq!(&cp, &back);
+        // Serialization is a fixed point: re-encoding changes nothing.
+        prop_assert_eq!(text, back.to_text().expect("re-serializes"));
+    }
+
+    #[test]
+    fn v1_text_round_trip_is_exact(cp in arb_v1_checkpoint()) {
+        let text = cp.to_text().expect("well-formed v1 serializes");
+        let back = Checkpoint::from_text(&text).expect("own output parses");
+        prop_assert_eq!(&cp, &back);
+        prop_assert_eq!(text, back.to_text().expect("re-serializes"));
+    }
+
+    /// Upgrade read: a v2-aware parser reading any v1 document yields
+    /// `version == 1` and an empty in-flight section — old checkpoints
+    /// stay readable and are never misread as carrying live state.
+    #[test]
+    fn v1_documents_upgrade_read_with_empty_inflight(cp in arb_v1_checkpoint()) {
+        let text = cp.to_text().expect("well-formed v1 serializes");
+        let back = Checkpoint::from_text(&text).expect("v1 parses under the v2 parser");
+        prop_assert_eq!(back.version, 1);
+        prop_assert!(back.inflight.is_empty());
+        prop_assert_eq!(back.epoch, cp.epoch);
+        prop_assert_eq!(back.cursor, cp.cursor);
+        prop_assert_eq!(&back.records, &cp.records);
+    }
+
+    /// An in-flight line on its own round-trips through the line
+    /// grammar exactly.
+    #[test]
+    fn inflight_line_round_trip_is_exact(entry in arb_inflight_entry()) {
+        let line = entry.to_line();
+        let back = InflightEntry::from_line(&line, 1).expect("own output parses");
+        prop_assert_eq!(entry, back);
+        prop_assert_eq!(line, back.to_line());
+    }
+
+    /// The parser returns `Err`, never panics, on arbitrary input.
+    #[test]
+    fn parser_never_panics(text in "\\PC*") {
+        let _ = Checkpoint::from_text(&text);
+    }
+}

@@ -117,8 +117,9 @@ pub const CATALOG: &[RuleInfo] = &[
         id: "P1",
         severity: "error",
         summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in hot \
-                  paths (crates/dns-wire/src, crates/proxy/src, dns-server/src/engine.rs, \
-                  dns-server/src/template.rs)",
+                  paths (crates/dns-wire/src, crates/proxy/src, crates/guard/src, \
+                  dns-server/src/engine.rs, dns-server/src/template.rs, \
+                  replay/src/retransmit.rs)",
         rationale: "A malformed packet must never panic the server: decode and dispatch \
                     paths return typed errors so a fuzzer (or the internet) cannot take \
                     the process down.",
@@ -139,7 +140,7 @@ pub const CATALOG: &[RuleInfo] = &[
     RuleInfo {
         id: "A1",
         severity: "error",
-        summary: "no unbounded channels in dns-server/replay/proxy crates",
+        summary: "no unbounded channels in dns-server/replay/proxy/guard crates",
         rationale: "The pre-load window (paper §2.6) depends on bounded stage-to-stage \
                     queues for backpressure; an unbounded channel turns overload into \
                     unbounded memory growth instead of a measurable stall.",
@@ -157,7 +158,7 @@ pub const CATALOG: &[RuleInfo] = &[
         id: "R1",
         severity: "error",
         summary: "a loop calling a retry/reconnect/backoff helper in the \
-                  dns-server/replay/proxy crates must reference a budget/attempt/\
+                  dns-server/replay/proxy/guard crates must reference a budget/attempt/\
                   deadline/limit/cap identifier",
         rationale: "A retry loop with no visible bound spins forever against a dead \
                     peer — exactly the failure mode ldp_guard::RetryBudget exists to \
@@ -220,14 +221,20 @@ pub struct FileScope {
     /// `crates/proxy/src/**`, `crates/cache/src/**` (every resolver
     /// query crosses the cache), `crates/dns-server/src/engine.rs`,
     /// `crates/dns-server/src/template.rs`, `crates/shard/src/**` (a
-    /// worker-thread panic aborts the whole windowed drive).
+    /// worker-thread panic aborts the whole windowed drive),
+    /// `crates/guard/src/**` (checkpoint parse/serialize runs on the
+    /// replay host's dispatch thread — a malformed document must
+    /// return an error, never panic mid-replay), and
+    /// `crates/replay/src/retransmit.rs` (called on every UDP
+    /// dispatch).
     pub hot_path: bool,
     /// Lighter panic discipline (P2: no `unwrap`/`expect`) for the rest
     /// of the hot-path crates — dns-wire, dns-server, proxy, telemetry —
     /// where P1 does not already apply.
     pub panic_lite: bool,
     /// Channel/retry-discipline crate (A1 and R1 apply): dns-server,
-    /// replay, proxy — the crates that dial, redial and resend.
+    /// replay, proxy — the crates that dial, redial and resend — plus
+    /// guard, which owns the retry budgets themselves.
     pub channel_scope: bool,
     /// Telemetry crate source (T1 applies instead of D1): the only
     /// sanctioned raw-clock read is `ClockSource`'s wall impl, which is
@@ -262,14 +269,18 @@ pub fn classify(path: &str) -> FileScope {
     let hot_path = p.contains("crates/dns-wire/src/")
         || p.contains("crates/proxy/src/")
         || p.contains("crates/cache/src/")
+        || p.contains("crates/guard/src/")
         || shard_path
         || p.ends_with("crates/dns-server/src/engine.rs")
         || p == "crates/dns-server/src/engine.rs"
         || p.ends_with("crates/dns-server/src/template.rs")
-        || p == "crates/dns-server/src/template.rs";
+        || p == "crates/dns-server/src/template.rs"
+        || p.ends_with("crates/replay/src/retransmit.rs")
+        || p == "crates/replay/src/retransmit.rs";
     let channel_scope = p.contains("crates/dns-server/")
         || p.contains("crates/replay/")
-        || p.contains("crates/proxy/");
+        || p.contains("crates/proxy/")
+        || p.contains("crates/guard/");
     let telemetry_path = p.contains("crates/telemetry/src/");
     let panic_lite = !hot_path
         && (p.contains("crates/dns-wire/src/")
@@ -1692,6 +1703,39 @@ mod tests {
         assert!(errors("crates/cache/src/policy.rs", panicky).iter().any(|d| d.rule == "P1"));
         let scope = classify("crates/cache/src/outstanding.rs");
         assert!(scope.sim_path && scope.hot_path && !scope.exempt);
+    }
+
+    #[test]
+    fn guard_crate_is_hot_path_and_channel_scope() {
+        // Checkpoint parse/serialize runs on the replay host's thread,
+        // so P1 (panic discipline) covers the guard crate; it owns the
+        // retry budgets, so A1/R1 (channel/retry discipline) do too.
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(errors("crates/guard/src/checkpoint.rs", panicky).iter().any(|d| d.rule == "P1"));
+        let scope = classify("crates/guard/src/inflight.rs");
+        assert!(scope.hot_path && scope.channel_scope && !scope.exempt);
+        let unbounded = r#"
+            pub fn mk() {
+                let (tx, rx) = crossbeam::channel::unbounded();
+                let _ = (tx, rx);
+            }
+        "#;
+        assert!(errors("crates/guard/src/supervisor.rs", unbounded).iter().any(|d| d.rule == "A1"));
+    }
+
+    #[test]
+    fn replay_retransmit_is_hot_path_scope() {
+        // Called on every UDP dispatch: P1 applies, on top of the
+        // replay crate's existing A1/R1 channel scope.
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.expect(\"boom\") }";
+        assert!(
+            errors("crates/replay/src/retransmit.rs", panicky).iter().any(|d| d.rule == "P1")
+        );
+        let scope = classify("crates/replay/src/retransmit.rs");
+        assert!(scope.hot_path && scope.channel_scope);
+        // The rest of the replay crate keeps its previous scoping.
+        let engine = classify("crates/replay/src/engine.rs");
+        assert!(!engine.hot_path && engine.channel_scope);
     }
 
     // ---- rule catalog ----

@@ -332,6 +332,7 @@ pub fn replay_with_clock(
                         epoch += 1;
                         if let Some(out) = &cp_out {
                             let cp = Checkpoint {
+                                version: 1,
                                 epoch,
                                 taken_ns: clock.now_us().saturating_mul(1_000),
                                 cursor: next_contig,
@@ -340,6 +341,7 @@ pub fn replay_with_clock(
                                     ("errors".into(), errors.load(Ordering::Relaxed)),
                                 ],
                                 records: Vec::new(),
+                                inflight: Vec::new(),
                             };
                             if let Ok(mut slot) = out.lock() {
                                 *slot = Some(cp);

@@ -18,6 +18,7 @@
 pub mod capture;
 pub mod clock;
 pub mod engine;
+pub mod retransmit;
 pub mod sim_replay;
 pub mod sticky;
 pub mod timing;
@@ -25,6 +26,7 @@ pub mod timing;
 pub use capture::{parse_tag_seq, Arrival, CaptureServer};
 pub use clock::{ReplayClock, VirtualClock, WallClock};
 pub use engine::{replay, replay_with_clock, ReplayConfig, ReplayReport, SentRecord};
-pub use sim_replay::{LatencyLog, LatencyRecord, SimReplayClient};
+pub use retransmit::RetransmitState;
+pub use sim_replay::{CheckpointStamp, LatencyLog, LatencyRecord, SimReplayClient};
 pub use sticky::StickyRouter;
 pub use timing::{virtual_deadline, TimingTracker};

@@ -9,10 +9,14 @@ use std::sync::{Arc, Mutex};
 
 use dns_wire::framing::{frame, FrameBuffer};
 use dns_wire::{EncodeScratch, Message, Transport};
-use ldp_guard::{Admission, AdmissionController, Checkpoint};
+use ldp_guard::{
+    Admission, AdmissionController, Checkpoint, InflightEntry, InflightStatus, RetransmitConfig,
+};
 use ldp_telemetry as tel;
 use ldp_trace::TraceEntry;
 use netsim::{ConnId, Ctx, Host, HostId, PacketBytes, SimTime, Simulator, TcpEvent};
+
+use crate::retransmit::RetransmitState;
 
 /// Interned per-query lifecycle marks (enqueue → send → retx →
 /// response → match), keyed by the trace sequence number so sampling
@@ -82,6 +86,24 @@ impl LatencyRecord {
 /// Shared output log.
 pub type LatencyLog = Arc<Mutex<Vec<LatencyRecord>>>;
 
+/// Metadata of one committed checkpoint, pushed into
+/// [`SimReplayClient::checkpoint_stamps`] at commit time. The document
+/// itself replaces its predecessor in `checkpoint_out`; the stamps
+/// keep the whole commit history, which is what the crash-storm study
+/// gates on ("v1 commits nothing during the storm, v2 keeps
+/// committing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStamp {
+    /// Checkpoint format version committed (1 = quiescent, 2 = fuzzy).
+    pub version: u8,
+    /// Checkpoint ordinal.
+    pub epoch: u32,
+    /// Virtual commit time (ns).
+    pub taken_ns: u64,
+    /// Outstanding queries carried (always 0 for v1).
+    pub inflight: usize,
+}
+
 /// Timer-token namespace for reconnect retries. Trace replay uses the
 /// low token space `[0, trace.len())`; retry tokens set the top bit so
 /// the two can never collide.
@@ -90,6 +112,13 @@ const RETRY_TOKEN_BIT: u64 = 1 << 63;
 /// Timer-token namespace for admission re-offers (a `Busy` verdict
 /// parks the query and re-offers it after a short poll gap).
 const ADMIT_TOKEN_BIT: u64 = 1 << 62;
+
+/// Timer-token namespace for UDP retransmits (low bits carry the seq).
+const RETX_TOKEN_BIT: u64 = 1 << 61;
+
+/// Timer token for the fuzzy-checkpoint cadence tick (no seq payload:
+/// the chain is a single self-re-arming timer).
+const CP_TOKEN_BIT: u64 = 1 << 60;
 
 /// Poll gap between admission re-offers of a parked query (µs, virtual).
 const ADMIT_POLL_US: u64 = 1_000;
@@ -182,9 +211,32 @@ pub struct SimReplayClient {
     /// next quiescent cut (no query in flight, retrying, or parked).
     /// `0` disables checkpointing.
     pub checkpoint_every: u64,
+    /// Commit a v2 fuzzy-cut checkpoint every this much virtual time,
+    /// on an absolute grid anchored at [`SimReplayClient::origin`]
+    /// (ticks at `origin + k·cadence`), regardless of what is in
+    /// flight — the storm-proof alternative to `checkpoint_every`'s
+    /// quiescent cuts. `None` disables cadence checkpointing. Use one
+    /// mechanism or the other: both write into `checkpoint_out`.
+    pub checkpoint_cadence: Option<netsim::SimDuration>,
+    /// UDP retransmission policy (`None` = no retransmits: a lost UDP
+    /// query is lost, the historical behavior). Each query draws its
+    /// own deterministic `RetryBudget` seeded from
+    /// (`retx_seed`, seq).
+    pub udp_retransmit: Option<RetransmitConfig>,
+    /// Run-level seed for the per-query retransmit jitter streams.
+    pub retx_seed: u64,
+    /// Live per-query send/retry bookkeeping and retransmit budgets.
+    retx_state: RetransmitState,
+    /// Whether the cadence tick chain is currently armed (re-armed
+    /// lazily after construction and after a querier crash).
+    cadence_armed: bool,
     /// Latest committed checkpoint; each cut replaces its predecessor
     /// (a resume only ever wants the newest one).
     pub checkpoint_out: Option<Arc<Mutex<Option<Checkpoint>>>>,
+    /// Commit count per checkpoint mechanism, for studies that gate on
+    /// "v1 starves under a storm, v2 does not": (quiescent commits,
+    /// fuzzy commits) with their virtual commit times (ns).
+    pub checkpoint_stamps: Option<Arc<Mutex<Vec<CheckpointStamp>>>>,
     completed_since_cp: u64,
     epoch: u32,
     /// Virtual-time origin of the schedule — set this to the `start`
@@ -223,7 +275,13 @@ impl SimReplayClient {
             parked: BTreeSet::new(),
             shed_out: None,
             checkpoint_every: 0,
+            checkpoint_cadence: None,
+            udp_retransmit: None,
+            retx_seed: 0,
+            retx_state: RetransmitState::new(),
+            cadence_armed: false,
             checkpoint_out: None,
+            checkpoint_stamps: None,
             completed_since_cp: 0,
             epoch: 0,
             origin: SimTime::ZERO,
@@ -240,6 +298,13 @@ impl SimReplayClient {
     /// uncompleted remainder at the original virtual-time deadlines —
     /// the resumed transcript is byte-identical to an uninterrupted
     /// same-seed run.
+    ///
+    /// Works for both versions. A v2 fuzzy cut's counters are
+    /// *committed* values and its outstanding queries are re-executed
+    /// from their original deadlines (carried on `inflight` lines), so
+    /// their sends/retries are re-counted by the resumed run itself —
+    /// no special handling needed here beyond seeding the same
+    /// `retx_seed`/`udp_retransmit` policy the original run used.
     pub fn resume(
         trace: Vec<TraceEntry>,
         server: SocketAddr,
@@ -289,6 +354,15 @@ impl SimReplayClient {
     /// virtual-time deadlines (the fresh simulator starts at t = 0, so
     /// every one of them is in its future), which is what makes the
     /// resumed transcript byte-identical to an uninterrupted run.
+    ///
+    /// For a v2 fuzzy cut the checkpoint's `inflight` lines are
+    /// authoritative: each carried query is re-armed at the deadline
+    /// the checkpoint recorded for it (its *original* send instant —
+    /// re-execution, not continuation: the fresh simulator re-runs the
+    /// query's full lifecycle, and because every packet fate and
+    /// jitter draw is a pure function of seed and virtual time, the
+    /// re-run is bit-identical to the original). `start` must be the
+    /// same origin the killed run used.
     pub fn schedule_resume(
         sim: &mut Simulator,
         host: HostId,
@@ -301,16 +375,24 @@ impl SimReplayClient {
             .iter()
             .filter_map(|l| record_from_line(l).map(|r| r.seq))
             .collect();
+        let carried: BTreeMap<u64, u64> =
+            cp.inflight.iter().map(|e| (e.seq, e.deadline_ns)).collect();
         let Some(first) = trace.first() else {
             return;
         };
         let t0 = first.time_us;
+        let start_ns = start.as_nanos();
         let mut rearmed = 0u64;
         for (i, e) in trace.iter().enumerate() {
             if done.contains(&(i as u64)) {
                 continue;
             }
-            let at = start + netsim::SimDuration::from_micros(e.time_us - t0);
+            let at = match carried.get(&(i as u64)) {
+                Some(&deadline_ns) => {
+                    start + netsim::SimDuration::from_nanos(deadline_ns.saturating_sub(start_ns))
+                }
+                None => start + netsim::SimDuration::from_micros(e.time_us - t0),
+            };
             sim.schedule_timer(host, at, i as u64);
             rearmed += 1;
         }
@@ -386,6 +468,7 @@ impl SimReplayClient {
             source: src.ip(),
         };
         self.sent += 1;
+        self.retx_state.note_send(idx as u64);
         if tel::enabled() {
             let k = q_kinds();
             let kind = if first_sent_s.is_some() { k.retx } else { k.send };
@@ -395,6 +478,19 @@ impl SimReplayClient {
             Transport::Udp => {
                 self.pending_udp.insert((src.ip(), id), pending);
                 ctx.send_udp(src, self.server, payload);
+                // Arm the next retransmit from this query's own
+                // deterministic budget; exhaustion is terminal (the
+                // query stays pending, carried by any fuzzy cut).
+                if let Some(cfg) = self.udp_retransmit {
+                    if let Some(d) =
+                        self.retx_state.next_delay_us(idx as u64, &cfg, self.retx_seed)
+                    {
+                        ctx.set_timer(
+                            netsim::SimDuration::from_micros(d),
+                            RETX_TOKEN_BIT | idx as u64,
+                        );
+                    }
+                }
             }
             Transport::Tcp | Transport::Tls => {
                 let reusable = if self.reuse_connections {
@@ -427,6 +523,7 @@ impl SimReplayClient {
         // retry chain and stray duplicate pendings for this query.
         let seq = pending.seq;
         self.retrying.remove(&seq);
+        self.retx_state.complete(seq);
         self.pending_tcp.retain(|_, p| p.seq != seq);
         self.pending_udp.retain(|_, p| p.seq != seq);
         if tel::enabled() {
@@ -464,8 +561,9 @@ impl SimReplayClient {
             && self.parked.is_empty()
     }
 
-    /// Commit a checkpoint of the current progress into
-    /// `checkpoint_out`, replacing the previous one.
+    /// Commit a v1 checkpoint of the current progress into
+    /// `checkpoint_out`, replacing the previous one. Only called at a
+    /// quiescent cut, so there is no in-flight state to carry.
     fn take_checkpoint(&mut self, taken_ns: u64) {
         let Some(out) = self.checkpoint_out.clone() else {
             return;
@@ -481,6 +579,7 @@ impl SimReplayClient {
         };
         let shed = self.admission.as_ref().map_or(0, |a| a.shed_count());
         let cp = Checkpoint {
+            version: 1,
             epoch: self.epoch,
             taken_ns,
             cursor,
@@ -492,8 +591,129 @@ impl SimReplayClient {
                 ("restarts".into(), self.restarts as u64),
             ],
             records,
+            inflight: Vec::new(),
         };
+        self.stamp(1, taken_ns, 0);
         *out.lock().unwrap() = Some(cp);
+    }
+
+    /// Seqs dispatched-or-parked but not completed — the set a fuzzy
+    /// cut must carry. Union of the live bookkeeping, the parked set,
+    /// the TCP retry chains, and (belt and braces) anything still
+    /// pending.
+    fn outstanding_seqs(&self) -> BTreeSet<u64> {
+        let mut out: BTreeSet<u64> = self.retx_state.live_seqs().collect();
+        out.extend(self.parked.iter().copied());
+        out.extend(self.retrying.keys().copied());
+        out.extend(self.pending_udp.values().map(|p| p.seq));
+        out.extend(self.pending_tcp.values().map(|p| p.seq));
+        out
+    }
+
+    /// Commit a v2 fuzzy-cut checkpoint at virtual instant `taken_ns`,
+    /// whatever is in flight. Counters are committed down to completed
+    /// work (live contributions are subtracted and carried per-query
+    /// on the `inflight` lines instead), so a resumed run that
+    /// re-executes the outstanding queries re-counts them exactly
+    /// once. `connects` is carried as-is: connection reuse makes
+    /// per-query attribution ill-defined, so TCP-heavy runs should
+    /// compare transcripts, not the connects counter, across a resume.
+    fn take_fuzzy_checkpoint(&mut self, taken_ns: u64) {
+        let Some(out) = self.checkpoint_out.clone() else {
+            return;
+        };
+        self.epoch += 1;
+        let records: Vec<String> = self.log.lock().unwrap().iter().map(record_to_line).collect();
+        let outstanding = self.outstanding_seqs();
+        let cursor = {
+            let mut c = 0u64;
+            while self.completed.contains(&c) || outstanding.contains(&c) {
+                c += 1;
+            }
+            c
+        };
+        let (live_sends, live_retx) = self.retx_state.live_totals();
+        let shed = self.admission.as_ref().map_or(0, |a| a.shed_count());
+        let t0 = self.trace.first().map_or(0, |e| e.time_us);
+        let origin_ns = self.origin.as_nanos();
+        let inflight: Vec<InflightEntry> = outstanding
+            .iter()
+            .map(|&seq| {
+                let deadline_ns = self
+                    .trace
+                    .get(seq as usize)
+                    .map_or(0, |e| origin_ns + (e.time_us - t0).saturating_mul(1_000));
+                let status = if self.parked.contains(&seq) {
+                    InflightStatus::Parked
+                } else if self.retrying.contains_key(&seq) {
+                    InflightStatus::Retrying
+                } else {
+                    InflightStatus::InFlight
+                };
+                InflightEntry {
+                    seq,
+                    deadline_ns,
+                    sends: self.retx_state.sends_of(seq),
+                    retx: self.retx_state.retx_of(seq),
+                    status,
+                    budget: self.retx_state.budget_snapshot(seq),
+                }
+            })
+            .collect();
+        let cp = Checkpoint {
+            version: 2,
+            epoch: self.epoch,
+            taken_ns,
+            cursor,
+            counters: vec![
+                ("sent".into(), self.sent.saturating_sub(live_sends)),
+                ("connects".into(), self.connects),
+                ("retries".into(), self.retries.saturating_sub(live_retx)),
+                ("shed".into(), shed),
+                ("restarts".into(), self.restarts as u64),
+            ],
+            records,
+            inflight,
+        };
+        self.stamp(2, taken_ns, cp.inflight.len());
+        *out.lock().unwrap() = Some(cp);
+    }
+
+    /// Record one commit into the stamp history, if a collector is
+    /// attached.
+    fn stamp(&self, version: u8, taken_ns: u64, inflight: usize) {
+        if let Some(stamps) = &self.checkpoint_stamps {
+            stamps.lock().unwrap().push(CheckpointStamp {
+                version,
+                epoch: self.epoch,
+                taken_ns,
+                inflight,
+            });
+        }
+    }
+
+    /// Arm the cadence tick chain (once) at the next absolute grid
+    /// instant `origin + k·cadence` strictly after now. Grid
+    /// anchoring — rather than "cadence from when we happened to
+    /// arm" — makes an original run and its resumed continuation
+    /// commit at the same virtual instants.
+    fn maybe_arm_cadence(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(cadence) = self.checkpoint_cadence else {
+            return;
+        };
+        if self.cadence_armed {
+            return;
+        }
+        self.cadence_armed = true;
+        let cad_ns = cadence.as_nanos().max(1);
+        let now_ns = ctx.now().as_nanos();
+        let elapsed = now_ns.saturating_sub(self.origin.as_nanos());
+        let k = elapsed / cad_ns + 1;
+        let at_ns = self.origin.as_nanos() + k.saturating_mul(cad_ns);
+        ctx.set_timer(
+            netsim::SimDuration::from_nanos(at_ns.saturating_sub(now_ns)),
+            CP_TOKEN_BIT,
+        );
     }
 }
 
@@ -584,6 +804,11 @@ impl Host for SimReplayClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        // The cadence chain is armed off the first timer to fire after
+        // construction (or after a crash): every run starts with a
+        // trace timer, so the chain is in place before any query
+        // completes.
+        self.maybe_arm_cadence(ctx);
         if token & RETRY_TOKEN_BIT != 0 {
             let seq = token & !RETRY_TOKEN_BIT;
             // The chain may have been cancelled by a late answer on an
@@ -594,7 +819,37 @@ impl Host for SimReplayClient {
             let idx = seq as usize;
             if idx < self.trace.len() {
                 self.retries += 1;
+                self.retx_state.note_retx(seq);
                 self.dispatch(ctx, idx, Some(sent_s));
+            }
+            return;
+        }
+        if token & RETX_TOKEN_BIT != 0 {
+            // A UDP retransmit came due. Only resend while the query
+            // is still unanswered and actually on the wire (the
+            // pending entry holds the original send time the logged
+            // latency must span from).
+            let seq = token & !RETX_TOKEN_BIT;
+            if self.completed.contains(&seq) {
+                return;
+            }
+            let Some(p) = self.pending_udp.values().find(|p| p.seq == seq).copied() else {
+                return;
+            };
+            let idx = seq as usize;
+            if idx < self.trace.len() {
+                self.retries += 1;
+                self.retx_state.note_retx(seq);
+                self.dispatch(ctx, idx, Some(p.sent_s));
+            }
+            return;
+        }
+        if token == CP_TOKEN_BIT {
+            // Fuzzy-cut cadence tick: commit whatever is in flight and
+            // re-arm the next grid instant.
+            if let Some(cadence) = self.checkpoint_cadence {
+                self.take_fuzzy_checkpoint(ctx.now().as_nanos());
+                ctx.set_timer(cadence, CP_TOKEN_BIT);
             }
             return;
         }
@@ -629,6 +884,11 @@ impl Host for SimReplayClient {
         self.pending_tcp.clear();
         self.retrying.clear();
         self.parked.clear();
+        // Retransmit chains and the cadence tick died with the timer
+        // epoch; the send/retry accounting survives (those packets
+        // really left before the crash).
+        self.retx_state.drop_budgets();
+        self.cadence_armed = false;
         if let Some(adm) = &mut self.admission {
             adm.reset_in_flight();
         }
@@ -641,6 +901,7 @@ impl Host for SimReplayClient {
         // original absolute times, already-due ones are re-dispatched
         // now — the dead querier's unacknowledged span.
         self.restarts += 1;
+        self.maybe_arm_cadence(ctx);
         let now_ns = ctx.now().as_nanos();
         let t0 = self.trace.first().map_or(0, |e| e.time_us);
         let origin_ns = self.origin.as_nanos();
@@ -1063,5 +1324,149 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs, (0..20).collect::<Vec<u64>>(), "every query answered despite the crash");
+    }
+
+    /// Sustained random loss with UDP retransmission enabled: every
+    /// query is eventually answered (the per-query budgets outlast the
+    /// loss), and the answered-late queries show retransmit latency.
+    #[test]
+    fn udp_retransmission_recovers_lost_queries() {
+        let trace = mk_trace(30, 50_000, 4);
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(40),
+                bandwidth_bps: None,
+                loss: 0.3,
+            }),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(30)))),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let mut client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        client.udp_retransmit = Some(RetransmitConfig {
+            max_retx: 10,
+            base_us: 100_000,
+            cap_us: 400_000,
+        });
+        client.retx_seed = 7;
+        let srcs = client.source_addrs();
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(30.0));
+        let out = log.lock().unwrap().clone();
+        assert_eq!(out.len(), 30, "all queries answered through 30% loss");
+        assert!(
+            out.iter().any(|r| r.latency() > 0.09),
+            "some query needed at least one retransmit"
+        );
+        // Latency spans from the *original* send even for retransmitted
+        // answers.
+        assert!(out.iter().all(|r| r.latency() >= 0.039));
+    }
+
+    /// Fuzzy cadence cuts commit on the absolute grid with queries in
+    /// flight, counters committed down to completed work, and the v2
+    /// document round-trips through its text form.
+    #[test]
+    fn fuzzy_cadence_commits_with_inflight_state() {
+        // Gap 50 ms, RTT 40 ms, cadence 25 ms: every odd grid tick
+        // lands while a query is on the wire.
+        let trace = mk_trace(40, 50_000, 4);
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(40),
+                bandwidth_bps: None,
+                loss: 0.0,
+            }),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(30)))),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let cp_out = Arc::new(Mutex::new(None));
+        let stamps = Arc::new(Mutex::new(Vec::new()));
+        let mut client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        client.checkpoint_cadence = Some(SimDuration::from_micros(25_000));
+        client.checkpoint_out = Some(cp_out.clone());
+        client.checkpoint_stamps = Some(stamps.clone());
+        let srcs = client.source_addrs();
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        // Kill right after the 0.525 s tick: seq 10 (sent at 0.500,
+        // answered at 0.540) is mid-flight at that cut.
+        sim.run_until(SimTime::from_secs_f64(0.53));
+
+        let stamps = stamps.lock().unwrap().clone();
+        assert!(!stamps.is_empty(), "cadence commits happened");
+        assert!(stamps.iter().all(|s| s.version == 2));
+        // Grid anchoring: every commit instant is a multiple of 25 ms.
+        assert!(stamps.iter().all(|s| s.taken_ns % 25_000_000 == 0), "{stamps:?}");
+        assert!(stamps.iter().any(|s| s.inflight > 0), "some cut caught a query mid-flight");
+
+        let cp = cp_out.lock().unwrap().clone().expect("a committed cut");
+        assert_eq!(cp.version, 2);
+        assert_eq!(cp.taken_ns, 525_000_000);
+        assert_eq!(cp.inflight.len(), 1, "{:?}", cp.inflight);
+        let e = cp.inflight[0];
+        assert_eq!(e.seq, 10);
+        assert_eq!(e.deadline_ns, 500_000_000, "original send deadline, not the cut");
+        assert_eq!((e.sends, e.retx), (1, 0));
+        assert_eq!(e.status, InflightStatus::InFlight);
+        // Committed counters cover completed work only: 10 completed
+        // queries, each sent exactly once; seq 10's send is carried on
+        // its inflight line instead.
+        assert_eq!(cp.counter("sent"), Some(10));
+        assert_eq!(cp.records.len(), 10);
+        // Exact text round-trip of a document with in-flight state.
+        let text = cp.to_text().expect("serializes");
+        assert_eq!(Checkpoint::from_text(&text).expect("parses"), cp);
+    }
+
+    /// Satellite: after a querier crash, parked queries re-enter
+    /// admission deterministically — re-offered in ascending seq order
+    /// by `on_restart`, so with a one-slot window the completion order
+    /// is pinned.
+    #[test]
+    fn crashed_querier_parked_queries_reenter_admission_in_seq_order() {
+        let trace = mk_trace(4, 0, 1); // burst: all due at t = 0
+        let src_ip: IpAddr = "10.1.0.1".parse().unwrap();
+        let mut sim = Simulator::new(
+            Topology::uniform(PathConfig {
+                rtt: SimDuration::from_millis(40),
+                bandwidth_bps: None,
+                loss: 0.0,
+            }),
+            SimConfig::default(),
+        );
+        let server_addr: SocketAddr = "10.9.0.1:53".parse().unwrap();
+        sim.add_host(
+            &[server_addr.ip()],
+            Box::new(SimDnsServer::new(engine(), server_addr, Some(SimDuration::from_secs(30)))),
+        );
+        let log: LatencyLog = Arc::new(Mutex::new(vec![]));
+        let mut client = SimReplayClient::new(trace.clone(), server_addr, log.clone());
+        client.admission = Some(AdmissionController::new(ldp_guard::AdmissionConfig {
+            max_in_flight: 1,
+            max_lateness_us: 60_000_000, // park, never shed
+        }));
+        let srcs = client.source_addrs();
+        let client_id = sim.add_host(&srcs, Box::new(client));
+        SimReplayClient::schedule(&mut sim, client_id, &trace, SimTime::ZERO);
+        // q0 in flight, q1..q3 parked when the querier dies.
+        sim.run_until(SimTime::from_secs_f64(0.01));
+        sim.crash_now(src_ip);
+        sim.run_until(SimTime::from_secs_f64(0.02));
+        sim.restart_now(src_ip);
+        sim.run_until(SimTime::from_secs_f64(30.0));
+
+        let order: Vec<u64> = log.lock().unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "deterministic seq-order re-entry");
     }
 }

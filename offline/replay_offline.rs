@@ -8,6 +8,8 @@
 pub mod clock;
 #[path = "../crates/replay/src/engine.rs"]
 pub mod engine;
+#[path = "../crates/replay/src/retransmit.rs"]
+pub mod retransmit;
 #[path = "../crates/replay/src/sim_replay.rs"]
 pub mod sim_replay;
 #[path = "../crates/replay/src/sticky.rs"]
@@ -17,6 +19,7 @@ pub mod timing;
 
 pub use clock::{ReplayClock, VirtualClock, WallClock};
 pub use engine::{replay, replay_with_clock, ReplayConfig, ReplayReport, SentRecord};
-pub use sim_replay::{LatencyLog, LatencyRecord, SimReplayClient};
+pub use retransmit::RetransmitState;
+pub use sim_replay::{CheckpointStamp, LatencyLog, LatencyRecord, SimReplayClient};
 pub use sticky::StickyRouter;
 pub use timing::{virtual_deadline, TimingTracker};

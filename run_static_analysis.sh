@@ -63,6 +63,9 @@ if cargo_works; then
 
     note "fig_cache delayed-hits smoke run (determinism + dedup + eviction gates)"
     cargo run --release -q -p ldp-bench --bin fig_cache -- --smoke || fail=1
+
+    note "fig_recovery smoke run (crash recovery + crash-storm fuzzy-cut gates)"
+    cargo run --release -q -p ldp-bench --bin fig_recovery -- --smoke --storm || fail=1
 else
     note "cargo cannot resolve dependencies here; running the offline rustc chain"
     bin=${TMPDIR:-/tmp}/ldp-lint-gate
@@ -237,6 +240,13 @@ else
     rc --test --crate-name chaos_shard_t $CHAOS $NETSIM crates/chaos/tests/shard_equivalence.rs &&
         "$od/chaos_shard_t" -q || fail=1
 
+    note "offline: chaos crash-storm suite (v1 starvation + fuzzy-cut resume byte-identity)"
+    # Serial: telemetry enable flag and thread-local rings are shared
+    # process state across the storm runs.
+    rc --test --crate-name chaos_storm_t $CHAOS $NETSIM $TELEM $GUARD \
+        crates/chaos/tests/recovery_storm.rs &&
+        "$od/chaos_storm_t" -q --test-threads=1 || fail=1
+
     note "offline: facade + sim-path integration suite (full_pipeline)"
     rc --crate-type lib --crate-name ldplayer \
         $WIRE $ZONE $SERVER $RESOLVER $NETSIM $TRACE $ZC $PROXY $REPLAY $METRICS $WORKLOADS $CORE $CHAOS $TELEM $GUARD $CACHE \
@@ -269,10 +279,10 @@ else
         crates/bench/src/bin/fig_trace.rs &&
         "$od/fig_trace" --smoke || fail=1
 
-    note "offline: fig_recovery smoke run (crash recovery + checkpoint-resume gates)"
+    note "offline: fig_recovery smoke run (crash recovery + crash-storm fuzzy-cut gates)"
     rc --crate-name fig_recovery $BENCH $CHAOS $NETSIM $METRICS $GUARD $REPLAY $TELEM \
         crates/bench/src/bin/fig_recovery.rs &&
-        "$od/fig_recovery" --smoke || fail=1
+        "$od/fig_recovery" --smoke --storm || fail=1
 
     note "SKIPPED: fmt, clippy, tokio-dependent crates (registry unreachable)"
 fi
@@ -315,6 +325,16 @@ if [ -f BENCH_hotpath.json ]; then
         fail=1
     else
         note "resolver cache bench: hit ${chit}, delayed-hit ${cdel}, miss ${cmiss} ops/s"
+    fi
+    # Guard gate: the v2 fuzzy-cut checkpoint serialization bench must
+    # be present (the binary itself enforces the ≤3% guard overhead
+    # budget before writing the report).
+    fuzzy=$(bench_num fuzzy_checkpoint_per_sec)
+    if [ -z "$fuzzy" ]; then
+        note "FAILED: guard.fuzzy_checkpoint_per_sec missing from BENCH_hotpath.json"
+        fail=1
+    else
+        note "guard fuzzy-checkpoint bench: ${fuzzy} round-trips/s"
     fi
     # Sharded-simulator gate: all three shard-count rates must be
     # present (the hotpath binary itself asserts the sharded event
